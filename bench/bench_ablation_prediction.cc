@@ -1,0 +1,111 @@
+// §5.1 ablation: port prediction against symmetric NATs — "chasing a moving
+// target". Prediction works much of the time when the NAT allocates ports
+// sequentially and the NAT is quiet, and falls apart under random
+// allocation or when unrelated cross-traffic claims the predicted port
+// between the probe and the punch.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/prediction.h"
+#include "src/core/probe_server.h"
+
+using namespace natpunch;
+
+namespace {
+
+bool RunPredicted(NatPortAllocation allocation, double cross_flows_per_sec, uint64_t seed) {
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  symmetric.port_allocation = allocation;
+  Scenario::Options options;
+  options.seed = seed;
+  auto topo = MakeFig5(symmetric, symmetric, options);
+  Scenario& scenario = *topo.scenario;
+  Network& net = scenario.net();
+
+  RendezvousServer server(topo.server, kServerPort);
+  server.Start();
+  Host* stun_host = scenario.AddPublicHost("ST2", Ipv4Address::FromOctets(18, 181, 0, 32));
+  StunLikeServer stun1(topo.server, 3478);
+  StunLikeServer stun2(stun_host, 3478);
+  stun1.Start();
+  stun2.Start();
+
+  // Cross-traffic: a second host behind NAT A keeps opening new outbound
+  // flows, each consuming a public port on the symmetric NAT.
+  if (cross_flows_per_sec > 0) {
+    Host* noisy = scenario.AddHostToSite(&topo.site_a, "noisy",
+                                         Ipv4Address::FromOctets(10, 0, 0, 40));
+    auto sock = noisy->udp().Bind(0);
+    const int64_t interval_us =
+        static_cast<int64_t>(1'000'000.0 / cross_flows_per_sec);
+    auto tick = std::make_shared<std::function<void()>>();
+    auto* rng = &net.rng();
+    *tick = [&net, sock = *sock, interval_us, tick, rng] {
+      // A fresh destination port each time forces a fresh NAT mapping.
+      const uint16_t port = static_cast<uint16_t>(10000 + rng->NextBelow(20000));
+      sock->SendTo(Endpoint(Ipv4Address::FromOctets(18, 181, 0, 33), port), Bytes{0});
+      // Jittered (roughly Poisson) arrivals so the race against the
+      // predicted port is probabilistic, not phase-locked.
+      const int64_t gap = static_cast<int64_t>(
+          static_cast<double>(interval_us) * (0.25 + 1.5 * rng->NextDouble()));
+      net.event_loop().ScheduleAfter(Micros(gap), *tick);
+    };
+    net.event_loop().ScheduleAfter(Micros(interval_us), *tick);
+  }
+
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  PredictivePuncher predict_a(&pa, stun1.endpoint(), stun2.endpoint());
+  PredictivePuncher predict_b(&pb, stun1.endpoint(), stun2.endpoint());
+  pb.SetIncomingSessionCallback([](UdpP2pSession*) {});
+  net.RunFor(Seconds(2));
+
+  bool ok = false;
+  predict_a.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { ok = r.ok(); });
+  net.RunFor(Seconds(25));
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Ablation (§5.1): port prediction against symmetric NATs");
+
+  // Sanity floor: basic punching never works on symmetric NATs.
+  {
+    NatConfig symmetric;
+    symmetric.mapping = NatMapping::kAddressAndPortDependent;
+    auto env = bench::UdpPunchEnv::Make(symmetric, symmetric, 1100);
+    auto outcome = env.Punch();
+    std::printf("baseline (no prediction): %s\n\n",
+                outcome.success ? "succeeded (?!)" : "fails, as expected");
+  }
+
+  std::printf("%-14s %-22s %-12s\n", "allocation", "cross-traffic (fl/s)", "success");
+  uint64_t seed = 1200;
+  const int kTrials = 15;
+  for (const NatPortAllocation allocation :
+       {NatPortAllocation::kSequential, NatPortAllocation::kRandom}) {
+    for (const double rate : {0.0, 0.5, 2.0, 4.0, 6.0, 8.0}) {
+      int ok = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        ok += RunPredicted(allocation, rate, seed++) ? 1 : 0;
+      }
+      std::printf("%-14s %-22.1f %-12s\n", NatPortAllocationName(allocation).data(), rate,
+                  bench::Pct(ok, kTrials).c_str());
+    }
+  }
+
+  std::printf(
+      "\nShape check (§5.1): prediction rescues sequential-allocating symmetric\n"
+      "NATs on a quiet network, degrades as cross-traffic races for the\n"
+      "predicted port, and is useless against random allocation — 'a useful\n"
+      "trick ... but not a robust long-term solution'.\n");
+  return 0;
+}

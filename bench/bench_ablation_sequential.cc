@@ -1,0 +1,114 @@
+// §4.5 ablation: sequential (NatTrav-style) vs parallel TCP hole punching.
+// Measures completion latency, rendezvous connections consumed, and the
+// sequential procedure's sensitivity to its dwell-time parameter — the
+// "too little delay risks a lost SYN derailing the process, too much delay
+// increases the total time" trade-off the paper calls out.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/sequential.h"
+
+using namespace natpunch;
+
+namespace {
+
+struct SeqResult {
+  bool success = false;
+  double time_ms = 0;
+  int connections_consumed = 0;
+};
+
+SeqResult RunSequential(SimDuration dwell, double loss, uint64_t seed) {
+  Scenario::Options options;
+  options.internet_loss = loss;
+  options.seed = seed;
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  Network& net = topo.scenario->net();
+  RendezvousServer server(topo.server, kServerPort);
+  server.Start();
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  SequentialPunchConfig config;
+  config.syn_dwell = dwell;
+  SequentialPuncher pa(&ca, config);
+  SequentialPuncher pb(&cb, config);
+  pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+  net.RunFor(Seconds(3));
+
+  SeqResult result;
+  const SimTime start = net.now();
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) {
+    result.success = r.ok();
+    result.time_ms = (net.now() - start).micros() / 1000.0;
+  });
+  net.RunFor(Seconds(60));
+  result.connections_consumed =
+      pa.server_connections_consumed() + pb.server_connections_consumed();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Ablation (§4.5): sequential vs parallel TCP hole punching");
+
+  // Baseline: parallel punching.
+  {
+    std::vector<double> times;
+    int ok = 0;
+    uint64_t seed = 900;
+    for (int trial = 0; trial < 10; ++trial) {
+      auto env = bench::TcpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++);
+      auto outcome = env.Punch();
+      if (outcome.success) {
+        ++ok;
+        times.push_back(outcome.elapsed.micros() / 1000.0);
+      }
+    }
+    std::printf("parallel punching  : success %s, median %.1f ms, S connections consumed 0\n",
+                bench::Pct(ok, 10).c_str(), bench::Median(times));
+  }
+
+  // Sequential with the default dwell.
+  std::printf("\nsequential punching, dwell sweep (10 trials each, lossless):\n");
+  std::printf("%-12s %-12s %-18s %-22s\n", "dwell (ms)", "success", "median total (ms)",
+              "S connections/punch");
+  uint64_t seed = 950;
+  for (const int64_t dwell_ms : {50, 200, 600, 1500, 3000}) {
+    int ok = 0;
+    int consumed = 0;
+    std::vector<double> times;
+    for (int trial = 0; trial < 10; ++trial) {
+      SeqResult r = RunSequential(Millis(dwell_ms), 0.0, seed++);
+      ok += r.success ? 1 : 0;
+      consumed += r.connections_consumed;
+      if (r.success) {
+        times.push_back(r.time_ms);
+      }
+    }
+    std::printf("%-12lld %-12s %-18.1f %-22.1f\n", static_cast<long long>(dwell_ms),
+                bench::Pct(ok, 10).c_str(), bench::Median(times), consumed / 10.0);
+  }
+
+  std::printf("\nsequential punching under 20%% loss (SYN may vanish; 15 trials each):\n");
+  std::printf("%-12s %-12s\n", "dwell (ms)", "success");
+  for (const int64_t dwell_ms : {50, 200, 600, 1500}) {
+    int ok = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+      ok += RunSequential(Millis(dwell_ms), 0.2, seed++).success ? 1 : 0;
+    }
+    std::printf("%-12lld %-12s\n", static_cast<long long>(dwell_ms),
+                bench::Pct(ok, 15).c_str());
+  }
+
+  std::printf(
+      "\nShape check (§4.5): the parallel procedure completes as soon as the\n"
+      "connect()s cross and keeps the rendezvous connections alive; the\n"
+      "sequential variant adds its dwell time to every punch, consumes both\n"
+      "sides' connections to S, and a too-short dwell under loss lets the\n"
+      "doomed SYN die before opening the hole.\n");
+  return 0;
+}

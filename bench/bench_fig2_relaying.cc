@@ -1,0 +1,175 @@
+// Figure 2: NAT traversal by relaying — the most reliable but least
+// efficient method (§2.2). Compares a relayed channel against a punched
+// direct session on the same topology: round-trip latency, bytes through
+// the server, and availability when punching is impossible (symmetric NATs).
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.h"
+#include "src/core/relay.h"
+#include "src/core/turn.h"
+
+using namespace natpunch;
+
+namespace {
+
+constexpr int kRounds = 20;
+constexpr size_t kPayload = 256;
+
+// Median echo RTT in ms; `send` fires one request and calls its argument
+// when the echo returns.
+double MeasureRtt(Network& net, const std::function<void(std::function<void()>)>& send) {
+  std::vector<double> rtts;
+  for (int i = 0; i < kRounds; ++i) {
+    const SimTime start = net.now();
+    bool done = false;
+    send([&] { done = true; });
+    for (int guard = 0; guard < 400 && !done; ++guard) {
+      net.RunFor(Millis(10));
+    }
+    if (done) {
+      rtts.push_back((net.now() - start).micros() / 1000.0);
+    }
+  }
+  return bench::Median(rtts);
+}
+
+void Row(const char* nats, const char* path, double rtt_ms, double punch_ms,
+         double server_bytes_per_msg, const char* note = "") {
+  char rtt[32], punch[32];
+  std::snprintf(rtt, sizeof(rtt), "%.1f", rtt_ms);
+  std::snprintf(punch, sizeof(punch), "%.1f", punch_ms);
+  std::printf("%-22s %-8s %-12s %-14s %-18.0f %s\n", nats, path, rtt_ms < 0 ? "n/a" : rtt,
+              punch_ms < 0 ? "-" : punch, server_bytes_per_msg, note);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 2: relaying vs punched direct path");
+  std::printf("%-22s %-8s %-12s %-14s %-18s\n", "NATs", "path", "RTT (ms)", "punch (ms)",
+              "server bytes/msg");
+
+  for (const bool symmetric : {false, true}) {
+    NatConfig nat;
+    if (symmetric) {
+      nat.mapping = NatMapping::kAddressAndPortDependent;
+    }
+    const char* label = symmetric ? "symmetric" : "cone";
+
+    // --- Relay path ---
+    {
+      auto env = bench::UdpPunchEnv::Make(nat, nat, /*seed=*/11);
+      Network& net = env.topo.scenario->net();
+      RelayHub hub_a(env.ca.get());
+      RelayHub hub_b(env.cb.get());
+      RelayChannel* echo = hub_b.OpenChannel(1);
+      echo->SetReceiveCallback([echo](const Bytes& p) { echo->Send(p); });
+      RelayChannel* chan = hub_a.OpenChannel(2);
+      std::function<void()> on_echo;
+      chan->SetReceiveCallback([&](const Bytes&) {
+        if (on_echo) {
+          on_echo();
+        }
+      });
+      const uint64_t before = env.server->stats().relayed_bytes;
+      const double rtt = MeasureRtt(net, [&](std::function<void()> done) {
+        on_echo = std::move(done);
+        chan->Send(Bytes(kPayload, 0x55));
+      });
+      const double per_msg =
+          static_cast<double>(env.server->stats().relayed_bytes - before) / (2 * kRounds);
+      Row(label, "relay", rtt, -1, per_msg, "(always works)");
+    }
+
+    // --- TURN data-plane relay (dedicated relay server, §2.2's [18]) ---
+    {
+      auto env = bench::UdpPunchEnv::Make(nat, nat, /*seed=*/13);
+      Network& net = env.topo.scenario->net();
+      Host* turn_host =
+          env.topo.scenario->AddPublicHost("turn", Ipv4Address::FromOctets(18, 181, 0, 40));
+      TurnServer turn(turn_host);
+      turn.Start();
+      TurnClient a(env.topo.a, turn.endpoint());
+      Result<Endpoint> relayed = Status(ErrorCode::kInProgress);
+      a.Allocate(0, [&](Result<Endpoint> r) { relayed = std::move(r); });
+      net.RunFor(Seconds(3));
+      if (!relayed.ok()) {
+        Row(label, "turn", -1, -1, 0, "allocation failed");
+      } else {
+        a.Permit(NatBIp());
+        auto b_sock = env.topo.b->udp().Bind(4444);
+        (*b_sock)->SetReceiveCallback([s = *b_sock](const Endpoint& from, const Bytes& p) {
+          s->SendTo(from, p);  // echo back at the relayed endpoint
+        });
+        Endpoint b_seen;
+        std::function<void()> on_echo;
+        a.SetReceiveCallback([&](const Endpoint& from, const Bytes&) {
+          b_seen = from;
+          if (on_echo) {
+            on_echo();
+          }
+        });
+        // Open B's path once (B must dial the relayed endpoint first so A
+        // learns where to aim kSend).
+        (*b_sock)->SendTo(*relayed, Bytes{0});
+        net.RunFor(Seconds(1));
+        const double rtt = MeasureRtt(net, [&](std::function<void()> done) {
+          on_echo = std::move(done);
+          a.SendTo(b_seen, Bytes(kPayload, 0x55));
+        });
+        const double per_msg =
+            static_cast<double>((turn.stats().relayed_to_peer + turn.stats().relayed_to_client) *
+                                kPayload) /
+            (2.0 * kRounds);
+        Row(label, "turn", rtt, -1, per_msg, "(dedicated relay)");
+      }
+    }
+
+    // --- Punched direct path ---
+    {
+      auto env = bench::UdpPunchEnv::Make(nat, nat, /*seed=*/12);
+      Network& net = env.topo.scenario->net();
+      env.pb->SetIncomingSessionCallback([](UdpP2pSession* s) {
+        s->SetReceiveCallback([s](const Bytes& p) { s->Send(p); });
+      });
+      UdpP2pSession* session = nullptr;
+      Status fail;
+      env.pa->ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+        if (r.ok()) {
+          session = *r;
+        } else {
+          fail = r.status();
+        }
+      });
+      net.RunFor(Seconds(12));
+      if (session == nullptr) {
+        Row(label, "direct", -1, -1, 0, ("unavailable: " + fail.ToString()).c_str());
+        continue;
+      }
+      std::function<void()> on_echo;
+      session->SetReceiveCallback([&](const Bytes&) {
+        if (on_echo) {
+          on_echo();
+        }
+      });
+      const uint64_t before = env.server->stats().relayed_bytes;
+      const double rtt = MeasureRtt(net, [&](std::function<void()> done) {
+        on_echo = std::move(done);
+        session->Send(Bytes(kPayload, 0x55));
+      });
+      Row(label, "direct", rtt, session->punch_elapsed().micros() / 1000.0,
+          static_cast<double>(env.server->stats().relayed_bytes - before));
+    }
+  }
+
+  std::printf(
+      "\nShape check (§2.2): relaying always works, including where punching cannot\n"
+      "(symmetric NATs); the punched path has lower RTT and moves zero bytes\n"
+      "through S, while every relayed message costs a server its size twice.\n"
+      "The TURN row shows the paper's cited refinement: a dedicated relay with\n"
+      "address-scoped permissions carries the data plane, leaving S with only\n"
+      "introductions.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 3: NAT traversal by connection reversal (§2.3) — works only when
+// exactly one peer is behind a NAT. This bench builds the full 2x2 matrix
+// of (requester NATed?) x (responder NATed?) and tries, for each cell:
+// a plain direct TCP connect, connection reversal through S, and full TCP
+// hole punching.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/tcp_puncher.h"
+
+using namespace natpunch;
+
+namespace {
+
+struct CellEnv {
+  std::unique_ptr<Scenario> scenario;
+  Host* server = nullptr;
+  Host* a = nullptr;
+  Host* b = nullptr;
+  std::unique_ptr<RendezvousServer> rendezvous;
+  std::unique_ptr<TcpRendezvousClient> ca, cb;
+  std::unique_ptr<TcpHolePuncher> pa, pb;
+};
+
+CellEnv Build(bool a_natted, bool b_natted, uint64_t seed) {
+  CellEnv env;
+  Scenario::Options options;
+  options.seed = seed;
+  env.scenario = std::make_unique<Scenario>(options);
+  env.server = env.scenario->AddPublicHost("S", ServerIp());
+  if (a_natted) {
+    NattedSite site = env.scenario->AddNattedSite(
+        "A", NatConfig{}, NatAIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+    env.a = site.host(0);
+  } else {
+    env.a = env.scenario->AddPublicHost("A", Ipv4Address::FromOctets(99, 1, 1, 1));
+  }
+  if (b_natted) {
+    NattedSite site = env.scenario->AddNattedSite(
+        "B", NatConfig{}, NatBIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 1, 1, 0), 24), 1);
+    env.b = site.host(0);
+  } else {
+    env.b = env.scenario->AddPublicHost("B", Ipv4Address::FromOctets(99, 2, 2, 2));
+  }
+  env.rendezvous = std::make_unique<RendezvousServer>(env.server, kServerPort);
+  env.rendezvous->Start();
+  env.ca = std::make_unique<TcpRendezvousClient>(env.a, env.rendezvous->endpoint(), 1);
+  env.cb = std::make_unique<TcpRendezvousClient>(env.b, env.rendezvous->endpoint(), 2);
+  env.ca->Connect(4321, [](Result<Endpoint>) {});
+  env.cb->Connect(4321, [](Result<Endpoint>) {});
+  env.pa = std::make_unique<TcpHolePuncher>(env.ca.get());
+  env.pb = std::make_unique<TcpHolePuncher>(env.cb.get());
+  env.pb->SetIncomingStreamCallback([](TcpP2pStream*) {});
+  env.scenario->net().RunFor(Seconds(3));
+  return env;
+}
+
+// Plain client/server-style connect from A to B's registered public endpoint.
+bool TryDirect(CellEnv& env) {
+  // B must be listening, as a server application would be.
+  TcpSocket* listener = env.b->tcp().CreateSocket();
+  listener->SetReuseAddr(true);
+  if (!listener->Bind(5555).ok() || !listener->Listen([](TcpSocket*) {}).ok()) {
+    return false;
+  }
+  const Endpoint target(env.cb->public_endpoint().ip, 5555);
+  TcpSocket* client = env.a->tcp().CreateSocket();
+  bool ok = false;
+  bool done = false;
+  client->Connect(target, [&](Status s) {
+    ok = s.ok();
+    done = true;
+  });
+  env.scenario->net().RunFor(Seconds(20));
+  if (!done) {
+    client->Abort();
+  }
+  return ok;
+}
+
+bool TryStrategy(CellEnv& env, ConnectStrategy strategy) {
+  bool ok = false;
+  env.pa->ConnectToPeer(2, strategy, [&](Result<TcpP2pStream*> r) { ok = r.ok(); });
+  env.scenario->net().RunFor(Seconds(40));
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 3: connection reversal success matrix");
+  std::printf("%-28s %-10s %-12s %-12s\n", "topology (A=requester)", "direct", "reversal",
+              "hole punch");
+
+  uint64_t seed = 40;
+  for (const bool a_natted : {false, true}) {
+    for (const bool b_natted : {false, true}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "A %s, B %s", a_natted ? "NATed" : "public",
+                    b_natted ? "NATed" : "public");
+      auto direct_env = Build(a_natted, b_natted, seed++);
+      const bool direct = TryDirect(direct_env);
+      auto reversal_env = Build(a_natted, b_natted, seed++);
+      const bool reversal = TryStrategy(reversal_env, ConnectStrategy::kReversal);
+      auto punch_env = Build(a_natted, b_natted, seed++);
+      const bool punch = TryStrategy(punch_env, ConnectStrategy::kHolePunch);
+      std::printf("%-28s %-10s %-12s %-12s\n", label, direct ? "yes" : "NO",
+                  reversal ? "yes" : "NO", punch ? "yes" : "NO");
+    }
+  }
+
+  std::printf(
+      "\nShape check (§2.3): direct connects only reach a public responder;\n"
+      "reversal additionally covers the NATed-requester/public-responder...\n"
+      "more precisely it requires the REQUESTER to be publicly reachable (the\n"
+      "responder dials back); hole punching covers every cell, including both\n"
+      "peers behind (well-behaved) NATs.\n");
+  return 0;
+}

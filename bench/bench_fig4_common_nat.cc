@@ -1,0 +1,104 @@
+// Figure 4: UDP hole punching with both peers behind a common NAT (§3.3).
+// Shows that probing both candidate endpoints makes the LAN-direct private
+// path win, and that the "public endpoints only" shortcut works exactly
+// when the NAT hairpins — at a measurable latency cost.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace natpunch;
+
+namespace {
+
+struct RunResult {
+  bool success = false;
+  bool used_private = false;
+  double punch_ms = 0;
+  double rtt_ms = 0;
+  uint64_t hairpinned = 0;
+};
+
+RunResult Run(bool hairpin, bool try_private, uint64_t seed) {
+  NatConfig nat;
+  nat.hairpin_udp = hairpin;
+  Scenario::Options options;
+  options.seed = seed;
+  auto topo = MakeFig4(nat, options);
+  Network& net = topo.scenario->net();
+  RendezvousServer server(topo.server, kServerPort);
+  server.Start();
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpPunchConfig punch_config;
+  punch_config.try_private_endpoint = try_private;
+  UdpHolePuncher pa(&ca, punch_config);
+  UdpHolePuncher pb(&cb, punch_config);
+  pb.SetIncomingSessionCallback([](UdpP2pSession* s) {
+    s->SetReceiveCallback([s](const Bytes& p) { s->Send(p); });
+  });
+  net.RunFor(Seconds(2));
+
+  RunResult result;
+  UdpP2pSession* session = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+    if (r.ok()) {
+      session = *r;
+    }
+  });
+  net.RunFor(Seconds(12));
+  if (session == nullptr) {
+    return result;
+  }
+  result.success = true;
+  result.used_private = session->used_private_endpoint();
+  result.punch_ms = session->punch_elapsed().micros() / 1000.0;
+
+  // Echo RTT over the chosen path.
+  std::vector<double> rtts;
+  for (int i = 0; i < 10; ++i) {
+    bool done = false;
+    session->SetReceiveCallback([&](const Bytes&) { done = true; });
+    const SimTime start = net.now();
+    session->Send(Bytes(64, 1));
+    for (int guard = 0; guard < 1000 && !done; ++guard) {
+      net.RunFor(Micros(500));
+    }
+    if (done) {
+      rtts.push_back((net.now() - start).micros() / 1000.0);
+    }
+  }
+  result.rtt_ms = bench::Median(rtts);
+  result.hairpinned = topo.site.nat->stats().hairpinned;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 4: peers behind a common NAT");
+  std::printf("%-12s %-18s %-9s %-14s %-12s %-10s %-10s\n", "hairpin", "candidates", "punch?",
+              "path", "punch (ms)", "RTT (ms)", "hairpinned");
+
+  for (const bool hairpin : {false, true}) {
+    for (const bool try_private : {true, false}) {
+      RunResult r = Run(hairpin, try_private, 80 + (hairpin ? 1 : 0) + (try_private ? 2 : 0));
+      std::printf("%-12s %-18s %-9s %-14s %-12.1f %-10.1f %-10llu\n",
+                  hairpin ? "yes" : "no", try_private ? "public+private" : "public only",
+                  r.success ? "yes" : "NO",
+                  !r.success          ? "-"
+                  : r.used_private    ? "private (LAN)"
+                                      : "public (NAT)",
+                  r.punch_ms, r.rtt_ms, static_cast<unsigned long long>(r.hairpinned));
+    }
+  }
+
+  std::printf(
+      "\nShape check (§3.3): with both candidates the private endpoint wins and the\n"
+      "session rides the LAN (lowest RTT, no NAT involvement). Relying on public\n"
+      "endpoints alone fails outright without hairpin support, and even with it\n"
+      "pays the hairpin round trip through the NAT on every packet.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 5: UDP hole punching with peers behind different NATs — the common
+// case (§3.4). Sweeps the NAT behavior matrix (mapping x mapping), the
+// filtering policies, and packet loss, reporting success and time-to-punch.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace natpunch;
+
+namespace {
+
+const char* MapShort(NatMapping m) {
+  switch (m) {
+    case NatMapping::kEndpointIndependent:
+      return "cone";
+    case NatMapping::kAddressDependent:
+      return "addr-dep";
+    case NatMapping::kAddressAndPortDependent:
+      return "sym";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 5: hole punching across the NAT behavior matrix");
+
+  // --- mapping x mapping ---
+  std::printf("success by mapping behavior (filtering: address-and-port-dependent):\n");
+  std::printf("%-12s %-12s %-9s %-12s\n", "NAT A map", "NAT B map", "punch?", "time (ms)");
+  const NatMapping kMappings[] = {NatMapping::kEndpointIndependent,
+                                  NatMapping::kAddressDependent,
+                                  NatMapping::kAddressAndPortDependent};
+  uint64_t seed = 500;
+  for (NatMapping ma : kMappings) {
+    for (NatMapping mb : kMappings) {
+      NatConfig a;
+      a.mapping = ma;
+      NatConfig b;
+      b.mapping = mb;
+      auto env = bench::UdpPunchEnv::Make(a, b, seed++);
+      auto outcome = env.Punch();
+      std::printf("%-12s %-12s %-9s %-12.1f\n", MapShort(ma), MapShort(mb),
+                  outcome.success ? "yes" : "NO",
+                  outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+    }
+  }
+  std::printf("(paper: punching requires consistent — endpoint-independent — mapping\n"
+              " on both NATs; any symmetric flavor on either side defeats it)\n\n");
+
+  // --- filtering sweep (cone mapping) ---
+  std::printf("success by filtering behavior (both NATs cone-mapping):\n");
+  std::printf("%-18s %-18s %-9s %-12s\n", "NAT A filter", "NAT B filter", "punch?",
+              "time (ms)");
+  const NatFiltering kFilters[] = {NatFiltering::kEndpointIndependent,
+                                   NatFiltering::kAddressDependent,
+                                   NatFiltering::kAddressAndPortDependent};
+  for (NatFiltering fa : kFilters) {
+    for (NatFiltering fb : kFilters) {
+      NatConfig a;
+      a.filtering = fa;
+      NatConfig b;
+      b.filtering = fb;
+      auto env = bench::UdpPunchEnv::Make(a, b, seed++);
+      auto outcome = env.Punch();
+      std::printf("%-18s %-18s %-9s %-12.1f\n", NatFilteringName(fa).data(),
+                  NatFilteringName(fb).data(), outcome.success ? "yes" : "NO",
+                  outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+    }
+  }
+  std::printf("(paper §3.4: filtering never breaks punching — each side's outbound\n"
+              " probe opens its own filter; the first inbound may be dropped, which\n"
+              " only delays lock-in)\n\n");
+
+  // --- loose filtering vs symmetric mapping, with/without source adoption ---
+  std::printf("symmetric NATs (both sides) under looser filtering:\n");
+  std::printf("%-28s %-16s %-16s\n", "filtering (both NATs)", "adoption ON", "adoption OFF");
+  for (NatFiltering f : kFilters) {
+    NatConfig sym;
+    sym.mapping = NatMapping::kAddressAndPortDependent;
+    sym.filtering = f;
+    std::string cells[2];
+    for (const bool adopt : {true, false}) {
+      UdpPunchConfig punch;
+      punch.adopt_observed_endpoints = adopt;
+      auto env = bench::UdpPunchEnv::Make(sym, sym, seed++, punch);
+      auto outcome = env.Punch();
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%s %.1fms", outcome.success ? "yes" : "NO ",
+                    outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+      cells[adopt ? 0 : 1] = cell;
+    }
+    std::printf("%-28s %-16s %-16s\n", NatFilteringName(f).data(), cells[0].c_str(),
+                cells[1].c_str());
+  }
+  std::printf(
+      "(beyond the paper: the puncher always REPLIES at a probe's observed\n"
+      " source, and that reply is what carries lock-in — so symmetric mappings\n"
+      " are traversable whenever filtering is not port-dependent. The paper's\n"
+      " failure claim assumes worst-case filtering. Explicitly adopting observed\n"
+      " sources as additional probe candidates changes nothing here, as the two\n"
+      " identical columns show.)\n\n");
+
+  // --- loss sweep ---
+  std::printf("robustness to packet loss (cone NATs, 20 trials per point):\n");
+  std::printf("%-10s %-12s %-18s\n", "loss", "success", "median punch (ms)");
+  for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    int ok = 0;
+    std::vector<double> times;
+    for (int trial = 0; trial < 20; ++trial) {
+      Scenario::Options options;
+      options.internet_loss = loss;
+      auto env = bench::UdpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++, UdpPunchConfig{},
+                                          options);
+      auto outcome = env.Punch(Seconds(20));
+      if (outcome.success) {
+        ++ok;
+        times.push_back(outcome.elapsed.micros() / 1000.0);
+      }
+    }
+    std::printf("%-10.0f%% %-12s %-18.1f\n", loss * 100, bench::Pct(ok, 20).c_str(),
+                bench::Median(times));
+  }
+  std::printf("(probes retransmit every 200 ms, so loss costs latency, not success)\n");
+  return 0;
+}

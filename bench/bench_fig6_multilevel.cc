@@ -1,0 +1,121 @@
+// Figure 6: peers behind multiple levels of NAT (§3.5). The clients cannot
+// learn their "semi-public" endpoints in the ISP realm, so they must use
+// their global endpoints — which works exactly when the ISP NAT (NAT C)
+// supports hairpin translation. Covers UDP and TCP, and quantifies the
+// hairpin path's latency penalty versus the (unknowable) optimal route.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/tcp_puncher.h"
+
+using namespace natpunch;
+
+namespace {
+
+struct Fig6Env {
+  Fig6Topology topo;
+  std::unique_ptr<RendezvousServer> server;
+};
+
+Fig6Env Build(bool hairpin, uint64_t seed) {
+  NatConfig isp;
+  isp.hairpin_udp = hairpin;
+  isp.hairpin_tcp = hairpin;
+  Scenario::Options options;
+  options.seed = seed;
+  Fig6Env env;
+  env.topo = MakeFig6(isp, NatConfig{}, NatConfig{}, options);
+  env.server = std::make_unique<RendezvousServer>(env.topo.server, kServerPort);
+  env.server->Start();
+  return env;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 6: hole punching across multi-level NAT");
+  std::printf("%-10s %-12s %-9s %-12s %-12s %-14s\n", "proto", "NAT C", "punch?", "time (ms)",
+              "RTT (ms)", "C hairpinned");
+
+  uint64_t seed = 600;
+  for (const bool hairpin : {false, true}) {
+    // --- UDP ---
+    {
+      Fig6Env env = Build(hairpin, seed++);
+      Network& net = env.topo.scenario->net();
+      UdpRendezvousClient ca(env.topo.a, env.server->endpoint(), 1);
+      UdpRendezvousClient cb(env.topo.b, env.server->endpoint(), 2);
+      ca.Register(4321, [](Result<Endpoint>) {});
+      cb.Register(4321, [](Result<Endpoint>) {});
+      UdpHolePuncher pa(&ca);
+      UdpHolePuncher pb(&cb);
+      pb.SetIncomingSessionCallback([](UdpP2pSession* s) {
+        s->SetReceiveCallback([s](const Bytes& p) { s->Send(p); });
+      });
+      net.RunFor(Seconds(2));
+      UdpP2pSession* session = nullptr;
+      pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+        if (r.ok()) {
+          session = *r;
+        }
+      });
+      net.RunFor(Seconds(12));
+      double rtt = 0;
+      if (session != nullptr) {
+        std::vector<double> rtts;
+        for (int i = 0; i < 8; ++i) {
+          bool done = false;
+          session->SetReceiveCallback([&](const Bytes&) { done = true; });
+          const SimTime start = net.now();
+          session->Send(Bytes(64, 1));
+          for (int guard = 0; guard < 100 && !done; ++guard) {
+            net.RunFor(Millis(5));
+          }
+          if (done) {
+            rtts.push_back((net.now() - start).micros() / 1000.0);
+          }
+        }
+        rtt = bench::Median(rtts);
+      }
+      std::printf("%-10s %-12s %-9s %-12.1f %-12.1f %-14llu\n", "UDP",
+                  hairpin ? "hairpin" : "no hairpin", session != nullptr ? "yes" : "NO",
+                  session != nullptr ? session->punch_elapsed().micros() / 1000.0 : 0.0, rtt,
+                  static_cast<unsigned long long>(env.topo.isp.nat->stats().hairpinned));
+    }
+    // --- TCP ---
+    {
+      Fig6Env env = Build(hairpin, seed++);
+      Network& net = env.topo.scenario->net();
+      TcpRendezvousClient ca(env.topo.a, env.server->endpoint(), 1);
+      TcpRendezvousClient cb(env.topo.b, env.server->endpoint(), 2);
+      ca.Connect(4321, [](Result<Endpoint>) {});
+      cb.Connect(4321, [](Result<Endpoint>) {});
+      TcpHolePuncher pa(&ca);
+      TcpHolePuncher pb(&cb);
+      pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+      net.RunFor(Seconds(3));
+      TcpP2pStream* stream = nullptr;
+      pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) {
+        if (r.ok()) {
+          stream = *r;
+        }
+      });
+      net.RunFor(Seconds(40));
+      std::printf("%-10s %-12s %-9s %-12.1f %-12s %-14llu\n", "TCP",
+                  hairpin ? "hairpin" : "no hairpin", stream != nullptr ? "yes" : "NO",
+                  stream != nullptr ? stream->punch_elapsed().micros() / 1000.0 : 0.0, "-",
+                  static_cast<unsigned long long>(env.topo.isp.nat->stats().hairpinned));
+    }
+  }
+
+  // Path economics: the hairpin route crosses four NAT traversals per round
+  // trip instead of the (unlearnable) two-LAN optimal route.
+  std::printf(
+      "\nShape check (§3.5): without hairpin on NAT C both protocols fail — the\n"
+      "clients' only usable addresses are their global endpoints, and those\n"
+      "require NAT C to loop traffic back into the ISP realm. The hairpin path\n"
+      "is longer than the theoretical optimum through the ISP realm alone, the\n"
+      "price of not knowing the topology.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 7 / §4.3-4.4: sockets versus ports for TCP hole punching. Which
+// socket ends up carrying the peer-to-peer stream — the connect()ing one or
+// one delivered via accept() — depends on the OS behavior of each stack,
+// and on SYN timing. This bench sweeps both.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace natpunch;
+
+namespace {
+
+const char* PolicyName(TcpAcceptPolicy p) {
+  return p == TcpAcceptPolicy::kBsd ? "BSD" : "Linux/Win";
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 7: which socket wins the punched TCP stream");
+
+  std::printf("OS behavior matrix (both NATs cone, symmetric timing):\n");
+  std::printf("%-12s %-12s %-9s %-16s %-14s %-12s\n", "A stack", "B stack", "punch?",
+              "A's stream via", "EADDRINUSE", "time (ms)");
+  uint64_t seed = 700;
+  for (TcpAcceptPolicy pa : {TcpAcceptPolicy::kBsd, TcpAcceptPolicy::kLinuxWindows}) {
+    for (TcpAcceptPolicy pb : {TcpAcceptPolicy::kBsd, TcpAcceptPolicy::kLinuxWindows}) {
+      auto env = bench::TcpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++, pa, pb);
+      auto outcome = env.Punch();
+      std::printf("%-12s %-12s %-9s %-16s %-14d %-12.1f\n", PolicyName(pa), PolicyName(pb),
+                  outcome.success ? "yes" : "NO",
+                  !outcome.success      ? "-"
+                  : outcome.via_accept ? "accept()"
+                                        : "connect()",
+                  outcome.tcp_stats.address_in_use,
+                  outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+    }
+  }
+  std::printf(
+      "(§4.3: BSD-style stacks marry the crossing SYN to the connecting socket —\n"
+      " connect() succeeds; Linux/Windows-style stacks hand it to the listener —\n"
+      " accept() delivers the stream and the doomed connect() fails EADDRINUSE.)\n\n");
+
+  std::printf("SYN timing sweep (both stacks BSD; B's access link slowed):\n");
+  std::printf("%-16s %-9s %-16s %-12s %-14s\n", "B LAN extra (ms)", "punch?", "A via",
+              "refused", "time (ms)");
+  for (const int64_t extra_ms : {0, 10, 25, 50, 100, 200}) {
+    auto env = bench::TcpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++);
+    env.topo.site_b.lan->set_config(LanConfig{.latency = Millis(1 + extra_ms)});
+    auto outcome = env.Punch();
+    std::printf("%-16lld %-9s %-16s %-12d %-14.1f\n", static_cast<long long>(extra_ms),
+                outcome.success ? "yes" : "NO",
+                !outcome.success      ? "-"
+                : outcome.via_accept ? "accept()"
+                                      : "connect()",
+                outcome.tcp_stats.refused,
+                outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+  }
+  std::printf(
+      "(asymmetric timing decides whether the SYNs cross on the wire — the\n"
+      " 'lucky' simultaneous open of §4.4 — or one side's SYN arrives first and\n"
+      " is dropped, leaving the other side's retried handshake to win)\n\n");
+
+  std::printf("timing sweep against RST-ing NATs (the §5.2 cost):\n");
+  std::printf("%-16s %-9s %-12s %-14s\n", "B LAN extra (ms)", "punch?", "refused",
+              "time (ms)");
+  NatConfig rsting;
+  rsting.unsolicited_tcp = NatUnsolicitedTcp::kRst;
+  for (const int64_t extra_ms : {0, 25, 100}) {
+    auto env = bench::TcpPunchEnv::Make(rsting, rsting, seed++);
+    env.topo.site_b.lan->set_config(LanConfig{.latency = Millis(1 + extra_ms)});
+    auto outcome = env.Punch();
+    std::printf("%-16lld %-9s %-12d %-14.1f\n", static_cast<long long>(extra_ms),
+                outcome.success ? "yes" : "NO", outcome.tcp_stats.refused,
+                outcome.success ? outcome.elapsed.micros() / 1000.0 : 0.0);
+  }
+  std::printf(
+      "(RSTs abort the first attempts; the 1 s application retry of §4.2 step 4\n"
+      " recovers, so punching still works — just slower than against NATs that\n"
+      " silently drop)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate itself —
+// event loop, NAT translation, TCP bulk transfer, and end-to-end hole punch
+// cost in host time. These guard the simulator's own performance, which
+// bounds how large a fleet experiment is practical.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/nat/nat_table.h"
+
+namespace natpunch {
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(SimTime(i), [&sink] { ++sink; });
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_NatTableMapOutbound(benchmark::State& state) {
+  NatTable table(NatMapping::kAddressAndPortDependent, NatPortAllocation::kSequential, 62000,
+                 Rng(1));
+  const Endpoint priv(Ipv4Address::FromOctets(10, 0, 0, 1), 4321);
+  uint16_t port = 1;
+  for (auto _ : state) {
+    auto* entry = table.MapOutbound(IpProtocol::kUdp, priv,
+                                    Endpoint(Ipv4Address::FromOctets(18, 0, 0, 1), port),
+                                    SimTime());
+    benchmark::DoNotOptimize(entry);
+    port = static_cast<uint16_t>(port % 2000 + 1);  // bounded table size
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatTableMapOutbound);
+
+void BM_UdpPunchEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto env = bench::UdpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++);
+    auto outcome = env.Punch();
+    if (!outcome.success) {
+      state.SkipWithError("punch failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_UdpPunchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_TcpPunchEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto env = bench::TcpPunchEnv::Make(NatConfig{}, NatConfig{}, seed++);
+    auto outcome = env.Punch();
+    if (!outcome.success) {
+      state.SkipWithError("punch failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_TcpPunchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  const size_t kBytes = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Network net(seed++);
+    Lan* lan = net.CreateLan("lan", LanConfig{.latency = Millis(1)});
+    Host* a = net.Create<Host>("a");
+    Host* b = net.Create<Host>("b");
+    a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+    b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+    TcpSocket* listener = b->tcp().CreateSocket();
+    listener->Bind(7000);
+    size_t received = 0;
+    listener->Listen([&](TcpSocket* s) {
+      s->SetDataCallback([&](const Bytes& d) { received += d.size(); });
+    });
+    TcpSocket* client = a->tcp().CreateSocket();
+    client->Connect(Endpoint(b->primary_address(), 7000), [&](Status s) {
+      if (s.ok()) {
+        client->Send(Bytes(kBytes, 0x42));
+      }
+    });
+    net.RunFor(Seconds(30));
+    if (received != kBytes) {
+      state.SkipWithError("transfer incomplete");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kBytes));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(64 * 1024)->Arg(1024 * 1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace natpunch
+
+BENCHMARK_MAIN();

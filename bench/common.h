@@ -1,0 +1,156 @@
+// Shared helpers for the experiment benchmarks: canned punch runs over the
+// paper topologies and small formatting utilities. Each bench binary
+// regenerates one table/figure of the paper (see DESIGN.md's experiment
+// index); absolute numbers are simulator-relative, the *shape* is what must
+// match.
+
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/udp_puncher.h"
+#include "src/core/tcp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace bench {
+
+struct PunchOutcome {
+  bool success = false;
+  Status status;
+  SimDuration elapsed;
+  bool used_private = false;
+  bool via_accept = false;        // TCP only
+  TcpPunchStats tcp_stats;        // TCP only
+};
+
+// A ready-to-punch Fig. 5 environment (registered UDP rendezvous clients and
+// punchers on A and B).
+struct UdpPunchEnv {
+  Fig5Topology topo;
+  std::unique_ptr<RendezvousServer> server;
+  std::unique_ptr<UdpRendezvousClient> ca, cb;
+  std::unique_ptr<UdpHolePuncher> pa, pb;
+
+  static UdpPunchEnv Make(const NatConfig& nat_a, const NatConfig& nat_b, uint64_t seed,
+                          UdpPunchConfig punch = UdpPunchConfig{},
+                          Scenario::Options options = Scenario::Options{}) {
+    UdpPunchEnv env;
+    options.seed = seed;
+    env.topo = MakeFig5(nat_a, nat_b, options);
+    env.server = std::make_unique<RendezvousServer>(env.topo.server, kServerPort);
+    env.server->Start();
+    env.ca = std::make_unique<UdpRendezvousClient>(env.topo.a, env.server->endpoint(), 1);
+    env.cb = std::make_unique<UdpRendezvousClient>(env.topo.b, env.server->endpoint(), 2);
+    env.ca->Register(4321, [](Result<Endpoint>) {});
+    env.cb->Register(4321, [](Result<Endpoint>) {});
+    env.pa = std::make_unique<UdpHolePuncher>(env.ca.get(), punch);
+    env.pb = std::make_unique<UdpHolePuncher>(env.cb.get(), punch);
+    env.topo.scenario->net().RunFor(Seconds(2));
+    return env;
+  }
+
+  PunchOutcome Punch(SimDuration budget = Seconds(15)) {
+    PunchOutcome outcome;
+    UdpP2pSession* session = nullptr;
+    pa->ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+      outcome.success = r.ok();
+      outcome.status = r.ok() ? Status::Ok() : r.status();
+      session = r.ok() ? *r : nullptr;
+    });
+    topo.scenario->net().RunFor(budget);
+    if (session != nullptr) {
+      outcome.elapsed = session->punch_elapsed();
+      outcome.used_private = session->used_private_endpoint();
+    }
+    return outcome;
+  }
+};
+
+struct TcpPunchEnv {
+  Fig5Topology topo;
+  std::unique_ptr<RendezvousServer> server;
+  std::unique_ptr<TcpRendezvousClient> ca, cb;
+  std::unique_ptr<TcpHolePuncher> pa, pb;
+  TcpP2pStream* incoming = nullptr;
+
+  static TcpPunchEnv Make(const NatConfig& nat_a, const NatConfig& nat_b, uint64_t seed,
+                          TcpAcceptPolicy policy_a = TcpAcceptPolicy::kBsd,
+                          TcpAcceptPolicy policy_b = TcpAcceptPolicy::kBsd,
+                          TcpPunchConfig punch = TcpPunchConfig{},
+                          Scenario::Options options = Scenario::Options{}) {
+    TcpPunchEnv env;
+    options.seed = seed;
+    env.topo = MakeFig5(nat_a, nat_b, options);
+    Scenario& scenario = *env.topo.scenario;
+    // Client hosts with the requested TCP accept policies.
+    HostConfig host_a;
+    host_a.tcp.accept_policy = policy_a;
+    HostConfig host_b;
+    host_b.tcp.accept_policy = policy_b;
+    Host* a = scenario.net().Create<Host>("a2", host_a);
+    int iface = a->AttachTo(env.topo.site_a.lan, Ipv4Address::FromOctets(10, 0, 0, 50));
+    a->AddDefaultRoute(iface, env.topo.site_a.nat->iface_ip(0));
+    Host* b = scenario.net().Create<Host>("b2", host_b);
+    iface = b->AttachTo(env.topo.site_b.lan, Ipv4Address::FromOctets(10, 1, 1, 50));
+    b->AddDefaultRoute(iface, env.topo.site_b.nat->iface_ip(0));
+
+    env.server = std::make_unique<RendezvousServer>(env.topo.server, kServerPort);
+    env.server->Start();
+    env.ca = std::make_unique<TcpRendezvousClient>(a, env.server->endpoint(), 1);
+    env.cb = std::make_unique<TcpRendezvousClient>(b, env.server->endpoint(), 2);
+    env.ca->Connect(4321, [](Result<Endpoint>) {});
+    env.cb->Connect(4321, [](Result<Endpoint>) {});
+    env.pa = std::make_unique<TcpHolePuncher>(env.ca.get(), punch);
+    env.pb = std::make_unique<TcpHolePuncher>(env.cb.get(), punch);
+    env.pb->SetIncomingStreamCallback([&env](TcpP2pStream* s) { env.incoming = s; });
+    scenario.net().RunFor(Seconds(3));
+    return env;
+  }
+
+  PunchOutcome Punch(ConnectStrategy strategy = ConnectStrategy::kHolePunch,
+                     SimDuration budget = Seconds(40)) {
+    PunchOutcome outcome;
+    TcpP2pStream* stream = nullptr;
+    pa->ConnectToPeer(2, strategy, [&](Result<TcpP2pStream*> r) {
+      outcome.success = r.ok();
+      outcome.status = r.ok() ? Status::Ok() : r.status();
+      stream = r.ok() ? *r : nullptr;
+    });
+    topo.scenario->net().RunFor(budget);
+    if (stream != nullptr) {
+      outcome.elapsed = stream->punch_elapsed();
+      outcome.used_private = stream->used_private_endpoint();
+      outcome.via_accept = stream->via_accept();
+    }
+    outcome.tcp_stats = pa->last_stats();
+    return outcome;
+  }
+};
+
+inline double Median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+inline std::string Pct(int yes, int n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d/%d (%d%%)", yes, n, n > 0 ? (100 * yes + n / 2) / n : 0);
+  return buf;
+}
+
+inline void Title(const char* text) { std::printf("\n==== %s ====\n\n", text); }
+
+}  // namespace bench
+}  // namespace natpunch
+
+#endif  // BENCH_COMMON_H_

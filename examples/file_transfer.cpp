@@ -1,0 +1,114 @@
+// file_transfer: move a 2 MB "file" between NATed peers over a hole-punched
+// TCP stream, and compare against pushing the same file through the relay —
+// quantifying why P2P systems punch first and relay last (§2.2).
+
+#include <cstdio>
+#include <numeric>
+
+#include "src/core/relay.h"
+#include "src/core/tcp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+using namespace natpunch;
+
+namespace {
+
+constexpr size_t kFileSize = 2 * 1024 * 1024;
+constexpr size_t kChunk = 16 * 1024;  // relay message / stream write size
+
+Bytes MakeFile() {
+  Bytes file(kFileSize);
+  std::iota(file.begin(), file.end(), 0);
+  return file;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2 MB file transfer between NATed peers\n\n");
+  const Bytes file = MakeFile();
+
+  Fig5Topology topo = MakeFig5(NatConfig{}, NatConfig{});
+  Network& net = topo.scenario->net();
+  // A 10 Mbit/s shared internet segment: relayed traffic crosses it twice
+  // (A->S and S->B), punched traffic once.
+  LanConfig internet_config = topo.scenario->internet()->config();
+  internet_config.bandwidth_bps = 10e6;
+  topo.scenario->internet()->set_config(internet_config);
+  RendezvousServer server(topo.server, kServerPort);
+  server.Start();
+  TcpRendezvousClient alice(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient bob(topo.b, server.endpoint(), 2);
+  alice.Connect(4321, [](Result<Endpoint>) {});
+  bob.Connect(4321, [](Result<Endpoint>) {});
+  TcpHolePuncher alice_puncher(&alice);
+  TcpHolePuncher bob_puncher(&bob);
+  RelayHub alice_relay(&alice);
+  RelayHub bob_relay(&bob);
+
+  // Receiver side: collect bytes from either path.
+  Bytes received_direct;
+  Bytes received_relayed;
+  bob_puncher.SetIncomingStreamCallback([&](TcpP2pStream* stream) {
+    stream->SetReceiveCallback([&](const Bytes& chunk) {
+      received_direct.insert(received_direct.end(), chunk.begin(), chunk.end());
+    });
+  });
+  bob_relay.OpenChannel(1)->SetReceiveCallback([&](const Bytes& chunk) {
+    received_relayed.insert(received_relayed.end(), chunk.begin(), chunk.end());
+  });
+  net.RunFor(Seconds(3));
+
+  // --- Direct punched transfer ---
+  TcpP2pStream* stream = nullptr;
+  alice_puncher.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) {
+    if (r.ok()) {
+      stream = *r;
+    }
+  });
+  net.RunFor(Seconds(10));
+  if (stream == nullptr) {
+    std::printf("punch failed; aborting\n");
+    return 1;
+  }
+  std::printf("hole punched in %s; sending %zu bytes direct...\n",
+              stream->punch_elapsed().ToString().c_str(), file.size());
+  const SimTime direct_start = net.now();
+  for (size_t off = 0; off < file.size(); off += kChunk) {
+    const size_t len = std::min(kChunk, file.size() - off);
+    stream->Send(Bytes(file.begin() + off, file.begin() + off + len));
+  }
+  for (int i = 0; i < 2400 && received_direct.size() < file.size(); ++i) {
+    net.RunFor(Millis(50));
+  }
+  const double direct_secs = (net.now() - direct_start).seconds();
+  const bool direct_ok = received_direct == file;
+  const uint64_t relayed_during_direct = server.stats().relayed_bytes;
+  std::printf("  direct : %s, %.1f s simulated, %.2f MB/s, %llu bytes via S\n",
+              direct_ok ? "intact" : "CORRUPT",
+              direct_secs, file.size() / 1e6 / direct_secs,
+              static_cast<unsigned long long>(relayed_during_direct));
+
+  // --- Relayed transfer of the same file ---
+  RelayChannel* channel = alice_relay.OpenChannel(2);
+  const SimTime relay_start = net.now();
+  for (size_t off = 0; off < file.size(); off += kChunk) {
+    const size_t len = std::min(kChunk, file.size() - off);
+    channel->Send(Bytes(file.begin() + off, file.begin() + off + len));
+  }
+  for (int i = 0; i < 2400 && received_relayed.size() < file.size(); ++i) {
+    net.RunFor(Millis(50));
+  }
+  const double relay_secs = (net.now() - relay_start).seconds();
+  const bool relay_ok = received_relayed == file;
+  std::printf("  relayed: %s, %.1f s simulated, %.2f MB/s, %llu bytes via S\n",
+              relay_ok ? "intact" : "CORRUPT", relay_secs,
+              file.size() / 1e6 / relay_secs,
+              static_cast<unsigned long long>(server.stats().relayed_bytes -
+                                              relayed_during_direct));
+  std::printf(
+      "\nEvery relayed byte crosses S's uplink twice; the punched path costs S\n"
+      "nothing after the introduction — the paper's case for hole punching.\n");
+  return direct_ok && relay_ok ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// gaming_lobby: six players with a realistic mix of NAT situations join one
+// lobby (rendezvous server) and mesh-connect pairwise over UDP — hole
+// punching where the NATs allow it, relaying where they don't. Prints the
+// resulting connection matrix, like the network diagnostics screen of an
+// online game (one of the paper's motivating applications).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/connector.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+using namespace natpunch;
+
+namespace {
+
+struct Player {
+  std::string name;
+  Host* host = nullptr;
+  std::unique_ptr<UdpRendezvousClient> rendezvous;
+  std::unique_ptr<UdpConnector> connector;
+  std::vector<P2pChannel*> channels;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("six-player lobby: punch where possible, relay where not\n\n");
+
+  Scenario scenario{Scenario::Options{}};
+  Host* server_host = scenario.AddPublicHost("lobby", ServerIp());
+  RendezvousServer lobby(server_host, kServerPort);
+  lobby.Start();
+
+  // NAT situations: cone, cone (same flat as p1: common NAT), full cone,
+  // symmetric, RST-happy cone, and one player with a public address.
+  NatConfig cone;
+  NatConfig full_cone;
+  full_cone.filtering = NatFiltering::kEndpointIndependent;
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  NatConfig rsting;
+  rsting.unsolicited_tcp = NatUnsolicitedTcp::kRst;  // UDP unaffected
+
+  std::vector<Player> players(6);
+  NattedSite flat = scenario.AddNattedSite(
+      "flat", cone, Ipv4Address::FromOctets(155, 99, 25, 11),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 2);
+  players[0] = {"ana (cone)", flat.host(0), nullptr, nullptr, {}};
+  players[1] = {"bo (same NAT)", flat.host(1), nullptr, nullptr, {}};
+  NattedSite site2 = scenario.AddNattedSite(
+      "p2", full_cone, Ipv4Address::FromOctets(138, 76, 29, 7),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 1, 1, 0), 24), 1);
+  players[2] = {"cy (full cone)", site2.host(0), nullptr, nullptr, {}};
+  NattedSite site3 = scenario.AddNattedSite(
+      "p3", symmetric, Ipv4Address::FromOctets(66, 10, 0, 1),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 2, 2, 0), 24), 1);
+  players[3] = {"di (symmetric)", site3.host(0), nullptr, nullptr, {}};
+  NattedSite site4 = scenario.AddNattedSite(
+      "p4", rsting, Ipv4Address::FromOctets(77, 20, 0, 1),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 3, 3, 0), 24), 1);
+  players[4] = {"ed (rsting NAT)", site4.host(0), nullptr, nullptr, {}};
+  players[5] = {"fi (public)",
+                scenario.AddPublicHost("fi", Ipv4Address::FromOctets(99, 5, 5, 5)), nullptr,
+                nullptr, {}};
+
+  Network& net = scenario.net();
+  for (size_t i = 0; i < players.size(); ++i) {
+    players[i].rendezvous = std::make_unique<UdpRendezvousClient>(
+        players[i].host, lobby.endpoint(), static_cast<uint64_t>(i + 1));
+    players[i].rendezvous->Register(4321, [](Result<Endpoint>) {});
+    UdpConnector::Options options;
+    options.punch.punch_timeout = Seconds(6);
+    players[i].connector =
+        std::make_unique<UdpConnector>(players[i].rendezvous.get(), options);
+    players[i].connector->SetIncomingChannelCallback([](P2pChannel*) {});
+  }
+  net.RunFor(Seconds(2));
+
+  // Mesh-connect: every player dials every higher-numbered player.
+  std::vector<std::vector<std::string>> matrix(players.size(),
+                                               std::vector<std::string>(players.size(), "-"));
+  for (size_t i = 0; i < players.size(); ++i) {
+    for (size_t j = i + 1; j < players.size(); ++j) {
+      players[i].connector->Connect(static_cast<uint64_t>(j + 1),
+                                    [&, i, j](Result<P2pChannel*> r) {
+        if (!r.ok()) {
+          matrix[i][j] = "fail";
+          return;
+        }
+        P2pChannel* channel = *r;
+        players[i].channels.push_back(channel);
+        std::string how = channel->kind() == P2pChannel::Kind::kPunched
+                              ? (channel->session()->used_private_endpoint() ? "LAN" : "punch")
+                              : "relay";
+        matrix[i][j] = how;
+      });
+    }
+  }
+  net.RunFor(Seconds(30));
+
+  std::printf("%-18s", "");
+  for (const Player& p : players) {
+    std::printf("%-9.7s", p.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < players.size(); ++i) {
+    std::printf("%-18s", players[i].name.c_str());
+    for (size_t j = 0; j < players.size(); ++j) {
+      std::printf("%-9s", i == j ? "." : (i < j ? matrix[i][j].c_str() : matrix[j][i].c_str()));
+    }
+    std::printf("\n");
+  }
+
+  int punched = 0, lan = 0, relayed = 0;
+  for (size_t i = 0; i < players.size(); ++i) {
+    for (size_t j = i + 1; j < players.size(); ++j) {
+      punched += matrix[i][j] == "punch" ? 1 : 0;
+      lan += matrix[i][j] == "LAN" ? 1 : 0;
+      relayed += matrix[i][j] == "relay" ? 1 : 0;
+    }
+  }
+  std::printf(
+      "\n%d pairs direct (punched), %d via shared LAN (private endpoints, §3.3),\n"
+      "%d relayed (symmetric NAT involved). Lobby server relayed %llu bytes.\n",
+      punched, lan, relayed, static_cast<unsigned long long>(lobby.stats().relayed_bytes));
+  return 0;
+}

@@ -1,0 +1,117 @@
+// natcheck_tool: the NAT Check utility itself (§6.1) as a command-line
+// program. Configure the simulated NAT under test with flags, run the full
+// three-server check, and print the report the paper's volunteers would
+// have submitted.
+//
+// Usage:
+//   natcheck_tool [mapping=cone|addr|sym] [filtering=ei|ad|apd]
+//                 [tcp=drop|rst|icmp] [hairpin=0|1] [hairpin_filtered=0|1]
+//                 [ports=seq|rand|preserve] [payload_rewrite=0|1]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/natcheck/client.h"
+#include "src/natcheck/servers.h"
+#include "src/scenario/scenario.h"
+
+using namespace natpunch;
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const char* key, std::string* value) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NatConfig nat;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "mapping", &value)) {
+      nat.mapping = value == "cone"   ? NatMapping::kEndpointIndependent
+                    : value == "addr" ? NatMapping::kAddressDependent
+                                      : NatMapping::kAddressAndPortDependent;
+    } else if (ParseFlag(arg, "filtering", &value)) {
+      nat.filtering = value == "ei"   ? NatFiltering::kEndpointIndependent
+                      : value == "ad" ? NatFiltering::kAddressDependent
+                                      : NatFiltering::kAddressAndPortDependent;
+    } else if (ParseFlag(arg, "tcp", &value)) {
+      nat.unsolicited_tcp = value == "rst"    ? NatUnsolicitedTcp::kRst
+                            : value == "icmp" ? NatUnsolicitedTcp::kIcmp
+                                              : NatUnsolicitedTcp::kDrop;
+    } else if (ParseFlag(arg, "hairpin", &value)) {
+      nat.hairpin_udp = nat.hairpin_tcp = value == "1";
+    } else if (ParseFlag(arg, "hairpin_filtered", &value)) {
+      nat.hairpin_filtered = value == "1";
+    } else if (ParseFlag(arg, "ports", &value)) {
+      nat.port_allocation = value == "rand"       ? NatPortAllocation::kRandom
+                            : value == "preserve" ? NatPortAllocation::kPortPreserving
+                                                  : NatPortAllocation::kSequential;
+    } else if (ParseFlag(arg, "payload_rewrite", &value)) {
+      nat.rewrite_payload_addresses = value == "1";
+    } else {
+      std::printf("unknown argument: %s (see header comment for usage)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("NAT under test: %s\n\n", nat.ToString().c_str());
+
+  Scenario scenario{Scenario::Options{}};
+  Host* s1 = scenario.AddPublicHost("S1", Ipv4Address::FromOctets(18, 181, 0, 31));
+  Host* s2 = scenario.AddPublicHost("S2", Ipv4Address::FromOctets(18, 181, 0, 32));
+  Host* s3 = scenario.AddPublicHost("S3", Ipv4Address::FromOctets(18, 181, 0, 33));
+  NattedSite site = scenario.AddNattedSite(
+      "dut", nat, Ipv4Address::FromOctets(155, 99, 25, 11),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+
+  NatCheckServers servers(s1, s2, s3);
+  if (!servers.Start().ok()) {
+    return 1;
+  }
+  NatCheckServerAddrs addrs{servers.udp_endpoint(1), servers.udp_endpoint(2),
+                            servers.tcp_endpoint(1), servers.tcp_endpoint(2),
+                            servers.tcp_endpoint(3)};
+  NatCheckClient client(site.host(0), addrs);
+  bool printed = false;
+  client.Run(4321, [&](Result<NatCheckReport> result) {
+    printed = true;
+    if (!result.ok()) {
+      std::printf("NAT check failed: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    const NatCheckReport& r = *result;
+    std::printf("UDP test:\n");
+    std::printf("  public endpoint via server 1 : %s\n", r.udp_public_1.ToString().c_str());
+    std::printf("  public endpoint via server 2 : %s\n", r.udp_public_2.ToString().c_str());
+    std::printf("  consistent translation       : %s\n", r.udp_consistent ? "yes" : "NO");
+    std::printf("  filters unsolicited traffic  : %s\n",
+                r.udp_filters_unsolicited ? "yes" : "no");
+    std::printf("  hairpin translation          : %s\n", r.udp_hairpin ? "yes" : "no");
+    std::printf("TCP test:\n");
+    std::printf("  public endpoint via server 1 : %s\n", r.tcp_public_1.ToString().c_str());
+    std::printf("  public endpoint via server 2 : %s\n", r.tcp_public_2.ToString().c_str());
+    std::printf("  consistent translation       : %s\n", r.tcp_consistent ? "yes" : "NO");
+    std::printf("  unsolicited SYN handling     : %s\n",
+                r.tcp_rejects_unsolicited  ? "actively rejected (RST/ICMP)"
+                : r.tcp_unsolicited_passed ? "passed through (no filtering)"
+                                           : "silently dropped (ideal)");
+    std::printf("  simultaneous open with s3    : %s\n",
+                r.tcp_punch_connect_ok ? "succeeded" : "n/a");
+    std::printf("  hairpin translation          : %s\n", r.tcp_hairpin ? "yes" : "no");
+    std::printf("\nVERDICT: UDP hole punching %s, TCP hole punching %s\n",
+                r.UdpHolePunchCompatible() ? "COMPATIBLE" : "NOT compatible",
+                r.TcpHolePunchCompatible() ? "COMPATIBLE" : "NOT compatible");
+  });
+  scenario.net().RunFor(Seconds(90));
+  return printed ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+// voip_call: a Voice-over-IP call — the paper's flagship motivating
+// application — over a hole-punched UDP session. Caller streams 50
+// frames/second; the callee measures received frames and inter-arrival
+// jitter. Mid-call, the caller's NAT "reboots" (all translation state
+// flushed, as consumer routers do); the application detects the dead
+// session and re-punches on demand (§3.6), and the call continues.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+using namespace natpunch;
+
+namespace {
+
+constexpr SimDuration kFrameInterval = Millis(20);  // 50 fps voice framing
+constexpr size_t kFrameBytes = 160;                 // ~G.711 20 ms payload
+
+struct CallStats {
+  int frames_sent = 0;
+  int frames_received = 0;
+  std::vector<double> interarrival_ms;
+
+  double LossPct() const {
+    return frames_sent == 0
+               ? 0
+               : 100.0 * (frames_sent - frames_received) / frames_sent;
+  }
+  double JitterMs() const {
+    // Mean absolute deviation of inter-arrival times from the 20 ms ideal.
+    if (interarrival_ms.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (double d : interarrival_ms) {
+      sum += d > 20 ? d - 20 : 20 - d;
+    }
+    return sum / static_cast<double>(interarrival_ms.size());
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("VoIP call over hole-punched UDP, with a mid-call NAT reboot\n\n");
+
+  Scenario::Options options;
+  options.internet_latency = Millis(30);
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  Network& net = topo.scenario->net();
+  RendezvousServer server(topo.server, kServerPort);
+  server.Start();
+
+  UdpRendezvousClient caller(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient callee(topo.b, server.endpoint(), 2);
+  caller.Register(4321, [](Result<Endpoint>) {});
+  callee.Register(4321, [](Result<Endpoint>) {});
+  caller.StartKeepAlive(Seconds(5));  // keeps S able to re-introduce us
+  callee.StartKeepAlive(Seconds(5));
+
+  UdpPunchConfig punch;
+  punch.session_expiry = Seconds(3);      // voice apps notice silence fast
+  punch.keepalive_interval = Seconds(1);  // media-path heartbeats
+  UdpHolePuncher caller_punch(&caller, punch);
+  UdpHolePuncher callee_punch(&callee, punch);
+
+  CallStats stats;
+  SimTime last_arrival;
+  callee_punch.SetIncomingSessionCallback([&](UdpP2pSession* session) {
+    session->SetReceiveCallback([&, session](const Bytes&) {
+      if (stats.frames_received > 0) {
+        stats.interarrival_ms.push_back((net.now() - last_arrival).micros() / 1000.0);
+      }
+      last_arrival = net.now();
+      ++stats.frames_received;
+      (void)session;
+    });
+  });
+  net.RunFor(Seconds(2));
+
+  // --- Establish the call ---
+  UdpP2pSession* media = nullptr;
+  bool media_dead = false;
+  auto establish = [&](const char* label) {
+    media = nullptr;
+    media_dead = false;
+    caller_punch.ConnectToPeer(2, [&, label](Result<UdpP2pSession*> r) {
+      if (!r.ok()) {
+        std::printf("[caller] %s punch failed: %s\n", label, r.status().ToString().c_str());
+        return;
+      }
+      media = *r;
+      media->SetDeadCallback([&](Status) { media_dead = true; });
+      std::printf("[caller] %s: media path to %s in %s\n", label,
+                  media->peer_endpoint().ToString().c_str(),
+                  media->punch_elapsed().ToString().c_str());
+    });
+    net.RunFor(Seconds(2));
+  };
+  establish("call setup");
+  if (media == nullptr) {
+    return 1;
+  }
+
+  // --- Stream voice frames; reboot the NAT at t+4s; recover ---
+  bool rebooted = false;
+  int recoveries = 0;
+  const SimTime call_start = net.now();
+  for (int frame = 0; frame < 50 * 12; ++frame) {  // 12 seconds of audio
+    if (!rebooted && net.now() - call_start > Seconds(4)) {
+      std::printf("[world ] caller's NAT reboots! all mappings flushed\n");
+      topo.site_a.nat->FlushMappings();
+      rebooted = true;
+    }
+    if (media_dead && recoveries < 3) {
+      std::printf("[caller] media silence detected at t=%.1fs -> re-punching\n",
+                  (net.now() - call_start).seconds());
+      establish("re-punch");
+      if (media != nullptr) {
+        ++recoveries;
+      }
+    }
+    if (media != nullptr && media->alive()) {
+      media->Send(Bytes(kFrameBytes, static_cast<uint8_t>(frame)));
+      ++stats.frames_sent;
+    }
+    net.RunFor(kFrameInterval);
+  }
+  net.RunFor(Seconds(1));
+
+  // --- Call quality report ---
+  std::printf("\ncall report (12 s of audio, one NAT reboot):\n");
+  std::printf("  frames sent        : %d\n", stats.frames_sent);
+  std::printf("  frames received    : %d (%.1f%% lost, all during the outage)\n",
+              stats.frames_received, stats.LossPct());
+  std::printf("  inter-arrival jitter: %.2f ms around the 20 ms ideal\n", stats.JitterMs());
+  std::printf("  recovered via re-punch: %s (%d re-punch%s)\n", recoveries > 0 ? "yes" : "no",
+              recoveries, recoveries == 1 ? "" : "es");
+  std::printf(
+      "\nThe outage window is the session-expiry detection time plus one punch;\n"
+      "production VoIP stacks shrink it with media-path heartbeats — here the\n"
+      "§3.6 'detect and re-run hole punching on demand' loop is the whole fix.\n");
+  return recoveries > 0 ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "src/core/peer_wire.h"
+
+namespace natpunch {
+namespace {
+constexpr uint8_t kMagic = 0x50;  // 'P'
+}  // namespace
+
+Bytes EncodePeerMessage(const PeerMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(kMagic);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU64(msg.nonce);
+  w.WriteU64(msg.sender_id);
+  w.WriteBytes(msg.payload);
+  return w.Take();
+}
+
+std::optional<PeerMessage> DecodePeerMessage(const Bytes& data) {
+  ByteReader r(data);
+  if (r.ReadU8() != kMagic) {
+    return std::nullopt;
+  }
+  PeerMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(PeerMsgType::kProbe) ||
+      type > static_cast<uint8_t>(PeerMsgType::kAuthOk)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<PeerMsgType>(type);
+  msg.nonce = r.ReadU64();
+  msg.sender_id = r.ReadU64();
+  msg.payload = r.ReadBytes();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+}  // namespace natpunch

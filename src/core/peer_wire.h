@@ -1,0 +1,40 @@
+// Peer-to-peer application messages exchanged directly between clients
+// (everything that is NOT rendezvous traffic).
+//
+// Every message carries the session nonce pre-arranged through S, which is
+// the authentication the paper mandates (§3.4): punch probes routinely reach
+// the wrong host (a stray machine with the peer's private address), and the
+// nonce is how such strays are filtered out.
+
+#ifndef SRC_CORE_PEER_WIRE_H_
+#define SRC_CORE_PEER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/bytes.h"
+
+namespace natpunch {
+
+enum class PeerMsgType : uint8_t {
+  kProbe = 1,      // UDP hole punch probe (§3.2 step 3)
+  kProbeReply = 2, // response that lets the sender lock in an endpoint
+  kData = 3,       // application payload on an established session
+  kKeepAlive = 4,  // §3.6 session keep-alive
+  kAuth = 5,       // TCP stream authentication (§4.2 step 5)
+  kAuthOk = 6,     // authentication confirmation
+};
+
+struct PeerMessage {
+  PeerMsgType type = PeerMsgType::kProbe;
+  uint64_t nonce = 0;
+  uint64_t sender_id = 0;
+  Bytes payload;
+};
+
+Bytes EncodePeerMessage(const PeerMessage& msg);
+std::optional<PeerMessage> DecodePeerMessage(const Bytes& data);
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_PEER_WIRE_H_

@@ -1,0 +1,108 @@
+#include "src/core/probe_server.h"
+
+namespace natpunch {
+namespace {
+constexpr uint8_t kMagic = 0x51;  // 'Q'
+}  // namespace
+
+Bytes EncodeProbeMessage(const ProbeMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(kMagic);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU64(msg.txn);
+  w.WriteU32(msg.observed.ip.bits());
+  w.WriteU16(msg.observed.port);
+  w.WriteU8(static_cast<uint8_t>(msg.source_tag));
+  return w.Take();
+}
+
+std::optional<ProbeMessage> DecodeProbeMessage(const Bytes& data) {
+  ByteReader r(data);
+  if (r.ReadU8() != kMagic) {
+    return std::nullopt;
+  }
+  ProbeMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(ProbeMsgType::kEchoRequest) ||
+      type > static_cast<uint8_t>(ProbeMsgType::kForwardedEcho)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<ProbeMsgType>(type);
+  msg.txn = r.ReadU64();
+  msg.observed.ip = Ipv4Address(r.ReadU32());
+  msg.observed.port = r.ReadU16();
+  msg.source_tag = static_cast<ProbeSourceTag>(r.ReadU8());
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+StunLikeServer::StunLikeServer(Host* host, uint16_t port) : host_(host), port_(port) {}
+
+Status StunLikeServer::Start() {
+  auto main_sock = host_->udp().Bind(port_);
+  if (!main_sock.ok()) {
+    return main_sock.status();
+  }
+  main_socket_ = *main_sock;
+  auto alt_sock = host_->udp().Bind(static_cast<uint16_t>(port_ + 1));
+  if (!alt_sock.ok()) {
+    return alt_sock.status();
+  }
+  alt_socket_ = *alt_sock;
+  main_socket_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnMain(from, payload); });
+  alt_socket_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnAlt(from, payload); });
+  return Status::Ok();
+}
+
+void StunLikeServer::OnMain(const Endpoint& from, const Bytes& payload) {
+  auto msg = DecodeProbeMessage(payload);
+  if (!msg) {
+    return;
+  }
+  ++requests_served_;
+  switch (msg->type) {
+    case ProbeMsgType::kEchoRequest: {
+      ProbeMessage reply{ProbeMsgType::kEchoReply, msg->txn, from, ProbeSourceTag::kMain};
+      main_socket_->SendTo(from, EncodeProbeMessage(reply));
+      return;
+    }
+    case ProbeMsgType::kAltReplyRequest: {
+      ProbeMessage reply{ProbeMsgType::kEchoReply, msg->txn, from, ProbeSourceTag::kAlt};
+      alt_socket_->SendTo(from, EncodeProbeMessage(reply));
+      return;
+    }
+    case ProbeMsgType::kPartnerReplyRequest: {
+      if (partner_.IsUnspecified()) {
+        return;
+      }
+      ProbeMessage forward{ProbeMsgType::kForwardedEcho, msg->txn, from, ProbeSourceTag::kMain};
+      main_socket_->SendTo(partner_, EncodeProbeMessage(forward));
+      return;
+    }
+    case ProbeMsgType::kForwardedEcho: {
+      // We are the partner: answer the quoted client from our own address.
+      ProbeMessage reply{ProbeMsgType::kEchoReply, msg->txn, msg->observed,
+                         ProbeSourceTag::kPartner};
+      main_socket_->SendTo(msg->observed, EncodeProbeMessage(reply));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void StunLikeServer::OnAlt(const Endpoint& from, const Bytes& payload) {
+  auto msg = DecodeProbeMessage(payload);
+  if (!msg || msg->type != ProbeMsgType::kEchoRequest) {
+    return;
+  }
+  ++requests_served_;
+  ProbeMessage reply{ProbeMsgType::kEchoReply, msg->txn, from, ProbeSourceTag::kAlt};
+  alt_socket_->SendTo(from, EncodeProbeMessage(reply));
+}
+
+}  // namespace natpunch

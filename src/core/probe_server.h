@@ -1,0 +1,77 @@
+// STUN-like probe servers and their wire protocol.
+//
+// A StunLikeServer answers "what endpoint do you see me as?" queries and two
+// special requests used to classify NAT filtering behavior: reply from an
+// alternate port on the same address, and reply via a partner server the
+// client has never contacted. These are the building blocks for NatProber
+// (§5.1's STUN-style behavior discovery) and the port-prediction variant;
+// the NAT Check reproduction (src/natcheck) uses its own three-server
+// choreography per §6.1.
+
+#ifndef SRC_CORE_PROBE_SERVER_H_
+#define SRC_CORE_PROBE_SERVER_H_
+
+#include <optional>
+
+#include "src/transport/host.h"
+
+namespace natpunch {
+
+enum class ProbeMsgType : uint8_t {
+  kEchoRequest = 1,         // reply from the main socket with observed endpoint
+  kEchoReply = 2,
+  kAltReplyRequest = 3,     // reply from the alternate-port socket
+  kPartnerReplyRequest = 4, // forward to partner; partner replies to client
+  kForwardedEcho = 5,       // server -> partner-server internal message
+};
+
+// Which socket a kEchoReply came from.
+enum class ProbeSourceTag : uint8_t {
+  kMain = 0,
+  kAlt = 1,
+  kPartner = 2,
+};
+
+struct ProbeMessage {
+  ProbeMsgType type = ProbeMsgType::kEchoRequest;
+  uint64_t txn = 0;
+  Endpoint observed;  // replies and forwards: client endpoint as seen
+  ProbeSourceTag source_tag = ProbeSourceTag::kMain;
+};
+
+Bytes EncodeProbeMessage(const ProbeMessage& msg);
+std::optional<ProbeMessage> DecodeProbeMessage(const Bytes& data);
+
+class StunLikeServer {
+ public:
+  // Binds `port` (main) and `port + 1` (alternate).
+  StunLikeServer(Host* host, uint16_t port);
+
+  // Where kPartnerReplyRequest queries are forwarded; the partner answers
+  // the client from its own address.
+  void SetPartner(Endpoint partner_main) { partner_ = partner_main; }
+
+  Status Start();
+
+  Endpoint endpoint() const { return Endpoint(host_->primary_address(), port_); }
+  Endpoint alt_endpoint() const {
+    return Endpoint(host_->primary_address(), static_cast<uint16_t>(port_ + 1));
+  }
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void OnMain(const Endpoint& from, const Bytes& payload);
+  void OnAlt(const Endpoint& from, const Bytes& payload);
+
+  Host* host_;
+  uint16_t port_;
+  Endpoint partner_;
+  UdpSocket* main_socket_ = nullptr;
+  UdpSocket* alt_socket_ = nullptr;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_PROBE_SERVER_H_

@@ -1,0 +1,48 @@
+#include "src/core/relay.h"
+
+namespace natpunch {
+
+RelayHub::RelayHub(UdpRendezvousClient* client) {
+  send_ = [client](uint64_t to, Bytes payload) { client->SendRelay(to, std::move(payload)); };
+  client->SetRelayHandler(
+      [this](uint64_t from, const Bytes& payload) { OnRelayMessage(from, payload); });
+}
+
+RelayHub::RelayHub(TcpRendezvousClient* client) {
+  send_ = [client](uint64_t to, Bytes payload) { client->SendRelay(to, std::move(payload)); };
+  client->SetRelayHandler(
+      [this](uint64_t from, const Bytes& payload) { OnRelayMessage(from, payload); });
+}
+
+RelayChannel* RelayHub::OpenChannel(uint64_t peer_id) {
+  auto it = channels_.find(peer_id);
+  if (it != channels_.end()) {
+    return it->second.get();
+  }
+  auto channel = std::unique_ptr<RelayChannel>(new RelayChannel(this, peer_id));
+  RelayChannel* raw = channel.get();
+  channels_[peer_id] = std::move(channel);
+  return raw;
+}
+
+void RelayHub::OnRelayMessage(uint64_t from_id, const Bytes& payload) {
+  const bool existed = channels_.count(from_id) != 0;
+  RelayChannel* channel = OpenChannel(from_id);
+  ++channel->messages_received_;
+  channel->bytes_received_ += payload.size();
+  if (!existed && incoming_cb_) {
+    incoming_cb_(channel);
+  }
+  if (channel->receive_cb_) {
+    channel->receive_cb_(payload);
+  }
+}
+
+Status RelayChannel::Send(Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  hub_->send_(peer_id_, std::move(payload));
+  return Status::Ok();
+}
+
+}  // namespace natpunch

@@ -1,0 +1,75 @@
+// Relaying (§2.2): the always-works fallback that pays for its reliability
+// with server bandwidth and added latency.
+//
+// RelayHub demultiplexes kRelayForward traffic from a rendezvous client into
+// per-peer RelayChannels. It works over either transport (the server relays
+// on whichever session the client registered). The Fig. 2 benchmark
+// measures exactly the costs this class makes visible: bytes through S and
+// round-trip latency versus a punched direct path.
+
+#ifndef SRC_CORE_RELAY_H_
+#define SRC_CORE_RELAY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/rendezvous/client.h"
+
+namespace natpunch {
+
+class RelayHub;
+
+class RelayChannel {
+ public:
+  using ReceiveCallback = std::function<void(const Bytes& payload)>;
+
+  Status Send(Bytes payload);
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+
+  uint64_t peer_id() const { return peer_id_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_received() const { return messages_received_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class RelayHub;
+
+  RelayChannel(RelayHub* hub, uint64_t peer_id) : hub_(hub), peer_id_(peer_id) {}
+
+  RelayHub* hub_;
+  uint64_t peer_id_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_received_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  ReceiveCallback receive_cb_;
+};
+
+class RelayHub {
+ public:
+  explicit RelayHub(UdpRendezvousClient* client);
+  explicit RelayHub(TcpRendezvousClient* client);
+
+  // Open (or fetch) the channel to a peer. Channels are created on demand
+  // for unsolicited inbound relay traffic as well.
+  RelayChannel* OpenChannel(uint64_t peer_id);
+
+  // Observe channels created by inbound traffic from new peers.
+  void SetIncomingChannelCallback(std::function<void(RelayChannel*)> cb) {
+    incoming_cb_ = std::move(cb);
+  }
+
+ private:
+  friend class RelayChannel;
+
+  void OnRelayMessage(uint64_t from_id, const Bytes& payload);
+
+  std::function<void(uint64_t, Bytes)> send_;
+  std::map<uint64_t, std::unique_ptr<RelayChannel>> channels_;
+  std::function<void(RelayChannel*)> incoming_cb_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_RELAY_H_

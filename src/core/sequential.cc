@@ -1,0 +1,214 @@
+#include "src/core/sequential.h"
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+SequentialPuncher::SequentialPuncher(TcpRendezvousClient* rendezvous,
+                                     SequentialPunchConfig config)
+    : rendezvous_(rendezvous), config_(config), loop_(rendezvous->host()->loop()) {
+  rendezvous_->SetConnectForwardHandler(
+      ConnectStrategy::kSequential,
+      [this](const RendezvousMessage& fwd) { RunResponder(fwd); });
+  rendezvous_->SetSequentialReadyHandler([this](const RendezvousMessage& ready) {
+    // Step 4: B is listening; close our (consumed) S connection and dial in.
+    auto it = initiations_.find(ready.nonce);
+    if (it == initiations_.end()) {
+      return;
+    }
+    rendezvous_->CloseConnection();
+    ++connections_consumed_;
+    InitiatorConnect(ready.nonce);
+  });
+}
+
+void SequentialPuncher::ConnectToPeer(uint64_t peer_id, StreamCallback cb) {
+  const uint64_t nonce = rendezvous_->host()->rng().NextU64();
+  rendezvous_->RequestConnect(
+      peer_id, ConnectStrategy::kSequential, nonce,
+      [this, peer_id, nonce, cb = std::move(cb)](Result<RendezvousMessage> ack) mutable {
+        if (!ack.ok()) {
+          cb(ack.status());
+          return;
+        }
+        InitiatorState& state = initiations_[nonce];
+        state.peer_id = peer_id;
+        state.nonce = nonce;
+        state.peer_public = ack->public_ep;
+        state.cb = std::move(cb);
+        state.deadline_event = loop_.ScheduleAfter(config_.punch_timeout, [this, nonce] {
+          FinishInitiator(nonce, Status(ErrorCode::kTimedOut, "sequential punch timed out"));
+        });
+        // Step 1 complete: wait (not listening) for B's ready signal.
+      });
+}
+
+void SequentialPuncher::InitiatorConnect(uint64_t nonce) {
+  auto it = initiations_.find(nonce);
+  if (it == initiations_.end()) {
+    return;
+  }
+  InitiatorState& state = it->second;
+  TcpSocket* socket = rendezvous_->host()->tcp().CreateSocket();
+  socket->SetReuseAddr(true);
+  Status status = socket->Bind(rendezvous_->local_port());
+  if (status.ok()) {
+    status = socket->Connect(state.peer_public, [this, nonce, socket](Status result) {
+      auto it2 = initiations_.find(nonce);
+      if (it2 == initiations_.end()) {
+        return;
+      }
+      if (!result.ok()) {
+        FinishInitiator(nonce, result);
+        return;
+      }
+      AuthAsInitiator(socket, it2->second.peer_id, nonce, loop_.now(),
+                      /*cb bound inside FinishInitiator*/ nullptr);
+    });
+  }
+  if (!status.ok()) {
+    FinishInitiator(nonce, status);
+  }
+}
+
+void SequentialPuncher::AuthAsInitiator(TcpSocket* socket, uint64_t peer_id, uint64_t nonce,
+                                        SimTime started, StreamCallback cb) {
+  (void)cb;
+  // Send kAuth; wait for kAuthOk, then hand the stream to the initiation's
+  // callback via FinishInitiator.
+  auto framer = std::make_shared<MessageFramer>();
+  socket->SetDataCallback([this, socket, peer_id, nonce, started, framer](const Bytes& data) {
+    const std::vector<Bytes> frames = framer->Append(data);
+    for (size_t i = 0; i < frames.size(); ++i) {
+      auto msg = DecodePeerMessage(frames[i]);
+      if (msg && msg->type == PeerMsgType::kAuthOk && msg->nonce == nonce) {
+        // Keep anything that followed the auth confirmation for the stream.
+        for (size_t j = i + 1; j < frames.size(); ++j) {
+          framer->Append(MessageFramer::Frame(frames[j]));
+        }
+        streams_.push_back(std::make_unique<TcpP2pStream>(socket, peer_id, nonce, *framer,
+                                                          /*used_private=*/false,
+                                                          loop_.now() - started));
+        FinishInitiator(nonce, streams_.back().get());
+        return;
+      }
+    }
+  });
+  PeerMessage auth;
+  auth.type = PeerMsgType::kAuth;
+  auth.nonce = nonce;
+  auth.sender_id = rendezvous_->client_id();
+  socket->Send(MessageFramer::Frame(EncodePeerMessage(auth)));
+}
+
+void SequentialPuncher::FinishInitiator(uint64_t nonce, Result<TcpP2pStream*> result) {
+  auto it = initiations_.find(nonce);
+  if (it == initiations_.end()) {
+    return;
+  }
+  InitiatorState state = std::move(it->second);
+  initiations_.erase(it);
+  if (state.deadline_event != EventLoop::kInvalidEventId) {
+    loop_.Cancel(state.deadline_event);
+  }
+  if (state.cb) {
+    state.cb(std::move(result));
+  }
+}
+
+void SequentialPuncher::RunResponder(const RendezvousMessage& fwd) {
+  const uint64_t nonce = fwd.nonce;
+  const uint64_t peer_id = fwd.client_id;
+  const Endpoint peer_public = fwd.public_ep;
+  const uint16_t local_port = rendezvous_->local_port();
+  const SimTime started = loop_.now();
+
+  // Step 2 prep: our S connection is about to be consumed.
+  rendezvous_->CloseConnection();
+  ++connections_consumed_;
+
+  // Step 2: doomed connect to open the hole in our NAT.
+  TcpSocket* doomed = rendezvous_->host()->tcp().CreateSocket();
+  doomed->SetReuseAddr(true);
+  Status status = doomed->Bind(local_port);
+  if (!status.ok()) {
+    return;
+  }
+  doomed->Connect(peer_public, [](Status) {
+    // Expected to fail (RST from A's NAT, or our dwell abort below). The
+    // SYN's purpose was only to open our NAT's hole.
+  });
+
+  loop_.ScheduleAfter(config_.syn_dwell, [this, doomed, nonce, peer_id, local_port,
+                                          started] {
+    // Step 3: stop the doomed attempt, listen, re-register with S from a
+    // fresh port, and signal ready.
+    if (doomed->state() != TcpState::kClosed) {
+      doomed->Abort();
+    }
+    TcpSocket* listener = rendezvous_->host()->tcp().CreateSocket();
+    listener->SetReuseAddr(true);
+    if (!listener->Bind(local_port).ok()) {
+      return;
+    }
+    Status listen_status = listener->Listen([this, nonce, peer_id, started,
+                                             listener](TcpSocket* accepted) {
+      responder_pending_.push_back(std::make_unique<ResponderPending>());
+      ResponderPending* pending = responder_pending_.back().get();
+      pending->socket = accepted;
+      pending->nonce = nonce;
+      pending->peer_id = peer_id;
+      pending->started = started;
+      accepted->SetDataCallback(
+          [this, pending](const Bytes& data) { OnResponderData(pending, data); });
+      (void)listener;
+    });
+    if (!listen_status.ok()) {
+      return;
+    }
+    rendezvous_->Reconnect([this, nonce, peer_id](Result<Endpoint> r) {
+      if (!r.ok()) {
+        return;
+      }
+      rendezvous_->SendSequentialReady(peer_id, nonce);
+    });
+  });
+}
+
+void SequentialPuncher::OnResponderData(ResponderPending* pending, const Bytes& data) {
+  if (pending->done) {
+    return;
+  }
+  const std::vector<Bytes> frames = pending->framer.Append(data);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto msg = DecodePeerMessage(frames[i]);
+    if (!msg) {
+      continue;
+    }
+    if (msg->type == PeerMsgType::kAuth && msg->nonce == pending->nonce) {
+      PeerMessage ok;
+      ok.type = PeerMsgType::kAuthOk;
+      ok.nonce = pending->nonce;
+      ok.sender_id = rendezvous_->client_id();
+      pending->socket->Send(MessageFramer::Frame(EncodePeerMessage(ok)));
+      pending->done = true;
+      for (size_t j = i + 1; j < frames.size(); ++j) {
+        pending->framer.Append(MessageFramer::Frame(frames[j]));
+      }
+      streams_.push_back(std::make_unique<TcpP2pStream>(
+          pending->socket, pending->peer_id, pending->nonce, pending->framer,
+          /*used_private=*/false, loop_.now() - pending->started));
+      if (incoming_cb_) {
+        incoming_cb_(streams_.back().get());
+      }
+      return;
+    }
+    // Wrong nonce: an impostor connected through the hole; drop it (§4.2
+    // step 5: close and keep waiting).
+    pending->done = true;
+    pending->socket->Abort();
+    return;
+  }
+}
+
+}  // namespace natpunch

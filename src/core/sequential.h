@@ -1,0 +1,101 @@
+// Sequential TCP hole punching — the NatTrav-style variant of §4.5.
+//
+// Instead of punching in parallel, the peers take turns:
+//   1. A asks S to introduce it to B (strategy kSequential) and waits,
+//      WITHOUT listening on its port.
+//   2. B makes a doomed connect() to A's public endpoint, which opens the
+//      hole in B's NAT and then fails (RST from A's NAT, or our dwell-timer
+//      abort when A's NAT silently drops).
+//   3. B stops the attempt, starts listening on its local port, reconnects
+//      to S from a fresh ephemeral port, and signals "ready" through S.
+//   4. A (whose original S connection is likewise consumed) connects
+//      directly to B's public endpoint; B's NAT admits it through the hole.
+//
+// The procedure's §4.5 weaknesses are modeled and measurable: the dwell
+// time in step 2 is a config knob (too short risks the SYN not having
+// crossed B's NATs; too long inflates latency), and both peers' rendezvous
+// connections are consumed per punch (server_connections_consumed()).
+//
+// Fidelity note: NatTrav targets sockets APIs without SO_REUSEADDR, closing
+// connections so a port is only ever owned by one socket. Our rendezvous
+// client itself binds with SO_REUSEADDR, so the sockets here do too; the
+// connection-consuming choreography is otherwise identical.
+
+#ifndef SRC_CORE_SEQUENTIAL_H_
+#define SRC_CORE_SEQUENTIAL_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/tcp_stream.h"
+#include "src/rendezvous/client.h"
+
+namespace natpunch {
+
+struct SequentialPunchConfig {
+  // §4.5: "B must allow its doomed-to-fail connect() attempt enough time to
+  // ensure that at least one SYN packet traverses all NATs on its side."
+  SimDuration syn_dwell = Millis(600);
+  SimDuration punch_timeout = Seconds(30);
+};
+
+class SequentialPuncher {
+ public:
+  using StreamCallback = std::function<void(Result<TcpP2pStream*>)>;
+
+  SequentialPuncher(TcpRendezvousClient* rendezvous,
+                    SequentialPunchConfig config = SequentialPunchConfig{});
+
+  // Role A. The callback fires with the authenticated stream (or error).
+  void ConnectToPeer(uint64_t peer_id, StreamCallback cb);
+
+  // Role B streams land here.
+  void SetIncomingStreamCallback(std::function<void(TcpP2pStream*)> cb) {
+    incoming_cb_ = std::move(cb);
+  }
+
+  // Rendezvous connections burned by completed/failed punches (both roles
+  // count their own side). The parallel procedure's count is always zero.
+  int server_connections_consumed() const { return connections_consumed_; }
+
+ private:
+  struct InitiatorState {
+    uint64_t peer_id = 0;
+    uint64_t nonce = 0;
+    Endpoint peer_public;
+    StreamCallback cb;
+    EventLoop::EventId deadline_event = EventLoop::kInvalidEventId;
+  };
+
+  void RunResponder(const RendezvousMessage& fwd);
+  void InitiatorConnect(uint64_t nonce);
+  void FinishInitiator(uint64_t nonce, Result<TcpP2pStream*> result);
+
+  // Auth helpers shared by both roles.
+  void AuthAsInitiator(TcpSocket* socket, uint64_t peer_id, uint64_t nonce, SimTime started,
+                       StreamCallback cb);
+
+  TcpRendezvousClient* rendezvous_;
+  SequentialPunchConfig config_;
+  EventLoop& loop_;
+  std::map<uint64_t, InitiatorState> initiations_;  // by nonce
+  std::vector<std::unique_ptr<TcpP2pStream>> streams_;
+  std::function<void(TcpP2pStream*)> incoming_cb_;
+  int connections_consumed_ = 0;
+
+  // Responder-side pending auth state.
+  struct ResponderPending {
+    TcpSocket* socket = nullptr;
+    MessageFramer framer;
+    uint64_t nonce = 0;
+    uint64_t peer_id = 0;
+    SimTime started;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<ResponderPending>> responder_pending_;
+  void OnResponderData(ResponderPending* pending, const Bytes& data);
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_SEQUENTIAL_H_

@@ -1,0 +1,57 @@
+#include "src/core/tcp_stream.h"
+
+namespace natpunch {
+
+TcpP2pStream::TcpP2pStream(TcpSocket* socket, uint64_t peer_id, uint64_t nonce,
+                           MessageFramer framer, bool used_private_endpoint,
+                           SimDuration punch_elapsed)
+    : socket_(socket),
+      peer_id_(peer_id),
+      nonce_(nonce),
+      framer_(std::move(framer)),
+      used_private_(used_private_endpoint),
+      punch_elapsed_(punch_elapsed) {
+  socket_->SetDataCallback([this](const Bytes& data) { OnData(data); });
+  socket_->SetClosedCallback([this](Status status) {
+    alive_ = false;
+    if (closed_cb_) {
+      closed_cb_(std::move(status));
+    }
+  });
+  // Drain anything that was already buffered behind the auth exchange.
+  OnData(Bytes{});
+}
+
+Status TcpP2pStream::Send(Bytes payload) {
+  if (!alive_) {
+    return Status(ErrorCode::kClosed, "stream closed");
+  }
+  PeerMessage msg;
+  msg.type = PeerMsgType::kData;
+  msg.nonce = nonce_;
+  msg.payload = std::move(payload);
+  ++messages_sent_;
+  return socket_->Send(MessageFramer::Frame(EncodePeerMessage(msg)));
+}
+
+void TcpP2pStream::Close() {
+  alive_ = false;
+  socket_->Close();
+}
+
+void TcpP2pStream::OnData(const Bytes& data) {
+  for (const Bytes& body : framer_.Append(data)) {
+    auto msg = DecodePeerMessage(body);
+    if (!msg || msg->nonce != nonce_) {
+      continue;
+    }
+    if (msg->type == PeerMsgType::kData) {
+      ++messages_received_;
+      if (receive_cb_) {
+        receive_cb_(msg->payload);
+      }
+    }
+  }
+}
+
+}  // namespace natpunch

@@ -1,0 +1,69 @@
+// TcpP2pStream: an authenticated peer-to-peer TCP stream produced by hole
+// punching, reversal, or the sequential procedure.
+//
+// All stream content is length-framed PeerMessages: the kAuth/kAuthOk
+// handshake (§4.2 step 5) followed by kData payloads. The stream records
+// *how* it was obtained — via connect() or accept(), public or private
+// endpoint — because Fig. 7's analysis is exactly about which socket ends up
+// carrying the session under each OS behavior.
+
+#ifndef SRC_CORE_TCP_STREAM_H_
+#define SRC_CORE_TCP_STREAM_H_
+
+#include <functional>
+
+#include "src/core/peer_wire.h"
+#include "src/rendezvous/messages.h"
+#include "src/transport/tcp.h"
+
+namespace natpunch {
+
+class TcpP2pStream {
+ public:
+  using ReceiveCallback = std::function<void(const Bytes& payload)>;
+  using ClosedCallback = std::function<void(Status)>;
+
+  // Takes over an authenticated socket. `framer` carries any bytes that
+  // arrived after the auth exchange in the same segments.
+  TcpP2pStream(TcpSocket* socket, uint64_t peer_id, uint64_t nonce, MessageFramer framer,
+               bool used_private_endpoint, SimDuration punch_elapsed);
+
+  TcpP2pStream(const TcpP2pStream&) = delete;
+  TcpP2pStream& operator=(const TcpP2pStream&) = delete;
+
+  Status Send(Bytes payload);
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+  void SetClosedCallback(ClosedCallback cb) { closed_cb_ = std::move(cb); }
+  void Close();
+
+  bool alive() const { return alive_; }
+  uint64_t peer_id() const { return peer_id_; }
+  uint64_t nonce() const { return nonce_; }
+  TcpSocket* socket() const { return socket_; }
+  // Fig. 7 statistics: how the winning stream was obtained.
+  bool via_accept() const { return socket_->via_accept(); }
+  bool used_private_endpoint() const { return used_private_; }
+  SimDuration punch_elapsed() const { return punch_elapsed_; }
+  Endpoint remote_endpoint() const { return socket_->remote_endpoint(); }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_received() const { return messages_received_; }
+
+ private:
+  void OnData(const Bytes& data);
+
+  TcpSocket* socket_;
+  uint64_t peer_id_;
+  uint64_t nonce_;
+  MessageFramer framer_;
+  bool used_private_;
+  SimDuration punch_elapsed_;
+  bool alive_ = true;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_received_ = 0;
+  ReceiveCallback receive_cb_;
+  ClosedCallback closed_cb_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_TCP_STREAM_H_

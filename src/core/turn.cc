@@ -1,0 +1,270 @@
+#include "src/core/turn.h"
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+namespace {
+constexpr uint8_t kMagic = 0x54;  // 'T'
+}  // namespace
+
+Bytes EncodeTurnMessage(const TurnMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(kMagic);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU32(msg.peer.ip.bits());
+  w.WriteU16(msg.peer.port);
+  w.WriteBytes(msg.payload);
+  return w.Take();
+}
+
+std::optional<TurnMessage> DecodeTurnMessage(const Bytes& data) {
+  ByteReader r(data);
+  if (r.ReadU8() != kMagic) {
+    return std::nullopt;
+  }
+  TurnMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(TurnMsgType::kAllocate) ||
+      type > static_cast<uint8_t>(TurnMsgType::kData)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<TurnMsgType>(type);
+  msg.peer.ip = Ipv4Address(r.ReadU32());
+  msg.peer.port = r.ReadU16();
+  msg.payload = r.ReadBytes();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// TurnServer
+// ---------------------------------------------------------------------------
+
+TurnServer::TurnServer(Host* host, TurnServerConfig config) : host_(host), config_(config) {}
+
+TurnServer::~TurnServer() {
+  if (sweep_event_ != EventLoop::kInvalidEventId) {
+    host_->loop().Cancel(sweep_event_);
+  }
+  if (control_ != nullptr) {
+    control_->Close();
+  }
+  for (auto& [client, allocation] : allocations_) {
+    allocation->relayed->Close();
+  }
+}
+
+Status TurnServer::Start() {
+  auto bound = host_->udp().Bind(config_.port);
+  if (!bound.ok()) {
+    return bound.status();
+  }
+  control_ = *bound;
+  control_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnControl(from, payload); });
+  ScheduleSweep();
+  return Status::Ok();
+}
+
+void TurnServer::ScheduleSweep() {
+  sweep_event_ = host_->loop().ScheduleAfter(Seconds(10), [this] {
+    const SimTime now = host_->loop().now();
+    for (auto it = allocations_.begin(); it != allocations_.end();) {
+      Allocation& allocation = *it->second;
+      for (auto perm = allocation.permissions.begin(); perm != allocation.permissions.end();) {
+        if (now - perm->second >= config_.permission_lifetime) {
+          perm = allocation.permissions.erase(perm);
+        } else {
+          ++perm;
+        }
+      }
+      if (now - allocation.last_activity >= config_.allocation_lifetime) {
+        allocation.relayed->Close();
+        it = allocations_.erase(it);
+        ++stats_.expired_allocations;
+      } else {
+        ++it;
+      }
+    }
+    ScheduleSweep();
+  });
+}
+
+void TurnServer::OnControl(const Endpoint& from, const Bytes& payload) {
+  auto msg = DecodeTurnMessage(payload);
+  if (!msg) {
+    return;
+  }
+  auto it = allocations_.find(from);
+  switch (msg->type) {
+    case TurnMsgType::kAllocate: {
+      if (it == allocations_.end()) {
+        auto relayed = host_->udp().Bind(0);
+        if (!relayed.ok()) {
+          return;
+        }
+        auto allocation = std::make_unique<Allocation>();
+        allocation->client = from;
+        allocation->relayed = *relayed;
+        Allocation* raw = allocation.get();
+        (*relayed)->SetReceiveCallback(
+            [this, raw](const Endpoint& peer, const Bytes& data) {
+              OnRelayed(raw, peer, data);
+            });
+        it = allocations_.emplace(from, std::move(allocation)).first;
+        ++stats_.allocations;
+      }
+      it->second->last_activity = host_->loop().now();
+      TurnMessage reply;
+      reply.type = TurnMsgType::kAllocateOk;
+      reply.peer = Endpoint(host_->primary_address(), it->second->relayed->local_port());
+      control_->SendTo(from, EncodeTurnMessage(reply));
+      return;
+    }
+    case TurnMsgType::kPermit:
+      if (it != allocations_.end()) {
+        it->second->last_activity = host_->loop().now();
+        it->second->permissions[msg->peer.ip] = host_->loop().now();
+      }
+      return;
+    case TurnMsgType::kSend:
+      if (it != allocations_.end()) {
+        it->second->last_activity = host_->loop().now();
+        ++stats_.relayed_to_peer;
+        it->second->relayed->SendTo(msg->peer, msg->payload);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void TurnServer::OnRelayed(Allocation* allocation, const Endpoint& from, const Bytes& payload) {
+  auto perm = allocation->permissions.find(from.ip);
+  if (perm == allocation->permissions.end() ||
+      host_->loop().now() - perm->second >= config_.permission_lifetime) {
+    ++stats_.denied_no_permission;
+    return;
+  }
+  perm->second = host_->loop().now();
+  allocation->last_activity = host_->loop().now();
+  ++stats_.relayed_to_client;
+  TurnMessage data;
+  data.type = TurnMsgType::kData;
+  data.peer = from;
+  data.payload = payload;
+  control_->SendTo(allocation->client, EncodeTurnMessage(data));
+}
+
+// ---------------------------------------------------------------------------
+// TurnClient
+// ---------------------------------------------------------------------------
+
+TurnClient::TurnClient(Host* host, Endpoint server, Config config)
+    : host_(host), server_(server), config_(config) {}
+
+void TurnClient::Allocate(uint16_t local_port, std::function<void(Result<Endpoint>)> cb) {
+  auto bound = host_->udp().Bind(local_port);
+  if (!bound.ok()) {
+    cb(bound.status());
+    return;
+  }
+  socket_ = *bound;
+  socket_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnReceive(from, payload); });
+  allocate_cb_ = std::move(cb);
+  attempts_ = 0;
+  SendAllocate();
+}
+
+void TurnClient::SendAllocate() {
+  TurnMessage request;
+  request.type = TurnMsgType::kAllocate;
+  socket_->SendTo(server_, EncodeTurnMessage(request));
+  ++attempts_;
+  retry_event_ = host_->loop().ScheduleAfter(config_.request_timeout, [this] {
+    retry_event_ = EventLoop::kInvalidEventId;
+    if (allocated_) {
+      return;
+    }
+    if (attempts_ < config_.request_retries) {
+      SendAllocate();
+      return;
+    }
+    if (allocate_cb_) {
+      auto cb = std::move(allocate_cb_);
+      allocate_cb_ = nullptr;
+      cb(Status(ErrorCode::kTimedOut, "TURN allocation timed out"));
+    }
+  });
+}
+
+void TurnClient::OnReceive(const Endpoint& from, const Bytes& payload) {
+  if (from != server_) {
+    return;  // relayed traffic arrives wrapped in kData, never raw
+  }
+  auto msg = DecodeTurnMessage(payload);
+  if (!msg) {
+    return;
+  }
+  switch (msg->type) {
+    case TurnMsgType::kAllocateOk: {
+      relayed_ = msg->peer;
+      if (!allocated_) {
+        allocated_ = true;
+        if (retry_event_ != EventLoop::kInvalidEventId) {
+          host_->loop().Cancel(retry_event_);
+          retry_event_ = EventLoop::kInvalidEventId;
+        }
+        // Periodic refresh keeps both the allocation and our NAT flow to
+        // the server alive.
+        auto holder = std::make_shared<std::function<void()>>();
+        *holder = [this, holder] {
+          TurnMessage refresh;
+          refresh.type = TurnMsgType::kAllocate;
+          socket_->SendTo(server_, EncodeTurnMessage(refresh));
+          refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, *holder);
+        };
+        refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, *holder);
+        if (allocate_cb_) {
+          auto cb = std::move(allocate_cb_);
+          allocate_cb_ = nullptr;
+          cb(relayed_);
+        }
+      }
+      return;
+    }
+    case TurnMsgType::kData:
+      if (receive_cb_) {
+        receive_cb_(msg->peer, msg->payload);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+Status TurnClient::Permit(Ipv4Address peer) {
+  if (!allocated_) {
+    return Status(ErrorCode::kNotConnected, "no allocation");
+  }
+  TurnMessage permit;
+  permit.type = TurnMsgType::kPermit;
+  permit.peer = Endpoint(peer, 0);
+  return socket_->SendTo(server_, EncodeTurnMessage(permit));
+}
+
+Status TurnClient::SendTo(const Endpoint& peer, Bytes payload) {
+  if (!allocated_) {
+    return Status(ErrorCode::kNotConnected, "no allocation");
+  }
+  TurnMessage send;
+  send.type = TurnMsgType::kSend;
+  send.peer = peer;
+  send.payload = std::move(payload);
+  return socket_->SendTo(server_, EncodeTurnMessage(send));
+}
+
+}  // namespace natpunch

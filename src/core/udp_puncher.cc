@@ -1,0 +1,349 @@
+#include "src/core/udp_puncher.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+UdpHolePuncher::UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig config)
+    : rendezvous_(rendezvous), config_(config), loop_(rendezvous->host()->loop()) {
+  rendezvous_->SetPeerTrafficHandler(
+      [this](const Endpoint& from, const Bytes& payload) { OnPeerTraffic(from, payload); });
+  rendezvous_->SetConnectForwardHandler(
+      ConnectStrategy::kHolePunch, [this](const RendezvousMessage& fwd) {
+        // Passive side of §3.2: S forwarded a connection request; punch back.
+        StartAttempt(fwd.client_id, fwd.nonce, fwd.public_ep, fwd.private_ep,
+                     /*incoming=*/true, nullptr);
+      });
+  if (rendezvous_->socket() != nullptr) {
+    rendezvous_->socket()->SetErrorCallback(
+        [this](const Endpoint& dst, ErrorCode code) { OnSocketError(dst, code); });
+  }
+}
+
+size_t UdpHolePuncher::active_sessions() const {
+  size_t n = 0;
+  for (const auto& [nonce, session] : sessions_) {
+    n += session->alive() ? 1 : 0;
+  }
+  return n;
+}
+
+void UdpHolePuncher::ConnectToPeer(uint64_t peer_id, SessionCallback cb) {
+  const uint64_t nonce = rendezvous_->host()->rng().NextU64();
+  rendezvous_->RequestConnect(
+      peer_id, ConnectStrategy::kHolePunch, nonce,
+      [this, peer_id, nonce, cb = std::move(cb)](Result<RendezvousMessage> ack) mutable {
+        if (!ack.ok()) {
+          cb(ack.status());
+          return;
+        }
+        Attempt* attempt = StartAttempt(peer_id, nonce, ack->public_ep, ack->private_ep,
+                                        /*incoming=*/false, std::move(cb));
+        if (attempt != nullptr) {
+          attempt->renew_introduction = true;
+        }
+      });
+}
+
+UdpHolePuncher::Attempt* UdpHolePuncher::StartAttempt(uint64_t peer_id, uint64_t nonce,
+                                                      const Endpoint& peer_public,
+                                                      const Endpoint& peer_private, bool incoming,
+                                                      SessionCallback cb) {
+  if (attempts_.count(nonce) != 0 || sessions_.count(nonce) != 0) {
+    return nullptr;  // already punching or punched this session
+  }
+  Attempt& attempt = attempts_[nonce];
+  attempt.peer_id = peer_id;
+  attempt.nonce = nonce;
+  attempt.incoming = incoming;
+  attempt.peer_public = peer_public;
+  attempt.peer_private = peer_private;
+  attempt.started = loop_.now();
+  attempt.cb = std::move(cb);
+
+  // Candidate endpoints, public first (§3.2 step 3 fires at both; dedupe
+  // guards the no-NAT case where they coincide).
+  if (!peer_public.IsUnspecified()) {
+    attempt.candidates.push_back(peer_public);
+  }
+  if (config_.try_private_endpoint && !peer_private.IsUnspecified() &&
+      peer_private != peer_public) {
+    attempt.candidates.push_back(peer_private);
+  }
+  if (attempt.candidates.empty()) {
+    FailAttempt(nonce, Status(ErrorCode::kInvalidArgument, "no candidate endpoints"));
+    return nullptr;
+  }
+
+  attempt.deadline_event = loop_.ScheduleAfter(config_.punch_timeout, [this, nonce] {
+    FailAttempt(nonce, Status(ErrorCode::kTimedOut, "hole punch timed out"));
+  });
+  SendProbes(&attempt);
+  return &attempt;
+}
+
+void UdpHolePuncher::SendProbes(Attempt* attempt) {
+  for (const Endpoint& candidate : attempt->candidates) {
+    SendPeerMessage(candidate, PeerMsgType::kProbe, attempt->nonce, Bytes{});
+    ++attempt->probes_sent;
+  }
+  ++attempt->probe_rounds;
+  if (attempt->renew_introduction && attempt->probe_rounds % 5 == 0) {
+    // Still nothing back: the kConnectForward to the peer may have been
+    // lost, leaving it unaware it should punch. Re-introduce (idempotent on
+    // the peer: duplicate forwards for a known nonce are ignored).
+    rendezvous_->SendConnectRequest(attempt->peer_id, ConnectStrategy::kHolePunch,
+                                    attempt->nonce);
+  }
+  const uint64_t nonce = attempt->nonce;
+  attempt->probe_event = loop_.ScheduleAfter(config_.probe_interval, [this, nonce] {
+    auto it = attempts_.find(nonce);
+    if (it != attempts_.end()) {
+      SendProbes(&it->second);
+    }
+  });
+}
+
+void UdpHolePuncher::SendPeerMessage(const Endpoint& to, PeerMsgType type, uint64_t nonce,
+                                     Bytes payload) {
+  PeerMessage msg;
+  msg.type = type;
+  msg.nonce = nonce;
+  msg.sender_id = rendezvous_->client_id();
+  msg.payload = std::move(payload);
+  rendezvous_->socket()->SendTo(to, EncodePeerMessage(msg));
+}
+
+void UdpHolePuncher::PunchAtEndpoints(uint64_t peer_id, uint64_t nonce,
+                                      const Endpoint& peer_public, const Endpoint& peer_private,
+                                      SessionCallback cb) {
+  StartAttempt(peer_id, nonce, peer_public, peer_private, /*incoming=*/cb == nullptr,
+               std::move(cb));
+}
+
+void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Bytes& payload) {
+  auto msg = DecodePeerMessage(payload);
+  if (!msg) {
+    if (raw_handler_) {
+      raw_handler_(from, payload);
+    }
+    return;
+  }
+  // Established session traffic first.
+  auto session_it = sessions_.find(msg->nonce);
+  if (session_it != sessions_.end()) {
+    UdpP2pSession* session = session_it->second.get();
+    if (!session->alive()) {
+      return;
+    }
+    SessionInboundSeen(session);
+    switch (msg->type) {
+      case PeerMsgType::kProbe:
+        // Late probe from a peer that has not locked in yet: keep answering
+        // so it can (§3.2: order and timing are not critical).
+        SendPeerMessage(from, PeerMsgType::kProbeReply, msg->nonce, Bytes{});
+        return;
+      case PeerMsgType::kData:
+        ++session->datagrams_received_;
+        if (session->receive_cb_) {
+          session->receive_cb_(msg->payload);
+        }
+        return;
+      case PeerMsgType::kKeepAlive:
+      case PeerMsgType::kProbeReply:
+      default:
+        return;  // activity already refreshed the expiry timer
+    }
+  }
+
+  // Otherwise it may belong to an in-flight attempt.
+  auto it = attempts_.find(msg->nonce);
+  if (it == attempts_.end()) {
+    // Unknown nonce: a stray host or an expired session. Authentications
+    // fail silently (§3.4) — never answer, or the stray would lock onto us.
+    return;
+  }
+  Attempt& attempt = it->second;
+  switch (msg->type) {
+    case PeerMsgType::kProbe: {
+      if (config_.adopt_observed_endpoints &&
+          std::find(attempt.candidates.begin(), attempt.candidates.end(), from) ==
+              attempt.candidates.end()) {
+        // The peer reached us from an endpoint S didn't predict (symmetric
+        // NAT on their side); answer where the packet actually came from.
+        attempt.candidates.push_back(from);
+      }
+      SendPeerMessage(from, PeerMsgType::kProbeReply, msg->nonce, Bytes{});
+      return;
+    }
+    case PeerMsgType::kProbeReply:
+      // §3.2: lock in the first endpoint that elicits a valid response.
+      FinishAttempt(msg->nonce, from);
+      return;
+    case PeerMsgType::kData:
+    case PeerMsgType::kKeepAlive: {
+      // The peer already locked in and is talking to us; that is as good as
+      // a probe reply.
+      FinishAttempt(msg->nonce, from);
+      auto created = sessions_.find(msg->nonce);
+      if (msg->type == PeerMsgType::kData && created != sessions_.end()) {
+        ++created->second->datagrams_received_;
+        if (created->second->receive_cb_) {
+          created->second->receive_cb_(msg->payload);
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void UdpHolePuncher::OnSocketError(const Endpoint& dst, ErrorCode code) {
+  (void)code;
+  // An ICMP error for a candidate (e.g. the private endpoint hit a host with
+  // no socket bound): stop probing it.
+  for (auto& [nonce, attempt] : attempts_) {
+    auto it = std::find(attempt.candidates.begin(), attempt.candidates.end(), dst);
+    if (it != attempt.candidates.end()) {
+      attempt.candidates.erase(it);
+      if (attempt.candidates.empty()) {
+        FailAttempt(nonce, Status(ErrorCode::kHostUnreachable, "all candidates unreachable"));
+        return;  // FailAttempt invalidates iterators
+      }
+    }
+  }
+}
+
+void UdpHolePuncher::FinishAttempt(uint64_t nonce, const Endpoint& winner) {
+  auto it = attempts_.find(nonce);
+  if (it == attempts_.end()) {
+    return;
+  }
+  Attempt attempt = std::move(it->second);
+  attempts_.erase(it);
+  if (attempt.probe_event != EventLoop::kInvalidEventId) {
+    loop_.Cancel(attempt.probe_event);
+  }
+  if (attempt.deadline_event != EventLoop::kInvalidEventId) {
+    loop_.Cancel(attempt.deadline_event);
+  }
+
+  auto session = std::unique_ptr<UdpP2pSession>(new UdpP2pSession(this));
+  session->peer_id_ = attempt.peer_id;
+  session->nonce_ = nonce;
+  session->peer_endpoint_ = winner;
+  // A peer without a NAT has identical endpoints; report that as "public".
+  session->used_private_ =
+      winner == attempt.peer_private && attempt.peer_private != attempt.peer_public;
+  session->punch_elapsed_ = loop_.now() - attempt.started;
+  session->probes_sent_ = attempt.probes_sent;
+  session->last_inbound_ = loop_.now();
+  UdpP2pSession* raw = session.get();
+  sessions_[nonce] = std::move(session);
+  ArmSessionTimers(raw);
+
+  NP_LOG(Info) << rendezvous_->host()->name() << " punched UDP session to peer "
+               << attempt.peer_id << " at " << winner.ToString()
+               << (raw->used_private_ ? " (private endpoint)" : " (public endpoint)");
+
+  if (attempt.cb) {
+    attempt.cb(raw);
+  } else if (incoming_cb_) {
+    incoming_cb_(raw);
+  }
+}
+
+void UdpHolePuncher::FailAttempt(uint64_t nonce, const Status& status) {
+  auto it = attempts_.find(nonce);
+  if (it == attempts_.end()) {
+    return;
+  }
+  Attempt attempt = std::move(it->second);
+  attempts_.erase(it);
+  if (attempt.probe_event != EventLoop::kInvalidEventId) {
+    loop_.Cancel(attempt.probe_event);
+  }
+  if (attempt.deadline_event != EventLoop::kInvalidEventId) {
+    loop_.Cancel(attempt.deadline_event);
+  }
+  if (attempt.cb) {
+    attempt.cb(status);
+  }
+}
+
+void UdpHolePuncher::ArmSessionTimers(UdpP2pSession* session) {
+  if (config_.keepalives_enabled) {
+    const uint64_t nonce = session->nonce_;
+    auto holder = std::make_shared<std::function<void()>>();
+    *holder = [this, nonce, holder] {
+      auto it = sessions_.find(nonce);
+      if (it == sessions_.end() || !it->second->alive()) {
+        return;
+      }
+      SendPeerMessage(it->second->peer_endpoint_, PeerMsgType::kKeepAlive, nonce, Bytes{});
+      it->second->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval, *holder);
+    };
+    session->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval, *holder);
+  }
+  // Expiry watchdog.
+  const uint64_t nonce = session->nonce_;
+  auto watchdog = std::make_shared<std::function<void()>>();
+  *watchdog = [this, nonce, watchdog] {
+    auto it = sessions_.find(nonce);
+    if (it == sessions_.end() || !it->second->alive()) {
+      return;
+    }
+    UdpP2pSession* s = it->second.get();
+    const SimTime deadline = s->last_inbound_ + config_.session_expiry;
+    if (loop_.now() >= deadline) {
+      CloseSession(s, Status(ErrorCode::kTimedOut, "peer silent past expiry"), /*notify=*/true);
+      return;
+    }
+    s->expiry_event_ = loop_.ScheduleAt(deadline, *watchdog);
+  };
+  session->expiry_event_ = loop_.ScheduleAfter(config_.session_expiry, *watchdog);
+}
+
+void UdpHolePuncher::SessionInboundSeen(UdpP2pSession* session) {
+  session->last_inbound_ = loop_.now();
+}
+
+void UdpHolePuncher::CloseSession(UdpP2pSession* session, const Status& status, bool notify) {
+  if (!session->alive_) {
+    return;
+  }
+  session->alive_ = false;
+  if (session->keepalive_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(session->keepalive_event_);
+    session->keepalive_event_ = EventLoop::kInvalidEventId;
+  }
+  if (session->expiry_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(session->expiry_event_);
+    session->expiry_event_ = EventLoop::kInvalidEventId;
+  }
+  if (notify && session->dead_cb_) {
+    session->dead_cb_(status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UdpP2pSession
+// ---------------------------------------------------------------------------
+
+Status UdpP2pSession::Send(Bytes payload) {
+  if (!alive_) {
+    return Status(ErrorCode::kClosed, "session dead");
+  }
+  ++datagrams_sent_;
+  puncher_->SendPeerMessage(peer_endpoint_, PeerMsgType::kData, nonce_, std::move(payload));
+  return Status::Ok();
+}
+
+void UdpP2pSession::Close() {
+  puncher_->CloseSession(this, Status(ErrorCode::kClosed), /*notify=*/false);
+}
+
+}  // namespace natpunch

@@ -1,0 +1,168 @@
+// UDP hole punching (§3) — the paper's primary technique.
+//
+// UdpHolePuncher drives the §3.2 procedure over a registered
+// UdpRendezvousClient: it asks S for the peer's public and private
+// endpoints, fires authenticated probes at *both* simultaneously, and locks
+// in whichever endpoint first elicits a valid reply. It also answers the
+// passive role automatically when S forwards a peer's connection request.
+//
+// Established sessions (UdpP2pSession) carry data, send §3.6 keep-alives,
+// detect peer silence, and report rich outcome data (which endpoint won,
+// elapsed time, probe counts) consumed by the Fig. 4/5/6 benchmarks.
+
+#ifndef SRC_CORE_UDP_PUNCHER_H_
+#define SRC_CORE_UDP_PUNCHER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/peer_wire.h"
+#include "src/rendezvous/client.h"
+
+namespace natpunch {
+
+struct UdpPunchConfig {
+  SimDuration probe_interval = Millis(200);
+  SimDuration punch_timeout = Seconds(10);
+  SimDuration keepalive_interval = Seconds(15);
+  // A session with no inbound traffic for this long is declared dead; the
+  // application then re-runs hole punching "on demand" (§3.6).
+  SimDuration session_expiry = Seconds(60);
+  bool keepalives_enabled = true;
+  // Probe the peer's private endpoint as well as the public one (§3.3
+  // recommends both; disabling is the "assume hairpin" ablation).
+  bool try_private_endpoint = true;
+  // Also adopt unexpected probe source endpoints as candidates. This is
+  // what lets punching occasionally work when the *peer's* NAT is symmetric
+  // but ours is a cone: the peer's probe arrives from an unpredicted port
+  // and we simply answer where it came from.
+  bool adopt_observed_endpoints = true;
+};
+
+class UdpHolePuncher;
+
+class UdpP2pSession {
+ public:
+  using ReceiveCallback = std::function<void(const Bytes& payload)>;
+  using DeadCallback = std::function<void(Status)>;
+
+  // Application payload to the locked-in endpoint.
+  Status Send(Bytes payload);
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+  void SetDeadCallback(DeadCallback cb) { dead_cb_ = std::move(cb); }
+  void Close();
+
+  uint64_t peer_id() const { return peer_id_; }
+  uint64_t nonce() const { return nonce_; }
+  Endpoint peer_endpoint() const { return peer_endpoint_; }
+  bool alive() const { return alive_; }
+  // True when the locked-in endpoint was the peer's *private* endpoint —
+  // the expected outcome behind a common NAT (§3.3).
+  bool used_private_endpoint() const { return used_private_; }
+  SimDuration punch_elapsed() const { return punch_elapsed_; }
+  int probes_sent() const { return probes_sent_; }
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t datagrams_received() const { return datagrams_received_; }
+
+ private:
+  friend class UdpHolePuncher;
+
+  explicit UdpP2pSession(UdpHolePuncher* puncher) : puncher_(puncher) {}
+
+  UdpHolePuncher* puncher_;
+  uint64_t peer_id_ = 0;
+  uint64_t nonce_ = 0;
+  Endpoint peer_endpoint_;
+  bool used_private_ = false;
+  bool alive_ = true;
+  SimDuration punch_elapsed_;
+  int probes_sent_ = 0;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_received_ = 0;
+  SimTime last_inbound_;
+  EventLoop::EventId keepalive_event_ = EventLoop::kInvalidEventId;
+  EventLoop::EventId expiry_event_ = EventLoop::kInvalidEventId;
+  ReceiveCallback receive_cb_;
+  DeadCallback dead_cb_;
+};
+
+class UdpHolePuncher {
+ public:
+  using SessionCallback = std::function<void(Result<UdpP2pSession*>)>;
+
+  UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig config = UdpPunchConfig{});
+
+  // Active side: request an introduction to peer_id through S and punch.
+  void ConnectToPeer(uint64_t peer_id, SessionCallback cb);
+
+  // Advanced entry point: punch at explicitly supplied candidate endpoints
+  // instead of the ones S observed. Used by the §5.1 port-prediction
+  // variant for symmetric NATs. Pass a null cb on the passive side (the
+  // session is then delivered to the incoming-session callback).
+  void PunchAtEndpoints(uint64_t peer_id, uint64_t nonce, const Endpoint& peer_public,
+                        const Endpoint& peer_private, SessionCallback cb);
+
+  // Datagrams on the shared socket that are neither rendezvous nor peer
+  // protocol messages (e.g. STUN-like probe replies for port prediction).
+  void SetRawTrafficHandler(std::function<void(const Endpoint&, const Bytes&)> handler) {
+    raw_handler_ = std::move(handler);
+  }
+
+  // Sessions initiated by remote peers land here once punched.
+  void SetIncomingSessionCallback(std::function<void(UdpP2pSession*)> cb) {
+    incoming_cb_ = std::move(cb);
+  }
+
+  UdpRendezvousClient* rendezvous() const { return rendezvous_; }
+  const UdpPunchConfig& config() const { return config_; }
+
+  size_t active_attempts() const { return attempts_.size(); }
+  size_t active_sessions() const;
+
+ private:
+  friend class UdpP2pSession;
+
+  struct Attempt {
+    uint64_t peer_id = 0;
+    uint64_t nonce = 0;
+    bool incoming = false;
+    // Initiator-side robustness: periodically re-send the ConnectRequest so
+    // a lost kConnectForward doesn't strand the peer un-introduced.
+    bool renew_introduction = false;
+    std::vector<Endpoint> candidates;
+    Endpoint peer_public;   // remembered to label the winning path
+    Endpoint peer_private;
+    SimTime started;
+    int probes_sent = 0;
+    int probe_rounds = 0;
+    SessionCallback cb;
+    EventLoop::EventId probe_event = EventLoop::kInvalidEventId;
+    EventLoop::EventId deadline_event = EventLoop::kInvalidEventId;
+  };
+
+  Attempt* StartAttempt(uint64_t peer_id, uint64_t nonce, const Endpoint& peer_public,
+                        const Endpoint& peer_private, bool incoming, SessionCallback cb);
+  void SendProbes(Attempt* attempt);
+  void FinishAttempt(uint64_t nonce, const Endpoint& winner);
+  void FailAttempt(uint64_t nonce, const Status& status);
+  void OnPeerTraffic(const Endpoint& from, const Bytes& payload);
+  void OnSocketError(const Endpoint& dst, ErrorCode code);
+  void SendPeerMessage(const Endpoint& to, PeerMsgType type, uint64_t nonce, Bytes payload);
+
+  void ArmSessionTimers(UdpP2pSession* session);
+  void SessionInboundSeen(UdpP2pSession* session);
+  void CloseSession(UdpP2pSession* session, const Status& status, bool notify);
+
+  UdpRendezvousClient* rendezvous_;
+  UdpPunchConfig config_;
+  EventLoop& loop_;
+  std::map<uint64_t, Attempt> attempts_;                           // by nonce
+  std::map<uint64_t, std::unique_ptr<UdpP2pSession>> sessions_;    // by nonce
+  std::function<void(UdpP2pSession*)> incoming_cb_;
+  std::function<void(const Endpoint&, const Bytes&)> raw_handler_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_UDP_PUNCHER_H_

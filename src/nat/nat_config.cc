@@ -1,0 +1,79 @@
+#include "src/nat/nat_config.h"
+
+namespace natpunch {
+
+std::string_view NatMappingName(NatMapping m) {
+  switch (m) {
+    case NatMapping::kEndpointIndependent:
+      return "endpoint-independent";
+    case NatMapping::kAddressDependent:
+      return "address-dependent";
+    case NatMapping::kAddressAndPortDependent:
+      return "address-and-port-dependent";
+  }
+  return "?";
+}
+
+std::string_view NatFilteringName(NatFiltering f) {
+  switch (f) {
+    case NatFiltering::kEndpointIndependent:
+      return "endpoint-independent";
+    case NatFiltering::kAddressDependent:
+      return "address-dependent";
+    case NatFiltering::kAddressAndPortDependent:
+      return "address-and-port-dependent";
+  }
+  return "?";
+}
+
+std::string_view NatPortAllocationName(NatPortAllocation p) {
+  switch (p) {
+    case NatPortAllocation::kPortPreserving:
+      return "port-preserving";
+    case NatPortAllocation::kSequential:
+      return "sequential";
+    case NatPortAllocation::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string_view NatUnsolicitedTcpName(NatUnsolicitedTcp u) {
+  switch (u) {
+    case NatUnsolicitedTcp::kDrop:
+      return "drop";
+    case NatUnsolicitedTcp::kRst:
+      return "rst";
+    case NatUnsolicitedTcp::kIcmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+std::string NatConfig::Rfc3489Class() const {
+  if (!IsCone()) {
+    return "symmetric";
+  }
+  switch (filtering) {
+    case NatFiltering::kEndpointIndependent:
+      return "full cone";
+    case NatFiltering::kAddressDependent:
+      return "restricted cone";
+    case NatFiltering::kAddressAndPortDependent:
+      return "port-restricted cone";
+  }
+  return "?";
+}
+
+std::string NatConfig::ToString() const {
+  std::string out = "NatConfig{map=" + std::string(NatMappingName(mapping)) +
+                    ", filter=" + std::string(NatFilteringName(filtering)) +
+                    ", ports=" + std::string(NatPortAllocationName(port_allocation)) +
+                    ", unsolicited_tcp=" + std::string(NatUnsolicitedTcpName(unsolicited_tcp)) +
+                    ", hairpin_udp=" + (hairpin_udp ? "y" : "n") +
+                    ", hairpin_tcp=" + (hairpin_tcp ? "y" : "n") +
+                    ", udp_timeout=" + udp_timeout.ToString() + "}";
+  return out;
+}
+
+}  // namespace natpunch

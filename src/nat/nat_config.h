@@ -1,0 +1,140 @@
+// NAT behavior configuration.
+//
+// Section 5 of the paper identifies the behavioral properties that decide
+// whether hole punching works. Instead of modeling NAT products as
+// subclasses, every property is an orthogonal knob here, and the simulated
+// vendor fleet (src/fleet) samples mixes of these knobs; benchmarks flip
+// them individually for ablations.
+
+#ifndef SRC_NAT_NAT_CONFIG_H_
+#define SRC_NAT_NAT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/netsim/sim_time.h"
+
+namespace natpunch {
+
+// How the NAT chooses the public endpoint for an outbound session (§5.1).
+// kEndpointIndependent is the "cone NAT" of RFC 3489: one private endpoint
+// maps to one public endpoint regardless of destination — the property hole
+// punching requires. The other two are flavors of "symmetric" NAT.
+enum class NatMapping {
+  kEndpointIndependent,
+  kAddressDependent,
+  kAddressAndPortDependent,
+};
+
+// Which inbound packets are accepted on an existing mapping.
+// kEndpointIndependent = "full cone" (no filtering beyond mapping
+// existence), kAddressDependent = "restricted cone", kAddressAndPortDependent
+// = "port-restricted cone". Filtering does not break hole punching — both
+// sides' first outbound packets open the filter state.
+enum class NatFiltering {
+  kEndpointIndependent,
+  kAddressDependent,
+  kAddressAndPortDependent,
+};
+
+// Public port selection for new mappings.
+enum class NatPortAllocation {
+  kPortPreserving,  // try the private port first, fall back to sequential
+  kSequential,      // monotonically increasing (predictable, §5.1 prediction)
+  kRandom,          // uniform over the pool (defeats prediction)
+};
+
+// What the NAT does with an unsolicited inbound TCP SYN (§5.2). Anything
+// but kDrop interferes with TCP hole punching: RST aborts the peer's
+// connect() (recoverable by retry, but slower), and some NATs send ICMP.
+enum class NatUnsolicitedTcp {
+  kDrop,
+  kRst,
+  kIcmp,
+};
+
+struct NatConfig {
+  NatMapping mapping = NatMapping::kEndpointIndependent;
+  NatFiltering filtering = NatFiltering::kAddressAndPortDependent;
+  NatPortAllocation port_allocation = NatPortAllocation::kSequential;
+  NatUnsolicitedTcp unsolicited_tcp = NatUnsolicitedTcp::kDrop;
+
+  // Basic NAT (§2.1 / RFC 2663): translate IP addresses only, assigning
+  // each inside host its own public address from a pool; ports pass through
+  // untouched. Trivially consistent, so hole punching "applies trivially".
+  // The pool is [public_ip+1 .. public_ip+basic_pool_size].
+  bool basic_nat = false;
+  int basic_pool_size = 8;
+
+  // §6.3: some NATs translate consistently only while a private port is
+  // used by ONE inside host, and "switch to symmetric NAT or even worse
+  // behaviors if two or more clients with different IP addresses ... try to
+  // communicate through the NAT from the same private port number". The
+  // single-client NAT Check cannot see this; the multi-client extension
+  // (src/natcheck/multi_client.h) can.
+  bool symmetric_on_port_contention = false;
+
+  // Hairpin (a.k.a. loopback) translation, §3.5: a packet from the private
+  // side addressed to one of the NAT's own public mappings is translated on
+  // both src and dst and looped back inside. Required for multi-level NAT
+  // scenarios (Fig. 6) and for the public-endpoint path behind a common NAT
+  // (Fig. 4).
+  bool hairpin_udp = false;
+  bool hairpin_tcp = false;
+  // §6.3: a simplistic NAT may treat hairpin traffic arriving at its public
+  // ports as untrusted and apply inbound filtering to it, defeating hairpin
+  // hole punching even though translation is supported.
+  bool hairpin_filtered = false;
+
+  // §5.3 / §3.1: a badly behaved NAT that scans packet payloads for 4-byte
+  // values that look like IP addresses it knows, and rewrites them like it
+  // rewrites headers. Defeated by address obfuscation.
+  bool rewrite_payload_addresses = false;
+
+  // Whether inbound traffic refreshes a session's idle timer. Outbound
+  // refresh is mandatory NAT behavior; inbound refresh is optional (and
+  // RFC 4787 discourages relying on it) — when off, only the inside host's
+  // own transmissions keep a session alive.
+  bool refresh_on_inbound = true;
+
+  // Idle timeouts (§3.6). Some deployed NATs go as low as 20 seconds for
+  // UDP, which is why applications need keep-alives.
+  SimDuration udp_timeout = Seconds(120);
+  SimDuration tcp_established_timeout = Seconds(7200);
+  SimDuration tcp_transitory_timeout = Seconds(120);
+
+  // First public port handed out by the sequential allocator. 62000 matches
+  // the paper's running example.
+  uint16_t port_base = 62000;
+
+  // Convenience predicates.
+  bool IsCone() const { return mapping == NatMapping::kEndpointIndependent; }
+  bool FiltersUnsolicited() const { return filtering != NatFiltering::kEndpointIndependent; }
+
+  // Whether this NAT supports hole punching per the paper's criteria:
+  // consistent endpoint translation for both; for TCP additionally "does
+  // not reject unsolicited SYNs with RST/ICMP". With endpoint-independent
+  // filtering nothing on an existing mapping is ever unsolicited, so the
+  // rejection policy cannot fire during punching.
+  bool SupportsUdpHolePunching() const { return IsCone(); }
+  bool SupportsTcpHolePunching() const {
+    return IsCone() && (unsolicited_tcp == NatUnsolicitedTcp::kDrop ||
+                        filtering == NatFiltering::kEndpointIndependent);
+  }
+
+  // RFC 3489 classification string ("full cone", "restricted cone",
+  // "port-restricted cone", "symmetric").
+  std::string Rfc3489Class() const;
+
+  std::string ToString() const;
+};
+
+std::string_view NatMappingName(NatMapping m);
+std::string_view NatFilteringName(NatFiltering f);
+std::string_view NatPortAllocationName(NatPortAllocation p);
+std::string_view NatUnsolicitedTcpName(NatUnsolicitedTcp u);
+
+}  // namespace natpunch
+
+#endif  // SRC_NAT_NAT_CONFIG_H_

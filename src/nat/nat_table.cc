@@ -1,0 +1,196 @@
+#include "src/nat/nat_table.h"
+
+#include <algorithm>
+
+namespace natpunch {
+
+bool NatTable::Entry::AllowsInbound(NatFiltering filtering, const Endpoint& remote, SimTime now,
+                                    SimDuration session_timeout) const {
+  switch (filtering) {
+    case NatFiltering::kEndpointIndependent:
+      return true;
+    case NatFiltering::kAddressDependent:
+      for (const auto& [ep, last] : sessions) {
+        if (ep.ip == remote.ip && now - last < session_timeout) {
+          return true;
+        }
+      }
+      return false;
+    case NatFiltering::kAddressAndPortDependent: {
+      auto it = sessions.find(remote);
+      return it != sessions.end() && now - it->second < session_timeout;
+    }
+  }
+  return false;
+}
+
+SimTime NatTable::Entry::NewestActivity() const {
+  SimTime newest;
+  for (const auto& [ep, last] : sessions) {
+    newest = std::max(newest, last);
+  }
+  return newest;
+}
+
+NatTable::NatTable(NatMapping mapping, NatPortAllocation allocation, uint16_t port_base, Rng rng,
+                   bool symmetric_on_contention)
+    : mapping_(mapping),
+      allocation_(allocation),
+      symmetric_on_contention_(symmetric_on_contention),
+      port_base_(port_base),
+      next_port_udp_(port_base),
+      next_port_tcp_(port_base),
+      rng_(rng) {}
+
+NatMapping NatTable::EffectiveMapping(IpProtocol protocol, const Endpoint& private_ep) const {
+  if (symmetric_on_contention_) {
+    auto it = port_users_.find(PortKey{protocol, private_ep.port});
+    if (it != port_users_.end() && it->second.size() > 1) {
+      return NatMapping::kAddressAndPortDependent;
+    }
+  }
+  return mapping_;
+}
+
+NatTable::OutKey NatTable::MakeOutKey(IpProtocol protocol, const Endpoint& private_ep,
+                                      const Endpoint& remote, NatMapping mapping) const {
+  OutKey key{protocol, private_ep, Ipv4Address(), 0};
+  switch (mapping) {
+    case NatMapping::kEndpointIndependent:
+      break;
+    case NatMapping::kAddressDependent:
+      key.remote_ip = remote.ip;
+      break;
+    case NatMapping::kAddressAndPortDependent:
+      key.remote_ip = remote.ip;
+      key.remote_port = remote.port;
+      break;
+  }
+  return key;
+}
+
+bool NatTable::PortFree(IpProtocol protocol, uint16_t port) const {
+  return by_port_.count(PortKey{protocol, port}) == 0;
+}
+
+uint16_t NatTable::AllocatePort(IpProtocol protocol, uint16_t private_port) {
+  if (allocation_ == NatPortAllocation::kPortPreserving && private_port != 0 &&
+      PortFree(protocol, private_port)) {
+    return private_port;
+  }
+  if (allocation_ == NatPortAllocation::kRandom) {
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      const uint16_t port = static_cast<uint16_t>(
+          port_base_ + rng_.NextBelow(static_cast<uint64_t>(65536 - port_base_)));
+      if (PortFree(protocol, port)) {
+        return port;
+      }
+    }
+    return 0;
+  }
+  // Sequential (also the port-preserving fallback). Wraps within
+  // [port_base_, 65535].
+  uint16_t& next_port = protocol == IpProtocol::kTcp ? next_port_tcp_ : next_port_udp_;
+  const int pool = 65536 - port_base_;
+  for (int attempt = 0; attempt < pool; ++attempt) {
+    const uint16_t port = next_port;
+    next_port = next_port >= 65535 ? port_base_ : static_cast<uint16_t>(next_port + 1);
+    if (PortFree(protocol, port)) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+NatTable::Entry* NatTable::MapOutbound(IpProtocol protocol, const Endpoint& private_ep,
+                                       const Endpoint& remote, SimTime now) {
+  port_users_[PortKey{protocol, private_ep.port}].insert(private_ep.ip);
+  const OutKey key =
+      MakeOutKey(protocol, private_ep, remote, EffectiveMapping(protocol, private_ep));
+  auto it = by_out_.find(key);
+  if (it == by_out_.end()) {
+    const uint16_t port = AllocatePort(protocol, private_ep.port);
+    if (port == 0) {
+      return nullptr;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->protocol = protocol;
+    entry->private_ep = private_ep;
+    entry->public_port = port;
+    Entry* raw = entry.get();
+    by_port_[PortKey{protocol, port}] = raw;
+    it = by_out_.emplace(key, std::move(entry)).first;
+  }
+  Entry* entry = it->second.get();
+  entry->Refresh(remote, now);
+  return entry;
+}
+
+NatTable::Entry* NatTable::FindOutbound(IpProtocol protocol, const Endpoint& private_ep,
+                                        const Endpoint& remote) {
+  auto it = by_out_.find(
+      MakeOutKey(protocol, private_ep, remote, EffectiveMapping(protocol, private_ep)));
+  return it == by_out_.end() ? nullptr : it->second.get();
+}
+
+NatTable::Entry* NatTable::FindByPublicPort(IpProtocol protocol, uint16_t public_port) {
+  auto it = by_port_.find(PortKey{protocol, public_port});
+  return it == by_port_.end() ? nullptr : it->second;
+}
+
+bool NatTable::AllowsInbound(const Entry& entry, NatFiltering filtering, const Endpoint& remote,
+                             SimTime now, SimDuration session_timeout) const {
+  if (filtering == NatFiltering::kEndpointIndependent) {
+    return true;
+  }
+  for (const auto& [key, other] : by_port_) {
+    if (key.protocol != entry.protocol || other->private_ep != entry.private_ep) {
+      continue;
+    }
+    if (other->AllowsInbound(filtering, remote, now, session_timeout)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NatTable::Entry* NatTable::FindByPrivateEndpoint(IpProtocol protocol,
+                                                 const Endpoint& private_ep) {
+  for (auto& [key, entry] : by_port_) {
+    if (key.protocol == protocol && entry->private_ep == private_ep) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
+size_t NatTable::Expire(SimTime now, const Timeouts& timeouts) {
+  size_t expired = 0;
+  for (auto it = by_out_.begin(); it != by_out_.end();) {
+    Entry& entry = *it->second;
+    SimDuration limit = timeouts.udp;
+    if (entry.protocol == IpProtocol::kTcp) {
+      limit = (entry.tcp_established && !entry.tcp_closing) ? timeouts.tcp_established
+                                                            : timeouts.tcp_transitory;
+    }
+    // Per-session timers first (§3.6), then the mapping itself once every
+    // session is gone.
+    for (auto session = entry.sessions.begin(); session != entry.sessions.end();) {
+      if (now - session->second >= limit) {
+        session = entry.sessions.erase(session);
+      } else {
+        ++session;
+      }
+    }
+    if (entry.sessions.empty()) {
+      by_port_.erase(PortKey{entry.protocol, entry.public_port});
+      it = by_out_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace natpunch

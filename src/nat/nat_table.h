@@ -1,0 +1,153 @@
+// The NAPT translation table.
+//
+// A mapping associates one private session endpoint (plus, for symmetric
+// NATs, the remote destination) with one public port on the NAT. The table
+// keeps two indexes: an outbound key (shaped by the mapping behavior) and
+// the public port for inbound lookups. Filtering state — which remote
+// endpoints the private host has contacted through each mapping — lives on
+// the entry, because filtering is evaluated per mapping regardless of the
+// mapping behavior that created it.
+
+#ifndef SRC_NAT_NAT_TABLE_H_
+#define SRC_NAT_NAT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/nat/nat_config.h"
+#include "src/netsim/address.h"
+#include "src/netsim/packet.h"
+#include "src/netsim/sim_time.h"
+#include "src/util/rng.h"
+
+namespace natpunch {
+
+class NatTable {
+ public:
+  struct Entry {
+    IpProtocol protocol = IpProtocol::kUdp;
+    Endpoint private_ep;
+    uint16_t public_port = 0;
+    SimTime last_refresh;
+
+    // Per-session activity (§3.6: "many NATs associate UDP idle timers with
+    // individual UDP sessions defined by a particular pair of endpoints, so
+    // sending keep-alives on one session will not keep other sessions
+    // active"). Keyed by remote endpoint; also the filtering state.
+    std::map<Endpoint, SimTime> sessions;
+
+    // TCP lifetime tracking (§4: "the TCP state machine gives NATs a
+    // standard way to determine the precise lifetime of a session").
+    bool tcp_inbound_seen = false;
+    bool tcp_established = false;
+    bool tcp_closing = false;
+
+    // Does the filtering policy admit inbound traffic from `remote`, given
+    // that sessions idle past `session_timeout` no longer count?
+    bool AllowsInbound(NatFiltering filtering, const Endpoint& remote, SimTime now,
+                       SimDuration session_timeout) const;
+
+    SimTime NewestActivity() const;
+    void Refresh(const Endpoint& remote, SimTime now) {
+      sessions[remote] = now;
+      last_refresh = now;
+    }
+  };
+
+  NatTable(NatMapping mapping, NatPortAllocation allocation, uint16_t port_base, Rng rng,
+           bool symmetric_on_contention = false);
+
+  // Outbound: find or create the mapping for (private_ep -> remote),
+  // refresh it, and record the remote for filtering. Returns nullptr only
+  // when the port pool is exhausted.
+  Entry* MapOutbound(IpProtocol protocol, const Endpoint& private_ep, const Endpoint& remote,
+                     SimTime now);
+
+  // Outbound lookup without creating or refreshing.
+  Entry* FindOutbound(IpProtocol protocol, const Endpoint& private_ep, const Endpoint& remote);
+
+  // Inbound: lookup by the public port the packet was addressed to.
+  Entry* FindByPublicPort(IpProtocol protocol, uint16_t public_port);
+
+  // Reverse lookup by private endpoint (linear; used only for translating
+  // outbound ICMP error quotations).
+  Entry* FindByPrivateEndpoint(IpProtocol protocol, const Endpoint& private_ep);
+
+  // Filtering decision per RFC 4787 semantics: the filter state belongs to
+  // the *internal endpoint*, so the remote is checked against the union of
+  // fresh sessions across every mapping of entry.private_ep. (For a cone
+  // NAT that union is one entry; for symmetric mappings it spans them.)
+  bool AllowsInbound(const Entry& entry, NatFiltering filtering, const Endpoint& remote,
+                     SimTime now, SimDuration session_timeout) const;
+
+  // Remove entries idle past their class timeout. Returns how many expired.
+  struct Timeouts {
+    SimDuration udp;
+    SimDuration tcp_established;
+    SimDuration tcp_transitory;
+  };
+  size_t Expire(SimTime now, const Timeouts& timeouts);
+
+  size_t size() const { return by_port_.size(); }
+
+  // Drop all state (failure injection: a NAT reboot).
+  void Clear() {
+    by_out_.clear();
+    by_port_.clear();
+    port_users_.clear();
+  }
+
+  // The port the sequential allocator would hand out next; exposed because
+  // the port-prediction variant (§5.1) literally exploits this.
+  uint16_t next_sequential_port(IpProtocol protocol) const {
+    return protocol == IpProtocol::kTcp ? next_port_tcp_ : next_port_udp_;
+  }
+
+ private:
+  struct OutKey {
+    IpProtocol protocol;
+    Endpoint private_ep;
+    // Zeroed unless the mapping behavior depends on them.
+    Ipv4Address remote_ip;
+    uint16_t remote_port;
+
+    auto operator<=>(const OutKey&) const = default;
+  };
+  struct PortKey {
+    IpProtocol protocol;
+    uint16_t port;
+
+    auto operator<=>(const PortKey&) const = default;
+  };
+
+  // Mapping behavior currently in force for this private endpoint: the
+  // configured one, unless §6.3 port contention demoted it to symmetric.
+  NatMapping EffectiveMapping(IpProtocol protocol, const Endpoint& private_ep) const;
+  OutKey MakeOutKey(IpProtocol protocol, const Endpoint& private_ep, const Endpoint& remote,
+                    NatMapping mapping) const;
+  // 0 on pool exhaustion.
+  uint16_t AllocatePort(IpProtocol protocol, uint16_t private_port);
+  bool PortFree(IpProtocol protocol, uint16_t port) const;
+
+  NatMapping mapping_;
+  NatPortAllocation allocation_;
+  bool symmetric_on_contention_;
+  // Which inside hosts are using each private port (contention tracking).
+  std::map<PortKey, std::set<Ipv4Address>> port_users_;
+  uint16_t port_base_;
+  // Independent sequential counters per transport protocol, matching real
+  // NATs whose UDP and TCP port pools are disjoint.
+  uint16_t next_port_udp_;
+  uint16_t next_port_tcp_;
+  Rng rng_;
+
+  std::map<OutKey, std::unique_ptr<Entry>> by_out_;
+  std::map<PortKey, Entry*> by_port_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NAT_NAT_TABLE_H_

@@ -1,0 +1,44 @@
+#include "src/natcheck/messages.h"
+
+namespace natpunch {
+namespace {
+constexpr uint8_t kMagic = 0x4e;  // 'N'
+}  // namespace
+
+Bytes EncodeNcMessage(const NcMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(kMagic);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU64(msg.session);
+  w.WriteU8(msg.server_index);
+  // NOTE: plain, unobfuscated address bytes — see header comment.
+  w.WriteU32(msg.observed.ip.bits());
+  w.WriteU16(msg.observed.port);
+  w.WriteU8(static_cast<uint8_t>(msg.verdict));
+  return w.Take();
+}
+
+std::optional<NcMessage> DecodeNcMessage(const Bytes& data) {
+  ByteReader r(data);
+  if (r.ReadU8() != kMagic) {
+    return std::nullopt;
+  }
+  NcMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(NcMsgType::kUdpPing) ||
+      type > static_cast<uint8_t>(NcMsgType::kTcpHairpinReply)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<NcMsgType>(type);
+  msg.session = r.ReadU64();
+  msg.server_index = r.ReadU8();
+  msg.observed.ip = Ipv4Address(r.ReadU32());
+  msg.observed.port = r.ReadU16();
+  msg.verdict = static_cast<NcProbeVerdict>(r.ReadU8());
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,128 @@
+#include "src/netsim/address.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace natpunch {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  uint32_t octets[4];
+  int index = 0;
+  uint32_t current = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<uint32_t>(c - '0');
+      if (current > 255) {
+        return std::nullopt;
+      }
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || index >= 3) {
+        return std::nullopt;
+      }
+      octets[index++] = current;
+      current = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || index != 3) {
+    return std::nullopt;
+  }
+  octets[3] = current;
+  return FromOctets(static_cast<uint8_t>(octets[0]), static_cast<uint8_t>(octets[1]),
+                    static_cast<uint8_t>(octets[2]), static_cast<uint8_t>(octets[3]));
+}
+
+bool Ipv4Address::IsPrivate() const {
+  const uint32_t b = bits_;
+  if ((b >> 24) == 10) {
+    return true;
+  }
+  if ((b >> 20) == ((172u << 4) | 1)) {  // 172.16.0.0/12
+    return true;
+  }
+  if ((b >> 16) == ((192u << 8) | 168)) {  // 192.168.0.0/16
+    return true;
+  }
+  return false;
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bits_ >> 24, (bits_ >> 16) & 0xff,
+                (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::ToString() const {
+  return ip.ToString() + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> Endpoint::Parse(std::string_view text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto ip = Ipv4Address::Parse(text.substr(0, colon));
+  if (!ip) {
+    return std::nullopt;
+  }
+  uint32_t port = 0;
+  const std::string_view port_text = text.substr(colon + 1);
+  if (port_text.empty()) {
+    return std::nullopt;
+  }
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) {
+      return std::nullopt;
+    }
+  }
+  return Endpoint(*ip, static_cast<uint16_t>(port));
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) {
+  const size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto base = Ipv4Address::Parse(text.substr(0, slash));
+  if (!base) {
+    return std::nullopt;
+  }
+  int length = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) {
+    return std::nullopt;
+  }
+  for (char c : len_text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    length = length * 10 + (c - '0');
+  }
+  if (length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*base, length);
+}
+
+bool Ipv4Prefix::Contains(Ipv4Address addr) const {
+  if (length == 0) {
+    return true;
+  }
+  const uint32_t mask = length >= 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1);
+  return (addr.bits() & mask) == (base.bits() & mask);
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return base.ToString() + "/" + std::to_string(length);
+}
+
+}  // namespace natpunch

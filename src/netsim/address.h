@@ -1,0 +1,83 @@
+// IPv4 addresses, endpoints (address:port pairs), and prefixes.
+//
+// A session endpoint in the paper's terminology (§2.1) is an (IP address,
+// port) pair; `Endpoint` is that type and is used uniformly by the socket
+// API, the NAT translation tables, and the rendezvous wire protocol.
+
+#ifndef SRC_NETSIM_ADDRESS_H_
+#define SRC_NETSIM_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace natpunch {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() : bits_(0) {}
+  constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+
+  static constexpr Ipv4Address FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return Ipv4Address(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+                       static_cast<uint32_t>(c) << 8 | static_cast<uint32_t>(d));
+  }
+  // Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  constexpr uint32_t bits() const { return bits_; }
+  constexpr bool IsUnspecified() const { return bits_ == 0; }
+
+  // True for RFC 1918 space (10/8, 172.16/12, 192.168/16). NATs and the
+  // global "internet" LAN use this to drop leaked private destinations.
+  bool IsPrivate() const;
+
+  // Bitwise complement, the obfuscation the paper recommends (§3.1, §5.3)
+  // to defeat NATs that blindly rewrite address-like payload bytes.
+  constexpr Ipv4Address Complement() const { return Ipv4Address(~bits_); }
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t bits_;
+};
+
+struct Endpoint {
+  Ipv4Address ip;
+  uint16_t port = 0;
+
+  constexpr Endpoint() = default;
+  constexpr Endpoint(Ipv4Address ip_in, uint16_t port_in) : ip(ip_in), port(port_in) {}
+
+  constexpr bool IsUnspecified() const { return ip.IsUnspecified() && port == 0; }
+  std::string ToString() const;
+  static std::optional<Endpoint> Parse(std::string_view text);  // "a.b.c.d:port"
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+struct Ipv4Prefix {
+  Ipv4Address base;
+  int length = 0;  // 0..32
+
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Address base_in, int length_in) : base(base_in), length(length_in) {}
+  static std::optional<Ipv4Prefix> Parse(std::string_view text);  // "a.b.c.d/len"
+
+  bool Contains(Ipv4Address addr) const;
+  std::string ToString() const;
+};
+
+struct EndpointHash {
+  size_t operator()(const Endpoint& e) const {
+    return std::hash<uint64_t>()(static_cast<uint64_t>(e.ip.bits()) << 16 | e.port);
+  }
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_ADDRESS_H_

@@ -1,0 +1,59 @@
+#include "src/netsim/event_loop.h"
+
+#include <algorithm>
+
+namespace natpunch {
+
+EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
+  const int64_t t = std::max(at.micros(), now_.micros());
+  const EventId id = next_id_++;
+  const Key key{t, id};
+  queue_.emplace(key, std::move(fn));
+  index_.emplace(id, key);
+  return id;
+}
+
+EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto it = queue_.begin();
+  now_ = SimTime(it->first.first);
+  auto fn = std::move(it->second);
+  index_.erase(it->first.second);
+  queue_.erase(it);
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void EventLoop::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline.micros()) {
+    RunOne();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+size_t EventLoop::RunUntilIdle(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,70 @@
+// Deterministic discrete-event scheduler.
+//
+// Events fire in strict (time, insertion-sequence) order, so two events
+// scheduled for the same instant run in the order they were scheduled. This
+// determinism is load-bearing: the hole-punching experiments depend on
+// reproducing exact packet interleavings (e.g. whether A's SYN reaches B's
+// NAT before B's SYN leaves it).
+
+#ifndef SRC_NETSIM_EVENT_LOOP_H_
+#define SRC_NETSIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "src/netsim/sim_time.h"
+
+namespace natpunch {
+
+class EventLoop {
+ public:
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEventId = 0;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (clamped to now).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  // Schedule `fn` to run `delay` from now.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancel a pending event. Returns true if it was still pending.
+  bool Cancel(EventId id);
+
+  // Run the single earliest pending event, advancing the clock to it.
+  // Returns false if no events are pending.
+  bool RunOne();
+
+  // Run all events with time <= deadline, then set the clock to deadline.
+  void RunUntil(SimTime deadline);
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  // Run until the queue drains or `max_events` have fired. Returns the
+  // number of events processed. A cap guards against runaway feedback loops
+  // (e.g. two misconfigured nodes ping-ponging a packet forever).
+  size_t RunUntilIdle(size_t max_events = 10'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending_count() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  using Key = std::pair<int64_t, EventId>;  // (time micros, sequence)
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+  std::unordered_map<EventId, Key> index_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_EVENT_LOOP_H_

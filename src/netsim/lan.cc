@@ -1,0 +1,83 @@
+#include "src/netsim/lan.h"
+
+#include <algorithm>
+
+#include "src/netsim/network.h"
+#include "src/netsim/node.h"
+
+namespace natpunch {
+
+Lan::Lan(Network* network, std::string name, LanConfig config)
+    : network_(network), name_(std::move(name)), config_(config) {}
+
+void Lan::Attach(Node* node, int iface, Ipv4Address ip) {
+  attachments_.push_back(Attachment{node, iface, ip});
+}
+
+bool Lan::HasAddress(Ipv4Address ip) const {
+  for (const auto& a : attachments_) {
+    if (a.ip == ip) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
+  ++packets_;
+  bytes_ += packet.WireSize();
+
+  if (config_.loss > 0.0 && network_->rng().NextBool(config_.loss)) {
+    network_->trace().Record(network_->now(), name_, TraceEvent::kDropLoss, packet);
+    return;
+  }
+
+  const Attachment* target = nullptr;
+  for (const auto& a : attachments_) {
+    if (a.ip == next_hop && a.node != sender) {
+      target = &a;
+      break;
+    }
+  }
+  // A node may legitimately address itself (loopback-style); allow it when
+  // no other attachment matches.
+  if (target == nullptr) {
+    for (const auto& a : attachments_) {
+      if (a.ip == next_hop) {
+        target = &a;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    const TraceEvent event = (config_.is_global && packet.dst_ip.IsPrivate())
+                                 ? TraceEvent::kDropPrivateLeak
+                                 : TraceEvent::kDropNoNextHop;
+    network_->trace().Record(network_->now(), name_, event, packet,
+                             "next_hop=" + next_hop.ToString());
+    return;
+  }
+
+  SimDuration delay = config_.latency;
+  if (config_.jitter.micros() > 0) {
+    delay = delay + Micros(network_->rng().NextInRange(0, config_.jitter.micros()));
+  }
+  if (config_.bandwidth_bps > 0) {
+    // Serialization on a shared medium: wait for the segment to go idle,
+    // then occupy it for the frame's transmission time.
+    const double tx_seconds = static_cast<double>(packet.WireSize()) * 8 / config_.bandwidth_bps;
+    const SimDuration tx_time = Micros(static_cast<int64_t>(tx_seconds * 1e6));
+    const SimTime start = std::max(network_->now(), medium_free_at_);
+    medium_free_at_ = start + tx_time;
+    delay = delay + (medium_free_at_ - network_->now());
+  }
+
+  Node* node = target->node;
+  const int iface = target->iface;
+  network_->event_loop().ScheduleAfter(delay, [this, node, iface, packet = std::move(packet)] {
+    network_->trace().Record(network_->now(), node->name(), TraceEvent::kDeliver, packet);
+    node->HandlePacket(iface, packet);
+  });
+}
+
+}  // namespace natpunch

@@ -1,0 +1,76 @@
+// A Lan is one broadcast domain / address realm segment.
+//
+// The paper's Figure 1 topology maps directly: each private network is a Lan,
+// and the "main" global realm is a Lan with is_global set (which additionally
+// drops leaked RFC 1918 destinations, as real inter-domain routing would).
+// Latency, jitter, and loss are per-Lan so experiments can, e.g., make one
+// client's access link slower to control which SYN arrives first.
+
+#ifndef SRC_NETSIM_LAN_H_
+#define SRC_NETSIM_LAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netsim/address.h"
+#include "src/netsim/packet.h"
+#include "src/netsim/sim_time.h"
+
+namespace natpunch {
+
+class Network;
+class Node;
+
+struct LanConfig {
+  SimDuration latency = Millis(5);     // one-way propagation delay
+  SimDuration jitter = Micros(0);      // extra uniform delay in [0, jitter]
+  double loss = 0.0;                // independent per-packet loss probability
+  // Shared-medium capacity in bits/s; 0 = infinite. Packets serialize one
+  // at a time, so a saturated segment queues (and delays) everything on it.
+  double bandwidth_bps = 0.0;
+  bool is_global = false;  // the public Internet realm
+};
+
+class Lan {
+ public:
+  Lan(Network* network, std::string name, LanConfig config);
+
+  Lan(const Lan&) = delete;
+  Lan& operator=(const Lan&) = delete;
+
+  const std::string& name() const { return name_; }
+  const LanConfig& config() const { return config_; }
+  void set_config(const LanConfig& config) { config_ = config; }
+
+  // Registered by Node::AttachTo.
+  void Attach(Node* node, int iface, Ipv4Address ip);
+
+  bool HasAddress(Ipv4Address ip) const;
+
+  // Emit `packet` toward `next_hop` on this segment. Applies loss and delay,
+  // then delivers to the attachment owning next_hop, if any.
+  void Transmit(Node* sender, Ipv4Address next_hop, Packet packet);
+
+  uint64_t packets_transmitted() const { return packets_; }
+  uint64_t bytes_transmitted() const { return bytes_; }
+
+ private:
+  struct Attachment {
+    Node* node;
+    int iface;
+    Ipv4Address ip;
+  };
+
+  Network* network_;
+  std::string name_;
+  LanConfig config_;
+  std::vector<Attachment> attachments_;
+  SimTime medium_free_at_;  // when the shared medium finishes its last frame
+  uint64_t packets_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_LAN_H_

@@ -1,0 +1,18 @@
+#include "src/netsim/network.h"
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+Network::Network(uint64_t seed) : rng_(seed) {
+  SetLogTimeSource([this] { return loop_.now().micros(); });
+}
+
+Network::~Network() { SetLogTimeSource(nullptr); }
+
+Lan* Network::CreateLan(std::string name, LanConfig config) {
+  lans_.push_back(std::make_unique<Lan>(this, std::move(name), config));
+  return lans_.back().get();
+}
+
+}  // namespace natpunch

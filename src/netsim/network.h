@@ -1,0 +1,69 @@
+// Network: the root object owning the event loop, RNG, trace recorder, and
+// every Lan and Node in a simulation.
+//
+// Typical use:
+//   Network net(/*seed=*/42);
+//   Lan* internet = net.CreateLan("internet", {.latency = Millis(20), .is_global = true});
+//   auto* host = net.Create<Host>("A");
+//   host->AttachTo(internet, Ipv4Address::FromOctets(18, 181, 0, 31));
+//   net.RunFor(Seconds(5));
+
+#ifndef SRC_NETSIM_NETWORK_H_
+#define SRC_NETSIM_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/netsim/event_loop.h"
+#include "src/netsim/lan.h"
+#include "src/netsim/node.h"
+#include "src/netsim/trace.h"
+#include "src/util/rng.h"
+
+namespace natpunch {
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop& event_loop() { return loop_; }
+  SimTime now() const { return loop_.now(); }
+  Rng& rng() { return rng_; }
+  TraceRecorder& trace() { return trace_; }
+
+  Lan* CreateLan(std::string name, LanConfig config = LanConfig{});
+
+  // Construct a node of type T (constructor signature T(Network*, args...))
+  // owned by this Network.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    auto node = std::make_unique<T>(this, std::forward<Args>(args)...);
+    T* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  uint64_t NextPacketId() { return next_packet_id_++; }
+
+  void RunFor(SimDuration d) { loop_.RunFor(d); }
+  void RunUntil(SimTime t) { loop_.RunUntil(t); }
+  size_t RunUntilIdle(size_t max_events = 10'000'000) { return loop_.RunUntilIdle(max_events); }
+
+ private:
+  EventLoop loop_;
+  Rng rng_;
+  TraceRecorder trace_;
+  std::vector<std::unique_ptr<Lan>> lans_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_NETWORK_H_

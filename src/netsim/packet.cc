@@ -1,0 +1,65 @@
+#include "src/netsim/packet.h"
+
+namespace natpunch {
+
+std::string_view IpProtocolName(IpProtocol p) {
+  switch (p) {
+    case IpProtocol::kUdp:
+      return "UDP";
+    case IpProtocol::kTcp:
+      return "TCP";
+    case IpProtocol::kIcmp:
+      return "ICMP";
+  }
+  return "?";
+}
+
+std::string TcpHeader::FlagsString() const {
+  std::string out;
+  if (syn) {
+    out += "SYN,";
+  }
+  if (ack) {
+    out += "ACK,";
+  }
+  if (fin) {
+    out += "FIN,";
+  }
+  if (rst) {
+    out += "RST,";
+  }
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+size_t Packet::WireSize() const {
+  constexpr size_t kIpHeader = 20;
+  size_t transport = 8;  // UDP / ICMP
+  if (protocol == IpProtocol::kTcp) {
+    transport = 20;
+  }
+  return kIpHeader + transport + payload.size();
+}
+
+std::string Packet::Summary() const {
+  std::string out(IpProtocolName(protocol));
+  out += " " + src().ToString() + " -> " + dst().ToString();
+  if (protocol == IpProtocol::kTcp) {
+    out += " [" + tcp.FlagsString() + "]";
+    out += " seq=" + std::to_string(tcp.seq);
+    if (tcp.ack) {
+      out += " ack=" + std::to_string(tcp.ack_seq);
+    }
+  }
+  if (protocol == IpProtocol::kIcmp) {
+    out += " code=" + std::to_string(icmp.code);
+  }
+  if (!payload.empty()) {
+    out += " len=" + std::to_string(payload.size());
+  }
+  return out;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,26 @@
+#include "src/netsim/sim_time.h"
+
+#include <cstdio>
+
+namespace natpunch {
+
+std::string SimDuration::ToString() const {
+  char buf[32];
+  if (micros_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(micros_ / 1000000));
+  } else if (micros_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(micros_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds", static_cast<long long>(micros_ / 1000000),
+                static_cast<long long>(micros_ % 1000000));
+  return buf;
+}
+
+}  // namespace natpunch

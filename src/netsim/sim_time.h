@@ -1,0 +1,63 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol timing in this library (retransmission timers, NAT idle
+// timeouts, keep-alive intervals, hole punch retry delays) is expressed in
+// SimDuration and evaluated against the simulated clock, never the wall
+// clock. This is what makes the paper's timing races — SYNs crossing on the
+// wire, a first packet arriving before the far side has punched — exactly
+// reproducible and sweepable in benchmarks.
+
+#ifndef SRC_NETSIM_SIM_TIME_H_
+#define SRC_NETSIM_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace natpunch {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() : micros_(0) {}
+  constexpr explicit SimDuration(int64_t micros) : micros_(micros) {}
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr int64_t millis() const { return micros_ / 1000; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(micros_ + o.micros_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(micros_ - o.micros_); }
+  constexpr SimDuration operator*(int64_t k) const { return SimDuration(micros_ * k); }
+  constexpr SimDuration operator/(int64_t k) const { return SimDuration(micros_ / k); }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t micros_;
+};
+
+constexpr SimDuration Micros(int64_t n) { return SimDuration(n); }
+constexpr SimDuration Millis(int64_t n) { return SimDuration(n * 1000); }
+constexpr SimDuration Seconds(int64_t n) { return SimDuration(n * 1000000); }
+
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  constexpr int64_t micros() const { return micros_; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(micros_ + d.micros()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(micros_ - d.micros()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(micros_ - o.micros_); }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t micros_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_SIM_TIME_H_

@@ -1,0 +1,91 @@
+#include "src/netsim/trace.h"
+
+namespace natpunch {
+
+std::string_view TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kSend:
+      return "SEND";
+    case TraceEvent::kDeliver:
+      return "DELIVER";
+    case TraceEvent::kForward:
+      return "FORWARD";
+    case TraceEvent::kDropLoss:
+      return "DROP_LOSS";
+    case TraceEvent::kDropNoRoute:
+      return "DROP_NO_ROUTE";
+    case TraceEvent::kDropNoNextHop:
+      return "DROP_NO_NEXT_HOP";
+    case TraceEvent::kDropTtl:
+      return "DROP_TTL";
+    case TraceEvent::kDropPrivateLeak:
+      return "DROP_PRIVATE_LEAK";
+    case TraceEvent::kNatTranslateOut:
+      return "NAT_OUT";
+    case TraceEvent::kNatTranslateIn:
+      return "NAT_IN";
+    case TraceEvent::kNatHairpin:
+      return "NAT_HAIRPIN";
+    case TraceEvent::kNatDropUnsolicited:
+      return "NAT_DROP_UNSOLICITED";
+    case TraceEvent::kNatRejectRst:
+      return "NAT_REJECT_RST";
+    case TraceEvent::kNatRejectIcmp:
+      return "NAT_REJECT_ICMP";
+    case TraceEvent::kNatDropNoMapping:
+      return "NAT_DROP_NO_MAPPING";
+    case TraceEvent::kNatPayloadRewrite:
+      return "NAT_PAYLOAD_REWRITE";
+  }
+  return "?";
+}
+
+std::string TraceRecord::ToString() const {
+  std::string out = time.ToString() + " " + node + " " + std::string(TraceEventName(event)) + " " +
+                    std::string(IpProtocolName(protocol)) + " " + src.ToString() + "->" +
+                    dst.ToString() + " #" + std::to_string(packet_id);
+  if (!detail.empty()) {
+    out += " (" + detail + ")";
+  }
+  return out;
+}
+
+void TraceRecorder::Record(SimTime time, const std::string& node, TraceEvent event,
+                           const Packet& packet, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  records_.push_back(TraceRecord{time, node, event, packet.id, packet.protocol, packet.src(),
+                                 packet.dst(), std::move(detail)});
+}
+
+size_t TraceRecorder::Count(TraceEvent event) const {
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t TraceRecorder::Count(TraceEvent event, const std::string& node) const {
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event && r.node == node) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TraceRecorder::Dump() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,80 @@
+// Packet-level trace capture.
+//
+// Every hop (send, deliver, drop, NAT translation) can be recorded with the
+// reason, which lets tests assert statements from the paper directly — e.g.
+// "B's NAT dropped A's first SYN as unsolicited" or "NAT C hairpinned the
+// datagram back inside". Disabled by default; recording costs nothing when
+// off.
+
+#ifndef SRC_NETSIM_TRACE_H_
+#define SRC_NETSIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netsim/packet.h"
+#include "src/netsim/sim_time.h"
+
+namespace natpunch {
+
+enum class TraceEvent {
+  kSend,                // node emitted a packet onto a LAN
+  kDeliver,             // packet handed to a node's protocol stack
+  kForward,             // router/NAT re-emitted a packet
+  kDropLoss,            // random link loss
+  kDropNoRoute,         // no routing table entry
+  kDropNoNextHop,       // next hop not present on the LAN (no "ARP" answer)
+  kDropTtl,             // TTL expired
+  kDropPrivateLeak,     // private address routed onto the global realm
+  kNatTranslateOut,     // NAT rewrote an outbound packet
+  kNatTranslateIn,      // NAT rewrote an inbound packet
+  kNatHairpin,          // NAT looped a packet back to the private side (§3.5)
+  kNatDropUnsolicited,  // NAT silently dropped unsolicited inbound (§5.2 good)
+  kNatRejectRst,        // NAT answered unsolicited SYN with RST (§5.2 bad)
+  kNatRejectIcmp,       // NAT answered unsolicited packet with ICMP (§5.2 bad)
+  kNatDropNoMapping,    // inbound with no matching translation
+  kNatPayloadRewrite,   // NAT blindly rewrote an address inside the payload (§5.3)
+};
+
+std::string_view TraceEventName(TraceEvent e);
+
+struct TraceRecord {
+  SimTime time;
+  std::string node;
+  TraceEvent event = TraceEvent::kSend;
+  uint64_t packet_id = 0;
+  IpProtocol protocol = IpProtocol::kUdp;
+  Endpoint src;
+  Endpoint dst;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+class TraceRecorder {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(SimTime time, const std::string& node, TraceEvent event, const Packet& packet,
+              std::string detail = "");
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // Number of records matching `event` (optionally restricted to a node).
+  size_t Count(TraceEvent event) const;
+  size_t Count(TraceEvent event, const std::string& node) const;
+
+  // Dump all records, one line each; handy in failing tests.
+  std::string Dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_NETSIM_TRACE_H_

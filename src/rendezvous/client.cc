@@ -1,0 +1,383 @@
+#include "src/rendezvous/client.h"
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+// ---------------------------------------------------------------------------
+// UdpRendezvousClient
+// ---------------------------------------------------------------------------
+
+UdpRendezvousClient::UdpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
+                                         RendezvousClientOptions options)
+    : host_(host), server_(server), client_id_(client_id), options_(options) {}
+
+void UdpRendezvousClient::SendToServer(const RendezvousMessage& msg) {
+  socket_->SendTo(server_, EncodeRendezvousMessage(msg, options_.obfuscate_addresses));
+}
+
+void UdpRendezvousClient::Register(uint16_t local_port, EndpointCallback cb) {
+  auto bound = host_->udp().Bind(local_port);
+  if (!bound.ok()) {
+    cb(bound.status());
+    return;
+  }
+  socket_ = *bound;
+  private_ep_ = Endpoint(host_->primary_address(), socket_->local_port());
+  socket_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnReceive(from, payload); });
+  register_cb_ = std::move(cb);
+  register_attempts_ = 0;
+
+  // UDP registration is fire-and-retry until kRegisterOk arrives.
+  auto send_register = [this]() {
+    RendezvousMessage msg;
+    msg.type = RvMsgType::kRegister;
+    msg.client_id = client_id_;
+    msg.private_ep = private_ep_;
+    SendToServer(msg);
+  };
+  send_register();
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, send_register, holder]() {
+    if (registered_ || !register_cb_) {
+      return;
+    }
+    if (++register_attempts_ >= options_.register_max_retries) {
+      auto callback = std::move(register_cb_);
+      register_cb_ = nullptr;
+      callback(Status(ErrorCode::kTimedOut, "registration timed out"));
+      return;
+    }
+    send_register();
+    register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval, *holder);
+  };
+  register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval, *holder);
+}
+
+void UdpRendezvousClient::OnReceive(const Endpoint& from, const Bytes& payload) {
+  if (from == server_) {
+    auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
+    if (msg) {
+      HandleServerMessage(*msg);
+      return;
+    }
+    // Undecodable traffic from the server endpoint falls through as peer
+    // traffic (it could be a punch probe from a peer behind the same
+    // address in a hairpin scenario — unlikely but harmless).
+  }
+  if (peer_traffic_handler_) {
+    peer_traffic_handler_(from, payload);
+  }
+}
+
+void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
+  switch (msg.type) {
+    case RvMsgType::kRegisterOk: {
+      public_ep_ = msg.public_ep;
+      registered_ = true;
+      if (register_retry_event_ != EventLoop::kInvalidEventId) {
+        host_->loop().Cancel(register_retry_event_);
+        register_retry_event_ = EventLoop::kInvalidEventId;
+      }
+      if (register_cb_) {
+        auto cb = std::move(register_cb_);
+        register_cb_ = nullptr;
+        cb(public_ep_);
+      }
+      return;
+    }
+    case RvMsgType::kConnectAck: {
+      auto it = pending_requests_.find(msg.client_id);
+      if (it == pending_requests_.end()) {
+        return;
+      }
+      if (it->second.retry_event != EventLoop::kInvalidEventId) {
+        host_->loop().Cancel(it->second.retry_event);
+      }
+      auto cb = std::move(it->second.cb);
+      pending_requests_.erase(it);
+      cb(msg);
+      return;
+    }
+    case RvMsgType::kConnectError: {
+      auto it = pending_requests_.find(msg.target_id);
+      if (it == pending_requests_.end()) {
+        return;
+      }
+      if (it->second.retry_event != EventLoop::kInvalidEventId) {
+        host_->loop().Cancel(it->second.retry_event);
+      }
+      auto cb = std::move(it->second.cb);
+      pending_requests_.erase(it);
+      cb(Status(ErrorCode::kHostUnreachable, "peer not registered"));
+      return;
+    }
+    case RvMsgType::kConnectForward: {
+      auto handler = connect_forward_handlers_.find(msg.strategy);
+      if (handler != connect_forward_handlers_.end() && handler->second) {
+        handler->second(msg);
+      }
+      return;
+    }
+    case RvMsgType::kRelayForward:
+      if (relay_handler_) {
+        relay_handler_(msg.client_id, msg.payload);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void UdpRendezvousClient::RequestConnect(uint64_t peer_id, ConnectStrategy strategy,
+                                         uint64_t nonce,
+                                         std::function<void(Result<RendezvousMessage>)> cb,
+                                         Bytes payload) {
+  if (!registered_) {
+    cb(Status(ErrorCode::kNotConnected, "not registered"));
+    return;
+  }
+  PendingRequest& pending = pending_requests_[peer_id];
+  pending.cb = std::move(cb);
+  pending.attempts = 0;
+  pending.strategy = strategy;
+  pending.nonce = nonce;
+
+  auto send = [this, peer_id, strategy, nonce, payload = std::move(payload)]() {
+    RendezvousMessage msg;
+    msg.type = RvMsgType::kConnectRequest;
+    msg.client_id = client_id_;
+    msg.target_id = peer_id;
+    msg.strategy = strategy;
+    msg.nonce = nonce;
+    msg.payload = payload;
+    SendToServer(msg);
+  };
+  send();
+
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, peer_id, send, holder]() {
+    auto it = pending_requests_.find(peer_id);
+    if (it == pending_requests_.end()) {
+      return;
+    }
+    if (++it->second.attempts >= options_.request_max_retries) {
+      auto callback = std::move(it->second.cb);
+      pending_requests_.erase(it);
+      callback(Status(ErrorCode::kTimedOut, "connect request timed out"));
+      return;
+    }
+    send();
+    it->second.retry_event =
+        host_->loop().ScheduleAfter(options_.request_retry_interval, *holder);
+  };
+  pending.retry_event = host_->loop().ScheduleAfter(options_.request_retry_interval, *holder);
+}
+
+void UdpRendezvousClient::SendConnectRequest(uint64_t peer_id, ConnectStrategy strategy,
+                                             uint64_t nonce, Bytes payload) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kConnectRequest;
+  msg.client_id = client_id_;
+  msg.target_id = peer_id;
+  msg.strategy = strategy;
+  msg.nonce = nonce;
+  msg.payload = std::move(payload);
+  SendToServer(msg);
+}
+
+void UdpRendezvousClient::SendRelay(uint64_t to_id, Bytes payload) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kRelayData;
+  msg.client_id = client_id_;
+  msg.target_id = to_id;
+  msg.payload = std::move(payload);
+  SendToServer(msg);
+}
+
+void UdpRendezvousClient::StartKeepAlive(SimDuration interval) {
+  StopKeepAlive();
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, interval, holder]() {
+    RendezvousMessage msg;
+    msg.type = RvMsgType::kKeepAlive;
+    msg.client_id = client_id_;
+    SendToServer(msg);
+    keepalive_event_ = host_->loop().ScheduleAfter(interval, *holder);
+  };
+  keepalive_event_ = host_->loop().ScheduleAfter(interval, *holder);
+}
+
+void UdpRendezvousClient::StopKeepAlive() {
+  if (keepalive_event_ != EventLoop::kInvalidEventId) {
+    host_->loop().Cancel(keepalive_event_);
+    keepalive_event_ = EventLoop::kInvalidEventId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpRendezvousClient
+// ---------------------------------------------------------------------------
+
+TcpRendezvousClient::TcpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
+                                         RendezvousClientOptions options)
+    : host_(host), server_(server), client_id_(client_id), options_(options) {}
+
+void TcpRendezvousClient::SendToServer(const RendezvousMessage& msg) {
+  connection_->Send(
+      MessageFramer::Frame(EncodeRendezvousMessage(msg, options_.obfuscate_addresses)));
+}
+
+void TcpRendezvousClient::Connect(uint16_t local_port, EndpointCallback cb) {
+  DoConnect(local_port, std::move(cb));
+}
+
+void TcpRendezvousClient::DoConnect(uint16_t local_port, EndpointCallback cb) {
+  connection_ = host_->tcp().CreateSocket();
+  connection_->SetReuseAddr(true);
+  Status status = connection_->Bind(local_port);
+  if (!status.ok()) {
+    cb(status);
+    return;
+  }
+  local_port_ = connection_->local_port();
+  private_ep_ = Endpoint(host_->primary_address(), local_port_);
+  register_cb_ = std::move(cb);
+  connection_->SetDataCallback([this](const Bytes& data) { OnData(data); });
+  status = connection_->Connect(server_, [this](Status result) {
+    if (!result.ok()) {
+      registered_ = false;
+      if (register_cb_) {
+        auto callback = std::move(register_cb_);
+        register_cb_ = nullptr;
+        callback(result);
+      }
+      return;
+    }
+    RendezvousMessage msg;
+    msg.type = RvMsgType::kRegister;
+    msg.client_id = client_id_;
+    msg.private_ep = private_ep_;
+    SendToServer(msg);
+  });
+  if (!status.ok()) {
+    auto callback = std::move(register_cb_);
+    register_cb_ = nullptr;
+    callback(status);
+  }
+}
+
+void TcpRendezvousClient::OnData(const Bytes& data) {
+  for (const Bytes& body : framer_.Append(data)) {
+    auto msg = DecodeRendezvousMessage(body, options_.obfuscate_addresses);
+    if (msg) {
+      HandleServerMessage(*msg);
+    }
+  }
+}
+
+void TcpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
+  switch (msg.type) {
+    case RvMsgType::kRegisterOk: {
+      public_ep_ = msg.public_ep;
+      registered_ = true;
+      if (register_cb_) {
+        auto cb = std::move(register_cb_);
+        register_cb_ = nullptr;
+        cb(public_ep_);
+      }
+      return;
+    }
+    case RvMsgType::kConnectAck: {
+      auto it = pending_requests_.find(msg.client_id);
+      if (it == pending_requests_.end()) {
+        return;
+      }
+      auto cb = std::move(it->second);
+      pending_requests_.erase(it);
+      cb(msg);
+      return;
+    }
+    case RvMsgType::kConnectError: {
+      auto it = pending_requests_.find(msg.target_id);
+      if (it == pending_requests_.end()) {
+        return;
+      }
+      auto cb = std::move(it->second);
+      pending_requests_.erase(it);
+      cb(Status(ErrorCode::kHostUnreachable, "peer not registered"));
+      return;
+    }
+    case RvMsgType::kConnectForward: {
+      auto handler = connect_forward_handlers_.find(msg.strategy);
+      if (handler != connect_forward_handlers_.end() && handler->second) {
+        handler->second(msg);
+      }
+      return;
+    }
+    case RvMsgType::kSequentialReady:
+      if (sequential_ready_handler_) {
+        sequential_ready_handler_(msg);
+      }
+      return;
+    case RvMsgType::kRelayForward:
+      if (relay_handler_) {
+        relay_handler_(msg.client_id, msg.payload);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void TcpRendezvousClient::RequestConnect(uint64_t peer_id, ConnectStrategy strategy,
+                                         uint64_t nonce,
+                                         std::function<void(Result<RendezvousMessage>)> cb,
+                                         Bytes payload) {
+  if (!registered_) {
+    cb(Status(ErrorCode::kNotConnected, "not registered"));
+    return;
+  }
+  pending_requests_[peer_id] = std::move(cb);
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kConnectRequest;
+  msg.client_id = client_id_;
+  msg.target_id = peer_id;
+  msg.strategy = strategy;
+  msg.nonce = nonce;
+  msg.payload = std::move(payload);
+  SendToServer(msg);
+}
+
+void TcpRendezvousClient::SendRelay(uint64_t to_id, Bytes payload) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kRelayData;
+  msg.client_id = client_id_;
+  msg.target_id = to_id;
+  msg.payload = std::move(payload);
+  SendToServer(msg);
+}
+
+void TcpRendezvousClient::SendSequentialReady(uint64_t to_id, uint64_t nonce) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kSequentialReady;
+  msg.client_id = client_id_;
+  msg.target_id = to_id;
+  msg.nonce = nonce;
+  SendToServer(msg);
+}
+
+void TcpRendezvousClient::CloseConnection() {
+  if (connection_ != nullptr) {
+    connection_->Close();
+    registered_ = false;
+  }
+}
+
+void TcpRendezvousClient::Reconnect(EndpointCallback cb) {
+  framer_ = MessageFramer();
+  DoConnect(0, std::move(cb));
+}
+
+}  // namespace natpunch

@@ -1,0 +1,193 @@
+// Client-side rendezvous sessions.
+//
+// UdpRendezvousClient owns the single UDP socket the application will use
+// for *everything* — registration with S, punch probes, and the eventual
+// peer session — because reusing one local endpoint is what keeps the NAT
+// mapping consistent (§3.2, §5.1). Datagrams from the server endpoint are
+// rendezvous messages; anything else is handed to the peer-traffic handler.
+//
+// TcpRendezvousClient keeps a TCP connection to S from a fixed local port
+// with SO_REUSEADDR set, so additional sockets (listen + connects) can share
+// that port during TCP hole punching (§4.1, Fig. 7).
+
+#ifndef SRC_RENDEZVOUS_CLIENT_H_
+#define SRC_RENDEZVOUS_CLIENT_H_
+
+#include <functional>
+#include <map>
+
+#include "src/netsim/event_loop.h"
+#include "src/rendezvous/messages.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+
+struct RendezvousClientOptions {
+  bool obfuscate_addresses = false;
+  // UDP control messages are the client's own reliability layer; retry
+  // budgets are sized to survive heavy loss (30% loss -> ~0.4% give-up).
+  SimDuration register_retry_interval = Millis(500);
+  int register_max_retries = 10;
+  SimDuration request_retry_interval = Millis(500);
+  int request_max_retries = 10;
+};
+
+class UdpRendezvousClient {
+ public:
+  using EndpointCallback = std::function<void(Result<Endpoint>)>;
+  using MessageHandler = std::function<void(const RendezvousMessage&)>;
+  using RelayHandler = std::function<void(uint64_t from_id, const Bytes& payload)>;
+  using PeerTrafficHandler = std::function<void(const Endpoint& from, const Bytes& payload)>;
+
+  UdpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
+                      RendezvousClientOptions options = RendezvousClientOptions{});
+
+  // Bind `local_port` (0 = ephemeral) and register with S. The callback
+  // receives the public endpoint S observed.
+  void Register(uint16_t local_port, EndpointCallback cb);
+
+  // Ask S to introduce us to `peer_id`. The callback receives the
+  // kConnectAck carrying the peer's public and private endpoints. The
+  // optional payload rides along to the peer inside the kConnectForward
+  // (used by port prediction to carry the predicted endpoint).
+  void RequestConnect(uint64_t peer_id, ConnectStrategy strategy, uint64_t nonce,
+                      std::function<void(Result<RendezvousMessage>)> cb, Bytes payload = Bytes{});
+
+  // Fire-and-forget variant: re-send an introduction request without
+  // tracking a reply (used to refresh a possibly-lost kConnectForward).
+  void SendConnectRequest(uint64_t peer_id, ConnectStrategy strategy, uint64_t nonce,
+                          Bytes payload = Bytes{});
+
+  // Fired when S forwards a peer's connection request with the given
+  // strategy to us. Each strategy has one handler (its puncher component).
+  void SetConnectForwardHandler(ConnectStrategy strategy, MessageHandler handler) {
+    connect_forward_handlers_[strategy] = std::move(handler);
+  }
+
+  void SendRelay(uint64_t to_id, Bytes payload);
+  void SetRelayHandler(RelayHandler handler) { relay_handler_ = std::move(handler); }
+
+  void SetPeerTrafficHandler(PeerTrafficHandler handler) {
+    peer_traffic_handler_ = std::move(handler);
+  }
+
+  // Periodic keep-alives to S so the registration mapping survives NAT idle
+  // timeouts (§3.6).
+  void StartKeepAlive(SimDuration interval);
+  void StopKeepAlive();
+
+  UdpSocket* socket() const { return socket_; }
+  Host* host() const { return host_; }
+  uint64_t client_id() const { return client_id_; }
+  Endpoint server() const { return server_; }
+  Endpoint private_endpoint() const { return private_ep_; }
+  Endpoint public_endpoint() const { return public_ep_; }
+  bool registered() const { return registered_; }
+  bool obfuscate_addresses() const { return options_.obfuscate_addresses; }
+
+ private:
+  void OnReceive(const Endpoint& from, const Bytes& payload);
+  void HandleServerMessage(const RendezvousMessage& msg);
+  void SendToServer(const RendezvousMessage& msg);
+
+  Host* host_;
+  Endpoint server_;
+  uint64_t client_id_;
+  RendezvousClientOptions options_;
+
+  UdpSocket* socket_ = nullptr;
+  Endpoint private_ep_;
+  Endpoint public_ep_;
+  bool registered_ = false;
+
+  EndpointCallback register_cb_;
+  int register_attempts_ = 0;
+  EventLoop::EventId register_retry_event_ = EventLoop::kInvalidEventId;
+
+  struct PendingRequest {
+    std::function<void(Result<RendezvousMessage>)> cb;
+    int attempts = 0;
+    ConnectStrategy strategy;
+    uint64_t nonce;
+    EventLoop::EventId retry_event = EventLoop::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingRequest> pending_requests_;  // by peer id
+
+  std::map<ConnectStrategy, MessageHandler> connect_forward_handlers_;
+  RelayHandler relay_handler_;
+  PeerTrafficHandler peer_traffic_handler_;
+  EventLoop::EventId keepalive_event_ = EventLoop::kInvalidEventId;
+};
+
+class TcpRendezvousClient {
+ public:
+  using EndpointCallback = std::function<void(Result<Endpoint>)>;
+  using MessageHandler = std::function<void(const RendezvousMessage&)>;
+  using RelayHandler = std::function<void(uint64_t from_id, const Bytes& payload)>;
+
+  TcpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
+                      RendezvousClientOptions options = RendezvousClientOptions{});
+
+  // Bind `local_port` (0 = ephemeral) with SO_REUSEADDR, connect to S from
+  // it, and register. Callback receives the observed public endpoint.
+  void Connect(uint16_t local_port, EndpointCallback cb);
+
+  void RequestConnect(uint64_t peer_id, ConnectStrategy strategy, uint64_t nonce,
+                      std::function<void(Result<RendezvousMessage>)> cb, Bytes payload = Bytes{});
+  void SetConnectForwardHandler(ConnectStrategy strategy, MessageHandler handler) {
+    connect_forward_handlers_[strategy] = std::move(handler);
+  }
+
+  void SendRelay(uint64_t to_id, Bytes payload);
+  void SetRelayHandler(RelayHandler handler) { relay_handler_ = std::move(handler); }
+
+  // §4.5 support: signal the initiator that we are now listening, and the
+  // ability to drop/reopen the server connection.
+  void SendSequentialReady(uint64_t to_id, uint64_t nonce);
+  void SetSequentialReadyHandler(MessageHandler handler) {
+    sequential_ready_handler_ = std::move(handler);
+  }
+  void CloseConnection();
+  // Reconnect to S from an ephemeral port (the §4.5 procedure consumes the
+  // original connection).
+  void Reconnect(EndpointCallback cb);
+
+  TcpSocket* connection() const { return connection_; }
+  Host* host() const { return host_; }
+  uint64_t client_id() const { return client_id_; }
+  Endpoint server() const { return server_; }
+  uint16_t local_port() const { return local_port_; }
+  Endpoint private_endpoint() const { return private_ep_; }
+  Endpoint public_endpoint() const { return public_ep_; }
+  bool registered() const { return registered_; }
+  bool obfuscate_addresses() const { return options_.obfuscate_addresses; }
+
+ private:
+  void OnData(const Bytes& data);
+  void HandleServerMessage(const RendezvousMessage& msg);
+  void SendToServer(const RendezvousMessage& msg);
+  void DoConnect(uint16_t local_port, EndpointCallback cb);
+
+  Host* host_;
+  Endpoint server_;
+  uint64_t client_id_;
+  RendezvousClientOptions options_;
+
+  TcpSocket* connection_ = nullptr;
+  MessageFramer framer_;
+  uint16_t local_port_ = 0;
+  Endpoint private_ep_;
+  Endpoint public_ep_;
+  bool registered_ = false;
+
+  EndpointCallback register_cb_;
+  std::map<uint64_t, std::function<void(Result<RendezvousMessage>)>> pending_requests_;
+
+  std::map<ConnectStrategy, MessageHandler> connect_forward_handlers_;
+  MessageHandler sequential_ready_handler_;
+  RelayHandler relay_handler_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_RENDEZVOUS_CLIENT_H_

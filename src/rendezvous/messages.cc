@@ -1,0 +1,90 @@
+#include "src/rendezvous/messages.h"
+
+namespace natpunch {
+namespace {
+
+constexpr uint8_t kMagic = 0x52;  // 'R'
+constexpr uint8_t kVersion = 1;
+
+void WriteEndpoint(ByteWriter& w, const Endpoint& ep, bool obfuscate) {
+  const Ipv4Address ip = obfuscate ? ep.ip.Complement() : ep.ip;
+  w.WriteU32(ip.bits());
+  w.WriteU16(ep.port);
+}
+
+Endpoint ReadEndpoint(ByteReader& r, bool obfuscate) {
+  Ipv4Address ip(r.ReadU32());
+  if (obfuscate) {
+    ip = ip.Complement();
+  }
+  const uint16_t port = r.ReadU16();
+  return Endpoint(ip, port);
+}
+
+}  // namespace
+
+Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addresses) {
+  ByteWriter w;
+  w.WriteU8(kMagic);
+  w.WriteU8(kVersion);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU8(static_cast<uint8_t>(msg.strategy));
+  w.WriteU64(msg.client_id);
+  w.WriteU64(msg.target_id);
+  w.WriteU64(msg.nonce);
+  WriteEndpoint(w, msg.public_ep, obfuscate_addresses);
+  WriteEndpoint(w, msg.private_ep, obfuscate_addresses);
+  w.WriteBytes(msg.payload);
+  return w.Take();
+}
+
+std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
+                                                         bool obfuscate_addresses) {
+  ByteReader r(data);
+  if (r.ReadU8() != kMagic || r.ReadU8() != kVersion) {
+    return std::nullopt;
+  }
+  RendezvousMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(RvMsgType::kRegister) ||
+      type > static_cast<uint8_t>(RvMsgType::kSequentialReady)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<RvMsgType>(type);
+  msg.strategy = static_cast<ConnectStrategy>(r.ReadU8());
+  msg.client_id = r.ReadU64();
+  msg.target_id = r.ReadU64();
+  msg.nonce = r.ReadU64();
+  msg.public_ep = ReadEndpoint(r, obfuscate_addresses);
+  msg.private_ep = ReadEndpoint(r, obfuscate_addresses);
+  msg.payload = r.ReadBytes();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+Bytes MessageFramer::Frame(const Bytes& body) {
+  ByteWriter w;
+  w.WriteU16(static_cast<uint16_t>(body.size()));
+  w.WriteRaw(body.data(), body.size());
+  return w.Take();
+}
+
+std::vector<Bytes> MessageFramer::Append(const Bytes& data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  std::vector<Bytes> out;
+  size_t pos = 0;
+  while (buffer_.size() - pos >= 2) {
+    const size_t len = static_cast<size_t>(buffer_[pos]) << 8 | buffer_[pos + 1];
+    if (buffer_.size() - pos - 2 < len) {
+      break;
+    }
+    out.emplace_back(buffer_.begin() + pos + 2, buffer_.begin() + pos + 2 + len);
+    pos += 2 + len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + pos);
+  return out;
+}
+
+}  // namespace natpunch

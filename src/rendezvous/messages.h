@@ -1,0 +1,77 @@
+// Rendezvous wire protocol (the role of server S in §3.1 / §4.2).
+//
+// One message schema serves both transports: UDP carries one message per
+// datagram; TCP prefixes each message with a u16 length (MessageFramer).
+//
+// Address obfuscation: when enabled, every IPv4 address in a message body is
+// transmitted as its one's complement, the §3.1/§5.3 countermeasure against
+// NATs that blindly rewrite address-like payload bytes. Client and server
+// must agree on the setting; the codec takes it as a parameter so the
+// "bad NAT × obfuscation" ablation is a single flag flip.
+
+#ifndef SRC_RENDEZVOUS_MESSAGES_H_
+#define SRC_RENDEZVOUS_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/netsim/address.h"
+#include "src/util/bytes.h"
+
+namespace natpunch {
+
+enum class RvMsgType : uint8_t {
+  kRegister = 1,       // client -> S: client_id + private endpoint (§3.1)
+  kRegisterOk = 2,     // S -> client: observed public endpoint
+  kConnectRequest = 3, // A -> S: "help me reach target_id" (+ nonce, strategy)
+  kConnectForward = 4, // S -> B: A's public+private endpoints (+ nonce)
+  kConnectAck = 5,     // S -> A: B's public+private endpoints (+ nonce)
+  kConnectError = 6,   // S -> A: target not registered
+  kKeepAlive = 7,      // client -> S: refresh NAT mapping + registration
+  kRelayData = 8,      // client -> S: payload for target_id (§2.2 relaying)
+  kRelayForward = 9,   // S -> client: relayed payload from client_id
+  kSequentialReady = 10,  // B -> S -> A: §4.5 step 3->4 signal
+};
+
+// How the requesting peer intends to establish connectivity; forwarded
+// verbatim so the responder runs the matching procedure.
+enum class ConnectStrategy : uint8_t {
+  kHolePunch = 1,   // §3.2 (UDP) / §4.2 (TCP) parallel hole punching
+  kReversal = 2,    // §2.3 connection reversal
+  kRelayOnly = 3,   // §2.2 pure relaying
+  kSequential = 4,  // §4.5 sequential (NatTrav-style) TCP punching
+  kPredicted = 5,   // §5.1 port prediction for symmetric NATs
+};
+
+struct RendezvousMessage {
+  RvMsgType type = RvMsgType::kKeepAlive;
+  uint64_t client_id = 0;  // sender identity (register) or origin (forwards)
+  uint64_t target_id = 0;  // destination peer for requests/relays
+  uint64_t nonce = 0;      // session authentication token (§3.4)
+  ConnectStrategy strategy = ConnectStrategy::kHolePunch;
+  Endpoint public_ep;
+  Endpoint private_ep;
+  Bytes payload;
+};
+
+Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addresses);
+std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
+                                                         bool obfuscate_addresses);
+
+// Reassembles length-prefixed messages from a TCP byte stream.
+class MessageFramer {
+ public:
+  // Frame a message body for stream transmission.
+  static Bytes Frame(const Bytes& body);
+
+  // Feed stream bytes; returns every complete message body now available.
+  std::vector<Bytes> Append(const Bytes& data);
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_RENDEZVOUS_MESSAGES_H_

@@ -1,0 +1,227 @@
+#include "src/rendezvous/server.h"
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+RendezvousServer::RendezvousServer(Host* host, uint16_t port, Options options)
+    : host_(host), port_(port), options_(options) {}
+
+Status RendezvousServer::Start() {
+  auto udp = host_->udp().Bind(port_);
+  if (!udp.ok()) {
+    return udp.status();
+  }
+  udp_socket_ = *udp;
+  udp_socket_->SetReceiveCallback(
+      [this](const Endpoint& from, const Bytes& payload) { OnUdpReceive(from, payload); });
+
+  tcp_listener_ = host_->tcp().CreateSocket();
+  tcp_listener_->SetReuseAddr(true);
+  Status status = tcp_listener_->Bind(port_);
+  if (!status.ok()) {
+    return status;
+  }
+  status = tcp_listener_->Listen([this](TcpSocket* socket) { OnTcpAccept(socket); });
+  if (!status.ok()) {
+    return status;
+  }
+  NP_LOG(Info) << "rendezvous server " << host_->name() << " listening on "
+               << endpoint().ToString();
+  return Status::Ok();
+}
+
+void RendezvousServer::Stop() {
+  if (udp_socket_ != nullptr) {
+    udp_socket_->Close();
+    udp_socket_ = nullptr;
+  }
+  if (tcp_listener_ != nullptr) {
+    tcp_listener_->Close();
+    tcp_listener_ = nullptr;
+  }
+  for (auto& peer : tcp_peers_) {
+    if (peer->socket != nullptr && peer->socket->state() != TcpState::kClosed) {
+      peer->socket->Abort();
+    }
+  }
+  clients_.clear();
+}
+
+void RendezvousServer::SendUdp(const Endpoint& to, const RendezvousMessage& msg) {
+  udp_socket_->SendTo(to, EncodeRendezvousMessage(msg, options_.obfuscate_addresses));
+}
+
+void RendezvousServer::SendTcp(TcpPeer* peer, const RendezvousMessage& msg) {
+  peer->socket->Send(
+      MessageFramer::Frame(EncodeRendezvousMessage(msg, options_.obfuscate_addresses)));
+}
+
+void RendezvousServer::OnUdpReceive(const Endpoint& from, const Bytes& payload) {
+  auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
+  if (!msg) {
+    return;
+  }
+  HandleMessage(*msg, &from, nullptr);
+}
+
+void RendezvousServer::OnTcpAccept(TcpSocket* socket) {
+  tcp_peers_.push_back(std::make_unique<TcpPeer>());
+  TcpPeer* peer = tcp_peers_.back().get();
+  peer->socket = socket;
+  socket->SetDataCallback([this, peer](const Bytes& data) { OnTcpData(peer, data); });
+  socket->SetClosedCallback([this, peer](const Status&) {
+    // Connection gone; drop the TCP registration but keep any UDP one.
+    auto it = clients_.find(peer->client_id);
+    if (it != clients_.end() && it->second.tcp == peer) {
+      it->second.tcp = nullptr;
+      if (!it->second.udp_registered) {
+        clients_.erase(it);
+      }
+    }
+  });
+}
+
+void RendezvousServer::OnTcpData(TcpPeer* peer, const Bytes& data) {
+  for (const Bytes& body : peer->framer.Append(data)) {
+    auto msg = DecodeRendezvousMessage(body, options_.obfuscate_addresses);
+    if (!msg) {
+      continue;
+    }
+    HandleMessage(*msg, nullptr, peer);
+  }
+}
+
+void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoint* via_udp_from,
+                                     TcpPeer* peer) {
+  switch (msg.type) {
+    case RvMsgType::kRegister: {
+      ClientRecord& rec = clients_[msg.client_id];
+      RendezvousMessage reply;
+      reply.type = RvMsgType::kRegisterOk;
+      reply.client_id = msg.client_id;
+      reply.private_ep = msg.private_ep;
+      if (via_udp_from != nullptr) {
+        rec.udp_registered = true;
+        rec.udp_public = *via_udp_from;  // observed from the packet header
+        rec.udp_private = msg.private_ep;
+        ++stats_.udp_registrations;
+        reply.public_ep = *via_udp_from;
+        SendUdp(*via_udp_from, reply);
+      } else {
+        peer->client_id = msg.client_id;
+        rec.tcp = peer;
+        rec.tcp_public = peer->socket->remote_endpoint();  // observed
+        rec.tcp_private = msg.private_ep;
+        ++stats_.tcp_registrations;
+        reply.public_ep = rec.tcp_public;
+        SendTcp(peer, reply);
+      }
+      return;
+    }
+    case RvMsgType::kKeepAlive: {
+      // The traffic refreshed the NAT mapping; additionally track the
+      // observed endpoint, which can change when the client's NAT reboots
+      // or renumbers — later introductions must use the live mapping.
+      if (via_udp_from != nullptr) {
+        auto it = clients_.find(msg.client_id);
+        if (it != clients_.end() && it->second.udp_registered) {
+          it->second.udp_public = *via_udp_from;
+        }
+      }
+      return;
+    }
+    case RvMsgType::kConnectRequest: {
+      ++stats_.connect_requests;
+      auto it = clients_.find(msg.target_id);
+      const bool have_target =
+          it != clients_.end() &&
+          (via_udp_from != nullptr ? it->second.udp_registered : it->second.tcp != nullptr);
+      if (!have_target) {
+        ++stats_.unknown_targets;
+        RendezvousMessage err;
+        err.type = RvMsgType::kConnectError;
+        err.target_id = msg.target_id;
+        err.nonce = msg.nonce;
+        if (via_udp_from != nullptr) {
+          SendUdp(*via_udp_from, err);
+        } else {
+          SendTcp(peer, err);
+        }
+        return;
+      }
+      const ClientRecord& target = it->second;
+      // Look up the requester's own record to tell the target about it.
+      auto req_it = clients_.find(msg.client_id);
+      if (req_it == clients_.end()) {
+        return;
+      }
+      const ClientRecord& requester = req_it->second;
+
+      RendezvousMessage ack;
+      ack.type = RvMsgType::kConnectAck;
+      ack.client_id = msg.target_id;
+      ack.nonce = msg.nonce;
+      ack.strategy = msg.strategy;
+
+      RendezvousMessage fwd;
+      fwd.type = RvMsgType::kConnectForward;
+      fwd.client_id = msg.client_id;
+      fwd.nonce = msg.nonce;
+      fwd.strategy = msg.strategy;
+      fwd.payload = msg.payload;  // opaque rider (e.g. predicted endpoint)
+
+      if (via_udp_from != nullptr) {
+        ack.public_ep = target.udp_public;
+        ack.private_ep = target.udp_private;
+        fwd.public_ep = requester.udp_public;
+        fwd.private_ep = requester.udp_private;
+        SendUdp(*via_udp_from, ack);
+        SendUdp(target.udp_public, fwd);
+      } else {
+        ack.public_ep = target.tcp_public;
+        ack.private_ep = target.tcp_private;
+        fwd.public_ep = requester.tcp_public;
+        fwd.private_ep = requester.tcp_private;
+        SendTcp(peer, ack);
+        SendTcp(target.tcp, fwd);
+      }
+      return;
+    }
+    case RvMsgType::kRelayData: {
+      auto it = clients_.find(msg.target_id);
+      if (it == clients_.end()) {
+        ++stats_.unknown_targets;
+        return;
+      }
+      RendezvousMessage fwd;
+      fwd.type = RvMsgType::kRelayForward;
+      fwd.client_id = msg.client_id;
+      fwd.nonce = msg.nonce;
+      fwd.payload = msg.payload;
+      ++stats_.relayed_messages;
+      stats_.relayed_bytes += msg.payload.size();
+      if (via_udp_from != nullptr && it->second.udp_registered) {
+        SendUdp(it->second.udp_public, fwd);
+      } else if (it->second.tcp != nullptr) {
+        SendTcp(it->second.tcp, fwd);
+      }
+      return;
+    }
+    case RvMsgType::kSequentialReady: {
+      auto it = clients_.find(msg.target_id);
+      if (it == clients_.end() || it->second.tcp == nullptr) {
+        ++stats_.unknown_targets;
+        return;
+      }
+      RendezvousMessage fwd = msg;
+      fwd.client_id = msg.client_id;
+      SendTcp(it->second.tcp, fwd);
+      return;
+    }
+    default:
+      return;  // client-bound message types are ignored by the server
+  }
+}
+
+}  // namespace natpunch

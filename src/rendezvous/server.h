@@ -1,0 +1,95 @@
+// RendezvousServer: the well-known server S.
+//
+// Serves both transports on one port. For each registered client it records
+// the two endpoints the paper describes (§3.1): the private endpoint the
+// client reports about itself in the registration body, and the public
+// endpoint the server observes in the packet/connection source. It
+// introduces peers on request (forwarding each side's endpoint pair), relays
+// application payloads as the §2.2 fallback, and forwards the §4.5
+// sequential-punching ready signal.
+
+#ifndef SRC_RENDEZVOUS_SERVER_H_
+#define SRC_RENDEZVOUS_SERVER_H_
+
+#include <map>
+#include <memory>
+
+#include "src/rendezvous/messages.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+
+class RendezvousServer {
+ public:
+  struct Options {
+    bool obfuscate_addresses = false;
+  };
+
+  RendezvousServer(Host* host, uint16_t port, Options options);
+  RendezvousServer(Host* host, uint16_t port) : RendezvousServer(host, port, Options{}) {}
+
+  // Bind the UDP socket and the TCP listener.
+  Status Start();
+
+  // Failure injection: take the server offline (close the sockets and
+  // forget every registration). Already-punched peer sessions must keep
+  // working — that is the point of hole punching; only new introductions
+  // and relaying break.
+  void Stop();
+  bool running() const { return udp_socket_ != nullptr; }
+
+  Endpoint endpoint() const { return Endpoint(host_->primary_address(), port_); }
+  Host* host() const { return host_; }
+
+  struct Stats {
+    uint64_t udp_registrations = 0;
+    uint64_t tcp_registrations = 0;
+    uint64_t connect_requests = 0;
+    uint64_t relayed_messages = 0;
+    uint64_t relayed_bytes = 0;
+    uint64_t unknown_targets = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Number of currently known clients (either transport).
+  size_t client_count() const { return clients_.size(); }
+
+ private:
+  struct TcpPeer {
+    TcpSocket* socket = nullptr;
+    MessageFramer framer;
+    uint64_t client_id = 0;
+  };
+
+  struct ClientRecord {
+    bool udp_registered = false;
+    Endpoint udp_public;
+    Endpoint udp_private;
+    TcpPeer* tcp = nullptr;  // null when not TCP-registered
+    Endpoint tcp_public;
+    Endpoint tcp_private;
+  };
+
+  void OnUdpReceive(const Endpoint& from, const Bytes& payload);
+  void OnTcpAccept(TcpSocket* socket);
+  void OnTcpData(TcpPeer* peer, const Bytes& data);
+
+  // via_udp_from is set for messages that arrived by UDP; peer for TCP.
+  void HandleMessage(const RendezvousMessage& msg, const Endpoint* via_udp_from, TcpPeer* peer);
+
+  void SendUdp(const Endpoint& to, const RendezvousMessage& msg);
+  void SendTcp(TcpPeer* peer, const RendezvousMessage& msg);
+
+  Host* host_;
+  uint16_t port_;
+  Options options_;
+  UdpSocket* udp_socket_ = nullptr;
+  TcpSocket* tcp_listener_ = nullptr;
+  std::map<uint64_t, ClientRecord> clients_;
+  std::vector<std::unique_ptr<TcpPeer>> tcp_peers_;
+  Stats stats_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_RENDEZVOUS_SERVER_H_

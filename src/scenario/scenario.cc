@@ -1,0 +1,127 @@
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+
+Scenario::Scenario(Options options) : options_(options), net_(options.seed) {
+  LanConfig config;
+  config.latency = options_.internet_latency;
+  config.loss = options_.internet_loss;
+  config.is_global = true;
+  internet_ = net_.CreateLan("internet", config);
+}
+
+Host* Scenario::AddPublicHost(const std::string& name, Ipv4Address ip) {
+  Host* host = net_.Create<Host>(name, options_.host_config);
+  const int iface = host->AttachTo(internet_, ip, 8);
+  host->AddRoute(Ipv4Prefix(Ipv4Address(0), 0), iface);  // everything is on-link
+  return host;
+}
+
+NattedSite Scenario::AddNattedSite(const std::string& name, const NatConfig& config,
+                                   Ipv4Address public_ip, Ipv4Prefix private_prefix,
+                                   int host_count) {
+  NattedSite site;
+  LanConfig lan_config;
+  lan_config.latency = options_.lan_latency;
+  site.lan = net_.CreateLan(name + "-lan", lan_config);
+
+  site.nat = net_.Create<NatDevice>(name + "-nat", config);
+  const Ipv4Address inside_ip(private_prefix.base.bits() + 1);
+  site.nat->AttachInside(site.lan, inside_ip, private_prefix.length);
+  site.nat->AttachOutside(internet_, public_ip, 8);
+  site.nat->SetUpstream();  // on-link next hops on the global realm
+
+  for (int i = 0; i < host_count; ++i) {
+    const Ipv4Address host_ip(private_prefix.base.bits() + 2 + static_cast<uint32_t>(i));
+    site.hosts.push_back(AddHostToSiteInternal(&site, name + "-h" + std::to_string(i), host_ip,
+                                               private_prefix.length, inside_ip));
+  }
+  return site;
+}
+
+NattedSite Scenario::AddNattedSiteBehind(const std::string& name, const NatConfig& config,
+                                         Lan* parent_lan, Ipv4Address upstream_ip,
+                                         Ipv4Address gateway, Ipv4Prefix private_prefix,
+                                         int host_count) {
+  NattedSite site;
+  LanConfig lan_config;
+  lan_config.latency = options_.lan_latency;
+  site.lan = net_.CreateLan(name + "-lan", lan_config);
+
+  site.nat = net_.Create<NatDevice>(name + "-nat", config);
+  const Ipv4Address inside_ip(private_prefix.base.bits() + 1);
+  site.nat->AttachInside(site.lan, inside_ip, private_prefix.length);
+  site.nat->AttachOutside(parent_lan, upstream_ip, 24);
+  site.nat->SetUpstream(gateway);
+
+  for (int i = 0; i < host_count; ++i) {
+    const Ipv4Address host_ip(private_prefix.base.bits() + 2 + static_cast<uint32_t>(i));
+    site.hosts.push_back(AddHostToSiteInternal(&site, name + "-h" + std::to_string(i), host_ip,
+                                               private_prefix.length, inside_ip));
+  }
+  return site;
+}
+
+Host* Scenario::AddHostToSite(NattedSite* site, const std::string& name, Ipv4Address ip) {
+  // Derive prefix length and gateway from the NAT's inside interface.
+  const Ipv4Address gateway = site->nat->iface_ip(0);
+  Host* host = AddHostToSiteInternal(site, name, ip, 24, gateway);
+  site->hosts.push_back(host);
+  return host;
+}
+
+Host* Scenario::AddHostToSiteInternal(NattedSite* site, const std::string& name, Ipv4Address ip,
+                                      int prefix_length, Ipv4Address gateway) {
+  Host* host = net_.Create<Host>(name, options_.host_config);
+  const int iface = host->AttachTo(site->lan, ip, prefix_length);
+  host->AddDefaultRoute(iface, gateway);
+  return host;
+}
+
+Fig5Topology MakeFig5(const NatConfig& nat_a, const NatConfig& nat_b,
+                      Scenario::Options options) {
+  Fig5Topology topo;
+  topo.scenario = std::make_unique<Scenario>(options);
+  topo.server = topo.scenario->AddPublicHost("S", ServerIp());
+  topo.site_a = topo.scenario->AddNattedSite(
+      "A", nat_a, NatAIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+  topo.site_b = topo.scenario->AddNattedSite(
+      "B", nat_b, NatBIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 1, 1, 0), 24), 2);
+  topo.a = topo.site_a.host(0);  // 10.0.0.2 (the paper uses 10.0.0.1; the
+                                 // NAT inside interface takes .1 here)
+  topo.b = topo.site_b.host(1);  // 10.1.1.3, matching the paper
+  return topo;
+}
+
+Fig4Topology MakeFig4(const NatConfig& nat, Scenario::Options options) {
+  Fig4Topology topo;
+  topo.scenario = std::make_unique<Scenario>(options);
+  topo.server = topo.scenario->AddPublicHost("S", ServerIp());
+  topo.site = topo.scenario->AddNattedSite(
+      "N", nat, NatAIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 2);
+  topo.a = topo.site.host(0);
+  topo.b = topo.site.host(1);
+  return topo;
+}
+
+Fig6Topology MakeFig6(const NatConfig& nat_c, const NatConfig& nat_a, const NatConfig& nat_b,
+                      Scenario::Options options) {
+  Fig6Topology topo;
+  topo.scenario = std::make_unique<Scenario>(options);
+  topo.server = topo.scenario->AddPublicHost("S", ServerIp());
+  // NAT C fronts the ISP realm 10.0.1.0/24 (paper's addressing).
+  topo.isp = topo.scenario->AddNattedSite(
+      "C", nat_c, NatAIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 1, 0), 24), 0);
+  const Ipv4Address isp_gateway = topo.isp.nat->iface_ip(0);  // 10.0.1.1
+  topo.site_a = topo.scenario->AddNattedSiteBehind(
+      "A", nat_a, topo.isp.lan, Ipv4Address::FromOctets(10, 0, 1, 11), isp_gateway,
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+  topo.site_b = topo.scenario->AddNattedSiteBehind(
+      "B", nat_b, topo.isp.lan, Ipv4Address::FromOctets(10, 0, 1, 12), isp_gateway,
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 1, 1, 0), 24), 1);
+  topo.a = topo.site_a.host(0);
+  topo.b = topo.site_b.host(0);
+  return topo;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,121 @@
+// Canned topologies for tests, benchmarks, and examples.
+//
+// Scenario wraps a Network with helpers for the paper's figures: a global
+// "internet" realm, public hosts (the servers), and NATted sites (a private
+// LAN + NAT + hosts). The Fig. 4/5/6 builders reproduce the paper's running
+// addresses exactly (S = 18.181.0.31:1234, NAT A = 155.99.25.11,
+// NAT B = 138.76.29.7, A = 10.0.0.1:4321, B = 10.1.1.3:4321) so traces read
+// like the paper.
+
+#ifndef SRC_SCENARIO_SCENARIO_H_
+#define SRC_SCENARIO_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nat/nat_device.h"
+#include "src/netsim/network.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+
+struct NattedSite {
+  Lan* lan = nullptr;
+  NatDevice* nat = nullptr;
+  std::vector<Host*> hosts;
+
+  Host* host(size_t i = 0) const { return hosts[i]; }
+};
+
+class Scenario {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    SimDuration internet_latency = Millis(20);
+    SimDuration lan_latency = Millis(1);
+    double internet_loss = 0.0;
+    HostConfig host_config;
+  };
+
+  explicit Scenario(Options options);
+  Scenario() : Scenario(Options{}) {}
+
+  Network& net() { return net_; }
+  Lan* internet() { return internet_; }
+  const Options& options() const { return options_; }
+
+  // A host directly on the global realm (e.g. server S).
+  Host* AddPublicHost(const std::string& name, Ipv4Address ip);
+
+  // A private LAN behind a NAT attached to the global realm.
+  // Hosts get prefix.base+2, +3, ... with the NAT inside at prefix.base+1.
+  NattedSite AddNattedSite(const std::string& name, const NatConfig& config,
+                           Ipv4Address public_ip, Ipv4Prefix private_prefix, int host_count);
+
+  // Same, but the NAT's "public" side attaches to an existing private LAN
+  // (multi-level NAT, Fig. 6). `upstream_ip` is this NAT's address on the
+  // parent LAN; `gateway` is the parent NAT's inside address.
+  NattedSite AddNattedSiteBehind(const std::string& name, const NatConfig& config,
+                                 Lan* parent_lan, Ipv4Address upstream_ip, Ipv4Address gateway,
+                                 Ipv4Prefix private_prefix, int host_count);
+
+  // Add an extra host to an existing site (e.g. the "wrong host with the
+  // same private address" used by the authentication tests).
+  Host* AddHostToSite(NattedSite* site, const std::string& name, Ipv4Address ip);
+
+ private:
+  Host* AddHostToSiteInternal(NattedSite* site, const std::string& name, Ipv4Address ip,
+                              int prefix_length, Ipv4Address gateway);
+
+  Options options_;
+  Network net_;
+  Lan* internet_;
+};
+
+// Fig. 5 (and the TCP analogue Fig. 7): A and B behind different NATs, plus
+// server S. Fields are the paper's example addresses.
+struct Fig5Topology {
+  std::unique_ptr<Scenario> scenario;
+  Host* server = nullptr;  // 18.181.0.31
+  NattedSite site_a;       // NAT 155.99.25.11, host A 10.0.0.1
+  NattedSite site_b;       // NAT 138.76.29.7, host B 10.1.1.3
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+Fig5Topology MakeFig5(const NatConfig& nat_a, const NatConfig& nat_b,
+                      Scenario::Options options = Scenario::Options{});
+
+// Fig. 4: A and B behind one common NAT.
+struct Fig4Topology {
+  std::unique_ptr<Scenario> scenario;
+  Host* server = nullptr;
+  NattedSite site;  // both clients inside
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+Fig4Topology MakeFig4(const NatConfig& nat, Scenario::Options options = Scenario::Options{});
+
+// Fig. 6: A and B each behind their own consumer NAT, both behind a common
+// ISP NAT (NAT C).
+struct Fig6Topology {
+  std::unique_ptr<Scenario> scenario;
+  Host* server = nullptr;
+  NattedSite isp;     // NAT C, 155.99.25.11; its LAN is the ISP realm
+  NattedSite site_a;  // NAT A at 10.0.1.1 in the ISP realm
+  NattedSite site_b;  // NAT B at 10.0.1.2 in the ISP realm
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+Fig6Topology MakeFig6(const NatConfig& nat_c, const NatConfig& nat_a, const NatConfig& nat_b,
+                      Scenario::Options options = Scenario::Options{});
+
+// Paper constants used across tests and benches.
+inline Ipv4Address ServerIp() { return Ipv4Address::FromOctets(18, 181, 0, 31); }
+inline constexpr uint16_t kServerPort = 1234;
+inline Ipv4Address NatAIp() { return Ipv4Address::FromOctets(155, 99, 25, 11); }
+inline Ipv4Address NatBIp() { return Ipv4Address::FromOctets(138, 76, 29, 7); }
+
+}  // namespace natpunch
+
+#endif  // SRC_SCENARIO_SCENARIO_H_

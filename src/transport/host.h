@@ -1,0 +1,61 @@
+// Host: an end system with a UDP stack and a TCP stack.
+//
+// Hosts never forward packets; anything not addressed to one of their
+// interfaces is dropped, and segments/datagrams for closed ports elicit the
+// usual RST / ICMP port-unreachable responses (configurable, because those
+// responses are part of what hole punching has to tolerate — a punch probe
+// that reaches the *wrong* host on a private network draws exactly these).
+
+#ifndef SRC_TRANSPORT_HOST_H_
+#define SRC_TRANSPORT_HOST_H_
+
+#include <memory>
+#include <string>
+
+#include "src/netsim/network.h"
+#include "src/netsim/node.h"
+#include "src/transport/tcp.h"
+#include "src/transport/udp.h"
+
+namespace natpunch {
+
+struct HostConfig {
+  TcpConfig tcp;
+  // Real hosts answer datagrams to closed UDP ports with ICMP port
+  // unreachable; that error is how a puncher learns a candidate is dead.
+  bool icmp_on_closed_udp_port = true;
+};
+
+class Host : public Node {
+ public:
+  Host(Network* network, std::string name, HostConfig config = HostConfig{});
+  ~Host() override;
+
+  UdpStack& udp() { return *udp_; }
+  TcpStack& tcp() { return *tcp_; }
+  const HostConfig& config() const { return config_; }
+
+  void HandlePacket(int iface, Packet packet) override;
+
+  // First interface's address; hosts in this library are single-homed.
+  Ipv4Address primary_address() const;
+
+  // Next free ephemeral port (49152-65535) for the given protocol.
+  uint16_t AllocateEphemeralPort(IpProtocol protocol);
+
+  EventLoop& loop();
+  Rng& rng();
+
+  // Transport stacks emit through this so every packet goes via routing.
+  void SendFromTransport(Packet packet);
+
+ private:
+  HostConfig config_;
+  std::unique_ptr<UdpStack> udp_;
+  std::unique_ptr<TcpStack> tcp_;
+  uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_TRANSPORT_HOST_H_

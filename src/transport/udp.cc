@@ -1,0 +1,118 @@
+#include "src/transport/udp.h"
+
+#include "src/transport/host.h"
+#include "src/util/logging.h"
+
+namespace natpunch {
+
+UdpSocket::UdpSocket(UdpStack* stack, uint16_t port) : stack_(stack), port_(port) {}
+
+Host* UdpSocket::host() const { return stack_->host(); }
+
+Status UdpSocket::SendTo(const Endpoint& dst, Bytes payload) {
+  if (closed_) {
+    return Status(ErrorCode::kClosed);
+  }
+  if (dst.ip.IsUnspecified()) {
+    return Status(ErrorCode::kInvalidArgument, "unspecified destination");
+  }
+  Packet packet;
+  packet.protocol = IpProtocol::kUdp;
+  packet.src_port = port_;
+  packet.set_dst(dst);
+  packet.payload = std::move(payload);
+  ++datagrams_sent_;
+  stack_->host()->SendFromTransport(std::move(packet));
+  return Status::Ok();
+}
+
+void UdpSocket::Close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  receive_cb_ = nullptr;
+  error_cb_ = nullptr;
+  stack_->ScheduleReclaim(port_);
+}
+
+void UdpSocket::Deliver(const Endpoint& from, const Bytes& payload) {
+  if (closed_) {
+    return;
+  }
+  ++datagrams_received_;
+  if (receive_cb_) {
+    receive_cb_(from, payload);
+  }
+}
+
+void UdpSocket::DeliverError(const Endpoint& dst, ErrorCode code) {
+  if (closed_) {
+    return;
+  }
+  if (error_cb_) {
+    error_cb_(dst, code);
+  }
+}
+
+Result<UdpSocket*> UdpStack::Bind(uint16_t port) {
+  if (port == 0) {
+    port = host_->AllocateEphemeralPort(IpProtocol::kUdp);
+    if (port == 0) {
+      return Status(ErrorCode::kAddressInUse, "ephemeral ports exhausted");
+    }
+  } else if (sockets_.count(port) != 0 && !sockets_[port]->closed()) {
+    return Status(ErrorCode::kAddressInUse, "UDP port " + std::to_string(port));
+  }
+  auto socket = std::make_unique<UdpSocket>(this, port);
+  UdpSocket* raw = socket.get();
+  sockets_[port] = std::move(socket);
+  return raw;
+}
+
+bool UdpStack::IsPortBound(uint16_t port) const {
+  auto it = sockets_.find(port);
+  return it != sockets_.end() && !it->second->closed();
+}
+
+void UdpStack::HandlePacket(const Packet& packet) {
+  auto it = sockets_.find(packet.dst_port);
+  if (it == sockets_.end() || it->second->closed()) {
+    if (host_->config().icmp_on_closed_udp_port) {
+      Packet icmp;
+      icmp.protocol = IpProtocol::kIcmp;
+      icmp.icmp.type = IcmpType::kDestinationUnreachable;
+      icmp.icmp.code = 3;  // port unreachable
+      icmp.icmp.original_protocol = IpProtocol::kUdp;
+      icmp.icmp.original_src = packet.src();
+      icmp.icmp.original_dst = packet.dst();
+      icmp.set_dst(Endpoint(packet.src_ip, 0));
+      host_->SendFromTransport(std::move(icmp));
+    }
+    return;
+  }
+  it->second->Deliver(packet.src(), packet.payload);
+}
+
+void UdpStack::HandleIcmpError(const Packet& icmp) {
+  // The quoted original packet was sent by us: original_src.port identifies
+  // the local socket, original_dst is the unreachable destination.
+  auto it = sockets_.find(icmp.icmp.original_src.port);
+  if (it == sockets_.end() || it->second->closed()) {
+    return;
+  }
+  const ErrorCode code =
+      icmp.icmp.code == 3 ? ErrorCode::kConnectionRefused : ErrorCode::kHostUnreachable;
+  it->second->DeliverError(icmp.icmp.original_dst, code);
+}
+
+void UdpStack::ScheduleReclaim(uint16_t port) {
+  host_->loop().ScheduleAfter(Micros(0), [this, port] {
+    auto it = sockets_.find(port);
+    if (it != sockets_.end() && it->second->closed()) {
+      sockets_.erase(it);
+    }
+  });
+}
+
+}  // namespace natpunch

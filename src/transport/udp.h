@@ -1,0 +1,93 @@
+// Asynchronous UDP sockets over the simulator.
+//
+// Matches the shape of a Berkeley UDP socket: bind to a local port, send
+// datagrams anywhere, and receive via callback. A single UDP socket can talk
+// to the rendezvous server and to any number of peers simultaneously, which
+// is exactly the property UDP hole punching relies on (§3.2).
+
+#ifndef SRC_TRANSPORT_UDP_H_
+#define SRC_TRANSPORT_UDP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/netsim/address.h"
+#include "src/netsim/packet.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace natpunch {
+
+class Host;
+class UdpStack;
+
+class UdpSocket {
+ public:
+  using ReceiveCallback = std::function<void(const Endpoint& from, const Bytes& payload)>;
+  // Invoked when an ICMP error arrives for a datagram this socket sent.
+  using ErrorCallback = std::function<void(const Endpoint& dst, ErrorCode code)>;
+
+  UdpSocket(UdpStack* stack, uint16_t port);
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Send a datagram to `dst` from this socket's port.
+  Status SendTo(const Endpoint& dst, Bytes payload);
+
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+  void SetErrorCallback(ErrorCallback cb) { error_cb_ = std::move(cb); }
+
+  uint16_t local_port() const { return port_; }
+  bool closed() const { return closed_; }
+  Host* host() const;
+
+  // Unbind. The socket object remains valid until the stack reclaims it at
+  // the next event-loop turn; no callbacks fire after Close().
+  void Close();
+
+ private:
+  friend class UdpStack;
+
+  void Deliver(const Endpoint& from, const Bytes& payload);
+  void DeliverError(const Endpoint& dst, ErrorCode code);
+
+  UdpStack* stack_;
+  uint16_t port_;
+  bool closed_ = false;
+  ReceiveCallback receive_cb_;
+  ErrorCallback error_cb_;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_received_ = 0;
+};
+
+class UdpStack {
+ public:
+  explicit UdpStack(Host* host) : host_(host) {}
+
+  // Bind a new socket. port == 0 picks an ephemeral port. Fails with
+  // kAddressInUse when the port is taken.
+  Result<UdpSocket*> Bind(uint16_t port = 0);
+
+  // Called by Host demux.
+  void HandlePacket(const Packet& packet);
+  void HandleIcmpError(const Packet& icmp);
+
+  bool IsPortBound(uint16_t port) const;
+
+  Host* host() const { return host_; }
+
+ private:
+  friend class UdpSocket;
+
+  void ScheduleReclaim(uint16_t port);
+
+  Host* host_;
+  std::map<uint16_t, std::unique_ptr<UdpSocket>> sockets_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_TRANSPORT_UDP_H_

@@ -1,0 +1,71 @@
+// Byte-order-safe serialization helpers for wire messages.
+//
+// All multi-byte integers are encoded big-endian ("network order"), matching
+// how the rendezvous and NAT Check protocols would be laid out on a real
+// wire. The reader is bounds-checked: any attempt to read past the end marks
+// the reader bad, and callers check ok() once after decoding a whole message
+// rather than after every field.
+
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natpunch {
+
+using Bytes = std::vector<uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  // Length-prefixed (u16) byte string.
+  void WriteBytes(const Bytes& v);
+  void WriteString(std::string_view v);
+  // Raw bytes, no length prefix.
+  void WriteRaw(const uint8_t* data, size_t len);
+
+  const Bytes& data() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t ReadU8();
+  uint16_t ReadU16();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  Bytes ReadBytes();
+  std::string ReadString();
+
+  // True iff no read has run past the end of the buffer.
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool CheckAvail(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_UTIL_BYTES_H_

@@ -1,0 +1,69 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace natpunch {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+std::function<int64_t()> g_time_source;
+std::function<void(const std::string&)> g_sink;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+bool LogEnabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(g_level); }
+
+void SetLogTimeSource(std::function<int64_t()> now_micros) {
+  g_time_source = std::move(now_micros);
+}
+
+void SetLogSink(std::function<void(const std::string&)> sink) { g_sink = std::move(sink); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << LevelTag(level) << " ";
+  if (g_time_source) {
+    const int64_t us = g_time_source();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%7lld.%06llds] ", static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000));
+    stream_ << buf;
+  }
+  stream_ << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  line.push_back('\n');
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+  (void)level_;
+}
+
+}  // namespace natpunch

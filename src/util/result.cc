@@ -1,0 +1,43 @@
+#include "src/util/result.h"
+
+namespace natpunch {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kAddressInUse:
+      return "ADDRESS_IN_USE";
+    case ErrorCode::kConnectionRefused:
+      return "CONNECTION_REFUSED";
+    case ErrorCode::kConnectionReset:
+      return "CONNECTION_RESET";
+    case ErrorCode::kHostUnreachable:
+      return "HOST_UNREACHABLE";
+    case ErrorCode::kTimedOut:
+      return "TIMED_OUT";
+    case ErrorCode::kNotConnected:
+      return "NOT_CONNECTED";
+    case ErrorCode::kAlreadyConnected:
+      return "ALREADY_CONNECTED";
+    case ErrorCode::kInProgress:
+      return "IN_PROGRESS";
+    case ErrorCode::kWouldBlock:
+      return "WOULD_BLOCK";
+    case ErrorCode::kClosed:
+      return "CLOSED";
+    case ErrorCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case ErrorCode::kAuthFailed:
+      return "AUTH_FAILED";
+    case ErrorCode::kNoRoute:
+      return "NO_ROUTE";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace natpunch

@@ -1,0 +1,110 @@
+// Lightweight status / result types used across the library.
+//
+// The simulator and socket layers do not use exceptions: every fallible
+// operation returns a Status or a Result<T>. Error codes intentionally mirror
+// the POSIX errno values an application would see from a real Berkeley
+// sockets API, because the paper's hole punching procedure is specified in
+// terms of those observable errors ("connection reset", "address in use",
+// "host unreachable", ...).
+
+#ifndef SRC_UTIL_RESULT_H_
+#define SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace natpunch {
+
+// Error codes observable through the socket API. kOk means success.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,    // EINVAL: malformed endpoint, bad socket state
+  kAddressInUse,       // EADDRINUSE: bind conflict, or the doomed connect() of §4.3
+  kConnectionRefused,  // ECONNREFUSED: remote sent RST in response to SYN
+  kConnectionReset,    // ECONNRESET: RST on an established or half-open session
+  kHostUnreachable,    // EHOSTUNREACH: ICMP error from the path (e.g. a NAT)
+  kTimedOut,           // ETIMEDOUT: retransmissions exhausted
+  kNotConnected,       // ENOTCONN: send/recv on an unconnected socket
+  kAlreadyConnected,   // EISCONN
+  kInProgress,         // EINPROGRESS: async connect pending
+  kWouldBlock,         // EWOULDBLOCK
+  kClosed,             // socket closed locally
+  kProtocolError,      // malformed rendezvous/application message
+  kAuthFailed,         // peer authentication (nonce) mismatch, §3.4/§4.2 step 5
+  kNoRoute,            // simulator: no route to destination
+  kAborted,            // operation cancelled (e.g. hole punch gave up)
+};
+
+// Human-readable name for an error code, for logs and test failure messages.
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error status without a payload.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string out(ErrorCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// A value of type T or an error status. Minimal analogue of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return Status(...)` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+  Result(ErrorCode code) : status_(code) {  // NOLINT(google-explicit-constructor)
+    assert(code != ErrorCode::kOk);
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status_.code(); }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_UTIL_RESULT_H_

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (link jitter, packet loss, NAT
+// port randomization, fleet sampling) draws from an explicitly seeded Rng so
+// that entire experiments are reproducible bit-for-bit. The generator is
+// xoshiro256**, seeded via splitmix64 so that small integer seeds produce
+// well-mixed state.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace natpunch {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p);
+
+  // Derive an independent child generator; used to give each simulated
+  // device its own stream without coupling their consumption order.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,307 @@
+// Component-level tests for the smaller core pieces: the peer and probe
+// codecs, StunLikeServer behaviors, multi-peer punching from one socket,
+// TCP puncher authentication against impostors, sequential-punch edge
+// cases, and relaying over the TCP transport.
+
+#include <gtest/gtest.h>
+
+#include "src/core/peer_wire.h"
+#include "src/core/probe_server.h"
+#include "src/core/relay.h"
+#include "src/core/sequential.h"
+#include "src/core/tcp_puncher.h"
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+TEST(PeerWireTest, RoundTrip) {
+  PeerMessage msg;
+  msg.type = PeerMsgType::kData;
+  msg.nonce = 0x1234567890abcdefULL;
+  msg.sender_id = 42;
+  msg.payload = Bytes{9, 9, 9};
+  auto decoded = DecodePeerMessage(EncodePeerMessage(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->nonce, msg.nonce);
+  EXPECT_EQ(decoded->sender_id, msg.sender_id);
+  EXPECT_EQ(decoded->payload, msg.payload);
+}
+
+TEST(PeerWireTest, RejectsGarbageAndWrongMagic) {
+  EXPECT_FALSE(DecodePeerMessage(Bytes{}).has_value());
+  EXPECT_FALSE(DecodePeerMessage(Bytes{0x50}).has_value());
+  EXPECT_FALSE(DecodePeerMessage(Bytes{0x51, 1, 0, 0}).has_value());  // probe magic
+  Bytes truncated = EncodePeerMessage(PeerMessage{});
+  truncated.pop_back();
+  truncated.pop_back();
+  truncated.pop_back();
+  EXPECT_FALSE(DecodePeerMessage(truncated).has_value());
+}
+
+TEST(ProbeWireTest, RoundTrip) {
+  ProbeMessage msg;
+  msg.type = ProbeMsgType::kEchoReply;
+  msg.txn = 77;
+  msg.observed = Endpoint(Ipv4Address::FromOctets(155, 99, 25, 11), 62001);
+  msg.source_tag = ProbeSourceTag::kPartner;
+  auto decoded = DecodeProbeMessage(EncodeProbeMessage(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->txn, msg.txn);
+  EXPECT_EQ(decoded->observed, msg.observed);
+  EXPECT_EQ(decoded->source_tag, msg.source_tag);
+}
+
+class StunServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = std::make_unique<Scenario>(Scenario::Options{});
+    s1_host_ = scenario_->AddPublicHost("S1", Ipv4Address::FromOctets(18, 181, 0, 31));
+    s2_host_ = scenario_->AddPublicHost("S2", Ipv4Address::FromOctets(18, 181, 0, 32));
+    s1_ = std::make_unique<StunLikeServer>(s1_host_, 3478);
+    s2_ = std::make_unique<StunLikeServer>(s2_host_, 3478);
+    s1_->SetPartner(s2_->endpoint());
+    ASSERT_TRUE(s1_->Start().ok());
+    ASSERT_TRUE(s2_->Start().ok());
+    client_host_ = scenario_->AddPublicHost("C", Ipv4Address::FromOctets(99, 1, 1, 1));
+    client_ = *client_host_->udp().Bind(5000);
+    client_->SetReceiveCallback([this](const Endpoint& from, const Bytes& payload) {
+      last_from_ = from;
+      last_reply_ = DecodeProbeMessage(payload);
+    });
+  }
+
+  void Send(ProbeMsgType type, const Endpoint& to, uint64_t txn = 1) {
+    ProbeMessage request;
+    request.type = type;
+    request.txn = txn;
+    client_->SendTo(to, EncodeProbeMessage(request));
+    scenario_->net().RunFor(Seconds(1));
+  }
+
+  std::unique_ptr<Scenario> scenario_;
+  Host* s1_host_ = nullptr;
+  Host* s2_host_ = nullptr;
+  Host* client_host_ = nullptr;
+  std::unique_ptr<StunLikeServer> s1_, s2_;
+  UdpSocket* client_ = nullptr;
+  Endpoint last_from_;
+  std::optional<ProbeMessage> last_reply_;
+};
+
+TEST_F(StunServerTest, EchoReportsObservedEndpoint) {
+  Send(ProbeMsgType::kEchoRequest, s1_->endpoint());
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->type, ProbeMsgType::kEchoReply);
+  EXPECT_EQ(last_reply_->source_tag, ProbeSourceTag::kMain);
+  EXPECT_EQ(last_reply_->observed, Endpoint(client_host_->primary_address(), 5000));
+  EXPECT_EQ(last_from_, s1_->endpoint());
+}
+
+TEST_F(StunServerTest, AltReplyComesFromAlternatePort) {
+  Send(ProbeMsgType::kAltReplyRequest, s1_->endpoint());
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->source_tag, ProbeSourceTag::kAlt);
+  EXPECT_EQ(last_from_, s1_->alt_endpoint());
+}
+
+TEST_F(StunServerTest, PartnerReplyComesFromPartner) {
+  Send(ProbeMsgType::kPartnerReplyRequest, s1_->endpoint());
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->source_tag, ProbeSourceTag::kPartner);
+  EXPECT_EQ(last_from_, s2_->endpoint());
+}
+
+TEST_F(StunServerTest, AltSocketAlsoEchoes) {
+  Send(ProbeMsgType::kEchoRequest, s1_->alt_endpoint());
+  ASSERT_TRUE(last_reply_.has_value());
+  EXPECT_EQ(last_reply_->source_tag, ProbeSourceTag::kAlt);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-peer punching from a single socket
+// ---------------------------------------------------------------------------
+
+TEST(MultiPeerTest, OneSocketManySessions) {
+  // A punches to B and C simultaneously — one local UDP socket, two
+  // authenticated sessions, the whole point of §3.2's socket economy.
+  Scenario::Options options;
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  NattedSite site_c = topo.scenario->AddNattedSite(
+      "C", NatConfig{}, Ipv4Address::FromOctets(66, 1, 1, 1),
+      Ipv4Prefix(Ipv4Address::FromOctets(10, 2, 2, 0), 24), 1);
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  UdpRendezvousClient cc(site_c.host(0), server.endpoint(), 3);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  cc.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  UdpHolePuncher pc(&cc);
+  Bytes b_got, c_got;
+  pb.SetIncomingSessionCallback([&](UdpP2pSession* s) {
+    s->SetReceiveCallback([&](const Bytes& p) { b_got = p; });
+  });
+  pc.SetIncomingSessionCallback([&](UdpP2pSession* s) {
+    s->SetReceiveCallback([&](const Bytes& p) { c_got = p; });
+  });
+  topo.scenario->net().RunFor(Seconds(2));
+
+  UdpP2pSession* to_b = nullptr;
+  UdpP2pSession* to_c = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { to_b = r.ok() ? *r : nullptr; });
+  pa.ConnectToPeer(3, [&](Result<UdpP2pSession*> r) { to_c = r.ok() ? *r : nullptr; });
+  topo.scenario->net().RunFor(Seconds(10));
+  ASSERT_NE(to_b, nullptr);
+  ASSERT_NE(to_c, nullptr);
+  EXPECT_EQ(pa.active_sessions(), 2u);
+
+  to_b->Send(Bytes{'b'});
+  to_c->Send(Bytes{'c'});
+  topo.scenario->net().RunFor(Seconds(1));
+  EXPECT_EQ(b_got, (Bytes{'b'}));
+  EXPECT_EQ(c_got, (Bytes{'c'}));
+  // One NAT mapping covers both peers plus S (endpoint-independent).
+  EXPECT_EQ(topo.site_a.nat->active_mapping_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP puncher authentication against impostors
+// ---------------------------------------------------------------------------
+
+TEST(TcpAuthTest, ImpostorStreamIsRejected) {
+  // A malicious host connects to A's punch listener and speaks the peer
+  // protocol with a bogus nonce: the stream must be dropped and the real
+  // punch must still complete.
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  TcpHolePuncher pa(&ca);
+  TcpHolePuncher pb(&cb);
+  pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+  topo.scenario->net().RunFor(Seconds(3));
+
+  // The impostor lives on A's own LAN (it can reach A's private endpoint
+  // directly, like the stray host of §3.4).
+  Host* impostor = topo.scenario->AddHostToSite(&topo.site_a, "impostor",
+                                                Ipv4Address::FromOctets(10, 0, 0, 66));
+  bool impostor_won = false;
+  Status impostor_status;
+  TcpSocket* evil = impostor->tcp().CreateSocket();
+  auto framer = std::make_shared<MessageFramer>();
+  evil->SetDataCallback([&](const Bytes& data) {
+    for (const Bytes& body : framer->Append(data)) {
+      auto msg = DecodePeerMessage(body);
+      if (msg && msg->type == PeerMsgType::kAuthOk) {
+        impostor_won = true;
+      }
+    }
+  });
+  evil->SetClosedCallback([&](Status s) { impostor_status = s; });
+
+  TcpP2pStream* stream = nullptr;
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { stream = r.ok() ? *r : nullptr; });
+  // Give the punch a head start so A's listener exists (the introduction
+  // costs one round trip to S), then barge in.
+  topo.scenario->net().RunFor(Millis(100));
+  evil->Connect(Endpoint(topo.a->primary_address(), 4321), [&](Status s) {
+    if (s.ok()) {
+      PeerMessage fake;
+      fake.type = PeerMsgType::kAuth;
+      fake.nonce = 0xbadbadbadULL;  // not the session nonce
+      evil->Send(MessageFramer::Frame(EncodePeerMessage(fake)));
+    }
+  });
+  topo.scenario->net().RunFor(Seconds(30));
+
+  EXPECT_FALSE(impostor_won);
+  EXPECT_EQ(impostor_status.code(), ErrorCode::kConnectionReset);  // aborted
+  ASSERT_NE(stream, nullptr);  // the real punch was unaffected
+  EXPECT_EQ(stream->remote_endpoint().ip, NatBIp());
+}
+
+// ---------------------------------------------------------------------------
+// Sequential punching edge cases
+// ---------------------------------------------------------------------------
+
+TEST(SequentialEdgeTest, WorksAgainstRstingNat) {
+  // §4.5 step 2 says the doomed connect may fail "due to a timeout or RST
+  // from A's NAT" — both paths must leave the hole open.
+  NatConfig rsting;
+  rsting.unsolicited_tcp = NatUnsolicitedTcp::kRst;
+  auto topo = MakeFig5(rsting, rsting);
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  SequentialPuncher pa(&ca);
+  SequentialPuncher pb(&cb);
+  pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+  topo.scenario->net().RunFor(Seconds(3));
+  Result<TcpP2pStream*> result = Status(ErrorCode::kInProgress);
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { result = std::move(r); });
+  topo.scenario->net().RunFor(Seconds(30));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(SequentialEdgeTest, FailsAgainstSymmetricNat) {
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  auto topo = MakeFig5(symmetric, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  SequentialPuncher pa(&ca);
+  SequentialPuncher pb(&cb);
+  topo.scenario->net().RunFor(Seconds(3));
+  Result<TcpP2pStream*> result = Status(ErrorCode::kInProgress);
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { result = std::move(r); });
+  topo.scenario->net().RunFor(Seconds(60));
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Relaying over the TCP transport
+// ---------------------------------------------------------------------------
+
+TEST(TcpRelayTest, RelaysOverTcpRendezvous) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  RelayHub hub_a(&ca);
+  RelayHub hub_b(&cb);
+  topo.scenario->net().RunFor(Seconds(3));
+
+  Bytes got;
+  hub_b.SetIncomingChannelCallback([&](RelayChannel* c) {
+    c->SetReceiveCallback([&](const Bytes& p) { got = p; });
+  });
+  hub_a.OpenChannel(2)->Send(Bytes{'t', 'c', 'p', '!'});
+  topo.scenario->net().RunFor(Seconds(2));
+  EXPECT_EQ(got, (Bytes{'t', 'c', 'p', '!'}));
+  EXPECT_EQ(server.stats().relayed_messages, 1u);
+}
+
+}  // namespace
+}  // namespace natpunch

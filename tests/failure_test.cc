@@ -1,0 +1,163 @@
+// Failure injection: NAT reboots (translation state flushed) and rendezvous
+// server outages. These pin down the paper's resilience story: punched
+// sessions are independent of S, die with the NAT state, and recover by
+// re-running the punch on demand.
+
+#include <gtest/gtest.h>
+
+#include "src/core/tcp_puncher.h"
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void Build() {
+    topo_ = MakeFig5(NatConfig{}, NatConfig{});
+    server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort);
+    ASSERT_TRUE(server_->Start().ok());
+    ca_ = std::make_unique<UdpRendezvousClient>(topo_.a, server_->endpoint(), 1);
+    cb_ = std::make_unique<UdpRendezvousClient>(topo_.b, server_->endpoint(), 2);
+    ca_->Register(4321, [](Result<Endpoint>) {});
+    cb_->Register(4321, [](Result<Endpoint>) {});
+    UdpPunchConfig punch;
+    punch.keepalive_interval = Seconds(10);
+    punch.session_expiry = Seconds(30);
+    pa_ = std::make_unique<UdpHolePuncher>(ca_.get(), punch);
+    pb_ = std::make_unique<UdpHolePuncher>(cb_.get(), punch);
+    pb_->SetIncomingSessionCallback([this](UdpP2pSession* s) {
+      incoming_ = s;
+      s->SetReceiveCallback([this](const Bytes&) { ++b_received_; });
+    });
+    topo_.scenario->net().RunFor(Seconds(2));
+  }
+
+  UdpP2pSession* Punch() {
+    UdpP2pSession* session = nullptr;
+    pa_->ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+    topo_.scenario->net().RunFor(Seconds(10));
+    return session;
+  }
+
+  bool SendWorks(UdpP2pSession* session) {
+    const int before = b_received_;
+    session->Send(Bytes{1});
+    topo_.scenario->net().RunFor(Seconds(2));
+    return b_received_ > before;
+  }
+
+  Fig5Topology topo_;
+  std::unique_ptr<RendezvousServer> server_;
+  std::unique_ptr<UdpRendezvousClient> ca_, cb_;
+  std::unique_ptr<UdpHolePuncher> pa_, pb_;
+  UdpP2pSession* incoming_ = nullptr;
+  int b_received_ = 0;
+};
+
+TEST_F(FailureTest, PunchedSessionSurvivesServerOutage) {
+  // The central economic claim: S is needed only for the introduction.
+  Build();
+  UdpP2pSession* session = Punch();
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(SendWorks(session));
+
+  server_->Stop();
+  topo_.scenario->net().RunFor(Seconds(5));
+  EXPECT_TRUE(SendWorks(session));  // peer traffic unaffected
+}
+
+TEST_F(FailureTest, NewPunchFailsWhileServerDown) {
+  Build();
+  server_->Stop();
+  topo_.scenario->net().RunFor(Seconds(1));
+  Status result;
+  pa_->ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+    result = r.ok() ? Status::Ok() : r.status();
+  });
+  topo_.scenario->net().RunFor(Seconds(15));
+  EXPECT_EQ(result.code(), ErrorCode::kTimedOut);
+}
+
+TEST_F(FailureTest, NatRebootKillsSessionRepunchRecovers) {
+  Build();
+  UdpP2pSession* session = Punch();
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(SendWorks(session));
+
+  // Reboot A's NAT: every translation is gone.
+  topo_.site_a.nat->FlushMappings();
+  EXPECT_EQ(topo_.site_a.nat->active_mapping_count(), 0u);
+  EXPECT_FALSE(SendWorks(session));
+
+  // The session watchdog notices the silence...
+  bool died = false;
+  session->SetDeadCallback([&](Status) { died = true; });
+  topo_.scenario->net().RunFor(Seconds(40));
+  EXPECT_TRUE(died);
+
+  // ...and an on-demand re-punch restores connectivity. (Registration
+  // traffic re-established A's mapping with S automatically: the client
+  // keeps talking to S, which re-opens its own session through the NAT.)
+  ca_->StartKeepAlive(Seconds(2));
+  topo_.scenario->net().RunFor(Seconds(5));
+  UdpP2pSession* fresh = Punch();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(SendWorks(fresh));
+}
+
+TEST_F(FailureTest, NatRebootBreaksEstablishedTcpStream) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  TcpHolePuncher pa(&ca);
+  TcpHolePuncher pb(&cb);
+  TcpP2pStream* incoming = nullptr;
+  pb.SetIncomingStreamCallback([&](TcpP2pStream* s) { incoming = s; });
+  topo.scenario->net().RunFor(Seconds(3));
+  TcpP2pStream* stream = nullptr;
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { stream = r.ok() ? *r : nullptr; });
+  topo.scenario->net().RunFor(Seconds(20));
+  ASSERT_NE(stream, nullptr);
+
+  topo.site_b.nat->FlushMappings();
+  // Data now dies at B's NAT; A's retransmissions exhaust and reset.
+  Status closed;
+  stream->SetClosedCallback([&](Status s) { closed = s; });
+  stream->Send(Bytes(1000, 1));
+  topo.scenario->net().RunFor(Seconds(300));
+  EXPECT_FALSE(stream->alive());
+  EXPECT_EQ(closed.code(), ErrorCode::kTimedOut);
+}
+
+TEST_F(FailureTest, ServerRestartAllowsReRegistration) {
+  Build();
+  server_->Stop();
+  topo_.scenario->net().RunFor(Seconds(1));
+  ASSERT_TRUE(server_->Start().ok());
+  // Clients re-register (fresh client objects, as an app reconnect would).
+  UdpRendezvousClient ca2(topo_.a, server_->endpoint(), 1);
+  UdpRendezvousClient cb2(topo_.b, server_->endpoint(), 2);
+  bool ra = false;
+  bool rb = false;
+  ca2.Register(5555, [&](Result<Endpoint> r) { ra = r.ok(); });
+  cb2.Register(5555, [&](Result<Endpoint> r) { rb = r.ok(); });
+  UdpHolePuncher pa2(&ca2);
+  UdpHolePuncher pb2(&cb2);
+  topo_.scenario->net().RunFor(Seconds(3));
+  EXPECT_TRUE(ra);
+  EXPECT_TRUE(rb);
+  UdpP2pSession* session = nullptr;
+  pa2.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  topo_.scenario->net().RunFor(Seconds(10));
+  EXPECT_NE(session, nullptr);
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,180 @@
+// Cross-cutting coverage: the §3.4 wrong-host/ICMP candidate pruning path,
+// Fig. 6 TCP punching as a test (not just a bench), prediction degeneracy
+// on cone NATs, rendezvous TCP disconnects, logging, and event-loop corner
+// cases.
+
+#include <gtest/gtest.h>
+
+#include "src/core/prediction.h"
+#include "src/core/probe_server.h"
+#include "src/core/tcp_puncher.h"
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+#include "src/util/logging.h"
+
+namespace natpunch {
+namespace {
+
+TEST(StrayIcmpTest, DeadPrivateCandidatePrunedPunchStillSucceeds) {
+  // §3.4: A's probes to B's private endpoint reach a host on A's own
+  // network with the same address. Here that host has no socket bound, so
+  // it answers with ICMP port-unreachable — the puncher prunes the dead
+  // candidate and wins via the public path.
+  Scenario scenario{Scenario::Options{}};
+  Host* server_host = scenario.AddPublicHost("S", ServerIp());
+  // Both private networks use the SAME prefix (the paper notes vendors'
+  // default DHCP pools collide constantly).
+  NattedSite site_a = scenario.AddNattedSite(
+      "A", NatConfig{}, NatAIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+  NattedSite site_b = scenario.AddNattedSite(
+      "B", NatConfig{}, NatBIp(), Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 2);
+  Host* a = site_a.host(0);   // 10.0.0.2
+  Host* b = site_b.host(1);   // 10.0.0.3 behind NAT B
+  // The stray: same address as B, on A's network, no UDP socket at 4321.
+  Host* stray = scenario.AddHostToSite(&site_a, "stray", Ipv4Address::FromOctets(10, 0, 0, 3));
+  (void)stray;
+
+  scenario.net().trace().set_enabled(true);
+  RendezvousServer server(server_host, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(a, server.endpoint(), 1);
+  UdpRendezvousClient cb(b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  scenario.net().RunFor(Seconds(2));
+
+  UdpP2pSession* session = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  scenario.net().RunFor(Seconds(10));
+  ASSERT_NE(session, nullptr);
+  EXPECT_FALSE(session->used_private_endpoint());
+  EXPECT_EQ(session->peer_endpoint().ip, NatBIp());
+}
+
+TEST(Fig6TcpTest, MultiLevelTcpPunchNeedsHairpin) {
+  for (const bool hairpin : {false, true}) {
+    NatConfig isp;
+    isp.hairpin_tcp = hairpin;
+    auto topo = MakeFig6(isp, NatConfig{}, NatConfig{});
+    RendezvousServer server(topo.server, kServerPort);
+    ASSERT_TRUE(server.Start().ok());
+    TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+    TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+    ca.Connect(4321, [](Result<Endpoint>) {});
+    cb.Connect(4321, [](Result<Endpoint>) {});
+    TcpPunchConfig punch;
+    punch.punch_timeout = Seconds(20);
+    TcpHolePuncher pa(&ca, punch);
+    TcpHolePuncher pb(&cb, punch);
+    pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+    topo.scenario->net().RunFor(Seconds(3));
+    bool success = false;
+    pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { success = r.ok(); });
+    topo.scenario->net().RunFor(Seconds(30));
+    EXPECT_EQ(success, hairpin);
+  }
+}
+
+TEST(PredictionDegenerateTest, ConeNatsPredictDeltaZeroAndPunch) {
+  // On cone NATs prediction measures delta 0 and the predicted endpoint is
+  // simply the current one — the procedure degenerates to normal punching.
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  Host* stun2_host = topo.scenario->AddPublicHost("S2", Ipv4Address::FromOctets(18, 181, 0, 32));
+  StunLikeServer stun1(topo.server, 3478);
+  StunLikeServer stun2(stun2_host, 3478);
+  ASSERT_TRUE(stun1.Start().ok());
+  ASSERT_TRUE(stun2.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  PredictivePuncher predict_a(&pa, stun1.endpoint(), stun2.endpoint());
+  PredictivePuncher predict_b(&pb, stun1.endpoint(), stun2.endpoint());
+  pb.SetIncomingSessionCallback([](UdpP2pSession*) {});
+  topo.scenario->net().RunFor(Seconds(2));
+  UdpP2pSession* session = nullptr;
+  predict_a.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  topo.scenario->net().RunFor(Seconds(15));
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->peer_endpoint(), cb.public_endpoint());  // delta was 0
+}
+
+TEST(RendezvousTcpTest, DisconnectDropsRegistrationUdpSurvives) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  // Register B over both transports, A over UDP only.
+  UdpRendezvousClient ua(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient ub(topo.b, server.endpoint(), 2);
+  TcpRendezvousClient tb(topo.b, server.endpoint(), 2);
+  ua.Register(4321, [](Result<Endpoint>) {});
+  ub.Register(4321, [](Result<Endpoint>) {});
+  tb.Connect(4321, [](Result<Endpoint>) {});
+  topo.scenario->net().RunFor(Seconds(3));
+  EXPECT_EQ(server.client_count(), 2u);
+
+  tb.CloseConnection();
+  topo.scenario->net().RunFor(Seconds(2));
+  // B is still reachable for UDP introductions.
+  Result<RendezvousMessage> ack = Status(ErrorCode::kInProgress);
+  ua.RequestConnect(2, ConnectStrategy::kHolePunch, 1,
+                    [&](Result<RendezvousMessage> r) { ack = std::move(r); });
+  topo.scenario->net().RunFor(Seconds(3));
+  EXPECT_TRUE(ack.ok());
+}
+
+TEST(LoggingTest, SinkAndLevelsWork) {
+  std::string captured;
+  SetLogSink([&](const std::string& line) { captured += line; });
+  SetLogLevel(LogLevel::kInfo);
+  NP_LOG(Debug) << "invisible";
+  NP_LOG(Info) << "visible " << 42;
+  SetLogLevel(LogLevel::kWarning);
+  NP_LOG(Info) << "also invisible";
+  NP_LOG(Error) << "loud";
+  SetLogSink(nullptr);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(captured.find("invisible"), std::string::npos);
+  EXPECT_NE(captured.find("visible 42"), std::string::npos);
+  EXPECT_NE(captured.find("loud"), std::string::npos);
+}
+
+TEST(EventLoopEdgeTest, CancelFromWithinEvent) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventLoop::EventId second = 0;
+  loop.ScheduleAt(SimTime(10), [&] { loop.Cancel(second); });
+  second = loop.ScheduleAt(SimTime(20), [&] { second_ran = true; });
+  loop.RunUntilIdle();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoopEdgeTest, ScheduleInPastClampsToNow) {
+  EventLoop loop;
+  loop.RunUntil(SimTime(1000));
+  bool ran = false;
+  loop.ScheduleAt(SimTime(5), [&] { ran = true; });
+  EXPECT_EQ(loop.now().micros(), 1000);
+  loop.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now().micros(), 1000);  // fired "immediately", no time travel
+}
+
+TEST(EventLoopEdgeTest, SelfCancelIsHarmless) {
+  EventLoop loop;
+  EventLoop::EventId id = 0;
+  id = loop.ScheduleAt(SimTime(5), [&] {
+    EXPECT_FALSE(loop.Cancel(id));  // already dequeued while running
+  });
+  loop.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,291 @@
+// Tests for the NAT Check reproduction (§6.1) and the simulated fleet:
+// the instrument must classify every canonical NAT archetype correctly,
+// reproduce the §6.3 hairpin-test pessimism, and the fleet construction
+// must hit every Table 1 quota exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet.h"
+#include "src/natcheck/client.h"
+#include "src/natcheck/servers.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+class NatCheckTest : public ::testing::Test {
+ protected:
+  NatCheckReport Check(const NatConfig& nat, NatCheckClientConfig client_config = {},
+                       bool natted = true) {
+    Scenario scenario{Scenario::Options{}};
+    Host* s1 = scenario.AddPublicHost("S1", Ipv4Address::FromOctets(18, 181, 0, 31));
+    Host* s2 = scenario.AddPublicHost("S2", Ipv4Address::FromOctets(18, 181, 0, 32));
+    Host* s3 = scenario.AddPublicHost("S3", Ipv4Address::FromOctets(18, 181, 0, 33));
+    Host* client_host = nullptr;
+    NattedSite site;
+    if (natted) {
+      site = scenario.AddNattedSite("dev", nat, Ipv4Address::FromOctets(155, 99, 25, 11),
+                                    Ipv4Prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24), 1);
+      client_host = site.host(0);
+    } else {
+      client_host = scenario.AddPublicHost("pub", Ipv4Address::FromOctets(99, 1, 1, 1));
+    }
+    NatCheckServers servers(s1, s2, s3);
+    EXPECT_TRUE(servers.Start().ok());
+    NatCheckServerAddrs addrs{servers.udp_endpoint(1), servers.udp_endpoint(2),
+                              servers.tcp_endpoint(1), servers.tcp_endpoint(2),
+                              servers.tcp_endpoint(3)};
+    NatCheckClient client(client_host, addrs, client_config);
+    NatCheckReport report;
+    bool done = false;
+    client.Run(4321, [&](Result<NatCheckReport> r) {
+      done = true;
+      if (r.ok()) {
+        report = *r;
+      }
+    });
+    scenario.net().RunFor(Seconds(90));
+    EXPECT_TRUE(done);
+    return report;
+  }
+};
+
+TEST_F(NatCheckTest, PortRestrictedConeIsFullyCompatible) {
+  NatCheckReport report = Check(NatConfig{});
+  EXPECT_TRUE(report.udp_reachable);
+  EXPECT_TRUE(report.udp_consistent);
+  EXPECT_TRUE(report.udp_filters_unsolicited);
+  EXPECT_TRUE(report.tcp_reachable);
+  EXPECT_TRUE(report.tcp_consistent);
+  EXPECT_FALSE(report.tcp_unsolicited_passed);
+  EXPECT_FALSE(report.tcp_rejects_unsolicited);
+  EXPECT_TRUE(report.tcp_punch_connect_ok);  // simultaneous open with s3
+  EXPECT_TRUE(report.UdpHolePunchCompatible());
+  EXPECT_TRUE(report.TcpHolePunchCompatible());
+  EXPECT_FALSE(report.udp_hairpin);
+  EXPECT_FALSE(report.tcp_hairpin);
+}
+
+TEST_F(NatCheckTest, FullConePassesUnsolicitedBothProtocols) {
+  NatConfig full;
+  full.filtering = NatFiltering::kEndpointIndependent;
+  NatCheckReport report = Check(full);
+  EXPECT_FALSE(report.udp_filters_unsolicited);
+  EXPECT_TRUE(report.tcp_unsolicited_passed);
+  EXPECT_TRUE(report.UdpHolePunchCompatible());
+  EXPECT_TRUE(report.TcpHolePunchCompatible());
+}
+
+TEST_F(NatCheckTest, SymmetricNatIsIncompatible) {
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  NatCheckReport report = Check(symmetric);
+  EXPECT_TRUE(report.udp_reachable);
+  EXPECT_FALSE(report.udp_consistent);
+  EXPECT_FALSE(report.tcp_consistent);
+  EXPECT_FALSE(report.UdpHolePunchCompatible());
+  EXPECT_FALSE(report.TcpHolePunchCompatible());
+}
+
+TEST_F(NatCheckTest, RstingNatFlaggedTcpIncompatible) {
+  NatConfig rsting;
+  rsting.unsolicited_tcp = NatUnsolicitedTcp::kRst;
+  NatCheckReport report = Check(rsting);
+  EXPECT_TRUE(report.UdpHolePunchCompatible());  // UDP unaffected (§5.2)
+  EXPECT_TRUE(report.tcp_consistent);
+  EXPECT_TRUE(report.tcp_rejects_unsolicited);
+  EXPECT_FALSE(report.TcpHolePunchCompatible());
+}
+
+TEST_F(NatCheckTest, IcmpRejectingNatAlsoIncompatible) {
+  NatConfig icmp;
+  icmp.unsolicited_tcp = NatUnsolicitedTcp::kIcmp;
+  NatCheckReport report = Check(icmp);
+  EXPECT_TRUE(report.tcp_rejects_unsolicited);
+  EXPECT_FALSE(report.TcpHolePunchCompatible());
+}
+
+TEST_F(NatCheckTest, HairpinDetectedWhenSupported) {
+  NatConfig hairpin;
+  hairpin.hairpin_udp = true;
+  hairpin.hairpin_tcp = true;
+  NatCheckReport report = Check(hairpin);
+  EXPECT_TRUE(report.udp_hairpin_tested);
+  EXPECT_TRUE(report.udp_hairpin);
+  EXPECT_TRUE(report.tcp_hairpin_tested);
+  EXPECT_TRUE(report.tcp_hairpin);
+}
+
+TEST_F(NatCheckTest, FilteredHairpinLooksUnsupported) {
+  // §6.3: NAT Check's one-way hairpin test is pessimistic on NATs that
+  // treat traffic at their public ports as untrusted. The NAT *does*
+  // hairpin (full two-way punching would work), but the tool reports no.
+  NatConfig filtered;
+  filtered.hairpin_udp = true;
+  filtered.hairpin_tcp = true;
+  filtered.hairpin_filtered = true;
+  NatCheckReport report = Check(filtered);
+  EXPECT_FALSE(report.udp_hairpin);
+  EXPECT_FALSE(report.tcp_hairpin);
+}
+
+TEST_F(NatCheckTest, PublicClientLooksLikeNoNat) {
+  NatCheckReport report = Check(NatConfig{}, NatCheckClientConfig{}, /*natted=*/false);
+  EXPECT_TRUE(report.udp_consistent);
+  EXPECT_EQ(report.udp_public_1.ip, Ipv4Address::FromOctets(99, 1, 1, 1));
+  EXPECT_TRUE(report.TcpHolePunchCompatible());
+  // No NAT: nothing filters server 3's probes.
+  EXPECT_FALSE(report.udp_filters_unsolicited);
+  EXPECT_TRUE(report.tcp_unsolicited_passed);
+}
+
+TEST_F(NatCheckTest, OldClientVersionsSkipTests) {
+  NatCheckClientConfig old_version;
+  old_version.test_udp_hairpin = false;
+  old_version.test_tcp = false;
+  old_version.test_tcp_hairpin = false;
+  NatCheckReport report = Check(NatConfig{}, old_version);
+  EXPECT_TRUE(report.udp_reachable);
+  EXPECT_FALSE(report.udp_hairpin_tested);
+  EXPECT_FALSE(report.tcp_tested);
+}
+
+TEST_F(NatCheckTest, PortPreservingConeStillConsistent) {
+  NatConfig preserving;
+  preserving.port_allocation = NatPortAllocation::kPortPreserving;
+  NatCheckReport report = Check(preserving);
+  EXPECT_TRUE(report.udp_consistent);
+  EXPECT_EQ(report.udp_public_1.port, 4321);  // preserved
+}
+
+// ---------------------------------------------------------------------------
+// Fleet construction
+// ---------------------------------------------------------------------------
+
+TEST(FleetTest, PaperVendorsMatchTotals) {
+  auto vendors = PaperTable1Vendors();
+  int udp_yes = 0, udp_n = 0, uh_n = 0, tcp_yes = 0, tcp_n = 0, th_n = 0;
+  for (const auto& v : vendors) {
+    udp_yes += v.udp_yes;
+    udp_n += v.udp_n;
+    uh_n += v.udp_hairpin_n;
+    tcp_yes += v.tcp_yes;
+    tcp_n += v.tcp_n;
+    th_n += v.tcp_hairpin_n;
+  }
+  EXPECT_EQ(udp_yes, 310);
+  EXPECT_EQ(udp_n, 380);
+  EXPECT_EQ(uh_n, 335);
+  EXPECT_EQ(tcp_yes, 184);
+  EXPECT_EQ(tcp_n, 286);
+  // 284, not the paper's 286: Table 1's own per-vendor TCP-hairpin counts
+  // don't sum to its All Vendors line; we clamp (see fleet.cc).
+  EXPECT_EQ(th_n, 284);
+}
+
+TEST(FleetTest, BuildFleetHitsEveryQuotaExactly) {
+  auto vendors = PaperTable1Vendors();
+  auto fleet = BuildFleet(vendors, /*seed=*/42);
+  ASSERT_EQ(fleet.size(), 380u);
+  for (const auto& vendor : vendors) {
+    int cone = 0, n = 0, uh_yes = 0, uh_n = 0, tcp_ok = 0, tcp_n = 0, th_yes = 0, th_n = 0;
+    for (const auto& device : fleet) {
+      if (device.vendor != vendor.name) {
+        continue;
+      }
+      ++n;
+      cone += device.config.IsCone() ? 1 : 0;
+      if (device.reports_udp_hairpin) {
+        ++uh_n;
+        uh_yes += device.config.hairpin_udp ? 1 : 0;
+      }
+      if (device.reports_tcp) {
+        ++tcp_n;
+        tcp_ok += device.config.SupportsTcpHolePunching() ? 1 : 0;
+      }
+      if (device.reports_tcp_hairpin) {
+        ++th_n;
+        th_yes += device.config.hairpin_tcp ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(n, vendor.udp_n) << vendor.name;
+    EXPECT_EQ(cone, vendor.udp_yes) << vendor.name;
+    EXPECT_EQ(uh_n, vendor.udp_hairpin_n) << vendor.name;
+    EXPECT_EQ(uh_yes, vendor.udp_hairpin_yes) << vendor.name;
+    EXPECT_EQ(tcp_n, vendor.tcp_n) << vendor.name;
+    EXPECT_EQ(tcp_ok, vendor.tcp_yes) << vendor.name;
+    EXPECT_EQ(th_n, vendor.tcp_hairpin_n) << vendor.name;
+    EXPECT_EQ(th_yes, vendor.tcp_hairpin_yes) << vendor.name;
+  }
+}
+
+TEST(FleetTest, FleetIsDeterministicPerSeed) {
+  auto vendors = PaperTable1Vendors();
+  auto f1 = BuildFleet(vendors, 7);
+  auto f2 = BuildFleet(vendors, 7);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].config.mapping, f2[i].config.mapping);
+    EXPECT_EQ(f1[i].config.hairpin_udp, f2[i].config.hairpin_udp);
+    EXPECT_EQ(f1[i].reports_tcp, f2[i].reports_tcp);
+  }
+}
+
+TEST(FleetTest, MiniFleetMeasurementMatchesConstruction) {
+  // A small custom vendor; measurement through NAT Check must reproduce the
+  // construction exactly (no measurement artifacts for these behaviors).
+  std::vector<VendorProfile> vendors = {{"Mini", 3, 4, 1, 2, 2, 3, 1, 2}};
+  auto fleet = BuildFleet(vendors, 5);
+  ASSERT_EQ(fleet.size(), 4u);
+  Table1Result result = RunFleet(fleet, 99);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const VendorTally& tally = result.rows[0].second;
+  EXPECT_EQ(tally.udp_n, 4);
+  EXPECT_EQ(tally.udp_yes, 3);
+  EXPECT_EQ(tally.udp_hairpin_n, 2);
+  EXPECT_EQ(tally.udp_hairpin_yes, 1);
+  EXPECT_EQ(tally.tcp_n, 3);
+  EXPECT_EQ(tally.tcp_yes, 2);
+  EXPECT_EQ(tally.tcp_hairpin_n, 2);
+  EXPECT_EQ(tally.tcp_hairpin_yes, 1);
+}
+
+TEST(FleetTest, RunFleetIsDeterministic) {
+  std::vector<VendorProfile> vendors = {{"Mini", 3, 4, 1, 2, 2, 3, 1, 2}};
+  auto fleet = BuildFleet(vendors, 9);
+  const Table1Result r1 = RunFleet(fleet, 21);
+  const Table1Result r2 = RunFleet(fleet, 21);
+  EXPECT_EQ(r1.total.udp_yes, r2.total.udp_yes);
+  EXPECT_EQ(r1.total.tcp_yes, r2.total.tcp_yes);
+  EXPECT_EQ(r1.total.udp_hairpin_yes, r2.total.udp_hairpin_yes);
+}
+
+TEST(FleetTest, FullFleetReproducesPaperHeadline) {
+  // The flagship number: measure all 380 devices through the NAT Check
+  // reproduction and match the paper's aggregate row exactly.
+  const auto vendors = PaperTable1Vendors();
+  const auto fleet = BuildFleet(vendors, /*seed=*/2005);
+  const Table1Result result = RunFleet(fleet, /*seed=*/6);
+  EXPECT_EQ(result.total.udp_yes, 310);
+  EXPECT_EQ(result.total.udp_n, 380);
+  EXPECT_EQ(result.total.udp_hairpin_yes, 80);
+  EXPECT_EQ(result.total.udp_hairpin_n, 335);
+  EXPECT_EQ(result.total.tcp_yes, 184);
+  EXPECT_EQ(result.total.tcp_n, 286);
+  // 40/284 vs the paper's 37/286: Table 1's own inconsistency (see fleet.cc).
+  EXPECT_EQ(result.total.tcp_hairpin_yes, 40);
+  EXPECT_EQ(result.total.tcp_hairpin_n, 284);
+}
+
+TEST(FleetTest, FormatTable1Renders) {
+  std::vector<VendorProfile> vendors = {{"Mini", 2, 2, 0, 1, 1, 1, 0, 0}};
+  auto fleet = BuildFleet(vendors, 5);
+  Table1Result result = RunFleet(fleet, 3);
+  const std::string table = FormatTable1(result, &vendors);
+  EXPECT_NE(table.find("Mini"), std::string::npos);
+  EXPECT_NE(table.find("UDP punch"), std::string::npos);
+  EXPECT_NE(table.find("(paper)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,350 @@
+// Unit tests for src/netsim: virtual time, event loop determinism,
+// addressing, LAN delivery, routing, loss, and trace capture.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/netsim/address.h"
+#include "src/netsim/event_loop.h"
+#include "src/netsim/network.h"
+#include "src/netsim/packet.h"
+
+namespace natpunch {
+namespace {
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t0;
+  SimTime t1 = t0 + Millis(5);
+  EXPECT_EQ((t1 - t0).micros(), 5000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((Seconds(2) + Millis(500)).micros(), 2'500'000);
+  EXPECT_EQ((Seconds(1) / 4).millis(), 250);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(Seconds(3).ToString(), "3s");
+  EXPECT_EQ(Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Micros(7).ToString(), "7us");
+}
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(SimTime(300), [&] { order.push_back(3); });
+  loop.ScheduleAt(SimTime(100), [&] { order.push_back(1); });
+  loop.ScheduleAt(SimTime(200), [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().micros(), 300);
+}
+
+TEST(EventLoopTest, SameTimeFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(SimTime(50), [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  auto id = loop.ScheduleAfter(Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // second cancel is a no-op
+  loop.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockPastLastEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(SimTime(100), [&] { ++count; });
+  loop.ScheduleAt(SimTime(900), [&] { ++count; });
+  loop.RunUntil(SimTime(500));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now().micros(), 500);
+  loop.RunUntil(SimTime(1000));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      loop.ScheduleAfter(Millis(1), recurse);
+    }
+  };
+  loop.ScheduleAfter(Millis(1), recurse);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now().micros(), 5000);
+}
+
+TEST(EventLoopTest, RunUntilIdleHonorsCap) {
+  EventLoop loop;
+  std::function<void()> forever = [&] { loop.ScheduleAfter(Micros(1), forever); };
+  loop.ScheduleAfter(Micros(1), forever);
+  EXPECT_EQ(loop.RunUntilIdle(100), 100u);
+}
+
+TEST(AddressTest, ParseAndFormat) {
+  auto a = Ipv4Address::Parse("155.99.25.11");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ToString(), "155.99.25.11");
+  EXPECT_EQ(*a, Ipv4Address::FromOctets(155, 99, 25, 11));
+}
+
+TEST(AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1..2.3").has_value());
+}
+
+TEST(AddressTest, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Address::FromOctets(10, 0, 0, 1).IsPrivate());
+  EXPECT_TRUE(Ipv4Address::FromOctets(172, 16, 0, 1).IsPrivate());
+  EXPECT_TRUE(Ipv4Address::FromOctets(172, 31, 255, 255).IsPrivate());
+  EXPECT_TRUE(Ipv4Address::FromOctets(192, 168, 1, 1).IsPrivate());
+  EXPECT_FALSE(Ipv4Address::FromOctets(172, 32, 0, 1).IsPrivate());
+  EXPECT_FALSE(Ipv4Address::FromOctets(18, 181, 0, 31).IsPrivate());
+  EXPECT_FALSE(Ipv4Address::FromOctets(155, 99, 25, 11).IsPrivate());
+}
+
+TEST(AddressTest, ComplementIsInvolution) {
+  const Ipv4Address a = Ipv4Address::FromOctets(10, 1, 1, 3);
+  EXPECT_NE(a, a.Complement());
+  EXPECT_EQ(a, a.Complement().Complement());
+}
+
+TEST(EndpointTest, ParseAndFormat) {
+  auto e = Endpoint::Parse("138.76.29.7:31000");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->ToString(), "138.76.29.7:31000");
+  EXPECT_EQ(e->port, 31000);
+  EXPECT_FALSE(Endpoint::Parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Endpoint::Parse("1.2.3.4:99999").has_value());
+  EXPECT_FALSE(Endpoint::Parse("1.2.3.4:").has_value());
+}
+
+TEST(PrefixTest, Contains) {
+  auto p = Ipv4Prefix::Parse("10.0.0.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->Contains(Ipv4Address::FromOctets(10, 0, 0, 200)));
+  EXPECT_FALSE(p->Contains(Ipv4Address::FromOctets(10, 0, 1, 1)));
+  auto all = Ipv4Prefix::Parse("0.0.0.0/0");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(all->Contains(Ipv4Address::FromOctets(255, 255, 255, 255)));
+}
+
+TEST(PacketTest, WireSizeAccountsHeaders) {
+  Packet udp;
+  udp.protocol = IpProtocol::kUdp;
+  udp.payload = Bytes(100);
+  EXPECT_EQ(udp.WireSize(), 20u + 8u + 100u);
+  Packet tcp;
+  tcp.protocol = IpProtocol::kTcp;
+  EXPECT_EQ(tcp.WireSize(), 40u);
+}
+
+TEST(PacketTest, SummaryShowsFlags) {
+  Packet p;
+  p.protocol = IpProtocol::kTcp;
+  p.tcp.syn = true;
+  p.tcp.ack = true;
+  p.set_src(Endpoint(Ipv4Address::FromOctets(1, 2, 3, 4), 10));
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(5, 6, 7, 8), 20));
+  const std::string s = p.Summary();
+  EXPECT_NE(s.find("SYN,ACK"), std::string::npos);
+  EXPECT_NE(s.find("1.2.3.4:10"), std::string::npos);
+}
+
+// A trivial sink node recording what it receives.
+class SinkNode : public Node {
+ public:
+  SinkNode(Network* net, std::string name) : Node(net, std::move(name)) {}
+  void HandlePacket(int iface, Packet packet) override {
+    (void)iface;
+    received.push_back(packet);
+  }
+  std::vector<Packet> received;
+};
+
+TEST(LanTest, DeliversToOwnerWithLatency) {
+  Network net(1);
+  Lan* lan = net.CreateLan("lan", LanConfig{.latency = Millis(5)});
+  auto* a = net.Create<SinkNode>("a");
+  auto* b = net.Create<SinkNode>("b");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+
+  Packet p;
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
+  ASSERT_TRUE(a->SendPacket(p));
+  net.RunFor(Millis(4));
+  EXPECT_TRUE(b->received.empty());
+  net.RunFor(Millis(2));
+  ASSERT_EQ(b->received.size(), 1u);
+  // Source filled in from the egress interface.
+  EXPECT_EQ(b->received[0].src_ip, Ipv4Address::FromOctets(10, 0, 0, 1));
+}
+
+TEST(LanTest, NoRouteDropRecorded) {
+  Network net(1);
+  net.trace().set_enabled(true);
+  Lan* lan = net.CreateLan("lan", LanConfig{});
+  auto* a = net.Create<SinkNode>("a");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  Packet p;
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(99, 0, 0, 1), 9));
+  EXPECT_FALSE(a->SendPacket(p));  // off-subnet, no default route
+  EXPECT_EQ(net.trace().Count(TraceEvent::kDropNoRoute), 1u);
+}
+
+TEST(LanTest, MissingNextHopDropRecorded) {
+  Network net(1);
+  net.trace().set_enabled(true);
+  Lan* lan = net.CreateLan("lan", LanConfig{});
+  auto* a = net.Create<SinkNode>("a");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  Packet p;
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 99), 9));  // on-subnet, absent
+  EXPECT_TRUE(a->SendPacket(p));
+  net.RunUntilIdle();
+  EXPECT_EQ(net.trace().Count(TraceEvent::kDropNoNextHop), 1u);
+}
+
+TEST(LanTest, PrivateLeakOnGlobalRealm) {
+  Network net(1);
+  net.trace().set_enabled(true);
+  Lan* internet = net.CreateLan("internet", LanConfig{.is_global = true});
+  auto* a = net.Create<SinkNode>("a");
+  const int iface = a->AttachTo(internet, Ipv4Address::FromOctets(18, 0, 0, 1), 8);
+  a->AddRoute(Ipv4Prefix(Ipv4Address(0), 0), iface);
+  Packet p;
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 1, 1, 3), 9));
+  EXPECT_TRUE(a->SendPacket(p));
+  net.RunUntilIdle();
+  EXPECT_EQ(net.trace().Count(TraceEvent::kDropPrivateLeak), 1u);
+}
+
+TEST(LanTest, LossDropsDeterministically) {
+  Network net(42);
+  net.trace().set_enabled(true);
+  Lan* lan = net.CreateLan("lossy", LanConfig{.loss = 0.5});
+  auto* a = net.Create<SinkNode>("a");
+  auto* b = net.Create<SinkNode>("b");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
+    a->SendPacket(p);
+  }
+  net.RunUntilIdle();
+  const size_t delivered = b->received.size();
+  EXPECT_GT(delivered, 60u);
+  EXPECT_LT(delivered, 140u);
+  EXPECT_EQ(delivered + net.trace().Count(TraceEvent::kDropLoss), 200u);
+}
+
+TEST(LanTest, BandwidthSerializesPackets) {
+  Network net(1);
+  // 1 Mbit/s, negligible propagation: a 1028-byte packet (1000 payload +
+  // 28 headers) takes ~8.2 ms on the wire, so 10 back-to-back packets
+  // arrive spread over ~82 ms instead of simultaneously.
+  Lan* lan = net.CreateLan("slow", LanConfig{.latency = Micros(1), .bandwidth_bps = 1e6});
+  auto* a = net.Create<SinkNode>("a");
+  auto* b = net.Create<SinkNode>("b");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.protocol = IpProtocol::kUdp;
+    p.payload = Bytes(1000);
+    p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
+    a->SendPacket(p);
+  }
+  net.RunFor(Millis(50));
+  EXPECT_LT(b->received.size(), 10u);  // still serializing
+  net.RunFor(Millis(50));
+  EXPECT_EQ(b->received.size(), 10u);
+  EXPECT_GT(net.now().micros(), 80'000);
+}
+
+TEST(LanTest, InfiniteBandwidthDeliversConcurrently) {
+  Network net(1);
+  Lan* lan = net.CreateLan("fast", LanConfig{.latency = Millis(1)});
+  auto* a = net.Create<SinkNode>("a");
+  auto* b = net.Create<SinkNode>("b");
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.payload = Bytes(1000);
+    p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
+    a->SendPacket(p);
+  }
+  net.RunFor(Millis(1));
+  EXPECT_EQ(b->received.size(), 10u);  // all arrive after one latency
+}
+
+TEST(NodeTest, LongestPrefixMatchWins) {
+  Network net(1);
+  Lan* lan1 = net.CreateLan("l1", LanConfig{});
+  Lan* lan2 = net.CreateLan("l2", LanConfig{});
+  auto* r = net.Create<SinkNode>("r");
+  const int i1 = r->AttachTo(lan1, Ipv4Address::FromOctets(10, 0, 0, 1), 8);
+  const int i2 = r->AttachTo(lan2, Ipv4Address::FromOctets(10, 0, 1, 1), 24);
+  Ipv4Address next_hop;
+  EXPECT_EQ(r->RouteLookup(Ipv4Address::FromOctets(10, 0, 1, 7), &next_hop), i2);
+  EXPECT_EQ(r->RouteLookup(Ipv4Address::FromOctets(10, 9, 9, 9), &next_hop), i1);
+}
+
+TEST(NodeTest, GatewayRouteSetsNextHop) {
+  Network net(1);
+  Lan* lan = net.CreateLan("l", LanConfig{});
+  auto* h = net.Create<SinkNode>("h");
+  const int iface = h->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2), 24);
+  h->AddDefaultRoute(iface, Ipv4Address::FromOctets(10, 0, 0, 1));
+  Ipv4Address next_hop;
+  EXPECT_EQ(h->RouteLookup(Ipv4Address::FromOctets(8, 8, 8, 8), &next_hop), iface);
+  EXPECT_EQ(next_hop, Ipv4Address::FromOctets(10, 0, 0, 1));
+  // On-link destinations resolve to themselves.
+  EXPECT_EQ(h->RouteLookup(Ipv4Address::FromOctets(10, 0, 0, 7), &next_hop), iface);
+  EXPECT_EQ(next_hop, Ipv4Address::FromOctets(10, 0, 0, 7));
+}
+
+TEST(TraceTest, RecordsAndCounts) {
+  Network net(1);
+  net.trace().set_enabled(true);
+  Packet p;
+  p.id = 7;
+  net.trace().Record(net.now(), "n1", TraceEvent::kSend, p);
+  net.trace().Record(net.now(), "n2", TraceEvent::kSend, p);
+  net.trace().Record(net.now(), "n1", TraceEvent::kDeliver, p, "note");
+  EXPECT_EQ(net.trace().Count(TraceEvent::kSend), 2u);
+  EXPECT_EQ(net.trace().Count(TraceEvent::kSend, "n1"), 1u);
+  EXPECT_NE(net.trace().Dump().find("note"), std::string::npos);
+  net.trace().Clear();
+  EXPECT_TRUE(net.trace().records().empty());
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Network net(1);
+  Packet p;
+  net.trace().Record(net.now(), "n", TraceEvent::kSend, p);
+  EXPECT_TRUE(net.trace().records().empty());
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,319 @@
+// Property-based / parameterized sweeps over the NAT behavior space and
+// random seeds. These encode the paper's claims as invariants:
+//
+//   * UDP hole punching succeeds IFF both NATs have endpoint-independent
+//     ("cone") mapping — filtering and port allocation never matter (§5.1).
+//   * TCP hole punching succeeds IFF both NATs are cone — RST/ICMP
+//     rejection (§5.2) slows it down but the retry loop recovers.
+//   * The whole simulation is deterministic per seed.
+//   * TCP delivers byte-identical streams under loss and jitter.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/tcp_puncher.h"
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UDP punch matrix: mapping x mapping x filtering x seed
+// ---------------------------------------------------------------------------
+
+using UdpMatrixParam = std::tuple<NatMapping, NatMapping, NatFiltering, uint64_t>;
+
+class UdpPunchMatrixTest : public ::testing::TestWithParam<UdpMatrixParam> {};
+
+// The paper's blanket claim "symmetric NATs defeat punching" assumes the
+// worst-case (address-and-port-dependent) filtering. With looser filtering
+// the adaptive puncher — which answers probes at their *observed* source —
+// gets through even symmetric mappings: under AD filtering any port of the
+// already-contacted peer NAT passes, and under EI filtering everything
+// reaching an existing mapping passes. Hence the invariant:
+//   success  <=>  filtering != APD  ||  (both mappings endpoint-independent)
+TEST_P(UdpPunchMatrixTest, SuccessMatchesFilteringAwareInvariant) {
+  const auto [map_a, map_b, filtering, seed] = GetParam();
+  NatConfig nat_a;
+  nat_a.mapping = map_a;
+  nat_a.filtering = filtering;
+  NatConfig nat_b;
+  nat_b.mapping = map_b;
+  nat_b.filtering = filtering;
+  Scenario::Options options;
+  options.seed = seed;
+  auto topo = MakeFig5(nat_a, nat_b, options);
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  topo.scenario->net().RunFor(Seconds(2));
+
+  bool success = false;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { success = r.ok(); });
+  topo.scenario->net().RunFor(Seconds(15));
+
+  const bool both_cone = map_a == NatMapping::kEndpointIndependent &&
+                         map_b == NatMapping::kEndpointIndependent;
+  const bool expected =
+      filtering != NatFiltering::kAddressAndPortDependent || both_cone;
+  EXPECT_EQ(success, expected)
+      << "A=" << NatMappingName(map_a) << " B=" << NatMappingName(map_b)
+      << " filter=" << NatFilteringName(filtering) << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BehaviorMatrix, UdpPunchMatrixTest,
+    ::testing::Combine(::testing::Values(NatMapping::kEndpointIndependent,
+                                         NatMapping::kAddressDependent,
+                                         NatMapping::kAddressAndPortDependent),
+                       ::testing::Values(NatMapping::kEndpointIndependent,
+                                         NatMapping::kAddressAndPortDependent),
+                       ::testing::Values(NatFiltering::kEndpointIndependent,
+                                         NatFiltering::kAddressDependent,
+                                         NatFiltering::kAddressAndPortDependent),
+                       ::testing::Values(1u, 77u)));
+
+// ---------------------------------------------------------------------------
+// UDP punch is indifferent to port allocation policy (on cone NATs)
+// ---------------------------------------------------------------------------
+
+class UdpPortAllocationTest : public ::testing::TestWithParam<NatPortAllocation> {};
+
+TEST_P(UdpPortAllocationTest, ConeNatsPunchUnderAnyAllocator) {
+  NatConfig nat;
+  nat.port_allocation = GetParam();
+  auto topo = MakeFig5(nat, nat);
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  topo.scenario->net().RunFor(Seconds(2));
+  bool success = false;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { success = r.ok(); });
+  topo.scenario->net().RunFor(Seconds(15));
+  EXPECT_TRUE(success);
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, UdpPortAllocationTest,
+                         ::testing::Values(NatPortAllocation::kSequential,
+                                           NatPortAllocation::kRandom,
+                                           NatPortAllocation::kPortPreserving));
+
+// ---------------------------------------------------------------------------
+// TCP punch matrix: rejection policy x OS accept policy x seed
+// ---------------------------------------------------------------------------
+
+using TcpMatrixParam = std::tuple<NatUnsolicitedTcp, TcpAcceptPolicy, TcpAcceptPolicy, uint64_t>;
+
+class TcpPunchMatrixTest : public ::testing::TestWithParam<TcpMatrixParam> {};
+
+TEST_P(TcpPunchMatrixTest, ConeNatsAlwaysPunchEventually) {
+  const auto [rejection, policy_a, policy_b, seed] = GetParam();
+  NatConfig nat;
+  nat.unsolicited_tcp = rejection;
+  Scenario::Options options;
+  options.seed = seed;
+  options.host_config.tcp.accept_policy = policy_a;  // A's site hosts
+  auto topo = MakeFig5(nat, nat, options);
+  // B with its own policy.
+  HostConfig host_b;
+  host_b.tcp.accept_policy = policy_b;
+  Host* b = topo.scenario->net().Create<Host>("b2", host_b);
+  const int iface = b->AttachTo(topo.site_b.lan, Ipv4Address::FromOctets(10, 1, 1, 50));
+  b->AddDefaultRoute(iface, topo.site_b.nat->iface_ip(0));
+
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  TcpHolePuncher pa(&ca);
+  TcpHolePuncher pb(&cb);
+  pb.SetIncomingStreamCallback([](TcpP2pStream*) {});
+  topo.scenario->net().RunFor(Seconds(3));
+
+  bool success = false;
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { success = r.ok(); });
+  topo.scenario->net().RunFor(Seconds(40));
+  EXPECT_TRUE(success) << "rejection=" << NatUnsolicitedTcpName(rejection)
+                       << " policies=" << static_cast<int>(policy_a) << ","
+                       << static_cast<int>(policy_b) << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RejectionByPolicy, TcpPunchMatrixTest,
+    ::testing::Combine(::testing::Values(NatUnsolicitedTcp::kDrop, NatUnsolicitedTcp::kRst,
+                                         NatUnsolicitedTcp::kIcmp),
+                       ::testing::Values(TcpAcceptPolicy::kBsd, TcpAcceptPolicy::kLinuxWindows),
+                       ::testing::Values(TcpAcceptPolicy::kBsd, TcpAcceptPolicy::kLinuxWindows),
+                       ::testing::Values(5u)));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds produce identical runs
+// ---------------------------------------------------------------------------
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  struct Fingerprint {
+    bool success = false;
+    int64_t punch_micros = 0;
+    uint64_t events = 0;
+    size_t trace_records = 0;
+  };
+
+  Fingerprint Run(uint64_t seed) {
+    Scenario::Options options;
+    options.seed = seed;
+    options.internet_loss = 0.15;  // stochastic path decisions included
+    auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+    topo.scenario->net().trace().set_enabled(true);
+    RendezvousServer server(topo.server, kServerPort);
+    server.Start();
+    UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+    UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+    ca.Register(4321, [](Result<Endpoint>) {});
+    cb.Register(4321, [](Result<Endpoint>) {});
+    UdpHolePuncher pa(&ca);
+    UdpHolePuncher pb(&cb);
+    topo.scenario->net().RunFor(Seconds(2));
+    Fingerprint fp;
+    pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+      fp.success = r.ok();
+      if (r.ok()) {
+        fp.punch_micros = (*r)->punch_elapsed().micros();
+      }
+    });
+    topo.scenario->net().RunFor(Seconds(10));
+    fp.events = topo.scenario->net().event_loop().events_processed();
+    fp.trace_records = topo.scenario->net().trace().records().size();
+    return fp;
+  }
+};
+
+TEST_P(DeterminismTest, IdenticalSeedIdenticalRun) {
+  const Fingerprint a = Run(GetParam());
+  const Fingerprint b = Run(GetParam());
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.punch_micros, b.punch_micros);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+// ---------------------------------------------------------------------------
+// TCP stream integrity under adverse links
+// ---------------------------------------------------------------------------
+
+using LinkParam = std::tuple<double /*loss*/, int64_t /*jitter ms*/, uint64_t /*seed*/>;
+
+class TcpIntegrityTest : public ::testing::TestWithParam<LinkParam> {};
+
+TEST_P(TcpIntegrityTest, StreamIsByteIdentical) {
+  const auto [loss, jitter_ms, seed] = GetParam();
+  Network net(seed);
+  Lan* lan = net.CreateLan(
+      "link", LanConfig{.latency = Millis(2), .jitter = Millis(jitter_ms), .loss = loss});
+  HostConfig config;
+  config.tcp.initial_rto = Millis(200);
+  Host* a = net.Create<Host>("a", config);
+  Host* b = net.Create<Host>("b", config);
+  a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
+  b->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 2));
+
+  Bytes sent(40 * 1000);
+  Rng data_rng(seed * 7 + 1);
+  for (auto& byte : sent) {
+    byte = static_cast<uint8_t>(data_rng.NextU64());
+  }
+  Bytes received;
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback(
+        [&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+  });
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Endpoint(b->primary_address(), 7000), [&](Status s) {
+    if (s.ok()) {
+      client->Send(sent);
+    }
+  });
+  net.RunFor(Seconds(300));
+  EXPECT_EQ(received, sent) << "loss=" << loss << " jitter=" << jitter_ms
+                            << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdverseLinks, TcpIntegrityTest,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.2),   // loss
+                       ::testing::Values(int64_t{0}, int64_t{10}),  // jitter (reordering!)
+                       ::testing::Values(3u, 9u)));
+
+// ---------------------------------------------------------------------------
+// Keep-alive invariant: survival iff interval < NAT session timeout
+// ---------------------------------------------------------------------------
+
+using KeepaliveParam = std::tuple<int64_t /*timeout s*/, int64_t /*keepalive s*/>;
+
+class KeepaliveInvariantTest : public ::testing::TestWithParam<KeepaliveParam> {};
+
+TEST_P(KeepaliveInvariantTest, SurvivalMatchesArithmetic) {
+  const auto [timeout_s, keepalive_s] = GetParam();
+  NatConfig nat;
+  nat.udp_timeout = Seconds(timeout_s);
+  auto topo = MakeFig5(nat, nat);
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  ca.StartKeepAlive(Seconds(5));
+  cb.StartKeepAlive(Seconds(5));
+  UdpPunchConfig punch_a;
+  punch_a.keepalive_interval = Seconds(keepalive_s);
+  punch_a.session_expiry = Seconds(3600);
+  UdpPunchConfig punch_b = punch_a;
+  punch_b.keepalives_enabled = false;  // isolate the A->B chain
+  UdpHolePuncher pa(&ca, punch_a);
+  UdpHolePuncher pb(&cb, punch_b);
+  int b_received = 0;
+  pb.SetIncomingSessionCallback([&](UdpP2pSession* s) {
+    s->SetReceiveCallback([&](const Bytes&) { ++b_received; });
+  });
+  topo.scenario->net().RunFor(Seconds(2));
+  UdpP2pSession* session = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  topo.scenario->net().RunFor(Seconds(8));
+  ASSERT_NE(session, nullptr);
+
+  topo.scenario->net().RunFor(Seconds(180));
+  const int before = b_received;
+  session->Send(Bytes{1});
+  topo.scenario->net().RunFor(Seconds(3));
+  const bool survived = b_received > before;
+  EXPECT_EQ(survived, keepalive_s < timeout_s)
+      << "timeout=" << timeout_s << " keepalive=" << keepalive_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KeepaliveInvariantTest,
+                         ::testing::Values(KeepaliveParam{30, 10}, KeepaliveParam{30, 45},
+                                           KeepaliveParam{60, 45}, KeepaliveParam{60, 100},
+                                           KeepaliveParam{20, 15}, KeepaliveParam{20, 25}));
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,285 @@
+// Tests for the rendezvous protocol: message codec, framing, registration
+// (public/private endpoint recording), connect introductions, relaying, and
+// behavior through NATs.
+
+#include <gtest/gtest.h>
+
+#include "src/rendezvous/client.h"
+#include "src/rendezvous/messages.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+TEST(RendezvousCodecTest, RoundTripAllFields) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kConnectForward;
+  msg.client_id = 0x1122334455667788ULL;
+  msg.target_id = 42;
+  msg.nonce = 0xdeadbeefcafef00dULL;
+  msg.strategy = ConnectStrategy::kSequential;
+  msg.public_ep = Endpoint(Ipv4Address::FromOctets(155, 99, 25, 11), 62000);
+  msg.private_ep = Endpoint(Ipv4Address::FromOctets(10, 0, 0, 1), 4321);
+  msg.payload = Bytes{9, 8, 7};
+
+  for (bool obfuscate : {false, true}) {
+    auto decoded = DecodeRendezvousMessage(EncodeRendezvousMessage(msg, obfuscate), obfuscate);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, msg.type);
+    EXPECT_EQ(decoded->client_id, msg.client_id);
+    EXPECT_EQ(decoded->target_id, msg.target_id);
+    EXPECT_EQ(decoded->nonce, msg.nonce);
+    EXPECT_EQ(decoded->strategy, msg.strategy);
+    EXPECT_EQ(decoded->public_ep, msg.public_ep);
+    EXPECT_EQ(decoded->private_ep, msg.private_ep);
+    EXPECT_EQ(decoded->payload, msg.payload);
+  }
+}
+
+TEST(RendezvousCodecTest, ObfuscationHidesAddressBytes) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kRegister;
+  msg.private_ep = Endpoint(Ipv4Address::FromOctets(10, 0, 0, 1), 4321);
+  const Bytes plain = EncodeRendezvousMessage(msg, false);
+  const Bytes obf = EncodeRendezvousMessage(msg, true);
+  // The raw address bytes 10.0.0.1 appear in the plain encoding only.
+  const Bytes needle{10, 0, 0, 1};
+  auto contains = [&](const Bytes& hay) {
+    return std::search(hay.begin(), hay.end(), needle.begin(), needle.end()) != hay.end();
+  };
+  EXPECT_TRUE(contains(plain));
+  EXPECT_FALSE(contains(obf));
+}
+
+TEST(RendezvousCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeRendezvousMessage(Bytes{}, false).has_value());
+  EXPECT_FALSE(DecodeRendezvousMessage(Bytes{1, 2, 3}, false).has_value());
+  Bytes truncated = EncodeRendezvousMessage(RendezvousMessage{}, false);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeRendezvousMessage(truncated, false).has_value());
+  // Bad type byte.
+  Bytes bad_type = EncodeRendezvousMessage(RendezvousMessage{}, false);
+  bad_type[2] = 0xee;
+  EXPECT_FALSE(DecodeRendezvousMessage(bad_type, false).has_value());
+}
+
+TEST(FramerTest, SplitsCoalescedAndFragmented) {
+  MessageFramer framer;
+  const Bytes m1{1, 2, 3};
+  const Bytes m2{4, 5};
+  Bytes stream = MessageFramer::Frame(m1);
+  const Bytes f2 = MessageFramer::Frame(m2);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  // Feed in awkward 2-byte chunks.
+  std::vector<Bytes> got;
+  for (size_t i = 0; i < stream.size(); i += 2) {
+    const size_t n = std::min<size_t>(2, stream.size() - i);
+    auto out = framer.Append(Bytes(stream.begin() + i, stream.begin() + i + n));
+    got.insert(got.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], m1);
+  EXPECT_EQ(got[1], m2);
+}
+
+TEST(FramerTest, EmptyMessage) {
+  MessageFramer framer;
+  auto got = framer.Append(MessageFramer::Frame(Bytes{}));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].empty());
+}
+
+class RendezvousTest : public ::testing::Test {
+ protected:
+  void Build(const NatConfig& nat_a, const NatConfig& nat_b) {
+    topo_ = MakeFig5(nat_a, nat_b);
+    server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Fig5Topology topo_;
+  std::unique_ptr<RendezvousServer> server_;
+};
+
+TEST_F(RendezvousTest, UdpRegisterRecordsBothEndpoints) {
+  Build(NatConfig{}, NatConfig{});
+  UdpRendezvousClient client(topo_.a, server_->endpoint(), /*client_id=*/1);
+  Result<Endpoint> got = Status(ErrorCode::kInProgress);
+  client.Register(4321, [&](Result<Endpoint> r) { got = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Endpoint(NatAIp(), 62000));  // observed public endpoint
+  EXPECT_EQ(client.public_endpoint(), Endpoint(NatAIp(), 62000));
+  EXPECT_EQ(client.private_endpoint(), Endpoint(topo_.a->primary_address(), 4321));
+  EXPECT_EQ(server_->stats().udp_registrations, 1u);
+}
+
+TEST_F(RendezvousTest, RegistrationRetriesThroughLoss) {
+  Scenario::Options options;
+  options.internet_loss = 0.4;
+  options.seed = 3;
+  topo_ = MakeFig5(NatConfig{}, NatConfig{}, options);
+  server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort);
+  ASSERT_TRUE(server_->Start().ok());
+  UdpRendezvousClient client(topo_.a, server_->endpoint(), 1);
+  Result<Endpoint> got = Status(ErrorCode::kInProgress);
+  client.Register(4321, [&](Result<Endpoint> r) { got = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(10));
+  EXPECT_TRUE(got.ok());
+}
+
+TEST_F(RendezvousTest, ConnectRequestIntroducesBothSides) {
+  Build(NatConfig{}, NatConfig{});
+  UdpRendezvousClient ca(topo_.a, server_->endpoint(), 1);
+  UdpRendezvousClient cb(topo_.b, server_->endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  topo_.scenario->net().RunFor(Seconds(2));
+
+  RendezvousMessage fwd_seen;
+  bool got_fwd = false;
+  cb.SetConnectForwardHandler(ConnectStrategy::kHolePunch, [&](const RendezvousMessage& m) {
+    fwd_seen = m;
+    got_fwd = true;
+  });
+  Result<RendezvousMessage> ack = Status(ErrorCode::kInProgress);
+  ca.RequestConnect(2, ConnectStrategy::kHolePunch, /*nonce=*/777,
+                    [&](Result<RendezvousMessage> r) { ack = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(2));
+
+  ASSERT_TRUE(ack.ok());
+  // A learns B's endpoints (Fig. 5: B public = 138.76.29.7:62000 here,
+  // because each NAT starts its sequential allocator at 62000).
+  EXPECT_EQ(ack->public_ep.ip, NatBIp());
+  EXPECT_EQ(ack->private_ep, cb.private_endpoint());
+  EXPECT_EQ(ack->nonce, 777u);
+  // B learns A's endpoints.
+  ASSERT_TRUE(got_fwd);
+  EXPECT_EQ(fwd_seen.client_id, 1u);
+  EXPECT_EQ(fwd_seen.public_ep, ca.public_endpoint());
+  EXPECT_EQ(fwd_seen.private_ep, ca.private_endpoint());
+  EXPECT_EQ(fwd_seen.nonce, 777u);
+  EXPECT_EQ(fwd_seen.strategy, ConnectStrategy::kHolePunch);
+}
+
+TEST_F(RendezvousTest, ConnectRequestUnknownPeerFails) {
+  Build(NatConfig{}, NatConfig{});
+  UdpRendezvousClient ca(topo_.a, server_->endpoint(), 1);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  topo_.scenario->net().RunFor(Seconds(2));
+  Result<RendezvousMessage> ack = Status(ErrorCode::kInProgress);
+  ca.RequestConnect(99, ConnectStrategy::kHolePunch, 1,
+                    [&](Result<RendezvousMessage> r) { ack = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(2));
+  EXPECT_FALSE(ack.ok());
+  EXPECT_EQ(server_->stats().unknown_targets, 1u);
+}
+
+TEST_F(RendezvousTest, UdpRelayRoundTrip) {
+  Build(NatConfig{}, NatConfig{});
+  UdpRendezvousClient ca(topo_.a, server_->endpoint(), 1);
+  UdpRendezvousClient cb(topo_.b, server_->endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  topo_.scenario->net().RunFor(Seconds(2));
+
+  uint64_t from = 0;
+  Bytes got;
+  cb.SetRelayHandler([&](uint64_t f, const Bytes& p) {
+    from = f;
+    got = p;
+    cb.SendRelay(f, Bytes{'p', 'o', 'n', 'g'});
+  });
+  Bytes back;
+  ca.SetRelayHandler([&](uint64_t, const Bytes& p) { back = p; });
+  ca.SendRelay(2, Bytes{'p', 'i', 'n', 'g'});
+  topo_.scenario->net().RunFor(Seconds(2));
+  EXPECT_EQ(from, 1u);
+  EXPECT_EQ(got, (Bytes{'p', 'i', 'n', 'g'}));
+  EXPECT_EQ(back, (Bytes{'p', 'o', 'n', 'g'}));
+  EXPECT_EQ(server_->stats().relayed_messages, 2u);
+  EXPECT_EQ(server_->stats().relayed_bytes, 8u);
+}
+
+TEST_F(RendezvousTest, TcpRegisterAndIntroduce) {
+  Build(NatConfig{}, NatConfig{});
+  TcpRendezvousClient ca(topo_.a, server_->endpoint(), 1);
+  TcpRendezvousClient cb(topo_.b, server_->endpoint(), 2);
+  Result<Endpoint> ra = Status(ErrorCode::kInProgress);
+  Result<Endpoint> rb = Status(ErrorCode::kInProgress);
+  ca.Connect(4321, [&](Result<Endpoint> r) { ra = std::move(r); });
+  cb.Connect(4321, [&](Result<Endpoint> r) { rb = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(3));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->ip, NatAIp());
+  EXPECT_EQ(rb->ip, NatBIp());
+
+  bool got_fwd = false;
+  cb.SetConnectForwardHandler(ConnectStrategy::kHolePunch, [&](const RendezvousMessage&) { got_fwd = true; });
+  Result<RendezvousMessage> ack = Status(ErrorCode::kInProgress);
+  ca.RequestConnect(2, ConnectStrategy::kHolePunch, 5,
+                    [&](Result<RendezvousMessage> r) { ack = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(2));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->public_ep, cb.public_endpoint());
+  EXPECT_TRUE(got_fwd);
+}
+
+TEST_F(RendezvousTest, ObfuscationDefeatsPayloadRewritingNat) {
+  // The bad NAT rewrites A's private address inside the registration body;
+  // with obfuscation the server still records the true private endpoint.
+  NatConfig bad;
+  bad.rewrite_payload_addresses = true;
+  for (bool obfuscate : {false, true}) {
+    topo_ = MakeFig5(bad, NatConfig{});
+    RendezvousServer::Options srv_opts;
+    srv_opts.obfuscate_addresses = obfuscate;
+    server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort, srv_opts);
+    ASSERT_TRUE(server_->Start().ok());
+
+    RendezvousClientOptions cli_opts;
+    cli_opts.obfuscate_addresses = obfuscate;
+    UdpRendezvousClient ca(topo_.a, server_->endpoint(), 1, cli_opts);
+    UdpRendezvousClient cb(topo_.b, server_->endpoint(), 2, cli_opts);
+    ca.Register(4321, [](Result<Endpoint>) {});
+    cb.Register(4321, [](Result<Endpoint>) {});
+    topo_.scenario->net().RunFor(Seconds(2));
+
+    RendezvousMessage fwd;
+    bool got = false;
+    cb.SetConnectForwardHandler(ConnectStrategy::kHolePunch, [&](const RendezvousMessage& m) {
+      fwd = m;
+      got = true;
+    });
+    ca.RequestConnect(2, ConnectStrategy::kHolePunch, 1, [](Result<RendezvousMessage>) {});
+    topo_.scenario->net().RunFor(Seconds(2));
+    ASSERT_TRUE(got);
+    if (obfuscate) {
+      EXPECT_EQ(fwd.private_ep, ca.private_endpoint());  // survived
+    } else {
+      EXPECT_NE(fwd.private_ep, ca.private_endpoint());  // mangled by NAT
+      EXPECT_EQ(fwd.private_ep.ip, NatAIp());            // into the public IP
+    }
+  }
+}
+
+TEST_F(RendezvousTest, KeepAliveSustainsMapping) {
+  NatConfig short_timeout;
+  short_timeout.udp_timeout = Seconds(20);
+  Build(short_timeout, NatConfig{});
+  UdpRendezvousClient ca(topo_.a, server_->endpoint(), 1);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  topo_.scenario->net().RunFor(Seconds(2));
+  ca.StartKeepAlive(Seconds(10));
+  topo_.scenario->net().RunFor(Seconds(60));
+  EXPECT_EQ(topo_.site_a.nat->active_mapping_count(), 1u);
+  ca.StopKeepAlive();
+  topo_.scenario->net().RunFor(Seconds(30));
+  EXPECT_EQ(topo_.site_a.nat->active_mapping_count(), 0u);
+}
+
+}  // namespace
+}  // namespace natpunch

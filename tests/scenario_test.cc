@@ -1,0 +1,108 @@
+// Tests for the canned topologies: addressing, routing, and that each
+// figure's world has the connectivity properties its experiments assume.
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+// Round-trip UDP echo probe: true if `from` can reach `to_ep` and get an
+// answer back within a second.
+bool EchoWorks(Network& net, Host* from, Host* to, uint16_t port) {
+  auto server = to->udp().Bind(port);
+  if (!server.ok()) {
+    return false;
+  }
+  (*server)->SetReceiveCallback([s = *server](const Endpoint& peer, const Bytes& p) {
+    s->SendTo(peer, p);
+  });
+  auto client = from->udp().Bind(0);
+  bool echoed = false;
+  (*client)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { echoed = true; });
+  (*client)->SendTo(Endpoint(to->primary_address(), port), Bytes{1});
+  net.RunFor(Seconds(1));
+  (*server)->Close();
+  (*client)->Close();
+  return echoed;
+}
+
+TEST(ScenarioTest, PaperAddressesInFig5) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  EXPECT_EQ(topo.server->primary_address(), ServerIp());
+  EXPECT_EQ(topo.site_a.nat->public_ip(), NatAIp());
+  EXPECT_EQ(topo.site_b.nat->public_ip(), NatBIp());
+  EXPECT_EQ(topo.b->primary_address(), Ipv4Address::FromOctets(10, 1, 1, 3));
+  EXPECT_TRUE(topo.a->primary_address().IsPrivate());
+}
+
+TEST(ScenarioTest, Fig5ClientsReachServerNotEachOther) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  Network& net = topo.scenario->net();
+  EXPECT_TRUE(EchoWorks(net, topo.a, topo.server, 9001));
+  EXPECT_TRUE(EchoWorks(net, topo.b, topo.server, 9002));
+  // Direct client-to-client via private addresses must not work.
+  auto sock = topo.a->udp().Bind(0);
+  bool received = false;
+  auto sink = topo.b->udp().Bind(9003);
+  (*sink)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sock)->SendTo(Endpoint(topo.b->primary_address(), 9003), Bytes{1});
+  net.RunFor(Seconds(1));
+  EXPECT_FALSE(received);
+}
+
+TEST(ScenarioTest, Fig4ClientsShareLanAndNat) {
+  auto topo = MakeFig4(NatConfig{});
+  Network& net = topo.scenario->net();
+  // Same-LAN direct reachability.
+  EXPECT_TRUE(EchoWorks(net, topo.a, topo.b, 9004));
+  // Both reach the server through the single NAT.
+  EXPECT_TRUE(EchoWorks(net, topo.a, topo.server, 9005));
+  EXPECT_TRUE(EchoWorks(net, topo.b, topo.server, 9006));
+  EXPECT_GE(topo.site.nat->active_mapping_count(), 2u);
+}
+
+TEST(ScenarioTest, Fig6TwoLevelsOfTranslation) {
+  auto topo = MakeFig6(NatConfig{}, NatConfig{}, NatConfig{});
+  Network& net = topo.scenario->net();
+  EXPECT_TRUE(EchoWorks(net, topo.a, topo.server, 9007));
+  // Both the consumer NAT and the ISP NAT hold a mapping for the session.
+  EXPECT_GE(topo.site_a.nat->active_mapping_count(), 1u);
+  EXPECT_GE(topo.isp.nat->active_mapping_count(), 1u);
+  // The ISP realm address of NAT A is private.
+  EXPECT_TRUE(topo.site_a.nat->public_ip().IsPrivate());
+  EXPECT_FALSE(topo.isp.nat->public_ip().IsPrivate());
+}
+
+TEST(ScenarioTest, AddHostToSiteIsRoutable) {
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  Host* extra =
+      topo.scenario->AddHostToSite(&topo.site_a, "x", Ipv4Address::FromOctets(10, 0, 0, 77));
+  Network& net = topo.scenario->net();
+  EXPECT_TRUE(EchoWorks(net, extra, topo.server, 9008));
+  EXPECT_TRUE(EchoWorks(net, extra, topo.a, 9009));
+}
+
+TEST(ScenarioTest, LossySegmentConfigApplies) {
+  Scenario::Options options;
+  options.internet_loss = 1.0;  // everything dies on the global realm
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  Network& net = topo.scenario->net();
+  EXPECT_FALSE(EchoWorks(net, topo.a, topo.server, 9010));
+  // But the private LAN is unaffected.
+  auto topo2 = MakeFig4(NatConfig{}, options);
+  EXPECT_TRUE(EchoWorks(topo2.scenario->net(), topo2.a, topo2.b, 9011));
+}
+
+TEST(ScenarioTest, SeedsChangeOnlyRandomness) {
+  for (uint64_t seed : {1u, 2u}) {
+    Scenario::Options options;
+    options.seed = seed;
+    auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+    EXPECT_EQ(topo.site_a.nat->public_ip(), NatAIp());  // structure invariant
+  }
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,269 @@
+// TCP hardening tests beyond the basic suite: reordering via jitter,
+// bandwidth-constrained paths, bidirectional bulk streams, interleaved
+// connections, tuple reuse after teardown, and the §4.3 doomed-connect
+// corner cases.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/netsim/network.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+namespace {
+
+class TcpRobustnessTest : public ::testing::Test {
+ protected:
+  Host* MakeHost(const std::string& name, uint8_t last_octet,
+                 TcpAcceptPolicy policy = TcpAcceptPolicy::kBsd) {
+    HostConfig config;
+    config.tcp.accept_policy = policy;
+    config.tcp.initial_rto = Millis(200);
+    config.tcp.time_wait = Seconds(1);
+    Host* h = net_.Create<Host>(name, config);
+    h->AttachTo(lan_, Ipv4Address::FromOctets(10, 0, 0, last_octet));
+    return h;
+  }
+
+  void SetUp() override { lan_ = net_.CreateLan("lan", LanConfig{.latency = Millis(1)}); }
+
+  Endpoint Ep(Host* h, uint16_t port) { return Endpoint(h->primary_address(), port); }
+
+  Bytes RandomBlob(size_t n, uint64_t seed) {
+    Bytes blob(n);
+    Rng rng(seed);
+    for (auto& b : blob) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    return blob;
+  }
+
+  Network net_{1};
+  Lan* lan_ = nullptr;
+};
+
+TEST_F(TcpRobustnessTest, ReorderingViaJitterReassembles) {
+  lan_->set_config(LanConfig{.latency = Millis(1), .jitter = Millis(20)});
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  Bytes received;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback(
+        [&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+  });
+  const Bytes blob = RandomBlob(60 * 1000, 5);
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(blob);
+  });
+  net_.RunFor(Seconds(60));
+  EXPECT_EQ(received, blob);  // out-of-order segments reassembled exactly
+}
+
+TEST_F(TcpRobustnessTest, BandwidthLimitedTransferCompletes) {
+  lan_->set_config(LanConfig{.latency = Millis(2), .bandwidth_bps = 2e6});
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  size_t received = 0;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([&](const Bytes& d) { received += d.size(); });
+  });
+  constexpr size_t kSize = 200 * 1000;
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(Bytes(kSize, 0x7e));
+  });
+  const SimTime start = net_.now();
+  net_.RunFor(Seconds(30));
+  EXPECT_EQ(received, kSize);
+  // 200 kB over 2 Mbit/s must take at least the serialization time (~0.8 s).
+  EXPECT_GT((net_.now() - start).seconds(), 0.5);
+}
+
+TEST_F(TcpRobustnessTest, BidirectionalBulkStreams) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  const Bytes blob_a = RandomBlob(50 * 1000, 11);
+  const Bytes blob_b = RandomBlob(70 * 1000, 13);
+  Bytes got_at_a;
+  Bytes got_at_b;
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback(
+        [&](const Bytes& d) { got_at_b.insert(got_at_b.end(), d.begin(), d.end()); });
+    s->Send(blob_b);
+  });
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->SetDataCallback(
+      [&](const Bytes& d) { got_at_a.insert(got_at_a.end(), d.begin(), d.end()); });
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(blob_a);
+  });
+  net_.RunFor(Seconds(60));
+  EXPECT_EQ(got_at_b, blob_a);
+  EXPECT_EQ(got_at_a, blob_b);
+}
+
+TEST_F(TcpRobustnessTest, ManyConcurrentConnections) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  int echoes = 0;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([s](const Bytes& d) { s->Send(d); });
+  });
+  constexpr int kConns = 50;
+  int done = 0;
+  for (int i = 0; i < kConns; ++i) {
+    TcpSocket* client = a->tcp().CreateSocket();
+    client->SetDataCallback([&](const Bytes&) { ++echoes; });
+    client->Connect(Ep(b, 7000), [client, i, &done](Status s) {
+      ASSERT_TRUE(s.ok());
+      client->Send(Bytes{static_cast<uint8_t>(i)});
+      ++done;
+    });
+  }
+  net_.RunFor(Seconds(10));
+  EXPECT_EQ(done, kConns);
+  EXPECT_EQ(echoes, kConns);
+}
+
+TEST_F(TcpRobustnessTest, TupleReusableAfterTimeWaitExpires) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  // Server closes its side on EOF so the active closer reaches TIME_WAIT.
+  listener->Listen([](TcpSocket* s) {
+    s->SetClosedCallback([s](Status) { s->Close(); });
+  });
+
+  TcpSocket* first = a->tcp().CreateSocket();
+  first->SetReuseAddr(true);
+  ASSERT_TRUE(first->Bind(5000).ok());
+  bool connected = false;
+  first->Connect(Ep(b, 7000), [&](Status s) { connected = s.ok(); });
+  net_.RunFor(Seconds(1));
+  ASSERT_TRUE(connected);
+  first->Close();
+  net_.RunFor(Millis(100));
+  EXPECT_EQ(first->state(), TcpState::kTimeWait);
+
+  // While in TIME_WAIT the exact tuple is still occupied.
+  TcpSocket* second = a->tcp().CreateSocket();
+  second->SetReuseAddr(true);
+  ASSERT_TRUE(second->Bind(5000).ok());
+  EXPECT_EQ(second->Connect(Ep(b, 7000), [](Status) {}).code(), ErrorCode::kAddressInUse);
+
+  // After 2*MSL it becomes available again.
+  net_.RunFor(Seconds(2));
+  EXPECT_EQ(first->state(), TcpState::kClosed);
+  TcpSocket* third = a->tcp().CreateSocket();
+  third->SetReuseAddr(true);
+  ASSERT_TRUE(third->Bind(5000).ok());
+  bool reconnected = false;
+  ASSERT_TRUE(third->Connect(Ep(b, 7000), [&](Status s) { reconnected = s.ok(); }).ok());
+  net_.RunFor(Seconds(1));
+  EXPECT_TRUE(reconnected);
+}
+
+TEST_F(TcpRobustnessTest, HalfCloseStillDeliversData) {
+  // A closes its sending side; B can keep streaming to A (CLOSE_WAIT send).
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  listener->Listen([&](TcpSocket* s) { accepted = s; });
+  TcpSocket* client = a->tcp().CreateSocket();
+  Bytes got;
+  client->SetDataCallback([&](const Bytes& d) { got.insert(got.end(), d.begin(), d.end()); });
+  client->Connect(Ep(b, 7000), [](Status) {});
+  net_.RunFor(Millis(200));
+  ASSERT_NE(accepted, nullptr);
+
+  client->Close();  // FIN toward B
+  net_.RunFor(Millis(100));
+  ASSERT_EQ(accepted->state(), TcpState::kCloseWait);
+  const Bytes late = RandomBlob(8 * 1000, 17);
+  ASSERT_TRUE(accepted->Send(late).ok());
+  net_.RunFor(Seconds(2));
+  EXPECT_EQ(got, late);
+  accepted->Close();
+  net_.RunFor(Seconds(3));
+  EXPECT_EQ(accepted->state(), TcpState::kClosed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpRobustnessTest, DataRetriesExhaustedResetsConnection) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  listener->Listen([&](TcpSocket* s) { accepted = s; });
+  TcpSocket* client = a->tcp().CreateSocket();
+  Status closed_status;
+  client->SetClosedCallback([&](Status s) { closed_status = s; });
+  client->Connect(Ep(b, 7000), [](Status) {});
+  net_.RunFor(Millis(200));
+  ASSERT_NE(accepted, nullptr);
+
+  // Sever the path, then try to send: retransmissions must give up.
+  lan_->set_config(LanConfig{.latency = Millis(1), .loss = 1.0});
+  client->Send(Bytes(100, 1));
+  net_.RunFor(Seconds(300));
+  EXPECT_EQ(closed_status.code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpRobustnessTest, ListenerSurvivesChildTeardown) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  int accepted_count = 0;
+  listener->Listen([&](TcpSocket* s) {
+    ++accepted_count;
+    s->Abort();  // server immediately kills every connection
+  });
+  for (int i = 0; i < 5; ++i) {
+    TcpSocket* client = a->tcp().CreateSocket();
+    client->Connect(Ep(b, 7000), [](Status) {});
+    net_.RunFor(Millis(300));
+  }
+  EXPECT_EQ(accepted_count, 5);
+  EXPECT_EQ(listener->state(), TcpState::kListen);
+}
+
+TEST_F(TcpRobustnessTest, ZeroLengthSendIsHarmless) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  Bytes got;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([&](const Bytes& d) { got.insert(got.end(), d.begin(), d.end()); });
+  });
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(Bytes{});
+    client->Send(Bytes{'x'});
+  });
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(got, (Bytes{'x'}));
+}
+
+}  // namespace
+}  // namespace natpunch

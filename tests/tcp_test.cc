@@ -1,0 +1,458 @@
+// Tests for the user-space TCP stack: handshake, data transfer, loss
+// recovery, teardown, RST handling, bind/SO_REUSEADDR rules, and — most
+// importantly for the paper — simultaneous open (§4.4) and the two OS accept
+// policies (§4.3).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/netsim/network.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+namespace {
+
+class TcpTest : public ::testing::Test {
+ protected:
+  Host* MakeHost(const std::string& name, uint8_t last_octet,
+                 TcpAcceptPolicy policy = TcpAcceptPolicy::kBsd, bool rst_closed = true) {
+    HostConfig config;
+    config.tcp.accept_policy = policy;
+    config.tcp.rst_on_closed_port = rst_closed;
+    config.tcp.initial_rto = Millis(500);
+    config.tcp.time_wait = Seconds(2);
+    Host* h = net_.Create<Host>(name, config);
+    h->AttachTo(lan_, Ipv4Address::FromOctets(10, 0, 0, last_octet));
+    return h;
+  }
+
+  void SetUp() override { lan_ = net_.CreateLan("lan", LanConfig{.latency = Millis(1)}); }
+
+  Endpoint Ep(Host* h, uint16_t port) { return Endpoint(h->primary_address(), port); }
+
+  Network net_{1};
+  Lan* lan_ = nullptr;
+};
+
+TEST_F(TcpTest, ConnectAccept) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  ASSERT_TRUE(listener->Listen([&](TcpSocket* s) { accepted = s; }).ok());
+
+  TcpSocket* client = a->tcp().CreateSocket();
+  Status connect_status(ErrorCode::kInProgress);
+  ASSERT_TRUE(client->Connect(Ep(b, 7000), [&](Status s) { connect_status = s; }).ok());
+
+  net_.RunFor(Seconds(1));
+  EXPECT_TRUE(connect_status.ok());
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(accepted->state(), TcpState::kEstablished);
+  EXPECT_TRUE(accepted->via_accept());
+  EXPECT_FALSE(client->via_accept());
+  EXPECT_EQ(accepted->remote_endpoint(), client->local_endpoint());
+  EXPECT_EQ(client->remote_endpoint(), accepted->local_endpoint());
+}
+
+TEST_F(TcpTest, DataBothDirections) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  ASSERT_TRUE(listener->Listen([&](TcpSocket* s) { accepted = s; }).ok());
+
+  TcpSocket* client = a->tcp().CreateSocket();
+  Bytes client_got;
+  Bytes server_got;
+  client->SetDataCallback(
+      [&](const Bytes& d) { client_got.insert(client_got.end(), d.begin(), d.end()); });
+  ASSERT_TRUE(client
+                  ->Connect(Ep(b, 7000),
+                            [&](Status s) {
+                              ASSERT_TRUE(s.ok());
+                              client->Send(Bytes{'h', 'i'});
+                            })
+                  .ok());
+  net_.RunFor(Millis(200));
+  ASSERT_NE(accepted, nullptr);
+  accepted->SetDataCallback([&](const Bytes& d) {
+    server_got.insert(server_got.end(), d.begin(), d.end());
+    accepted->Send(Bytes{'y', 'o'});
+  });
+  // Client data may have already landed before the callback was installed —
+  // resend to be deterministic about ordering in this test.
+  client->Send(Bytes{'h', 'i'});
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(server_got.size(), 2u);
+  EXPECT_EQ(client_got, (Bytes{'y', 'o'}));
+}
+
+TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  Bytes received;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+  });
+
+  Bytes blob(100 * 1000);
+  std::iota(blob.begin(), blob.end(), 0);
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(blob);
+  });
+  net_.RunFor(Seconds(10));
+  ASSERT_EQ(received.size(), blob.size());
+  EXPECT_EQ(received, blob);
+  EXPECT_EQ(client->bytes_sent(), blob.size());
+}
+
+TEST_F(TcpTest, TransferSurvivesLoss) {
+  lan_->set_config(LanConfig{.latency = Millis(1), .loss = 0.1});
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  Bytes received;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+  });
+
+  Bytes blob(20 * 1000, 0x5a);
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    if (s.ok()) {
+      client->Send(blob);
+    }
+  });
+  net_.RunFor(Seconds(120));
+  EXPECT_EQ(received.size(), blob.size());
+}
+
+TEST_F(TcpTest, ConnectRefusedByClosedPort) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* client = a->tcp().CreateSocket();
+  Status result;
+  client->Connect(Ep(b, 7000), [&](Status s) { result = s; });
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(result.code(), ErrorCode::kConnectionRefused);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, ConnectTimesOutWhenSynsVanish) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2, TcpAcceptPolicy::kBsd, /*rst_closed=*/false);
+  (void)b;
+  TcpSocket* client = a->tcp().CreateSocket();
+  Status result(ErrorCode::kInProgress);
+  client->Connect(Ep(b, 7000), [&](Status s) { result = s; });
+  net_.RunFor(Seconds(120));
+  EXPECT_EQ(result.code(), ErrorCode::kTimedOut);
+}
+
+TEST_F(TcpTest, SynRetransmissionEventuallyConnects) {
+  // Heavy loss: the first SYN(s) may die, but backoff retries get through.
+  lan_->set_config(LanConfig{.latency = Millis(1), .loss = 0.5});
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  listener->Listen([](TcpSocket*) {});
+  int successes = 0;
+  for (int i = 0; i < 5; ++i) {
+    TcpSocket* client = a->tcp().CreateSocket();
+    client->Connect(Ep(b, 7000), [&](Status s) { successes += s.ok() ? 1 : 0; });
+  }
+  net_.RunFor(Seconds(120));
+  EXPECT_GE(successes, 4);  // p(all retries of one connect lost) is tiny
+}
+
+TEST_F(TcpTest, BindConflictWithoutReuseAddr) {
+  Host* a = MakeHost("a", 1);
+  TcpSocket* s1 = a->tcp().CreateSocket();
+  TcpSocket* s2 = a->tcp().CreateSocket();
+  ASSERT_TRUE(s1->Bind(7000).ok());
+  EXPECT_EQ(s2->Bind(7000).code(), ErrorCode::kAddressInUse);
+}
+
+TEST_F(TcpTest, ReuseAddrAllowsSharedPort) {
+  // §4.1: every socket sharing the port must set the option.
+  Host* a = MakeHost("a", 1);
+  TcpSocket* s1 = a->tcp().CreateSocket();
+  TcpSocket* s2 = a->tcp().CreateSocket();
+  TcpSocket* s3 = a->tcp().CreateSocket();
+  s1->SetReuseAddr(true);
+  s2->SetReuseAddr(true);
+  ASSERT_TRUE(s1->Bind(7000).ok());
+  ASSERT_TRUE(s2->Bind(7000).ok());
+  EXPECT_EQ(s3->Bind(7000).code(), ErrorCode::kAddressInUse);  // s3 didn't opt in
+}
+
+TEST_F(TcpTest, DuplicateFourTupleRejected) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  listener->Listen([](TcpSocket*) {});
+  TcpSocket* c1 = a->tcp().CreateSocket();
+  TcpSocket* c2 = a->tcp().CreateSocket();
+  c1->SetReuseAddr(true);
+  c2->SetReuseAddr(true);
+  ASSERT_TRUE(c1->Bind(5000).ok());
+  ASSERT_TRUE(c2->Bind(5000).ok());
+  ASSERT_TRUE(c1->Connect(Ep(b, 7000), [](Status) {}).ok());
+  EXPECT_EQ(c2->Connect(Ep(b, 7000), [](Status) {}).code(), ErrorCode::kAddressInUse);
+}
+
+TEST_F(TcpTest, SameLocalPortDifferentRemotes) {
+  // The Fig. 7 arrangement: one local port, multiple outbound connections.
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  Host* c = MakeHost("c", 3);
+  for (Host* h : {b, c}) {
+    TcpSocket* l = h->tcp().CreateSocket();
+    ASSERT_TRUE(l->Bind(7000).ok());
+    l->Listen([](TcpSocket*) {});
+  }
+  TcpSocket* c1 = a->tcp().CreateSocket();
+  TcpSocket* c2 = a->tcp().CreateSocket();
+  c1->SetReuseAddr(true);
+  c2->SetReuseAddr(true);
+  ASSERT_TRUE(c1->Bind(5000).ok());
+  ASSERT_TRUE(c2->Bind(5000).ok());
+  int ok = 0;
+  c1->Connect(Ep(b, 7000), [&](Status s) { ok += s.ok(); });
+  c2->Connect(Ep(c, 7000), [&](Status s) { ok += s.ok(); });
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(ok, 2);
+}
+
+TEST_F(TcpTest, SimultaneousOpenBsd) {
+  // §4.4: SYNs cross; both connect() calls succeed; no listener involved.
+  Host* a = MakeHost("a", 1, TcpAcceptPolicy::kBsd);
+  Host* b = MakeHost("b", 2, TcpAcceptPolicy::kBsd);
+  TcpSocket* ca = a->tcp().CreateSocket();
+  TcpSocket* cb = b->tcp().CreateSocket();
+  ASSERT_TRUE(ca->Bind(7000).ok());
+  ASSERT_TRUE(cb->Bind(7000).ok());
+  Status ra(ErrorCode::kInProgress);
+  Status rb(ErrorCode::kInProgress);
+  ca->Connect(Ep(b, 7000), [&](Status s) { ra = s; });
+  cb->Connect(Ep(a, 7000), [&](Status s) { rb = s; });
+  net_.RunFor(Seconds(2));
+  EXPECT_TRUE(ra.ok()) << ra.ToString();
+  EXPECT_TRUE(rb.ok()) << rb.ToString();
+  EXPECT_EQ(ca->state(), TcpState::kEstablished);
+  EXPECT_EQ(cb->state(), TcpState::kEstablished);
+
+  // And the stream works.
+  Bytes got;
+  cb->SetDataCallback([&](const Bytes& d) { got.insert(got.end(), d.begin(), d.end()); });
+  ca->Send(Bytes{'p', '2', 'p'});
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(got, (Bytes{'p', '2', 'p'}));
+}
+
+TEST_F(TcpTest, SimultaneousOpenLinuxPolicyDeliversViaAccept) {
+  // §4.3 behavior 2 on both ends: all connect() calls fail with
+  // "address in use", but each side receives a working stream via accept()
+  // — the stream that "created itself on the wire" (§4.4).
+  Host* a = MakeHost("a", 1, TcpAcceptPolicy::kLinuxWindows);
+  Host* b = MakeHost("b", 2, TcpAcceptPolicy::kLinuxWindows);
+
+  TcpSocket* accepted_a = nullptr;
+  TcpSocket* accepted_b = nullptr;
+  for (auto [host, slot] : {std::pair{a, &accepted_a}, std::pair{b, &accepted_b}}) {
+    TcpSocket* l = host->tcp().CreateSocket();
+    l->SetReuseAddr(true);
+    ASSERT_TRUE(l->Bind(7000).ok());
+    ASSERT_TRUE(l->Listen([slot](TcpSocket* s) { *slot = s; }).ok());
+  }
+  TcpSocket* ca = a->tcp().CreateSocket();
+  TcpSocket* cb = b->tcp().CreateSocket();
+  ca->SetReuseAddr(true);
+  cb->SetReuseAddr(true);
+  ASSERT_TRUE(ca->Bind(7000).ok());
+  ASSERT_TRUE(cb->Bind(7000).ok());
+  Status ra(ErrorCode::kInProgress);
+  Status rb(ErrorCode::kInProgress);
+  ca->Connect(Ep(b, 7000), [&](Status s) { ra = s; });
+  cb->Connect(Ep(a, 7000), [&](Status s) { rb = s; });
+  net_.RunFor(Seconds(2));
+
+  EXPECT_EQ(ra.code(), ErrorCode::kAddressInUse);
+  EXPECT_EQ(rb.code(), ErrorCode::kAddressInUse);
+  ASSERT_NE(accepted_a, nullptr);
+  ASSERT_NE(accepted_b, nullptr);
+  EXPECT_EQ(accepted_a->state(), TcpState::kEstablished);
+  EXPECT_EQ(accepted_b->state(), TcpState::kEstablished);
+
+  Bytes got;
+  accepted_b->SetDataCallback([&](const Bytes& d) { got.insert(got.end(), d.begin(), d.end()); });
+  accepted_a->Send(Bytes{'o', 'k'});
+  net_.RunFor(Seconds(1));
+  EXPECT_EQ(got, (Bytes{'o', 'k'}));
+}
+
+TEST_F(TcpTest, MixedPoliciesStillProduceOneStreamEachSide) {
+  Host* a = MakeHost("a", 1, TcpAcceptPolicy::kBsd);
+  Host* b = MakeHost("b", 2, TcpAcceptPolicy::kLinuxWindows);
+  TcpSocket* accepted_b = nullptr;
+  TcpSocket* lb = b->tcp().CreateSocket();
+  lb->SetReuseAddr(true);
+  ASSERT_TRUE(lb->Bind(7000).ok());
+  lb->Listen([&](TcpSocket* s) { accepted_b = s; });
+
+  TcpSocket* ca = a->tcp().CreateSocket();
+  TcpSocket* cb = b->tcp().CreateSocket();
+  ca->SetReuseAddr(true);
+  cb->SetReuseAddr(true);
+  ASSERT_TRUE(ca->Bind(7000).ok());
+  ASSERT_TRUE(cb->Bind(7000).ok());
+  Status ra(ErrorCode::kInProgress);
+  Status rb(ErrorCode::kInProgress);
+  ca->Connect(Ep(b, 7000), [&](Status s) { ra = s; });
+  cb->Connect(Ep(a, 7000), [&](Status s) { rb = s; });
+  net_.RunFor(Seconds(2));
+
+  // a (BSD, no listener) completes its connect; b's stack handed the
+  // crossing SYN to its listener, so b sees accept + failed connect.
+  EXPECT_TRUE(ra.ok()) << ra.ToString();
+  EXPECT_EQ(rb.code(), ErrorCode::kAddressInUse);
+  ASSERT_NE(accepted_b, nullptr);
+  EXPECT_EQ(accepted_b->state(), TcpState::kEstablished);
+  EXPECT_EQ(ca->state(), TcpState::kEstablished);
+}
+
+TEST_F(TcpTest, GracefulCloseBothSides) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  listener->Listen([&](TcpSocket* s) { accepted = s; });
+  TcpSocket* client = a->tcp().CreateSocket();
+  bool peer_eof = false;
+  client->Connect(Ep(b, 7000), [](Status) {});
+  net_.RunFor(Millis(100));
+  ASSERT_NE(accepted, nullptr);
+  accepted->SetClosedCallback([&](Status s) { peer_eof = s.ok(); });
+
+  client->Close();
+  net_.RunFor(Millis(100));
+  EXPECT_TRUE(peer_eof);
+  EXPECT_EQ(accepted->state(), TcpState::kCloseWait);
+  EXPECT_EQ(client->state(), TcpState::kFinWait2);
+
+  accepted->Close();
+  net_.RunFor(Millis(100));
+  EXPECT_EQ(accepted->state(), TcpState::kClosed);
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);
+  net_.RunFor(Seconds(3));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, SimultaneousClose) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  listener->Listen([&](TcpSocket* s) { accepted = s; });
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [](Status) {});
+  net_.RunFor(Millis(100));
+  ASSERT_NE(accepted, nullptr);
+
+  client->Close();
+  accepted->Close();  // both FINs cross
+  net_.RunFor(Seconds(5));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(accepted->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, DataFlushedBeforeFin) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  Bytes received;
+  bool eof = false;
+  listener->Listen([&](TcpSocket* s) {
+    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+    s->SetClosedCallback([&](Status st) { eof = st.ok(); });
+  });
+  TcpSocket* client = a->tcp().CreateSocket();
+  Bytes blob(5000, 0x42);
+  client->Connect(Ep(b, 7000), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    client->Send(blob);
+    client->Close();  // close with data still queued
+  });
+  net_.RunFor(Seconds(5));
+  EXPECT_EQ(received.size(), blob.size());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(TcpTest, AbortSendsRstPeerSeesReset) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  TcpSocket* accepted = nullptr;
+  listener->Listen([&](TcpSocket* s) { accepted = s; });
+  TcpSocket* client = a->tcp().CreateSocket();
+  client->Connect(Ep(b, 7000), [](Status) {});
+  net_.RunFor(Millis(100));
+  ASSERT_NE(accepted, nullptr);
+  Status peer_status;
+  accepted->SetClosedCallback([&](Status s) { peer_status = s; });
+  client->Abort();
+  net_.RunFor(Millis(100));
+  EXPECT_EQ(peer_status.code(), ErrorCode::kConnectionReset);
+  EXPECT_EQ(accepted->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, SendOnUnconnectedFails) {
+  Host* a = MakeHost("a", 1);
+  TcpSocket* s = a->tcp().CreateSocket();
+  EXPECT_EQ(s->Send(Bytes{1}).code(), ErrorCode::kNotConnected);
+}
+
+TEST_F(TcpTest, ListenerCloseStopsAccepting) {
+  Host* a = MakeHost("a", 1);
+  Host* b = MakeHost("b", 2);
+  TcpSocket* listener = b->tcp().CreateSocket();
+  ASSERT_TRUE(listener->Bind(7000).ok());
+  listener->Listen([](TcpSocket*) { FAIL() << "accept after close"; });
+  listener->Close();
+  TcpSocket* client = a->tcp().CreateSocket();
+  Status result(ErrorCode::kInProgress);
+  client->Connect(Ep(b, 7000), [&](Status s) { result = s; });
+  net_.RunFor(Seconds(2));
+  EXPECT_EQ(result.code(), ErrorCode::kConnectionRefused);
+}
+
+TEST_F(TcpTest, PortReusableAfterListenerClose) {
+  Host* b = MakeHost("b", 2);
+  TcpSocket* l1 = b->tcp().CreateSocket();
+  ASSERT_TRUE(l1->Bind(7000).ok());
+  ASSERT_TRUE(l1->Listen([](TcpSocket*) {}).ok());
+  l1->Close();
+  TcpSocket* l2 = b->tcp().CreateSocket();
+  EXPECT_TRUE(l2->Bind(7000).ok());
+  EXPECT_TRUE(l2->Listen([](TcpSocket*) {}).ok());
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,168 @@
+// Trace-level tests: assert the paper's packet-by-packet narrative against
+// the recorded hops, plus hairpin invariants across topologies.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/udp_puncher.h"
+#include "src/rendezvous/server.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+TEST(PunchTraceTest, FirstProbeDroppedAsUnsolicitedThenHolesOpen) {
+  // §3.4's exact narrative with asymmetric timing: A's first message to
+  // B's public endpoint reaches B's NAT before B has punched, and is
+  // dropped as unsolicited; once B's first message crosses B's own NAT,
+  // holes are open in both directions.
+  Scenario::Options options;
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  topo.site_b.lan->set_config(LanConfig{.latency = Millis(50)});  // B is slow
+  Network& net = topo.scenario->net();
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  net.RunFor(Seconds(2));
+
+  net.trace().set_enabled(true);
+  UdpP2pSession* session = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  net.RunFor(Seconds(10));
+  ASSERT_NE(session, nullptr);
+
+  // B's NAT dropped at least one of A's early probes as unsolicited...
+  EXPECT_GE(net.trace().Count(TraceEvent::kNatDropUnsolicited, "B-nat"), 1u);
+  // ...but A's NAT never dropped B's probes: A punched first, so its own
+  // filter was already open when B's traffic arrived.
+  EXPECT_EQ(net.trace().Count(TraceEvent::kNatDropUnsolicited, "A-nat"), 0u);
+  // And both NATs translated in both directions once the holes opened.
+  EXPECT_GE(net.trace().Count(TraceEvent::kNatTranslateIn, "A-nat"), 1u);
+  EXPECT_GE(net.trace().Count(TraceEvent::kNatTranslateIn, "B-nat"), 1u);
+}
+
+TEST(PunchTraceTest, PrivateProbesLeakAndDieOnGlobalRealm) {
+  // Fig. 5: A's probes toward B's private address (different subnet) route
+  // out through NAT A and die on the global realm as leaked RFC 1918
+  // destinations.
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  Network& net = topo.scenario->net();
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  net.RunFor(Seconds(2));
+  net.trace().set_enabled(true);
+  UdpP2pSession* session = nullptr;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { session = r.ok() ? *r : nullptr; });
+  net.RunFor(Seconds(10));
+  ASSERT_NE(session, nullptr);
+  EXPECT_GE(net.trace().Count(TraceEvent::kDropPrivateLeak), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hairpin invariants: common-NAT public-only punching succeeds iff the NAT
+// hairpins (for each protocol); multi-level punching succeeds iff the outer
+// NAT hairpins.
+// ---------------------------------------------------------------------------
+
+using HairpinParam = std::tuple<bool /*hairpin*/, bool /*multilevel*/>;
+
+class HairpinInvariantTest : public ::testing::TestWithParam<HairpinParam> {};
+
+TEST_P(HairpinInvariantTest, UdpSuccessIffHairpin) {
+  const auto [hairpin, multilevel] = GetParam();
+  NatConfig outer;
+  outer.hairpin_udp = hairpin;
+
+  std::unique_ptr<Scenario> scenario;
+  Host* server_host = nullptr;
+  Host* a = nullptr;
+  Host* b = nullptr;
+  if (multilevel) {
+    auto topo = MakeFig6(outer, NatConfig{}, NatConfig{});
+    scenario = std::move(topo.scenario);
+    server_host = topo.server;
+    a = topo.a;
+    b = topo.b;
+  } else {
+    auto topo = MakeFig4(outer);
+    scenario = std::move(topo.scenario);
+    server_host = topo.server;
+    a = topo.a;
+    b = topo.b;
+  }
+  RendezvousServer server(server_host, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(a, server.endpoint(), 1);
+  UdpRendezvousClient cb(b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpPunchConfig punch;
+  punch.try_private_endpoint = false;  // force the public/hairpin path
+  UdpHolePuncher pa(&ca, punch);
+  UdpHolePuncher pb(&cb, punch);
+  scenario->net().RunFor(Seconds(2));
+
+  bool success = false;
+  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { success = r.ok(); });
+  scenario->net().RunFor(Seconds(12));
+  EXPECT_EQ(success, hairpin) << "hairpin=" << hairpin << " multilevel=" << multilevel;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HairpinInvariantTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// In the multi-level world the private endpoints are USELESS (different
+// realms) while behind a common NAT they are the preferred path — run the
+// complement: private candidates enabled.
+TEST(HairpinInvariantTest2, PrivateCandidatesRescueCommonNatButNotMultilevel) {
+  // Common NAT, no hairpin, private candidates on: succeeds via LAN.
+  {
+    auto topo = MakeFig4(NatConfig{});
+    RendezvousServer server(topo.server, kServerPort);
+    ASSERT_TRUE(server.Start().ok());
+    UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+    UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+    ca.Register(4321, [](Result<Endpoint>) {});
+    cb.Register(4321, [](Result<Endpoint>) {});
+    UdpHolePuncher pa(&ca);
+    UdpHolePuncher pb(&cb);
+    topo.scenario->net().RunFor(Seconds(2));
+    bool success = false;
+    pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { success = r.ok(); });
+    topo.scenario->net().RunFor(Seconds(12));
+    EXPECT_TRUE(success);
+  }
+  // Multi-level, no hairpin, private candidates on: still fails — the
+  // clients' private realms are disjoint (§3.5's whole point).
+  {
+    auto topo = MakeFig6(NatConfig{}, NatConfig{}, NatConfig{});
+    RendezvousServer server(topo.server, kServerPort);
+    ASSERT_TRUE(server.Start().ok());
+    UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+    UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+    ca.Register(4321, [](Result<Endpoint>) {});
+    cb.Register(4321, [](Result<Endpoint>) {});
+    UdpHolePuncher pa(&ca);
+    UdpHolePuncher pb(&cb);
+    topo.scenario->net().RunFor(Seconds(2));
+    bool success = false;
+    pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { success = r.ok(); });
+    topo.scenario->net().RunFor(Seconds(12));
+    EXPECT_FALSE(success);
+  }
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -1,0 +1,172 @@
+// Tests for the TURN-style data-plane relay (§2.2's "relatively secure"
+// relaying): allocation, address-based permissions, bidirectional relaying
+// between peers behind hostile (symmetric) NATs, and lifetime expiry.
+
+#include <gtest/gtest.h>
+
+#include "src/core/turn.h"
+#include "src/scenario/scenario.h"
+
+namespace natpunch {
+namespace {
+
+TEST(TurnCodecTest, RoundTrip) {
+  TurnMessage msg;
+  msg.type = TurnMsgType::kSend;
+  msg.peer = Endpoint(Ipv4Address::FromOctets(138, 76, 29, 7), 31000);
+  msg.payload = Bytes{1, 2, 3, 4};
+  auto decoded = DecodeTurnMessage(EncodeTurnMessage(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->peer, msg.peer);
+  EXPECT_EQ(decoded->payload, msg.payload);
+  EXPECT_FALSE(DecodeTurnMessage(Bytes{0x55, 1}).has_value());
+}
+
+class TurnTest : public ::testing::Test {
+ protected:
+  void Build(const NatConfig& nat_a, const NatConfig& nat_b) {
+    topo_ = MakeFig5(nat_a, nat_b);
+    turn_host_ = topo_.scenario->AddPublicHost("turn", Ipv4Address::FromOctets(18, 181, 0, 40));
+    server_ = std::make_unique<TurnServer>(turn_host_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  NatConfig Symmetric() {
+    NatConfig config;
+    config.mapping = NatMapping::kAddressAndPortDependent;
+    return config;
+  }
+
+  Fig5Topology topo_;
+  Host* turn_host_ = nullptr;
+  std::unique_ptr<TurnServer> server_;
+};
+
+TEST_F(TurnTest, AllocateReturnsPublicRelayedEndpoint) {
+  Build(NatConfig{}, NatConfig{});
+  TurnClient client(topo_.a, server_->endpoint());
+  Result<Endpoint> relayed = Status(ErrorCode::kInProgress);
+  client.Allocate(0, [&](Result<Endpoint> r) { relayed = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(3));
+  ASSERT_TRUE(relayed.ok());
+  EXPECT_EQ(relayed->ip, turn_host_->primary_address());
+  EXPECT_FALSE(relayed->ip.IsPrivate());
+  EXPECT_EQ(server_->active_allocations(), 1u);
+}
+
+TEST_F(TurnTest, AllocationRetriesSurviveLoss) {
+  Scenario::Options options;
+  options.internet_loss = 0.4;
+  options.seed = 5;
+  topo_ = MakeFig5(NatConfig{}, NatConfig{}, options);
+  turn_host_ = topo_.scenario->AddPublicHost("turn", Ipv4Address::FromOctets(18, 181, 0, 40));
+  server_ = std::make_unique<TurnServer>(turn_host_);
+  ASSERT_TRUE(server_->Start().ok());
+  TurnClient client(topo_.a, server_->endpoint());
+  Result<Endpoint> relayed = Status(ErrorCode::kInProgress);
+  client.Allocate(0, [&](Result<Endpoint> r) { relayed = std::move(r); });
+  topo_.scenario->net().RunFor(Seconds(10));
+  EXPECT_TRUE(relayed.ok());
+}
+
+TEST_F(TurnTest, RelaysBetweenSymmetricNattedPeers) {
+  // The worst case for punching, fully served by TURN: A allocates, B sends
+  // plain datagrams at the relayed endpoint, A answers through kSend.
+  Build(Symmetric(), Symmetric());
+  Network& net = topo_.scenario->net();
+
+  TurnClient a(topo_.a, server_->endpoint());
+  Result<Endpoint> relayed = Status(ErrorCode::kInProgress);
+  a.Allocate(0, [&](Result<Endpoint> r) { relayed = std::move(r); });
+  net.RunFor(Seconds(3));
+  ASSERT_TRUE(relayed.ok());
+
+  // B talks to the relayed endpoint from an ordinary socket.
+  auto b_sock = topo_.b->udp().Bind(4444);
+  Bytes b_got;
+  Endpoint b_got_from;
+  (*b_sock)->SetReceiveCallback([&](const Endpoint& from, const Bytes& p) {
+    b_got = p;
+    b_got_from = from;
+  });
+
+  // A permits B's (address-level) identity — the port B will appear from is
+  // unpredictable behind its symmetric NAT, which is exactly why TURN
+  // permissions are address-based.
+  ASSERT_TRUE(a.Permit(NatBIp()).ok());
+  Endpoint a_got_from;
+  Bytes a_got;
+  a.SetReceiveCallback([&](const Endpoint& from, const Bytes& p) {
+    a_got = p;
+    a_got_from = from;
+  });
+
+  (*b_sock)->SendTo(*relayed, Bytes{'h', 'i', 'A'});
+  net.RunFor(Seconds(2));
+  EXPECT_EQ(a_got, (Bytes{'h', 'i', 'A'}));
+  EXPECT_EQ(a_got_from.ip, NatBIp());
+
+  // A answers via the relay; B sees the relayed endpoint as the source.
+  a.SendTo(a_got_from, Bytes{'h', 'i', 'B'});
+  net.RunFor(Seconds(2));
+  EXPECT_EQ(b_got, (Bytes{'h', 'i', 'B'}));
+  EXPECT_EQ(b_got_from, *relayed);
+  EXPECT_EQ(server_->stats().relayed_to_client, 1u);
+  EXPECT_EQ(server_->stats().relayed_to_peer, 1u);
+}
+
+TEST_F(TurnTest, NoPermissionNoDelivery) {
+  Build(NatConfig{}, NatConfig{});
+  Network& net = topo_.scenario->net();
+  TurnClient a(topo_.a, server_->endpoint());
+  Result<Endpoint> relayed = Status(ErrorCode::kInProgress);
+  a.Allocate(0, [&](Result<Endpoint> r) { relayed = std::move(r); });
+  net.RunFor(Seconds(3));
+  ASSERT_TRUE(relayed.ok());
+  bool got = false;
+  a.SetReceiveCallback([&](const Endpoint&, const Bytes&) { got = true; });
+
+  auto b_sock = topo_.b->udp().Bind(4444);
+  (*b_sock)->SendTo(*relayed, Bytes{9});
+  net.RunFor(Seconds(2));
+  EXPECT_FALSE(got);
+  EXPECT_EQ(server_->stats().denied_no_permission, 1u);
+}
+
+TEST_F(TurnTest, SendBeforeAllocateFails) {
+  Build(NatConfig{}, NatConfig{});
+  TurnClient a(topo_.a, server_->endpoint());
+  EXPECT_EQ(a.SendTo(Endpoint(NatBIp(), 1), Bytes{1}).code(), ErrorCode::kNotConnected);
+  EXPECT_EQ(a.Permit(NatBIp()).code(), ErrorCode::kNotConnected);
+}
+
+TEST_F(TurnTest, IdleAllocationExpiresRefreshedOneSurvives) {
+  TurnServerConfig config;
+  config.allocation_lifetime = Seconds(30);
+  Build(NatConfig{}, NatConfig{});
+  server_ = std::make_unique<TurnServer>(
+      topo_.scenario->AddPublicHost("turn2", Ipv4Address::FromOctets(18, 181, 0, 41)), config);
+  ASSERT_TRUE(server_->Start().ok());
+  Network& net = topo_.scenario->net();
+
+  // Client with refresh faster than the lifetime survives.
+  TurnClient::Config fast;
+  fast.refresh_interval = Seconds(10);
+  TurnClient keeper(topo_.a, server_->endpoint(), fast);
+  keeper.Allocate(0, [](Result<Endpoint>) {});
+  // Client whose refresh is slower than the lifetime expires.
+  TurnClient::Config slow;
+  slow.refresh_interval = Seconds(120);
+  TurnClient loser(topo_.b, server_->endpoint(), slow);
+  loser.Allocate(0, [](Result<Endpoint>) {});
+  net.RunFor(Seconds(3));
+  EXPECT_EQ(server_->active_allocations(), 2u);
+
+  net.RunFor(Seconds(60));
+  EXPECT_EQ(server_->active_allocations(), 1u);
+  EXPECT_GE(server_->stats().expired_allocations, 1u);
+}
+
+}  // namespace
+}  // namespace natpunch

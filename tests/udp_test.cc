@@ -1,0 +1,158 @@
+// Tests for the UDP socket layer: bind rules, datagram delivery, ICMP port
+// unreachable errors, close semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/network.h"
+#include "src/transport/host.h"
+
+namespace natpunch {
+namespace {
+
+class UdpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lan_ = net_.CreateLan("lan", LanConfig{.latency = Millis(1)});
+    a_ = net_.Create<Host>("a");
+    b_ = net_.Create<Host>("b");
+    a_->AttachTo(lan_, Ipv4Address::FromOctets(10, 0, 0, 1));
+    b_->AttachTo(lan_, Ipv4Address::FromOctets(10, 0, 0, 2));
+  }
+
+  Endpoint EndpointOf(Host* h, uint16_t port) { return Endpoint(h->primary_address(), port); }
+
+  Network net_{1};
+  Lan* lan_ = nullptr;
+  Host* a_ = nullptr;
+  Host* b_ = nullptr;
+};
+
+TEST_F(UdpTest, BindSpecificPort) {
+  auto sock = a_->udp().Bind(5000);
+  ASSERT_TRUE(sock.ok());
+  EXPECT_EQ((*sock)->local_port(), 5000);
+}
+
+TEST_F(UdpTest, BindConflictFails) {
+  ASSERT_TRUE(a_->udp().Bind(5000).ok());
+  auto second = a_->udp().Bind(5000);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), ErrorCode::kAddressInUse);
+}
+
+TEST_F(UdpTest, EphemeralPortsAreDistinct) {
+  auto s1 = a_->udp().Bind(0);
+  auto s2 = a_->udp().Bind(0);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE((*s1)->local_port(), (*s2)->local_port());
+  EXPECT_GE((*s1)->local_port(), 49152);
+}
+
+TEST_F(UdpTest, SendAndReceive) {
+  auto sa = a_->udp().Bind(4321);
+  auto sb = b_->udp().Bind(4321);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+
+  Endpoint got_from;
+  Bytes got_payload;
+  (*sb)->SetReceiveCallback([&](const Endpoint& from, const Bytes& payload) {
+    got_from = from;
+    got_payload = payload;
+  });
+  ASSERT_TRUE((*sa)->SendTo(EndpointOf(b_, 4321), Bytes{1, 2, 3}).ok());
+  net_.RunUntilIdle();
+  EXPECT_EQ(got_payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(got_from, EndpointOf(a_, 4321));
+}
+
+TEST_F(UdpTest, OneSocketTalksToManyPeers) {
+  // The property UDP hole punching relies on (§4.2): a single socket
+  // reaches any number of remote endpoints.
+  auto sa = a_->udp().Bind(4321);
+  auto sb1 = b_->udp().Bind(1111);
+  auto sb2 = b_->udp().Bind(2222);
+  int received = 0;
+  (*sb1)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++received; });
+  (*sb2)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++received; });
+  (*sa)->SendTo(EndpointOf(b_, 1111), Bytes{1});
+  (*sa)->SendTo(EndpointOf(b_, 2222), Bytes{2});
+  net_.RunUntilIdle();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(UdpTest, ClosedPortElicitsIcmpError) {
+  auto sa = a_->udp().Bind(4321);
+  ErrorCode got_code = ErrorCode::kOk;
+  Endpoint got_dst;
+  (*sa)->SetErrorCallback([&](const Endpoint& dst, ErrorCode code) {
+    got_dst = dst;
+    got_code = code;
+  });
+  (*sa)->SendTo(EndpointOf(b_, 7777), Bytes{1});  // nothing bound on b:7777
+  net_.RunUntilIdle();
+  EXPECT_EQ(got_code, ErrorCode::kConnectionRefused);
+  EXPECT_EQ(got_dst, EndpointOf(b_, 7777));
+}
+
+TEST_F(UdpTest, IcmpSuppressedWhenConfigured) {
+  HostConfig quiet;
+  quiet.icmp_on_closed_udp_port = false;
+  Host* c = net_.Create<Host>("c", quiet);
+  c->AttachTo(lan_, Ipv4Address::FromOctets(10, 0, 0, 3));
+  auto sa = a_->udp().Bind(4321);
+  bool got_error = false;
+  (*sa)->SetErrorCallback([&](const Endpoint&, ErrorCode) { got_error = true; });
+  (*sa)->SendTo(Endpoint(c->primary_address(), 7777), Bytes{1});
+  net_.RunUntilIdle();
+  EXPECT_FALSE(got_error);
+}
+
+TEST_F(UdpTest, CloseStopsDeliveryAndFreesPort) {
+  auto sa = a_->udp().Bind(4321);
+  auto sb = b_->udp().Bind(4321);
+  bool received = false;
+  (*sb)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sb)->Close();
+  (*sa)->SendTo(EndpointOf(b_, 4321), Bytes{1});
+  net_.RunUntilIdle();
+  EXPECT_FALSE(received);
+  // Port is reusable after the reclaim tick.
+  EXPECT_TRUE(b_->udp().Bind(4321).ok());
+}
+
+TEST_F(UdpTest, SendAfterCloseFails) {
+  auto sa = a_->udp().Bind(4321);
+  (*sa)->Close();
+  EXPECT_EQ((*sa)->SendTo(EndpointOf(b_, 1), Bytes{1}).code(), ErrorCode::kClosed);
+}
+
+TEST_F(UdpTest, SendToUnspecifiedFails) {
+  auto sa = a_->udp().Bind(4321);
+  EXPECT_EQ((*sa)->SendTo(Endpoint(), Bytes{1}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(UdpTest, HostsDoNotForward) {
+  // A packet addressed to a third party delivered to b must be dropped.
+  net_.trace().set_enabled(true);
+  auto sa = a_->udp().Bind(4321);
+  auto sb = b_->udp().Bind(9999);
+  bool received = false;
+  (*sb)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  // Craft a packet to a bogus address whose next hop resolves to b via a
+  // host route.
+  a_->AddRoute(Ipv4Prefix(Ipv4Address::FromOctets(99, 9, 9, 9), 32), 0,
+               b_->primary_address());
+  Packet p;
+  p.protocol = IpProtocol::kUdp;
+  p.src_port = 4321;
+  p.set_dst(Endpoint(Ipv4Address::FromOctets(99, 9, 9, 9), 9999));
+  a_->SendFromTransport(std::move(p));
+  net_.RunUntilIdle();
+  EXPECT_FALSE(received);
+  (void)sa;
+}
+
+}  // namespace
+}  // namespace natpunch
