@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sequential"
+  "../bench/bench_ablation_sequential.pdb"
+  "CMakeFiles/bench_ablation_sequential.dir/bench_ablation_sequential.cc.o"
+  "CMakeFiles/bench_ablation_sequential.dir/bench_ablation_sequential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_realms"
+  "../bench/bench_fig1_realms.pdb"
+  "CMakeFiles/bench_fig1_realms.dir/bench_fig1_realms.cc.o"
+  "CMakeFiles/bench_fig1_realms.dir/bench_fig1_realms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_realms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_relaying"
+  "../bench/bench_fig2_relaying.pdb"
+  "CMakeFiles/bench_fig2_relaying.dir/bench_fig2_relaying.cc.o"
+  "CMakeFiles/bench_fig2_relaying.dir/bench_fig2_relaying.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_relaying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

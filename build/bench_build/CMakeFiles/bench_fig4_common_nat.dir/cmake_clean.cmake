@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_common_nat"
+  "../bench/bench_fig4_common_nat.pdb"
+  "CMakeFiles/bench_fig4_common_nat.dir/bench_fig4_common_nat.cc.o"
+  "CMakeFiles/bench_fig4_common_nat.dir/bench_fig4_common_nat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_common_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

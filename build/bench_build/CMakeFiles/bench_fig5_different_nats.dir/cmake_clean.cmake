@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_different_nats"
+  "../bench/bench_fig5_different_nats.pdb"
+  "CMakeFiles/bench_fig5_different_nats.dir/bench_fig5_different_nats.cc.o"
+  "CMakeFiles/bench_fig5_different_nats.dir/bench_fig5_different_nats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_different_nats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

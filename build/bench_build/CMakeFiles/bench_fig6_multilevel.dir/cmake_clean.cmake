@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_multilevel"
+  "../bench/bench_fig6_multilevel.pdb"
+  "CMakeFiles/bench_fig6_multilevel.dir/bench_fig6_multilevel.cc.o"
+  "CMakeFiles/bench_fig6_multilevel.dir/bench_fig6_multilevel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_tcp_sockets"
+  "../bench/bench_fig7_tcp_sockets.pdb"
+  "CMakeFiles/bench_fig7_tcp_sockets.dir/bench_fig7_tcp_sockets.cc.o"
+  "CMakeFiles/bench_fig7_tcp_sockets.dir/bench_fig7_tcp_sockets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tcp_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_natcheck"
+  "../bench/bench_fig8_natcheck.pdb"
+  "CMakeFiles/bench_fig8_natcheck.dir/bench_fig8_natcheck.cc.o"
+  "CMakeFiles/bench_fig8_natcheck.dir/bench_fig8_natcheck.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_natcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/file_transfer"
+  "../examples/file_transfer.pdb"
+  "CMakeFiles/file_transfer.dir/file_transfer.cpp.o"
+  "CMakeFiles/file_transfer.dir/file_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gaming_lobby"
+  "../examples/gaming_lobby.pdb"
+  "CMakeFiles/gaming_lobby.dir/gaming_lobby.cpp.o"
+  "CMakeFiles/gaming_lobby.dir/gaming_lobby.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_lobby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/natcheck_tool"
+  "../examples/natcheck_tool.pdb"
+  "CMakeFiles/natcheck_tool.dir/natcheck_tool.cpp.o"
+  "CMakeFiles/natcheck_tool.dir/natcheck_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natcheck_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

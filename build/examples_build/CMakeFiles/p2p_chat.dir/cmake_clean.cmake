@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/p2p_chat"
+  "../examples/p2p_chat.pdb"
+  "CMakeFiles/p2p_chat.dir/p2p_chat.cpp.o"
+  "CMakeFiles/p2p_chat.dir/p2p_chat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

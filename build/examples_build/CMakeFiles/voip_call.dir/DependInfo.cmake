@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/voip_call.cpp" "examples_build/CMakeFiles/voip_call.dir/voip_call.cpp.o" "gcc" "examples_build/CMakeFiles/voip_call.dir/voip_call.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/natcheck/CMakeFiles/natpunch_natcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/natpunch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/natpunch_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/rendezvous/CMakeFiles/natpunch_rendezvous.dir/DependInfo.cmake"
+  "/root/repo/build/src/nat/CMakeFiles/natpunch_nat.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/natpunch_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/natpunch_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/natpunch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/voip_call"
+  "../examples/voip_call.pdb"
+  "CMakeFiles/voip_call.dir/voip_call.cpp.o"
+  "CMakeFiles/voip_call.dir/voip_call.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/connector.cc" "src/core/CMakeFiles/natpunch_core.dir/connector.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/connector.cc.o.d"
+  "/root/repo/src/core/nat_prober.cc" "src/core/CMakeFiles/natpunch_core.dir/nat_prober.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/nat_prober.cc.o.d"
+  "/root/repo/src/core/peer_wire.cc" "src/core/CMakeFiles/natpunch_core.dir/peer_wire.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/peer_wire.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/natpunch_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/prediction.cc.o.d"
+  "/root/repo/src/core/probe_server.cc" "src/core/CMakeFiles/natpunch_core.dir/probe_server.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/probe_server.cc.o.d"
+  "/root/repo/src/core/relay.cc" "src/core/CMakeFiles/natpunch_core.dir/relay.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/relay.cc.o.d"
+  "/root/repo/src/core/sequential.cc" "src/core/CMakeFiles/natpunch_core.dir/sequential.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/sequential.cc.o.d"
+  "/root/repo/src/core/tcp_puncher.cc" "src/core/CMakeFiles/natpunch_core.dir/tcp_puncher.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/tcp_puncher.cc.o.d"
+  "/root/repo/src/core/tcp_stream.cc" "src/core/CMakeFiles/natpunch_core.dir/tcp_stream.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/tcp_stream.cc.o.d"
+  "/root/repo/src/core/turn.cc" "src/core/CMakeFiles/natpunch_core.dir/turn.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/turn.cc.o.d"
+  "/root/repo/src/core/udp_puncher.cc" "src/core/CMakeFiles/natpunch_core.dir/udp_puncher.cc.o" "gcc" "src/core/CMakeFiles/natpunch_core.dir/udp_puncher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rendezvous/CMakeFiles/natpunch_rendezvous.dir/DependInfo.cmake"
+  "/root/repo/build/src/nat/CMakeFiles/natpunch_nat.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/natpunch_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/natpunch_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/natpunch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_core.dir/connector.cc.o"
+  "CMakeFiles/natpunch_core.dir/connector.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/nat_prober.cc.o"
+  "CMakeFiles/natpunch_core.dir/nat_prober.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/peer_wire.cc.o"
+  "CMakeFiles/natpunch_core.dir/peer_wire.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/prediction.cc.o"
+  "CMakeFiles/natpunch_core.dir/prediction.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/probe_server.cc.o"
+  "CMakeFiles/natpunch_core.dir/probe_server.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/relay.cc.o"
+  "CMakeFiles/natpunch_core.dir/relay.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/sequential.cc.o"
+  "CMakeFiles/natpunch_core.dir/sequential.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/tcp_puncher.cc.o"
+  "CMakeFiles/natpunch_core.dir/tcp_puncher.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/tcp_stream.cc.o"
+  "CMakeFiles/natpunch_core.dir/tcp_stream.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/turn.cc.o"
+  "CMakeFiles/natpunch_core.dir/turn.cc.o.d"
+  "CMakeFiles/natpunch_core.dir/udp_puncher.cc.o"
+  "CMakeFiles/natpunch_core.dir/udp_puncher.cc.o.d"
+  "libnatpunch_core.a"
+  "libnatpunch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

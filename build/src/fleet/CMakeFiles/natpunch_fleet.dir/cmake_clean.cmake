@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_fleet.dir/fleet.cc.o"
+  "CMakeFiles/natpunch_fleet.dir/fleet.cc.o.d"
+  "libnatpunch_fleet.a"
+  "libnatpunch_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

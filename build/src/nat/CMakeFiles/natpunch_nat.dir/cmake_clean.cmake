@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_nat.dir/nat_config.cc.o"
+  "CMakeFiles/natpunch_nat.dir/nat_config.cc.o.d"
+  "CMakeFiles/natpunch_nat.dir/nat_device.cc.o"
+  "CMakeFiles/natpunch_nat.dir/nat_device.cc.o.d"
+  "CMakeFiles/natpunch_nat.dir/nat_table.cc.o"
+  "CMakeFiles/natpunch_nat.dir/nat_table.cc.o.d"
+  "libnatpunch_nat.a"
+  "libnatpunch_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_natcheck.dir/client.cc.o"
+  "CMakeFiles/natpunch_natcheck.dir/client.cc.o.d"
+  "CMakeFiles/natpunch_natcheck.dir/messages.cc.o"
+  "CMakeFiles/natpunch_natcheck.dir/messages.cc.o.d"
+  "CMakeFiles/natpunch_natcheck.dir/multi_client.cc.o"
+  "CMakeFiles/natpunch_natcheck.dir/multi_client.cc.o.d"
+  "CMakeFiles/natpunch_natcheck.dir/servers.cc.o"
+  "CMakeFiles/natpunch_natcheck.dir/servers.cc.o.d"
+  "libnatpunch_natcheck.a"
+  "libnatpunch_natcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_natcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for natpunch_natcheck.
+# This may be replaced when dependencies are built.

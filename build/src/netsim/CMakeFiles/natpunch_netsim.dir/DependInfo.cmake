@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/address.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/address.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/address.cc.o.d"
+  "/root/repo/src/netsim/event_loop.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/event_loop.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/event_loop.cc.o.d"
+  "/root/repo/src/netsim/lan.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/lan.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/lan.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/node.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/node.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/node.cc.o.d"
+  "/root/repo/src/netsim/packet.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/packet.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/packet.cc.o.d"
+  "/root/repo/src/netsim/sim_time.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/sim_time.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/sim_time.cc.o.d"
+  "/root/repo/src/netsim/trace.cc" "src/netsim/CMakeFiles/natpunch_netsim.dir/trace.cc.o" "gcc" "src/netsim/CMakeFiles/natpunch_netsim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/natpunch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

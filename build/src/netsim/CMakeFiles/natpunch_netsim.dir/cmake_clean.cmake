@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_netsim.dir/address.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/address.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/event_loop.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/event_loop.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/lan.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/lan.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/network.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/network.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/node.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/node.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/packet.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/packet.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/sim_time.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/sim_time.cc.o.d"
+  "CMakeFiles/natpunch_netsim.dir/trace.cc.o"
+  "CMakeFiles/natpunch_netsim.dir/trace.cc.o.d"
+  "libnatpunch_netsim.a"
+  "libnatpunch_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

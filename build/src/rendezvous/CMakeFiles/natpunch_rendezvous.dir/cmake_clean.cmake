@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_rendezvous.dir/client.cc.o"
+  "CMakeFiles/natpunch_rendezvous.dir/client.cc.o.d"
+  "CMakeFiles/natpunch_rendezvous.dir/messages.cc.o"
+  "CMakeFiles/natpunch_rendezvous.dir/messages.cc.o.d"
+  "CMakeFiles/natpunch_rendezvous.dir/server.cc.o"
+  "CMakeFiles/natpunch_rendezvous.dir/server.cc.o.d"
+  "libnatpunch_rendezvous.a"
+  "libnatpunch_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

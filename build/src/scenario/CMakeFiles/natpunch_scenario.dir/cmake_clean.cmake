@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_scenario.dir/scenario.cc.o"
+  "CMakeFiles/natpunch_scenario.dir/scenario.cc.o.d"
+  "libnatpunch_scenario.a"
+  "libnatpunch_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnatpunch_scenario.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/host.cc" "src/transport/CMakeFiles/natpunch_transport.dir/host.cc.o" "gcc" "src/transport/CMakeFiles/natpunch_transport.dir/host.cc.o.d"
+  "/root/repo/src/transport/tcp.cc" "src/transport/CMakeFiles/natpunch_transport.dir/tcp.cc.o" "gcc" "src/transport/CMakeFiles/natpunch_transport.dir/tcp.cc.o.d"
+  "/root/repo/src/transport/udp.cc" "src/transport/CMakeFiles/natpunch_transport.dir/udp.cc.o" "gcc" "src/transport/CMakeFiles/natpunch_transport.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/natpunch_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/natpunch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_transport.dir/host.cc.o"
+  "CMakeFiles/natpunch_transport.dir/host.cc.o.d"
+  "CMakeFiles/natpunch_transport.dir/tcp.cc.o"
+  "CMakeFiles/natpunch_transport.dir/tcp.cc.o.d"
+  "CMakeFiles/natpunch_transport.dir/udp.cc.o"
+  "CMakeFiles/natpunch_transport.dir/udp.cc.o.d"
+  "libnatpunch_transport.a"
+  "libnatpunch_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

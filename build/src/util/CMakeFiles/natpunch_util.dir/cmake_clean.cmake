@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natpunch_util.dir/bytes.cc.o"
+  "CMakeFiles/natpunch_util.dir/bytes.cc.o.d"
+  "CMakeFiles/natpunch_util.dir/logging.cc.o"
+  "CMakeFiles/natpunch_util.dir/logging.cc.o.d"
+  "CMakeFiles/natpunch_util.dir/result.cc.o"
+  "CMakeFiles/natpunch_util.dir/result.cc.o.d"
+  "CMakeFiles/natpunch_util.dir/rng.cc.o"
+  "CMakeFiles/natpunch_util.dir/rng.cc.o.d"
+  "libnatpunch_util.a"
+  "libnatpunch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natpunch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_test.dir/nat_test.cc.o"
+  "CMakeFiles/nat_test.dir/nat_test.cc.o.d"
+  "nat_test"
+  "nat_test.pdb"
+  "nat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

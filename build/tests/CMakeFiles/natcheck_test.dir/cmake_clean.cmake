@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natcheck_test.dir/natcheck_test.cc.o"
+  "CMakeFiles/natcheck_test.dir/natcheck_test.cc.o.d"
+  "natcheck_test"
+  "natcheck_test.pdb"
+  "natcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

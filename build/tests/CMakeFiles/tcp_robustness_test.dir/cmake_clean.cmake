@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_robustness_test.dir/tcp_robustness_test.cc.o"
+  "CMakeFiles/tcp_robustness_test.dir/tcp_robustness_test.cc.o.d"
+  "tcp_robustness_test"
+  "tcp_robustness_test.pdb"
+  "tcp_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

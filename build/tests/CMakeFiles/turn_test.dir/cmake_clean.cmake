@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turn_test.dir/turn_test.cc.o"
+  "CMakeFiles/turn_test.dir/turn_test.cc.o.d"
+  "turn_test"
+  "turn_test.pdb"
+  "turn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
