@@ -3,6 +3,7 @@
 // prints what it reports — including the §6.3 cases where the instrument is
 // known to mislead (payload-rewriting NATs, filtered hairpin).
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/common.h"
@@ -13,6 +14,8 @@
 using namespace natpunch;
 
 namespace {
+
+uint64_t g_events = 0;  // simulator events across every archetype run
 
 NatCheckReport Check(const NatConfig& nat, uint64_t seed) {
   Scenario::Options options;
@@ -37,12 +40,14 @@ NatCheckReport Check(const NatConfig& nat, uint64_t seed) {
     }
   });
   scenario.net().RunFor(Seconds(90));
+  g_events += scenario.net().event_loop().events_processed();
   return report;
 }
 
 }  // namespace
 
 int main() {
+  const auto wall_start = std::chrono::steady_clock::now();
   bench::Title("Figure 8: NAT Check verdicts per NAT archetype");
   std::printf("%-26s %-9s %-9s %-9s %-9s %-9s %-9s\n", "archetype", "UDP-ok", "filters",
               "UDP-hp", "TCP-ok", "rejects", "TCP-hp");
@@ -111,6 +116,7 @@ int main() {
       }
     });
     scenario.net().RunFor(Seconds(30));
+    g_events += scenario.net().event_loop().events_processed();
     std::printf("%-26s %-22s %-22s\n",
                 switches ? "switches under contention" : "well-behaved cone",
                 report.solo_consistent ? "compatible" : "incompatible",
@@ -130,5 +136,11 @@ int main() {
       " * NAT Check does not obfuscate payload addresses, so a payload-rewriting\n"
       "   NAT can corrupt what the servers/client read (compare the punchers,\n"
       "   which ship one's-complement addresses, §3.1/§5.3).\n");
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  std::printf("\n");
+  bench::JsonSummary("fig8_natcheck", wall_ms, g_events);
   return 0;
 }

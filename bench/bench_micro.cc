@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/common.h"
 #include "src/nat/nat_table.h"
 
@@ -24,6 +26,41 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventLoopScheduleRun);
+
+// The retransmit-timer pattern that dominates TCP runs: schedule a deadline,
+// then cancel it before it fires (the ACK arrived). Exercises the lazy-
+// cancellation path where tombstoned heap entries pile up behind live ones.
+void BM_EventLoopScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const auto doomed = loop.ScheduleAt(SimTime(1000 + i), [&sink] { ++sink; });
+      loop.ScheduleAt(SimTime(i), [&sink] { ++sink; });
+      loop.Cancel(doomed);
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventLoopScheduleCancel);
+
+// Steady-state churn: a bounded window of pending events with interleaved
+// fire/schedule, the shape the per-packet delivery path produces.
+void BM_EventLoopSteadyChurn(benchmark::State& state) {
+  EventLoop loop;
+  int64_t t = 0;
+  for (int i = 0; i < 64; ++i) {
+    loop.ScheduleAt(SimTime(++t), [] {});
+  }
+  for (auto _ : state) {
+    loop.ScheduleAt(SimTime(++t), [] {});
+    loop.RunOne();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLoopSteadyChurn);
 
 void BM_NatTableMapOutbound(benchmark::State& state) {
   NatTable table(NatMapping::kAddressAndPortDependent, NatPortAllocation::kSequential, 62000,
@@ -102,4 +139,37 @@ BENCHMARK(BM_TcpBulkTransfer)->Arg(64 * 1024)->Arg(1024 * 1024)->Unit(benchmark:
 }  // namespace
 }  // namespace natpunch
 
-BENCHMARK_MAIN();
+// Custom main: run the google-benchmark suite, then emit the one-line JSON
+// summary (BENCH_JSON) used to record per-PR trajectories. The summary
+// measures raw event-loop throughput directly so it stays comparable even
+// if the google-benchmark suite changes shape.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  using namespace natpunch;
+  constexpr uint64_t kEvents = 2'000'000;
+  EventLoop loop;
+  uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t batch = 0; batch < kEvents / 1000; ++batch) {
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAfter(Micros(i), [&sink] { ++sink; });
+    }
+    loop.RunUntilIdle();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (sink != kEvents) {
+    std::fprintf(stderr, "event count mismatch: %llu\n",
+                 static_cast<unsigned long long>(sink));
+    return 1;
+  }
+  bench::JsonSummary("micro_event_loop", wall_ms, kEvents);
+  return 0;
+}

@@ -7,19 +7,49 @@
 // calibrated) but that the *measurement instrument* reproduces them: every
 // device is classified by the same three-server protocol the paper used,
 // including its hairpin-test pessimism and RST-detection paths.
+//
+// The fleet is also this repo's headline scaling workload: each device is an
+// isolated simulation, so the run doubles as the parallel-speedup benchmark.
+// The sequential runner is the oracle; every parallel thread count must
+// reproduce its Table1Result bit-for-bit.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "bench/common.h"
 #include "src/fleet/fleet.h"
 
-int main() {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace natpunch;
+  // Optional arg: fleet replication factor for the parallel-speedup section
+  // (the Table 1 regeneration itself always uses the paper's 380 devices).
+  // Default 10x (~3800 devices) keeps per-thread work well above the thread
+  // spawn cost, approximating the "thousands of synthetic vendors" target.
+  int replicas = 10;
+  if (argc > 1) {
+    replicas = std::max(1, std::atoi(argv[1]));
+  }
   bench::Title("Table 1: NAT support for UDP and TCP hole punching (380 simulated reports)");
 
   const auto vendors = PaperTable1Vendors();
   const auto fleet = BuildFleet(vendors, /*seed=*/2005);
+
+  const auto seq_start = std::chrono::steady_clock::now();
   const Table1Result result = RunFleet(fleet, /*seed=*/6);
+  const double seq_ms = MsSince(seq_start);
+
   std::printf("%s\n", FormatTable1(result, &vendors).c_str());
 
   const auto pct = [](int yes, int n) { return n > 0 ? (100 * yes + n / 2) / n : 0; };
@@ -36,5 +66,55 @@ int main() {
       "\nNote: the paper's per-vendor TCP-hairpin counts sum to 40/190 while its\n"
       "All-Vendors row reads 37/286; the residual \"Other\" bucket is clamped\n"
       "accordingly (see src/fleet/fleet.cc).\n");
+
+  // --- Parallel fleet evaluation: speedup and determinism check ---
+  // Replicate the fleet so each thread has enough devices to amortize spawn
+  // cost; every parallel run must still match the sequential oracle exactly.
+  std::vector<DeviceSpec> big_fleet;
+  big_fleet.reserve(fleet.size() * static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    big_fleet.insert(big_fleet.end(), fleet.begin(), fleet.end());
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Parallel fleet evaluation (%zu devices = 380 x %d, work-stealing threads)",
+                big_fleet.size(), replicas);
+  bench::Title(title);
+
+  const auto oracle_start = std::chrono::steady_clock::now();
+  const Table1Result oracle = RunFleet(big_fleet, /*seed=*/6);
+  const double oracle_ms = MsSince(oracle_start);
+  std::printf("sequential oracle: %.0f ms, %llu events (%.0f events/sec)\n\n", oracle_ms,
+              static_cast<unsigned long long>(oracle.events),
+              oracle_ms > 0 ? static_cast<double>(oracle.events) / (oracle_ms / 1e3) : 0);
+  bench::JsonSummary("table1_sequential", oracle_ms, oracle.events, "\"threads\":1");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) == thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  std::printf("%8s %10s %14s %9s %10s\n", "threads", "wall ms", "events/sec", "speedup",
+              "identical");
+  bool all_identical = true;
+  for (unsigned threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    const Table1Result parallel = RunFleetParallel(big_fleet, /*seed=*/6, threads);
+    const double ms = MsSince(start);
+    const bool identical = parallel == oracle;
+    all_identical = all_identical && identical;
+    std::printf("%8u %10.0f %14.0f %8.2fx %10s\n", threads, ms,
+                ms > 0 ? static_cast<double>(parallel.events) / (ms / 1e3) : 0,
+                ms > 0 ? oracle_ms / ms : 0, identical ? "yes" : "NO");
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), "\"threads\":%u,\"speedup\":%.3f", threads,
+                  ms > 0 ? oracle_ms / ms : 0);
+    bench::JsonSummary("table1_parallel", ms, parallel.events, extra);
+  }
+  if (!all_identical) {
+    std::printf("\nERROR: a parallel run diverged from the sequential oracle\n");
+    return 1;
+  }
+  std::printf("\nall parallel runs bit-identical to the sequential oracle\n");
   return 0;
 }

@@ -8,6 +8,7 @@
 #define BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -149,6 +150,18 @@ inline std::string Pct(int yes, int n) {
 }
 
 inline void Title(const char* text) { std::printf("\n==== %s ====\n\n", text); }
+
+// One-line machine-readable summary, for recording BENCH_*.json trajectories
+// per PR (grep for "BENCH_JSON"). `extra` is spliced in verbatim as
+// additional JSON fields, e.g. R"("threads":4,"speedup":2.1)".
+inline void JsonSummary(const char* bench, double wall_ms, uint64_t events,
+                        const char* extra = nullptr) {
+  const double events_per_sec = wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0;
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"events\":%llu,"
+              "\"events_per_sec\":%.0f%s%s}\n",
+              bench, wall_ms, static_cast<unsigned long long>(events), events_per_sec,
+              extra != nullptr ? "," : "", extra != nullptr ? extra : "");
+}
 
 }  // namespace bench
 }  // namespace natpunch

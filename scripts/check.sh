@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Configure, build, and test the repo the same way CI / the tier-1 gate does.
+#
+#   scripts/check.sh                 # Release build + full ctest
+#   NATPUNCH_TSAN=1 scripts/check.sh # ...then rebuild the threaded-runner
+#                                    # tests under -fsanitize=thread and
+#                                    # re-run them (guards RunFleetParallel
+#                                    # against data races)
+#
+# Environment knobs:
+#   BUILD_DIR      (default: build)
+#   TSAN_BUILD_DIR (default: build-tsan)
+#   JOBS           (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+if [[ "${NATPUNCH_TSAN:-0}" == "1" ]]; then
+  echo "==== TSan pass: rebuilding fleet/netsim tests with -fsanitize=thread ===="
+  cmake -B "$TSAN_BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target fleet_test netsim_test
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -R 'Fleet|EventLoop'
+fi

@@ -1,8 +1,10 @@
 #include "src/fleet/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <numeric>
+#include <thread>
 
 #include "src/natcheck/client.h"
 #include "src/natcheck/servers.h"
@@ -204,7 +206,7 @@ std::vector<DeviceSpec> BuildFleet(const std::vector<VendorProfile>& vendors, ui
   return fleet;
 }
 
-NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed) {
+NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed, uint64_t* events) {
   Scenario::Options options;
   options.seed = seed;
   Scenario scenario(options);
@@ -243,6 +245,9 @@ NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed) {
   });
   scenario.net().RunFor(Seconds(90));
   (void)finished;
+  if (events != nullptr) {
+    *events += scenario.net().event_loop().events_processed();
+  }
   return report;
 }
 
@@ -263,9 +268,27 @@ void VendorTally::Add(const DeviceSpec& device, const NatCheckReport& report) {
   }
 }
 
-Table1Result RunFleet(const std::vector<DeviceSpec>& devices, uint64_t seed) {
-  Table1Result result;
+namespace {
+
+// Per-device seeds, drawn in device order from the fleet seed. Both runners
+// use this sequence, so a device's simulation is identical no matter which
+// thread (or which runner) executes it.
+std::vector<uint64_t> DeviceSeeds(size_t count, uint64_t seed) {
   Rng rng(seed);
+  std::vector<uint64_t> seeds(count);
+  for (auto& s : seeds) {
+    s = rng.NextU64();
+  }
+  return seeds;
+}
+
+// Fold per-device reports into Table 1 rows, strictly in device order —
+// this is what makes the parallel runner's output bit-identical to the
+// sequential oracle: completion order never touches the tally.
+Table1Result TallyInDeviceOrder(const std::vector<DeviceSpec>& devices,
+                                const std::vector<NatCheckReport>& reports, uint64_t events) {
+  Table1Result result;
+  result.events = events;
   auto row_for = [&result](const std::string& vendor) -> VendorTally& {
     for (auto& [name, tally] : result.rows) {
       if (name == vendor) {
@@ -275,12 +298,63 @@ Table1Result RunFleet(const std::vector<DeviceSpec>& devices, uint64_t seed) {
     result.rows.emplace_back(vendor, VendorTally{});
     return result.rows.back().second;
   };
-  for (const auto& device : devices) {
-    const NatCheckReport report = RunNatCheckOn(device, rng.NextU64());
-    row_for(device.vendor).Add(device, report);
-    result.total.Add(device, report);
+  for (size_t i = 0; i < devices.size(); ++i) {
+    row_for(devices[i].vendor).Add(devices[i], reports[i]);
+    result.total.Add(devices[i], reports[i]);
   }
   return result;
+}
+
+}  // namespace
+
+Table1Result RunFleet(const std::vector<DeviceSpec>& devices, uint64_t seed) {
+  const std::vector<uint64_t> seeds = DeviceSeeds(devices.size(), seed);
+  std::vector<NatCheckReport> reports(devices.size());
+  uint64_t events = 0;
+  for (size_t i = 0; i < devices.size(); ++i) {
+    reports[i] = RunNatCheckOn(devices[i], seeds[i], &events);
+  }
+  return TallyInDeviceOrder(devices, reports, events);
+}
+
+Table1Result RunFleetParallel(const std::vector<DeviceSpec>& devices, uint64_t seed,
+                              unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = static_cast<unsigned>(
+      std::min<size_t>(n_threads, std::max<size_t>(1, devices.size())));
+
+  const std::vector<uint64_t> seeds = DeviceSeeds(devices.size(), seed);
+  std::vector<NatCheckReport> reports(devices.size());
+  std::vector<uint64_t> events_per_thread(n_threads, 0);
+  // Work-stealing by atomic index: each simulation is fully isolated (own
+  // Network, EventLoop, Rng), so workers share nothing but the input vector
+  // and their disjoint output slots.
+  std::atomic<size_t> next{0};
+  auto worker = [&](unsigned thread_index) {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= devices.size()) {
+        return;
+      }
+      reports[i] = RunNatCheckOn(devices[i], seeds[i], &events_per_thread[thread_index]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads - 1);
+  for (unsigned t = 1; t < n_threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  worker(0);  // the calling thread pulls its weight too
+  for (auto& t : threads) {
+    t.join();
+  }
+  uint64_t events = 0;
+  for (uint64_t e : events_per_thread) {
+    events += e;
+  }
+  return TallyInDeviceOrder(devices, reports, events);
 }
 
 namespace {

@@ -19,7 +19,9 @@
 #ifndef SRC_FLEET_FLEET_H_
 #define SRC_FLEET_FLEET_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/nat/nat_config.h"
@@ -63,8 +65,10 @@ std::vector<DeviceSpec> BuildFleet(const std::vector<VendorProfile>& vendors, ui
 
 // Run the NAT Check reproduction against one simulated device: a fresh
 // network with the client behind the device NAT and the three check
-// servers in the global realm.
-NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed);
+// servers in the global realm. When `events` is non-null, the number of
+// simulator events the run processed is added to it.
+NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed,
+                             uint64_t* events = nullptr);
 
 struct VendorTally {
   int udp_yes = 0;
@@ -77,15 +81,30 @@ struct VendorTally {
   int tcp_hairpin_n = 0;
 
   void Add(const DeviceSpec& device, const NatCheckReport& report);
+
+  friend bool operator==(const VendorTally&, const VendorTally&) = default;
 };
 
 struct Table1Result {
   std::vector<std::pair<std::string, VendorTally>> rows;  // vendor order preserved
   VendorTally total;
+  uint64_t events = 0;  // simulator events processed across every device run
+
+  friend bool operator==(const Table1Result&, const Table1Result&) = default;
 };
 
-// Run the whole fleet (sequentially; each device is its own simulation).
+// Run the whole fleet sequentially; each device is its own simulation. This
+// is the determinism oracle for RunFleetParallel.
 Table1Result RunFleet(const std::vector<DeviceSpec>& devices, uint64_t seed);
+
+// Run the fleet on `n_threads` worker threads (0 = hardware concurrency).
+// Each device still gets its own Network/EventLoop, its seed is drawn from
+// the same per-device seed sequence as the sequential path, and reports are
+// written into a pre-sized vector by device index before being tallied in
+// device order — so the Table1Result is bit-identical to RunFleet's
+// regardless of thread count or scheduling.
+Table1Result RunFleetParallel(const std::vector<DeviceSpec>& devices, uint64_t seed,
+                              unsigned n_threads = 0);
 
 // Render in the paper's layout; when `paper` is non-null, print its numbers
 // alongside for comparison.

@@ -1,15 +1,17 @@
 #include "src/netsim/event_loop.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace natpunch {
 
 EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   const int64_t t = std::max(at.micros(), now_.micros());
   const EventId id = next_id_++;
-  const Key key{t, id};
-  queue_.emplace(key, std::move(fn));
-  index_.emplace(id, key);
+  slots_.push_back(Slot{std::move(fn), /*pending=*/true});
+  heap_.push_back(HeapEntry{t, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
   return id;
 }
 
@@ -17,32 +19,69 @@ EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<voi
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+EventLoop::Slot* EventLoop::SlotFor(EventId id) {
+  if (id < base_id_ || id >= next_id_) {
+    return nullptr;
+  }
+  return &slots_[static_cast<size_t>(id - base_id_)];
+}
+
+void EventLoop::CompactFront() {
+  while (!slots_.empty() && !slots_.front().pending) {
+    slots_.pop_front();
+    ++base_id_;
+  }
+}
+
+void EventLoop::PopDead() {
+  while (!heap_.empty()) {
+    Slot* slot = SlotFor(heap_.front().id);
+    if (slot != nullptr && slot->pending) {
+      return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
 bool EventLoop::Cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
+  Slot* slot = SlotFor(id);
+  if (slot == nullptr || !slot->pending) {
     return false;
   }
-  queue_.erase(it->second);
-  index_.erase(it);
+  slot->pending = false;
+  slot->fn = nullptr;  // tombstone: the heap entry dies lazily in PopDead
+  --live_;
+  CompactFront();
   return true;
 }
 
 bool EventLoop::RunOne() {
-  if (queue_.empty()) {
+  PopDead();
+  if (heap_.empty()) {
     return false;
   }
-  auto it = queue_.begin();
-  now_ = SimTime(it->first.first);
-  auto fn = std::move(it->second);
-  index_.erase(it->first.second);
-  queue_.erase(it);
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Slot* slot = SlotFor(top.id);
+  std::function<void()> fn = std::move(slot->fn);
+  slot->pending = false;
+  slot->fn = nullptr;
+  --live_;
+  CompactFront();  // `slot` is dead past this point
+  now_ = SimTime(top.time);
   ++events_processed_;
   fn();
   return true;
 }
 
 void EventLoop::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.begin()->first.first <= deadline.micros()) {
+  for (;;) {
+    PopDead();
+    if (heap_.empty() || heap_.front().time > deadline.micros()) {
+      break;
+    }
     RunOne();
   }
   now_ = std::max(now_, deadline);

@@ -5,15 +5,24 @@
 // determinism is load-bearing: the hole-punching experiments depend on
 // reproducing exact packet interleavings (e.g. whether A's SYN reaches B's
 // NAT before B's SYN leaves it).
+//
+// Implementation: a binary min-heap of (time, sequence) keys with lazy
+// cancellation. Cancel() only flips the event's slot to non-pending; the
+// tombstoned heap entry is discarded when it surfaces at the top. Callbacks
+// live in a deque indexed by event id (ids are issued sequentially, so the
+// slot for id i sits at i - base_id_), which gives O(1) id lookup with no
+// hashing and lets the front of the window be reclaimed as events retire.
+// This replaced a std::map/unordered_map pair: scheduling no longer
+// allocates a red-black tree node per event, and pops are O(log n) sifts
+// over a flat array.
 
 #ifndef SRC_NETSIM_EVENT_LOOP_H_
 #define SRC_NETSIM_EVENT_LOOP_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
-#include <unordered_map>
-#include <utility>
+#include <vector>
 
 #include "src/netsim/sim_time.h"
 
@@ -51,18 +60,44 @@ class EventLoop {
   // (e.g. two misconfigured nodes ping-ponging a packet forever).
   size_t RunUntilIdle(size_t max_events = 10'000'000);
 
-  bool idle() const { return queue_.empty(); }
-  size_t pending_count() const { return queue_.size(); }
+  bool idle() const { return live_ == 0; }
+  size_t pending_count() const { return live_; }
   uint64_t events_processed() const { return events_processed_; }
 
  private:
-  using Key = std::pair<int64_t, EventId>;  // (time micros, sequence)
+  struct HeapEntry {
+    int64_t time;  // micros
+    EventId id;
+  };
+  // Min-heap on (time, id); std::push_heap keeps the *largest* element at
+  // the front under operator<, so "earlier" must compare greater.
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.time > b.time || (a.time == b.time && a.id > b.id);
+    }
+  };
+
+  struct Slot {
+    std::function<void()> fn;
+    bool pending = false;
+  };
+
+  // Slot for `id`, or nullptr if the id was never issued / already retired
+  // out of the window.
+  Slot* SlotFor(EventId id);
+  // Drop tombstoned (cancelled) entries off the heap top so heap_.front()
+  // is the earliest still-pending event.
+  void PopDead();
+  // Retire fully-processed slots from the front of the id window.
+  void CompactFront();
 
   SimTime now_;
   EventId next_id_ = 1;
+  EventId base_id_ = 1;  // id of slots_.front()
   uint64_t events_processed_ = 0;
-  std::map<Key, std::function<void()>> queue_;
-  std::unordered_map<EventId, Key> index_;
+  size_t live_ = 0;  // scheduled, not yet fired or cancelled
+  std::vector<HeapEntry> heap_;
+  std::deque<Slot> slots_;
 };
 
 }  // namespace natpunch

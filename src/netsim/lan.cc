@@ -72,12 +72,31 @@ void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
     delay = delay + (medium_free_at_ - network_->now());
   }
 
-  Node* node = target->node;
-  const int iface = target->iface;
-  network_->event_loop().ScheduleAfter(delay, [this, node, iface, packet = std::move(packet)] {
-    network_->trace().Record(network_->now(), node->name(), TraceEvent::kDeliver, packet);
-    node->HandlePacket(iface, packet);
-  });
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(deliveries_.size());
+    deliveries_.emplace_back();
+  }
+  PendingDelivery& pending = deliveries_[slot];
+  pending.node = target->node;
+  pending.iface = target->iface;
+  pending.packet = std::move(packet);
+  network_->event_loop().ScheduleAfter(delay, [this, slot] { Deliver(slot); });
+}
+
+void Lan::Deliver(uint32_t slot) {
+  // Move everything out and release the slot first: HandlePacket may
+  // re-enter Transmit on this same Lan.
+  Node* const node = deliveries_[slot].node;
+  const int iface = deliveries_[slot].iface;
+  Packet packet = std::move(deliveries_[slot].packet);
+  deliveries_[slot].node = nullptr;
+  free_slots_.push_back(slot);
+  network_->trace().Record(network_->now(), node->name(), TraceEvent::kDeliver, packet);
+  node->HandlePacket(iface, packet);
 }
 
 }  // namespace natpunch

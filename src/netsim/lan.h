@@ -62,6 +62,18 @@ class Lan {
     Ipv4Address ip;
   };
 
+  // An in-flight delivery parked in a pooled slot so the scheduled callback
+  // only captures {this, slot} — small and trivially copyable, so
+  // std::function keeps it in its small-buffer storage instead of heap-
+  // allocating a closure (with the Packet inside it) for every packet.
+  struct PendingDelivery {
+    Node* node = nullptr;
+    int iface = 0;
+    Packet packet;
+  };
+
+  void Deliver(uint32_t slot);
+
   Network* network_;
   std::string name_;
   LanConfig config_;
@@ -69,6 +81,8 @@ class Lan {
   SimTime medium_free_at_;  // when the shared medium finishes its last frame
   uint64_t packets_ = 0;
   uint64_t bytes_ = 0;
+  std::vector<PendingDelivery> deliveries_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace natpunch

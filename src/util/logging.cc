@@ -1,14 +1,19 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 namespace natpunch {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
-std::function<int64_t()> g_time_source;
-std::function<void(const std::string&)> g_sink;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+// Thread-local: every Network installs its own virtual-clock source on
+// construction, and the parallel fleet runner constructs one Network per
+// worker thread. A process-global slot would be a data race (and would stamp
+// one simulation's log lines with another's clock).
+thread_local std::function<int64_t()> g_time_source;
+thread_local std::function<void(const std::string&)> g_sink;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -33,9 +38,11 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
-bool LogEnabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(g_level); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load(std::memory_order_relaxed));
+}
 
 void SetLogTimeSource(std::function<int64_t()> now_micros) {
   g_time_source = std::move(now_micros);

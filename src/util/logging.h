@@ -30,10 +30,12 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 // Install a virtual-clock source; returns microseconds. Pass nullptr to go
-// back to unstamped output.
+// back to unstamped output. Thread-local: each simulation thread gets its
+// own clock (the parallel fleet runner runs one Network per worker).
 void SetLogTimeSource(std::function<int64_t()> now_micros);
 
 // Redirect log output (default: stderr). Used by tests to capture output.
+// Thread-local, like the time source.
 void SetLogSink(std::function<void(const std::string&)> sink);
 
 class LogMessage {

@@ -1,0 +1,83 @@
+// Determinism regression tests for the fleet runners: the sequential
+// RunFleet is the oracle, and RunFleetParallel must reproduce its
+// Table1Result bit-for-bit at any thread count. Uses a trimmed vendor list
+// so each case stays fast — the full 380-device run lives in bench_table1.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fleet/fleet.h"
+
+namespace natpunch {
+namespace {
+
+// Small but non-trivial: mixed cone/symmetric mapping, partial TCP and
+// hairpin subsets, plus a vendor with no TCP reports at all.
+std::vector<VendorProfile> TinyVendors() {
+  return {
+      // {name, udp_yes/n, udp_hairpin_yes/n, tcp_yes/n, tcp_hairpin_yes/n}
+      {"AlphaNet", 4, 5, 1, 4, 3, 4, 1, 4},
+      {"BetaGate", 2, 4, 1, 3, 1, 2, 0, 2},
+      {"GammaBox", 3, 3, 0, 0, 0, 0, 0, 0},
+  };
+}
+
+std::vector<DeviceSpec> TinyFleet() { return BuildFleet(TinyVendors(), /*seed=*/77); }
+
+TEST(FleetTest, BuildFleetIsDeterministic) {
+  const auto a = BuildFleet(TinyVendors(), 77);
+  const auto b = BuildFleet(TinyVendors(), 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vendor, b[i].vendor);
+    EXPECT_EQ(a[i].reports_tcp, b[i].reports_tcp);
+    EXPECT_EQ(a[i].config.mapping, b[i].config.mapping);
+    EXPECT_EQ(a[i].config.filtering, b[i].config.filtering);
+    EXPECT_EQ(a[i].config.udp_timeout.micros(), b[i].config.udp_timeout.micros());
+  }
+}
+
+TEST(FleetTest, SequentialRunsAreIdentical) {
+  const auto fleet = TinyFleet();
+  const Table1Result first = RunFleet(fleet, /*seed=*/6);
+  const Table1Result second = RunFleet(fleet, /*seed=*/6);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.events, 0u);
+  // Sanity: every device landed in a row and the totals cover the fleet.
+  EXPECT_EQ(first.rows.size(), 3u);
+  EXPECT_EQ(first.total.udp_n, 12);
+}
+
+TEST(FleetTest, ParallelMatchesSequentialOracle) {
+  const auto fleet = TinyFleet();
+  const Table1Result oracle = RunFleet(fleet, /*seed=*/6);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const Table1Result parallel = RunFleetParallel(fleet, /*seed=*/6, threads);
+    EXPECT_EQ(parallel, oracle) << "thread count " << threads;
+  }
+}
+
+TEST(FleetTest, ParallelHardwareConcurrencyMatchesOracle) {
+  const auto fleet = TinyFleet();
+  const Table1Result oracle = RunFleet(fleet, /*seed=*/6);
+  EXPECT_EQ(RunFleetParallel(fleet, /*seed=*/6, /*n_threads=*/0), oracle);
+}
+
+TEST(FleetTest, ParallelWithMoreThreadsThanDevices) {
+  std::vector<VendorProfile> one = {{"Solo", 1, 1, 0, 1, 1, 1, 0, 1}};
+  const auto fleet = BuildFleet(one, 3);
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(RunFleetParallel(fleet, 6, 8), RunFleet(fleet, 6));
+}
+
+TEST(FleetTest, EmptyFleet) {
+  const std::vector<DeviceSpec> none;
+  const Table1Result seq = RunFleet(none, 6);
+  EXPECT_EQ(RunFleetParallel(none, 6, 4), seq);
+  EXPECT_EQ(seq.total.udp_n, 0);
+  EXPECT_TRUE(seq.rows.empty());
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/netsim/address.h"
@@ -92,6 +95,147 @@ TEST(EventLoopTest, RunUntilIdleHonorsCap) {
   std::function<void()> forever = [&] { loop.ScheduleAfter(Micros(1), forever); };
   loop.ScheduleAfter(Micros(1), forever);
   EXPECT_EQ(loop.RunUntilIdle(100), 100u);
+}
+
+TEST(EventLoopTest, CancelAfterFireReturnsFalse) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.ScheduleAt(SimTime(10), [&] { ++fired; });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(loop.Cancel(id));  // already fired
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CancelFromInsideCallback) {
+  EventLoop loop;
+  bool second_fired = false;
+  EventLoop::EventId second = EventLoop::kInvalidEventId;
+  second = loop.ScheduleAt(SimTime(20), [&] { second_fired = true; });
+  loop.ScheduleAt(SimTime(10), [&] { EXPECT_TRUE(loop.Cancel(second)); });
+  loop.RunUntilIdle();
+  EXPECT_FALSE(second_fired);
+  EXPECT_TRUE(loop.idle());
+}
+
+TEST(EventLoopTest, CancelSameInstantSiblingPreservesOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  EventLoop::EventId doomed = EventLoop::kInvalidEventId;
+  loop.ScheduleAt(SimTime(50), [&] { order.push_back(0); });
+  doomed = loop.ScheduleAt(SimTime(50), [&] { order.push_back(1); });
+  loop.ScheduleAt(SimTime(50), [&] { order.push_back(2); });
+  EXPECT_TRUE(loop.Cancel(doomed));
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventLoopTest, PendingCountTracksCancellation) {
+  EventLoop loop;
+  const auto a = loop.ScheduleAt(SimTime(10), [] {});
+  const auto b = loop.ScheduleAt(SimTime(20), [] {});
+  EXPECT_EQ(loop.pending_count(), 2u);
+  EXPECT_FALSE(loop.idle());
+  EXPECT_TRUE(loop.Cancel(a));
+  EXPECT_EQ(loop.pending_count(), 1u);
+  EXPECT_TRUE(loop.Cancel(b));
+  EXPECT_EQ(loop.pending_count(), 0u);
+  EXPECT_TRUE(loop.idle());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, SchedulingInThePastClampsToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(SimTime(100), [] {});
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.now().micros(), 100);
+  int64_t fired_at = -1;
+  loop.ScheduleAt(SimTime(5), [&] { fired_at = loop.now().micros(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired_at, 100);
+}
+
+// Reference model with the original std::map<(time, seq)> semantics; the
+// heap-based EventLoop must agree with it on every observable: Cancel()
+// return values, firing order, event payload identity, and clock position.
+class ModelLoop {
+ public:
+  uint64_t Schedule(int64_t at, int payload) {
+    const int64_t t = std::max(at, now_);
+    const uint64_t id = next_id_++;
+    queue_.emplace(std::make_pair(t, id), payload);
+    return id;
+  }
+  bool Cancel(uint64_t id) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->first.second == id) {
+        queue_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool RunOne(std::vector<int>* fired) {
+    if (queue_.empty()) {
+      return false;
+    }
+    auto it = queue_.begin();
+    now_ = it->first.first;
+    fired->push_back(it->second);
+    queue_.erase(it);
+    return true;
+  }
+  int64_t now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  int64_t now_ = 0;
+  uint64_t next_id_ = 1;
+  std::map<std::pair<int64_t, uint64_t>, int> queue_;
+};
+
+// Hammer schedule/cancel/run interleavings against the reference model.
+// Deterministic LCG so failures replay exactly.
+TEST(EventLoopTest, RandomizedAgainstMapModel) {
+  EventLoop loop;
+  ModelLoop model;
+  std::vector<int> loop_fired;
+  std::vector<int> model_fired;
+  std::vector<std::pair<EventLoop::EventId, uint64_t>> ids;  // (loop id, model id)
+  uint64_t rng = 12345;
+  auto next = [&rng](uint64_t bound) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (rng >> 33) % bound;
+  };
+  int payload = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = next(10);
+    if (op < 5) {
+      // Schedule at a time near now (sometimes in the past → clamps).
+      const int64_t at = loop.now().micros() + static_cast<int64_t>(next(40)) - 5;
+      const int p = payload++;
+      const auto lid = loop.ScheduleAt(SimTime(at), [&loop_fired, p] { loop_fired.push_back(p); });
+      const auto mid = model.Schedule(at, p);
+      ids.emplace_back(lid, mid);
+    } else if (op < 8) {
+      EXPECT_EQ(loop.RunOne(), model.RunOne(&model_fired));
+      EXPECT_EQ(loop.now().micros(), model.now());
+    } else {
+      // Cancel a random id from the history — pending, fired, or already
+      // cancelled; the two implementations must agree on the return value.
+      if (!ids.empty()) {
+        const auto& [lid, mid] = ids[next(ids.size())];
+        EXPECT_EQ(loop.Cancel(lid), model.Cancel(mid));
+      }
+    }
+    ASSERT_EQ(loop.pending_count(), model.pending()) << "diverged at step " << step;
+  }
+  while (model.RunOne(&model_fired)) {
+    EXPECT_TRUE(loop.RunOne());
+  }
+  EXPECT_FALSE(loop.RunOne());
+  EXPECT_EQ(loop_fired, model_fired);
+  EXPECT_EQ(loop.now().micros(), model.now());
 }
 
 TEST(AddressTest, ParseAndFormat) {
