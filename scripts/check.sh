@@ -6,10 +6,16 @@
 #                                    # tests under -fsanitize=thread and
 #                                    # re-run them (guards RunFleetParallel
 #                                    # against data races)
+#   NATPUNCH_ASAN=1 scripts/check.sh # ...then rebuild the chaos/failure
+#                                    # tests under -fsanitize=address,undefined
+#                                    # and re-run them (fault injection and
+#                                    # session teardown are where lifetime
+#                                    # bugs hide)
 #
 # Environment knobs:
 #   BUILD_DIR      (default: build)
 #   TSAN_BUILD_DIR (default: build-tsan)
+#   ASAN_BUILD_DIR (default: build-asan)
 #   JOBS           (default: nproc)
 
 set -euo pipefail
@@ -17,6 +23,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 JOBS=${JOBS:-$(nproc)}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -31,4 +38,14 @@ if [[ "${NATPUNCH_TSAN:-0}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target fleet_test netsim_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -R 'Fleet|EventLoop'
+fi
+
+if [[ "${NATPUNCH_ASAN:-0}" == "1" ]]; then
+  echo "==== ASan/UBSan pass: rebuilding chaos/failure tests with -fsanitize=address,undefined ===="
+  cmake -B "$ASAN_BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" --target chaos_test failure_test
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -R 'Chaos|Failure'
 fi

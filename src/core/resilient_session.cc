@@ -1,0 +1,467 @@
+#include "src/core/resilient_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace natpunch {
+namespace {
+
+// The kRelayOnly connect-request payload: the initiator's relayed endpoint.
+Bytes EncodeRelayEndpoint(const Endpoint& ep) {
+  ByteWriter w;
+  w.WriteU32(ep.ip.bits());
+  w.WriteU16(ep.port);
+  return w.Take();
+}
+
+std::optional<Endpoint> DecodeRelayEndpoint(const Bytes& data) {
+  ByteReader r(data);
+  const Ipv4Address ip(r.ReadU32());
+  const uint16_t port = r.ReadU16();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return Endpoint(ip, port);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResilientSession
+// ---------------------------------------------------------------------------
+
+Status ResilientSession::Send(Bytes payload) {
+  switch (path_) {
+    case Path::kDirect:
+      if (inner_ != nullptr && inner_->alive()) {
+        return inner_->Send(std::move(payload));
+      }
+      [[fallthrough]];  // death noticed between watchdog ticks: buffer
+    case Path::kConnecting:
+      if (pending_sends_.size() >= manager_->config().max_pending_sends) {
+        return Status(ErrorCode::kWouldBlock, "recovery send buffer full");
+      }
+      pending_sends_.push_back(std::move(payload));
+      return Status::Ok();
+    case Path::kRelay:
+      if (!relay_confirmed_) {
+        if (pending_sends_.size() >= manager_->config().max_pending_sends) {
+          return Status(ErrorCode::kWouldBlock, "recovery send buffer full");
+        }
+        pending_sends_.push_back(std::move(payload));
+        return Status::Ok();
+      }
+      return manager_->RelaySend(this, std::move(payload));
+    case Path::kFailed:
+      return Status(ErrorCode::kClosed, "session failed");
+  }
+  return Status(ErrorCode::kProtocolError, "unreachable");
+}
+
+SimDuration ResilientSession::total_downtime() const {
+  SimDuration total{};
+  for (const RecoveryRecord& rec : recoveries_) {
+    total = total + rec.downtime;
+  }
+  return total;
+}
+
+int ResilientSession::total_repunch_attempts() const {
+  int total = 0;
+  for (const RecoveryRecord& rec : recoveries_) {
+    total += rec.repunch_attempts;
+  }
+  return total;
+}
+
+void ResilientSession::SetPath(Path path) {
+  if (path_ == path) {
+    return;
+  }
+  path_ = path;
+  if (path_cb_) {
+    path_cb_(path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResilientSessionManager
+// ---------------------------------------------------------------------------
+
+ResilientSessionManager::ResilientSessionManager(UdpHolePuncher* puncher,
+                                                 ResilientSessionConfig config)
+    : puncher_(puncher),
+      config_(config),
+      loop_(puncher->rendezvous()->host()->loop()) {
+  puncher_->SetIncomingSessionCallback(
+      [this](UdpP2pSession* inner) { OnIncomingSession(inner); });
+  puncher_->SetUnclaimedMessageHandler(
+      [this](const Endpoint& from, const PeerMessage& msg) { OnUnclaimed(from, msg); });
+  puncher_->rendezvous()->SetConnectForwardHandler(
+      ConnectStrategy::kRelayOnly,
+      [this](const RendezvousMessage& fwd) { OnRelayForward(fwd); });
+}
+
+ResilientSession* ResilientSessionManager::FindSession(uint64_t peer_id) {
+  auto it = sessions_.find(peer_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+ResilientSession* ResilientSessionManager::FindOrCreate(uint64_t peer_id, bool initiator,
+                                                        bool* created) {
+  auto it = sessions_.find(peer_id);
+  if (it != sessions_.end()) {
+    *created = false;
+    return it->second.get();
+  }
+  auto session =
+      std::unique_ptr<ResilientSession>(new ResilientSession(this, peer_id, initiator));
+  ResilientSession* raw = session.get();
+  sessions_[peer_id] = std::move(session);
+  *created = true;
+  return raw;
+}
+
+void ResilientSessionManager::ConnectToPeer(uint64_t peer_id, SessionCallback cb) {
+  bool created = false;
+  ResilientSession* rs = FindOrCreate(peer_id, /*initiator=*/true, &created);
+  rs->connect_cb_ = std::move(cb);
+  puncher_->ConnectToPeer(peer_id, [this, rs](Result<UdpP2pSession*> result) {
+    if (result.ok()) {
+      AdoptInner(rs, *result);
+      if (rs->connect_cb_) {
+        auto callback = std::move(rs->connect_cb_);
+        rs->connect_cb_ = nullptr;
+        callback(rs);
+      }
+      return;
+    }
+    if (relay_available()) {
+      NP_LOG(Info) << "punch to peer " << rs->peer_id_
+                   << " failed; falling back to relay: " << result.status().ToString();
+      EnterRelay(rs);
+      return;
+    }
+    FailSession(rs, result.status());
+  });
+}
+
+void ResilientSessionManager::AdoptInner(ResilientSession* rs, UdpP2pSession* inner) {
+  if (rs->inner_ != nullptr && rs->inner_ != inner && rs->inner_->alive()) {
+    rs->inner_->Close();  // superseded by the fresher punch
+  }
+  rs->inner_ = inner;
+  inner->SetReceiveCallback([rs](const Bytes& payload) {
+    if (rs->receive_cb_) {
+      rs->receive_cb_(payload);
+    }
+  });
+  inner->SetDeadCallback([this, rs](Status status) { OnInnerDead(rs, status); });
+  // A direct path supersedes any relay state from a previous recovery.
+  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_keepalive_event_);
+    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  }
+  rs->turn_.reset();
+  rs->relay_confirmed_ = false;
+  rs->relay_nonce_ = 0;
+  rs->SetPath(ResilientSession::Path::kDirect);
+  FlushPending(rs);
+}
+
+void ResilientSessionManager::OnIncomingSession(UdpP2pSession* inner) {
+  bool created = false;
+  ResilientSession* rs = FindOrCreate(inner->peer_id(), /*initiator=*/false, &created);
+  const bool was_recovering = rs->recovering_;
+  AdoptInner(rs, inner);
+  if (was_recovering) {
+    FinishRecovery(rs, /*via_relay=*/false);
+  }
+  if (created && incoming_cb_) {
+    incoming_cb_(rs);
+  }
+}
+
+void ResilientSessionManager::OnInnerDead(ResilientSession* rs, Status status) {
+  if (rs->path_ != ResilientSession::Path::kDirect || rs->recovering_) {
+    return;  // stale watchdog for a path we already left
+  }
+  NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " session to peer "
+               << rs->peer_id_ << " died (" << status.ToString() << "); "
+               << (rs->initiator_ ? "re-punching" : "awaiting initiator recovery");
+  rs->recovering_ = true;
+  rs->died_at_ = loop_.now();
+  rs->repunch_attempts_ = 0;
+  rs->SetPath(ResilientSession::Path::kConnecting);
+  if (rs->initiator_) {
+    ScheduleRepunch(rs);
+  }
+  // The passive side cannot usefully re-punch (both sides doing so would
+  // race introductions); it waits for the initiator's recovery to arrive as
+  // an incoming punch or a relay signal.
+}
+
+SimDuration ResilientSessionManager::NextBackoff(const ResilientSession* rs) {
+  const double factor = std::pow(config_.backoff_factor, rs->repunch_attempts_);
+  double micros = static_cast<double>(config_.backoff_initial.micros()) * factor;
+  micros = std::min(micros, static_cast<double>(config_.backoff_max.micros()));
+  if (config_.jitter > 0.0) {
+    Rng& rng = puncher_->rendezvous()->host()->rng();
+    const double scale = 1.0 + config_.jitter * (2.0 * rng.NextDouble() - 1.0);
+    micros *= scale;
+  }
+  return SimDuration(std::max<int64_t>(1, static_cast<int64_t>(micros)));
+}
+
+void ResilientSessionManager::ScheduleRepunch(ResilientSession* rs) {
+  const SimDuration delay = NextBackoff(rs);
+  rs->repunch_event_ = loop_.ScheduleAfter(delay, [this, rs] {
+    rs->repunch_event_ = EventLoop::kInvalidEventId;
+    AttemptRepunch(rs);
+  });
+}
+
+void ResilientSessionManager::AttemptRepunch(ResilientSession* rs) {
+  if (!rs->recovering_) {
+    return;
+  }
+  ++rs->repunch_attempts_;
+  puncher_->ConnectToPeer(rs->peer_id_, [this, rs](Result<UdpP2pSession*> result) {
+    if (!rs->recovering_) {
+      if (result.ok()) {
+        (*result)->Close();  // recovered some other way while this punched
+      }
+      return;
+    }
+    if (result.ok()) {
+      AdoptInner(rs, *result);
+      FinishRecovery(rs, /*via_relay=*/false);
+      return;
+    }
+    if (rs->repunch_attempts_ >= config_.max_repunch_attempts) {
+      if (relay_available()) {
+        NP_LOG(Info) << "re-punch to peer " << rs->peer_id_ << " abandoned after "
+                     << rs->repunch_attempts_ << " attempts; falling back to relay";
+        EnterRelay(rs);
+      } else {
+        FailSession(rs, result.status());
+      }
+      return;
+    }
+    ScheduleRepunch(rs);
+  });
+}
+
+void ResilientSessionManager::FinishRecovery(ResilientSession* rs, bool via_relay) {
+  if (!rs->recovering_) {
+    return;
+  }
+  rs->recovering_ = false;
+  if (rs->repunch_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->repunch_event_);
+    rs->repunch_event_ = EventLoop::kInvalidEventId;
+  }
+  ResilientSession::RecoveryRecord rec;
+  rec.died_at = rs->died_at_;
+  rec.downtime = loop_.now() - rs->died_at_;
+  rec.repunch_attempts = rs->repunch_attempts_;
+  rec.via_relay = via_relay;
+  rs->recoveries_.push_back(rec);
+  NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " recovered session to peer "
+               << rs->peer_id_ << " via " << (via_relay ? "relay" : "re-punch") << " after "
+               << rec.downtime.ToString() << " (" << rec.repunch_attempts << " re-punches)";
+}
+
+void ResilientSessionManager::FailSession(ResilientSession* rs, const Status& status) {
+  rs->recovering_ = false;
+  if (rs->repunch_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->repunch_event_);
+    rs->repunch_event_ = EventLoop::kInvalidEventId;
+  }
+  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_keepalive_event_);
+    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  }
+  rs->pending_sends_.clear();
+  rs->SetPath(ResilientSession::Path::kFailed);
+  if (rs->connect_cb_) {
+    auto callback = std::move(rs->connect_cb_);
+    rs->connect_cb_ = nullptr;
+    callback(status);
+  }
+  if (rs->dead_cb_) {
+    rs->dead_cb_(status);
+  }
+}
+
+void ResilientSessionManager::FlushPending(ResilientSession* rs) {
+  std::vector<Bytes> pending = std::move(rs->pending_sends_);
+  rs->pending_sends_.clear();
+  for (Bytes& payload : pending) {
+    rs->Send(std::move(payload));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Relay fallback
+// --------------------------------------------------------------------------
+
+void ResilientSessionManager::EnterRelay(ResilientSession* rs) {
+  Host* host = puncher_->rendezvous()->host();
+  rs->relay_nonce_ = host->rng().NextU64();
+  rs->relay_confirmed_ = false;
+  rs->turn_ = std::make_unique<TurnClient>(host, config_.turn_server);
+  const uint64_t peer_id = rs->peer_id_;
+  rs->turn_->SetReceiveCallback([this, peer_id](const Endpoint& from, const Bytes& payload) {
+    OnTurnData(peer_id, from, payload);
+  });
+  rs->turn_->Allocate(0, [this, rs](Result<Endpoint> relayed) {
+    if (!relayed.ok()) {
+      FailSession(rs, relayed.status());
+      return;
+    }
+    // Tell the peer where to find us, through S. The ack doubles as the
+    // source of the peer's current public address for the TURN permission.
+    puncher_->rendezvous()->RequestConnect(
+        rs->peer_id_, ConnectStrategy::kRelayOnly, rs->relay_nonce_,
+        [this, rs](Result<RendezvousMessage> ack) {
+          if (!ack.ok()) {
+            FailSession(rs, ack.status());
+            return;
+          }
+          rs->turn_->Permit(ack->public_ep.ip);
+          RelayEstablished(rs);
+        },
+        EncodeRelayEndpoint(*relayed));
+  });
+}
+
+void ResilientSessionManager::RelayEstablished(ResilientSession* rs) {
+  rs->SetPath(ResilientSession::Path::kRelay);
+  if (rs->recovering_) {
+    FinishRecovery(rs, /*via_relay=*/true);
+  }
+  if (rs->connect_cb_) {
+    auto callback = std::move(rs->connect_cb_);
+    rs->connect_cb_ = nullptr;
+    callback(rs);
+  }
+}
+
+void ResilientSessionManager::OnRelayForward(const RendezvousMessage& msg) {
+  auto relayed = DecodeRelayEndpoint(msg.payload);
+  if (!relayed) {
+    return;
+  }
+  bool created = false;
+  ResilientSession* rs = FindOrCreate(msg.client_id, /*initiator=*/false, &created);
+  if (!created && rs->relay_nonce_ == msg.nonce && rs->relay_target_ == *relayed) {
+    return;  // duplicate forward (S re-sent the introduction)
+  }
+  if (rs->inner_ != nullptr && rs->inner_->alive()) {
+    rs->inner_->Close();  // initiator gave up on the direct path; follow it
+  }
+  rs->relay_nonce_ = msg.nonce;
+  rs->relay_target_ = *relayed;
+  rs->relay_confirmed_ = false;
+  rs->SetPath(ResilientSession::Path::kRelay);
+  if (rs->recovering_) {
+    FinishRecovery(rs, /*via_relay=*/true);
+  }
+  // Knock until the initiator answers: the first exchange may race the
+  // initiator's kPermit to the relay, so repeat at probe cadence until an
+  // inbound datagram from the relayed endpoint confirms the path.
+  ResponderRelayKeepAlive(rs);
+  if (created && incoming_cb_) {
+    incoming_cb_(rs);
+  }
+}
+
+void ResilientSessionManager::ResponderRelayKeepAlive(ResilientSession* rs) {
+  if (rs->path_ != ResilientSession::Path::kRelay || rs->turn_ != nullptr) {
+    return;
+  }
+  puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kKeepAlive, rs->relay_nonce_,
+                            Bytes{});
+  const SimDuration interval = rs->relay_confirmed_ ? puncher_->config().keepalive_interval
+                                                    : puncher_->config().probe_interval;
+  rs->relay_keepalive_event_ =
+      loop_.ScheduleAfter(interval, [this, rs] { ResponderRelayKeepAlive(rs); });
+}
+
+void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
+                                         const Bytes& payload) {
+  ResilientSession* rs = FindSession(peer_id);
+  if (rs == nullptr || rs->turn_ == nullptr) {
+    return;
+  }
+  auto msg = DecodePeerMessage(payload);
+  if (!msg || msg->nonce != rs->relay_nonce_) {
+    return;  // §3.4 again: unauthenticated traffic at the relayed endpoint
+  }
+  rs->relay_target_ = from;  // the peer's live public endpoint, as observed
+  if (!rs->relay_confirmed_) {
+    rs->relay_confirmed_ = true;
+    // Answer so the peer stops fast-knocking and confirms its side.
+    PeerMessage reply;
+    reply.type = PeerMsgType::kKeepAlive;
+    reply.nonce = rs->relay_nonce_;
+    reply.sender_id = puncher_->rendezvous()->client_id();
+    rs->turn_->SendTo(from, EncodePeerMessage(reply));
+    FlushPending(rs);
+  }
+  if (msg->type == PeerMsgType::kData) {
+    ++rs->relayed_received_;
+    if (rs->receive_cb_) {
+      rs->receive_cb_(msg->payload);
+    }
+  }
+}
+
+void ResilientSessionManager::OnUnclaimed(const Endpoint& from, const PeerMessage& msg) {
+  // Relay traffic reaching the responder's punch socket: match by nonce.
+  for (auto& [peer_id, session] : sessions_) {
+    ResilientSession* rs = session.get();
+    if (rs->turn_ != nullptr || rs->relay_nonce_ == 0 || rs->relay_nonce_ != msg.nonce) {
+      continue;
+    }
+    if (rs->path_ != ResilientSession::Path::kRelay) {
+      return;
+    }
+    if (!rs->relay_confirmed_) {
+      rs->relay_confirmed_ = true;
+      FlushPending(rs);
+    }
+    if (msg.type == PeerMsgType::kData) {
+      ++rs->relayed_received_;
+      if (rs->receive_cb_) {
+        rs->receive_cb_(msg.payload);
+      }
+    }
+    return;
+  }
+  (void)from;
+}
+
+Status ResilientSessionManager::RelaySend(ResilientSession* rs, Bytes payload) {
+  if (rs->turn_ != nullptr) {
+    PeerMessage msg;
+    msg.type = PeerMsgType::kData;
+    msg.nonce = rs->relay_nonce_;
+    msg.sender_id = puncher_->rendezvous()->client_id();
+    msg.payload = std::move(payload);
+    const Status status = rs->turn_->SendTo(rs->relay_target_, EncodePeerMessage(msg));
+    if (status.ok()) {
+      ++rs->relayed_sent_;
+    }
+    return status;
+  }
+  puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kData, rs->relay_nonce_,
+                            std::move(payload));
+  ++rs->relayed_sent_;
+  return Status::Ok();
+}
+
+}  // namespace natpunch

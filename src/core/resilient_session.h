@@ -1,0 +1,206 @@
+// Self-healing peer sessions (§3.6 "recovering on demand", automated).
+//
+// The paper observes that punched sessions die — NAT reboots flush the
+// translation state, idle timeouts reclaim it — and that applications
+// simply re-run hole punching when they notice. ResilientSession wraps a
+// UdpP2pSession and does exactly that, automatically: when the inner
+// session's expiry watchdog fires, the initiator re-punches with
+// exponential backoff plus deterministic jitter, and after a bounded number
+// of failed re-punches falls back to the §2.2 relay hierarchy, here a
+// TURN-style data-plane relay (address-based permissions, so the fallback
+// works even when BOTH peers sit behind symmetric NATs and punching is
+// structurally impossible).
+//
+// Relay fallback signaling rides the existing rendezvous introduction
+// machinery: the initiator allocates a relayed endpoint EA and sends a
+// kRelayOnly connect request whose payload is EA; the responder then
+// addresses the initiator *at EA* with ordinary peer-wire datagrams from
+// its punch socket, while the initiator speaks through its TURN client.
+// The first datagram from the responder that surfaces at EA tells the
+// initiator the responder's live public endpoint, closing the loop.
+//
+// Every recovery is recorded (downtime, re-punch attempts, final path) —
+// the raw material for the chaos bench's availability and recovery-time
+// distributions.
+
+#ifndef SRC_CORE_RESILIENT_SESSION_H_
+#define SRC_CORE_RESILIENT_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/turn.h"
+#include "src/core/udp_puncher.h"
+
+namespace natpunch {
+
+struct ResilientSessionConfig {
+  // Re-punch backoff: delay_n = min(initial * factor^n, max), each delay
+  // scaled by a uniform +/- jitter fraction drawn from the host rng (so two
+  // peers recovering simultaneously do not stampede in lockstep, yet the
+  // whole schedule stays reproducible under a fixed seed).
+  SimDuration backoff_initial = Millis(500);
+  double backoff_factor = 2.0;
+  SimDuration backoff_max = Seconds(8);
+  double jitter = 0.2;
+  // Failed re-punch attempts before giving up on the direct path. With a
+  // TURN server configured the session then falls back to the relay;
+  // without one it is declared failed.
+  int max_repunch_attempts = 3;
+  // Unspecified => no relay fallback.
+  Endpoint turn_server;
+  // Cap on datagrams buffered while the session is between paths.
+  size_t max_pending_sends = 128;
+};
+
+class ResilientSessionManager;
+
+class ResilientSession {
+ public:
+  enum class Path {
+    kConnecting,  // punching, re-punching, or relay signaling in flight
+    kDirect,      // punched UDP session
+    kRelay,       // TURN relay fallback
+    kFailed,      // recovery abandoned
+  };
+
+  using ReceiveCallback = std::function<void(const Bytes& payload)>;
+  using PathChangeCallback = std::function<void(Path)>;
+  using DeadCallback = std::function<void(Status)>;
+
+  // One completed recovery: death of the previous path to data flowing again.
+  struct RecoveryRecord {
+    SimTime died_at;
+    SimDuration downtime;
+    int repunch_attempts = 0;
+    bool via_relay = false;
+  };
+
+  // Application payload over whichever path is live. While recovering,
+  // payloads are buffered (up to max_pending_sends) and flushed on recovery.
+  Status Send(Bytes payload);
+
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+  void SetPathChangeCallback(PathChangeCallback cb) { path_cb_ = std::move(cb); }
+  // Fired once if recovery is abandoned (path kFailed).
+  void SetDeadCallback(DeadCallback cb) { dead_cb_ = std::move(cb); }
+
+  uint64_t peer_id() const { return peer_id_; }
+  bool initiator() const { return initiator_; }
+  Path path() const { return path_; }
+  bool alive() const { return path_ != Path::kFailed; }
+  // The punched session currently carrying data (null on the relay path).
+  UdpP2pSession* inner() const { return inner_; }
+
+  const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
+  SimDuration total_downtime() const;
+  int total_repunch_attempts() const;
+  uint64_t relayed_sent() const { return relayed_sent_; }
+  uint64_t relayed_received() const { return relayed_received_; }
+
+ private:
+  friend class ResilientSessionManager;
+
+  ResilientSession(ResilientSessionManager* manager, uint64_t peer_id, bool initiator)
+      : manager_(manager), peer_id_(peer_id), initiator_(initiator) {}
+
+  void SetPath(Path path);
+
+  ResilientSessionManager* manager_;
+  uint64_t peer_id_;
+  bool initiator_;
+  Path path_ = Path::kConnecting;
+  UdpP2pSession* inner_ = nullptr;  // owned by the puncher
+
+  // Recovery in flight.
+  bool recovering_ = false;
+  SimTime died_at_;
+  int repunch_attempts_ = 0;
+  EventLoop::EventId repunch_event_ = EventLoop::kInvalidEventId;
+
+  // Relay state. The initiator owns the allocation and speaks through
+  // turn_; the responder sends plain peer-wire datagrams at relay_target_
+  // (the initiator's relayed endpoint) from the shared punch socket.
+  std::unique_ptr<TurnClient> turn_;
+  uint64_t relay_nonce_ = 0;
+  Endpoint relay_target_;    // responder: EA; initiator: peer's observed ep
+  bool relay_confirmed_ = false;
+  EventLoop::EventId relay_keepalive_event_ = EventLoop::kInvalidEventId;
+
+  std::vector<Bytes> pending_sends_;
+  std::vector<RecoveryRecord> recoveries_;
+  uint64_t relayed_sent_ = 0;
+  uint64_t relayed_received_ = 0;
+
+  std::function<void(Result<ResilientSession*>)> connect_cb_;
+  ReceiveCallback receive_cb_;
+  PathChangeCallback path_cb_;
+  DeadCallback dead_cb_;
+};
+
+class ResilientSessionManager {
+ public:
+  using SessionCallback = std::function<void(Result<ResilientSession*>)>;
+
+  // Installs itself as the puncher's incoming-session and unclaimed-message
+  // consumer and registers the kRelayOnly forward handler — one manager per
+  // puncher.
+  ResilientSessionManager(UdpHolePuncher* puncher,
+                          ResilientSessionConfig config = ResilientSessionConfig{});
+
+  ResilientSessionManager(const ResilientSessionManager&) = delete;
+  ResilientSessionManager& operator=(const ResilientSessionManager&) = delete;
+
+  // Active side. Tries the direct punch first; if it fails and a TURN
+  // server is configured, establishes the relay path instead.
+  void ConnectToPeer(uint64_t peer_id, SessionCallback cb);
+
+  // Passive side: sessions initiated by remote peers (either path). Repeat
+  // punches from a peer with an existing session rebind into that session
+  // (they are a recovery, not a new conversation) and do NOT re-fire this.
+  void SetIncomingSessionCallback(std::function<void(ResilientSession*)> cb) {
+    incoming_cb_ = std::move(cb);
+  }
+
+  ResilientSession* FindSession(uint64_t peer_id);
+  size_t session_count() const { return sessions_.size(); }
+  UdpHolePuncher* puncher() const { return puncher_; }
+  const ResilientSessionConfig& config() const { return config_; }
+
+ private:
+  friend class ResilientSession;
+
+  ResilientSession* FindOrCreate(uint64_t peer_id, bool initiator, bool* created);
+
+  void AdoptInner(ResilientSession* rs, UdpP2pSession* inner);
+  void OnIncomingSession(UdpP2pSession* inner);
+  void OnInnerDead(ResilientSession* rs, Status status);
+  void ScheduleRepunch(ResilientSession* rs);
+  void AttemptRepunch(ResilientSession* rs);
+  void FinishRecovery(ResilientSession* rs, bool via_relay);
+  void FailSession(ResilientSession* rs, const Status& status);
+  void FlushPending(ResilientSession* rs);
+
+  bool relay_available() const { return !config_.turn_server.IsUnspecified(); }
+  void EnterRelay(ResilientSession* rs);
+  void RelayEstablished(ResilientSession* rs);
+  void OnRelayForward(const RendezvousMessage& msg);       // responder side
+  void OnTurnData(uint64_t peer_id, const Endpoint& from,  // initiator side
+                  const Bytes& payload);
+  void OnUnclaimed(const Endpoint& from, const PeerMessage& msg);
+  void ResponderRelayKeepAlive(ResilientSession* rs);
+  Status RelaySend(ResilientSession* rs, Bytes payload);
+
+  SimDuration NextBackoff(const ResilientSession* rs);
+
+  UdpHolePuncher* puncher_;
+  ResilientSessionConfig config_;
+  EventLoop& loop_;
+  std::map<uint64_t, std::unique_ptr<ResilientSession>> sessions_;  // by peer id
+  std::function<void(ResilientSession*)> incoming_cb_;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_RESILIENT_SESSION_H_

@@ -201,6 +201,13 @@ void TurnClient::SendAllocate() {
   });
 }
 
+void TurnClient::RefreshTick() {
+  TurnMessage refresh;
+  refresh.type = TurnMsgType::kAllocate;
+  socket_->SendTo(server_, EncodeTurnMessage(refresh));
+  refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+}
+
 void TurnClient::OnReceive(const Endpoint& from, const Bytes& payload) {
   if (from != server_) {
     return;  // relayed traffic arrives wrapped in kData, never raw
@@ -220,14 +227,8 @@ void TurnClient::OnReceive(const Endpoint& from, const Bytes& payload) {
         }
         // Periodic refresh keeps both the allocation and our NAT flow to
         // the server alive.
-        auto holder = std::make_shared<std::function<void()>>();
-        *holder = [this, holder] {
-          TurnMessage refresh;
-          refresh.type = TurnMsgType::kAllocate;
-          socket_->SendTo(server_, EncodeTurnMessage(refresh));
-          refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, *holder);
-        };
-        refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, *holder);
+        refresh_event_ =
+            host_->loop().ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
         if (allocate_cb_) {
           auto cb = std::move(allocate_cb_);
           allocate_cb_ = nullptr;

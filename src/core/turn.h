@@ -126,6 +126,7 @@ class TurnClient {
  private:
   void OnReceive(const Endpoint& from, const Bytes& payload);
   void SendAllocate();
+  void RefreshTick();
 
   Host* host_;
   Endpoint server_;

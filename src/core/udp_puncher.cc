@@ -163,6 +163,10 @@ void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Bytes& payload) {
   if (it == attempts_.end()) {
     // Unknown nonce: a stray host or an expired session. Authentications
     // fail silently (§3.4) — never answer, or the stray would lock onto us.
+    // A registered unclaimed handler may still consume it (relay fallback).
+    if (unclaimed_handler_) {
+      unclaimed_handler_(from, *msg);
+    }
     return;
   }
   Attempt& attempt = it->second;
@@ -275,36 +279,40 @@ void UdpHolePuncher::FailAttempt(uint64_t nonce, const Status& status) {
 }
 
 void UdpHolePuncher::ArmSessionTimers(UdpP2pSession* session) {
-  if (config_.keepalives_enabled) {
-    const uint64_t nonce = session->nonce_;
-    auto holder = std::make_shared<std::function<void()>>();
-    *holder = [this, nonce, holder] {
-      auto it = sessions_.find(nonce);
-      if (it == sessions_.end() || !it->second->alive()) {
-        return;
-      }
-      SendPeerMessage(it->second->peer_endpoint_, PeerMsgType::kKeepAlive, nonce, Bytes{});
-      it->second->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval, *holder);
-    };
-    session->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval, *holder);
-  }
-  // Expiry watchdog.
+  // Timers reschedule themselves through member functions keyed by nonce: a
+  // self-referencing closure (shared_ptr<function> capturing itself) would
+  // never be freed even after Cancel.
   const uint64_t nonce = session->nonce_;
-  auto watchdog = std::make_shared<std::function<void()>>();
-  *watchdog = [this, nonce, watchdog] {
-    auto it = sessions_.find(nonce);
-    if (it == sessions_.end() || !it->second->alive()) {
-      return;
-    }
-    UdpP2pSession* s = it->second.get();
-    const SimTime deadline = s->last_inbound_ + config_.session_expiry;
-    if (loop_.now() >= deadline) {
-      CloseSession(s, Status(ErrorCode::kTimedOut, "peer silent past expiry"), /*notify=*/true);
-      return;
-    }
-    s->expiry_event_ = loop_.ScheduleAt(deadline, *watchdog);
-  };
-  session->expiry_event_ = loop_.ScheduleAfter(config_.session_expiry, *watchdog);
+  if (config_.keepalives_enabled) {
+    session->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval,
+                                                    [this, nonce] { SessionKeepAliveTick(nonce); });
+  }
+  session->expiry_event_ =
+      loop_.ScheduleAfter(config_.session_expiry, [this, nonce] { SessionExpiryTick(nonce); });
+}
+
+void UdpHolePuncher::SessionKeepAliveTick(uint64_t nonce) {
+  auto it = sessions_.find(nonce);
+  if (it == sessions_.end() || !it->second->alive()) {
+    return;
+  }
+  SendPeerMessage(it->second->peer_endpoint_, PeerMsgType::kKeepAlive, nonce, Bytes{});
+  it->second->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval,
+                                                     [this, nonce] { SessionKeepAliveTick(nonce); });
+}
+
+void UdpHolePuncher::SessionExpiryTick(uint64_t nonce) {
+  auto it = sessions_.find(nonce);
+  if (it == sessions_.end() || !it->second->alive()) {
+    return;
+  }
+  UdpP2pSession* s = it->second.get();
+  const SimTime deadline = s->last_inbound_ + config_.session_expiry;
+  if (loop_.now() >= deadline) {
+    CloseSession(s, Status(ErrorCode::kTimedOut, "peer silent past expiry"), /*notify=*/true);
+    return;
+  }
+  s->expiry_event_ = loop_.ScheduleAt(deadline, [this, nonce] { SessionExpiryTick(nonce); });
 }
 
 void UdpHolePuncher::SessionInboundSeen(UdpP2pSession* session) {

@@ -114,6 +114,18 @@ class UdpHolePuncher {
     incoming_cb_ = std::move(cb);
   }
 
+  // Decoded peer-protocol messages whose nonce matches no session and no
+  // in-flight attempt. Without a handler they are dropped silently (§3.4:
+  // never answer unauthenticated strays). The relay fallback registers one
+  // to receive peer datagrams that arrive outside any punched session.
+  void SetUnclaimedMessageHandler(std::function<void(const Endpoint&, const PeerMessage&)> cb) {
+    unclaimed_handler_ = std::move(cb);
+  }
+
+  // Send a peer-wire message from the shared socket. Public so the relay
+  // fallback can speak the session framing toward a relayed endpoint.
+  void SendPeerMessage(const Endpoint& to, PeerMsgType type, uint64_t nonce, Bytes payload);
+
   UdpRendezvousClient* rendezvous() const { return rendezvous_; }
   const UdpPunchConfig& config() const { return config_; }
 
@@ -148,9 +160,10 @@ class UdpHolePuncher {
   void FailAttempt(uint64_t nonce, const Status& status);
   void OnPeerTraffic(const Endpoint& from, const Bytes& payload);
   void OnSocketError(const Endpoint& dst, ErrorCode code);
-  void SendPeerMessage(const Endpoint& to, PeerMsgType type, uint64_t nonce, Bytes payload);
 
   void ArmSessionTimers(UdpP2pSession* session);
+  void SessionKeepAliveTick(uint64_t nonce);
+  void SessionExpiryTick(uint64_t nonce);
   void SessionInboundSeen(UdpP2pSession* session);
   void CloseSession(UdpP2pSession* session, const Status& status, bool notify);
 
@@ -161,6 +174,7 @@ class UdpHolePuncher {
   std::map<uint64_t, std::unique_ptr<UdpP2pSession>> sessions_;    // by nonce
   std::function<void(UdpP2pSession*)> incoming_cb_;
   std::function<void(const Endpoint&, const Bytes&)> raw_handler_;
+  std::function<void(const Endpoint&, const PeerMessage&)> unclaimed_handler_;
 };
 
 }  // namespace natpunch

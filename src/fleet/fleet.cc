@@ -248,6 +248,8 @@ NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed, uint64_t* 
   if (events != nullptr) {
     *events += scenario.net().event_loop().events_processed();
   }
+  report.nat_reboots = site.nat->stats().reboots;
+  report.nat_expired_mappings = site.nat->stats().expired_mappings;
   return report;
 }
 

@@ -81,6 +81,12 @@ void NatDevice::FlushMappings() {
   basic_sessions_.clear();
 }
 
+void NatDevice::Reboot() {
+  ++stats_.reboots;
+  network_->trace().RecordEvent(network_->now(), name_, TraceEvent::kFault, "nat reboot");
+  FlushMappings();
+}
+
 std::optional<Endpoint> NatDevice::PublicEndpointFor(IpProtocol protocol,
                                                      const Endpoint& private_ep,
                                                      const Endpoint& remote) {

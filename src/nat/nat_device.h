@@ -49,6 +49,7 @@ class NatDevice : public Node {
     uint64_t dropped_no_mapping = 0;
     uint64_t expired_mappings = 0;
     uint64_t payload_rewrites = 0;
+    uint64_t reboots = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -58,6 +59,9 @@ class NatDevice : public Node {
   // or a DHCP renumbering would. Established peer-to-peer sessions die
   // until the applications re-punch (§3.6's on-demand recovery).
   void FlushMappings();
+  // FlushMappings plus reboot accounting and a kFault trace event; what the
+  // chaos engine schedules for NAT reboot / mapping churn faults.
+  void Reboot();
   // The public endpoint currently mapped for (private_ep -> remote), if any.
   std::optional<Endpoint> PublicEndpointFor(IpProtocol protocol, const Endpoint& private_ep,
                                             const Endpoint& remote);

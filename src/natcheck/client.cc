@@ -33,6 +33,12 @@ std::string NatCheckReport::ToString() const {
       out += tcp_hairpin ? " hairpin" : " no-hairpin";
     }
   }
+  if (nat_reboots > 0 || nat_expired_mappings > 0) {
+    out += "; dev: reboots=";
+    out += std::to_string(nat_reboots);
+    out += " expired=";
+    out += std::to_string(nat_expired_mappings);
+  }
   out += "} => UDP punch ";
   out += UdpHolePunchCompatible() ? "YES" : "NO";
   out += ", TCP punch ";

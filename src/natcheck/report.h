@@ -37,6 +37,12 @@ struct NatCheckReport {
   bool tcp_hairpin_tested = false;
   bool tcp_hairpin = false;
 
+  // --- Device health (filled by the fleet harness, not the client) ---
+  // Reboots the device under test suffered during the run (chaos engine)
+  // and translation-table entries reclaimed by idle expiry.
+  uint64_t nat_reboots = 0;
+  uint64_t nat_expired_mappings = 0;
+
   // Paper §6.2 classification.
   bool UdpHolePunchCompatible() const { return udp_reachable && udp_consistent; }
   bool TcpHolePunchCompatible() const {

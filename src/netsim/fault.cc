@@ -1,0 +1,68 @@
+#include "src/netsim/fault.h"
+
+#include <utility>
+
+namespace natpunch {
+
+void FaultScheduler::Execute(const std::string& node, const std::string& label,
+                             const std::function<void()>& action) {
+  ++faults_executed_;
+  network_->trace().RecordEvent(network_->now(), node, TraceEvent::kFault, label);
+  action();
+}
+
+void FaultScheduler::Schedule(SimTime at, std::string node, std::string label,
+                              std::function<void()> action) {
+  ++faults_scheduled_;
+  network_->event_loop().ScheduleAt(
+      at, [this, node = std::move(node), label = std::move(label),
+           action = std::move(action)] { Execute(node, label, action); });
+}
+
+void FaultScheduler::LinkDown(SimTime at, Lan* lan, SimDuration downtime) {
+  Schedule(at, lan->name(), "link down", [lan] { lan->set_up(false); });
+  if (downtime.micros() > 0) {
+    LinkUp(at + downtime, lan);
+  }
+}
+
+void FaultScheduler::LinkUp(SimTime at, Lan* lan) {
+  Schedule(at, lan->name(), "link up", [lan] { lan->set_up(true); });
+}
+
+void FaultScheduler::LatencySpike(SimTime at, Lan* lan, SimDuration extra,
+                                  SimDuration duration) {
+  Schedule(at, lan->name(), "latency spike +" + extra.ToString(), [this, lan, extra, duration] {
+    const SimDuration before = lan->config().latency;
+    LanConfig spiked = lan->config();
+    spiked.latency = before + extra;
+    lan->set_config(spiked);
+    Schedule(network_->now() + duration, lan->name(), "latency restore", [lan, before] {
+      LanConfig restored = lan->config();
+      restored.latency = before;
+      lan->set_config(restored);
+    });
+  });
+}
+
+void FaultScheduler::BurstLoss(SimTime at, Lan* lan, const GilbertElliottConfig& params,
+                               SimDuration duration) {
+  Schedule(at, lan->name(), "burst loss start", [this, lan, params, duration] {
+    const GilbertElliottConfig before = lan->config().burst;
+    LanConfig bursty = lan->config();
+    bursty.burst = params;
+    bursty.burst.enabled = true;
+    lan->set_config(bursty);
+    Schedule(network_->now() + duration, lan->name(), "burst loss end", [lan, before] {
+      LanConfig restored = lan->config();
+      restored.burst = before;
+      lan->set_config(restored);
+    });
+  });
+}
+
+void FaultScheduler::At(SimTime at, std::string label, std::function<void()> action) {
+  Schedule(at, "fault", std::move(label), std::move(action));
+}
+
+}  // namespace natpunch

@@ -27,9 +27,27 @@ void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
   ++packets_;
   bytes_ += packet.WireSize();
 
+  if (!up_) {
+    network_->trace().Record(network_->now(), name_, TraceEvent::kLinkDown, packet);
+    return;
+  }
+
   if (config_.loss > 0.0 && network_->rng().NextBool(config_.loss)) {
     network_->trace().Record(network_->now(), name_, TraceEvent::kDropLoss, packet);
     return;
+  }
+
+  if (config_.burst.enabled) {
+    // Advance the Gilbert-Elliott channel one step per transmitted packet,
+    // then apply the current state's loss probability.
+    burst_bad_ = burst_bad_ ? !network_->rng().NextBool(config_.burst.p_bad_to_good)
+                            : network_->rng().NextBool(config_.burst.p_good_to_bad);
+    const double p = burst_bad_ ? config_.burst.loss_bad : config_.burst.loss_good;
+    if (p > 0.0 && network_->rng().NextBool(p)) {
+      network_->trace().Record(network_->now(), name_, TraceEvent::kDropBurst, packet,
+                               burst_bad_ ? "bad" : "good");
+      return;
+    }
   }
 
   const Attachment* target = nullptr;

@@ -22,10 +22,24 @@ namespace natpunch {
 class Network;
 class Node;
 
+// Gilbert-Elliott two-state burst-loss model. The channel wanders between a
+// "good" and a "bad" state per transmitted packet; loss probability depends
+// on the state, which is what produces the correlated loss bursts real
+// access links exhibit (and that independent `loss` cannot). Disabled by
+// default so it draws no randomness unless asked for.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double p_good_to_bad = 0.01;  // per-packet transition probability good->bad
+  double p_bad_to_good = 0.25;  // per-packet transition probability bad->good
+  double loss_good = 0.0;       // loss probability while in the good state
+  double loss_bad = 1.0;        // loss probability while in the bad state
+};
+
 struct LanConfig {
   SimDuration latency = Millis(5);     // one-way propagation delay
   SimDuration jitter = Micros(0);      // extra uniform delay in [0, jitter]
   double loss = 0.0;                // independent per-packet loss probability
+  GilbertElliottConfig burst{};     // correlated burst loss, on top of `loss`
   // Shared-medium capacity in bits/s; 0 = infinite. Packets serialize one
   // at a time, so a saturated segment queues (and delays) everything on it.
   double bandwidth_bps = 0.0;
@@ -42,6 +56,14 @@ class Lan {
   const std::string& name() const { return name_; }
   const LanConfig& config() const { return config_; }
   void set_config(const LanConfig& config) { config_ = config; }
+
+  // Administrative link state (fault injection: a partition takes the
+  // segment down; every Transmit while down is dropped with kLinkDown).
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  // Whether the Gilbert-Elliott channel currently sits in the bad state.
+  bool burst_bad_state() const { return burst_bad_; }
 
   // Registered by Node::AttachTo.
   void Attach(Node* node, int iface, Ipv4Address ip);
@@ -77,6 +99,8 @@ class Lan {
   Network* network_;
   std::string name_;
   LanConfig config_;
+  bool up_ = true;
+  bool burst_bad_ = false;  // Gilbert-Elliott channel state
   std::vector<Attachment> attachments_;
   SimTime medium_free_at_;  // when the shared medium finishes its last frame
   uint64_t packets_ = 0;

@@ -36,6 +36,12 @@ std::string_view TraceEventName(TraceEvent e) {
       return "NAT_DROP_NO_MAPPING";
     case TraceEvent::kNatPayloadRewrite:
       return "NAT_PAYLOAD_REWRITE";
+    case TraceEvent::kLinkDown:
+      return "LINK_DOWN";
+    case TraceEvent::kDropBurst:
+      return "DROP_BURST";
+    case TraceEvent::kFault:
+      return "FAULT";
   }
   return "?";
 }
@@ -57,6 +63,19 @@ void TraceRecorder::Record(SimTime time, const std::string& node, TraceEvent eve
   }
   records_.push_back(TraceRecord{time, node, event, packet.id, packet.protocol, packet.src(),
                                  packet.dst(), std::move(detail)});
+}
+
+void TraceRecorder::RecordEvent(SimTime time, const std::string& node, TraceEvent event,
+                                std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  TraceRecord record;
+  record.time = time;
+  record.node = node;
+  record.event = event;
+  record.detail = std::move(detail);
+  records_.push_back(std::move(record));
 }
 
 size_t TraceRecorder::Count(TraceEvent event) const {

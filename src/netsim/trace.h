@@ -35,6 +35,9 @@ enum class TraceEvent {
   kNatRejectIcmp,       // NAT answered unsolicited packet with ICMP (§5.2 bad)
   kNatDropNoMapping,    // inbound with no matching translation
   kNatPayloadRewrite,   // NAT blindly rewrote an address inside the payload (§5.3)
+  kLinkDown,            // packet dropped because the segment is administratively down
+  kDropBurst,           // Gilbert-Elliott burst-loss drop (bad state)
+  kFault,               // fault-injection engine executed a scheduled fault
 };
 
 std::string_view TraceEventName(TraceEvent e);
@@ -59,6 +62,10 @@ class TraceRecorder {
 
   void Record(SimTime time, const std::string& node, TraceEvent event, const Packet& packet,
               std::string detail = "");
+
+  // Record an event with no associated packet (fault-injection actions,
+  // link state changes). packet_id stays 0 and the endpoints unspecified.
+  void RecordEvent(SimTime time, const std::string& node, TraceEvent event, std::string detail);
 
   const std::vector<TraceRecord>& records() const { return records_; }
   void Clear() { records_.clear(); }

@@ -30,29 +30,24 @@ void UdpRendezvousClient::Register(uint16_t local_port, EndpointCallback cb) {
   register_attempts_ = 0;
 
   // UDP registration is fire-and-retry until kRegisterOk arrives.
-  auto send_register = [this]() {
-    RendezvousMessage msg;
-    msg.type = RvMsgType::kRegister;
-    msg.client_id = client_id_;
-    msg.private_ep = private_ep_;
-    SendToServer(msg);
-  };
-  send_register();
-  auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, send_register, holder]() {
-    if (registered_ || !register_cb_) {
-      return;
-    }
-    if (++register_attempts_ >= options_.register_max_retries) {
-      auto callback = std::move(register_cb_);
-      register_cb_ = nullptr;
-      callback(Status(ErrorCode::kTimedOut, "registration timed out"));
-      return;
-    }
-    send_register();
-    register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval, *holder);
-  };
-  register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval, *holder);
+  ReRegister();
+  register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval,
+                                                      [this] { RegisterRetryTick(); });
+}
+
+void UdpRendezvousClient::RegisterRetryTick() {
+  if (registered_ || !register_cb_) {
+    return;
+  }
+  if (++register_attempts_ >= options_.register_max_retries) {
+    auto callback = std::move(register_cb_);
+    register_cb_ = nullptr;
+    callback(Status(ErrorCode::kTimedOut, "registration timed out"));
+    return;
+  }
+  ReRegister();
+  register_retry_event_ = host_->loop().ScheduleAfter(options_.register_retry_interval,
+                                                      [this] { RegisterRetryTick(); });
 }
 
 void UdpRendezvousClient::OnReceive(const Endpoint& from, const Bytes& payload) {
@@ -71,11 +66,34 @@ void UdpRendezvousClient::OnReceive(const Endpoint& from, const Bytes& payload) 
   }
 }
 
+void UdpRendezvousClient::ReRegister() {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kRegister;
+  msg.client_id = client_id_;
+  msg.private_ep = private_ep_;
+  SendToServer(msg);
+}
+
 void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
+  if (msg.type != RvMsgType::kRegisterOk && server_epoch_ != 0 && msg.epoch != 0 &&
+      msg.epoch != server_epoch_) {
+    // The server restarted and lost its registration table. Re-register from
+    // the same socket; nothing about the peer-facing state changes. The
+    // stored epoch only advances on kRegisterOk, so if the re-registration
+    // is lost the next keepalive ack retriggers it.
+    if (registered_) {
+      ++restarts_detected_;
+      registered_ = false;
+      NP_LOG(Info) << "client " << client_id_ << " detected rendezvous restart (epoch "
+                   << server_epoch_ << " -> " << msg.epoch << "), re-registering";
+    }
+    ReRegister();
+  }
   switch (msg.type) {
     case RvMsgType::kRegisterOk: {
       public_ep_ = msg.public_ep;
       registered_ = true;
+      server_epoch_ = msg.epoch;
       if (register_retry_event_ != EventLoop::kInvalidEventId) {
         host_->loop().Cancel(register_retry_event_);
         register_retry_event_ = EventLoop::kInvalidEventId;
@@ -120,6 +138,12 @@ void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
       }
       return;
     }
+    case RvMsgType::kKeepAliveAck:
+      // Matching-epoch ack; the observed endpoint rides along for free.
+      if (registered_) {
+        public_ep_ = msg.public_ep;
+      }
+      return;
     case RvMsgType::kRelayForward:
       if (relay_handler_) {
         relay_handler_(msg.client_id, msg.payload);
@@ -144,7 +168,7 @@ void UdpRendezvousClient::RequestConnect(uint64_t peer_id, ConnectStrategy strat
   pending.strategy = strategy;
   pending.nonce = nonce;
 
-  auto send = [this, peer_id, strategy, nonce, payload = std::move(payload)]() {
+  pending.resend = [this, peer_id, strategy, nonce, payload = std::move(payload)]() {
     RendezvousMessage msg;
     msg.type = RvMsgType::kConnectRequest;
     msg.client_id = client_id_;
@@ -154,25 +178,25 @@ void UdpRendezvousClient::RequestConnect(uint64_t peer_id, ConnectStrategy strat
     msg.payload = payload;
     SendToServer(msg);
   };
-  send();
+  pending.resend();
+  pending.retry_event = host_->loop().ScheduleAfter(options_.request_retry_interval,
+                                                    [this, peer_id] { RequestRetryTick(peer_id); });
+}
 
-  auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, peer_id, send, holder]() {
-    auto it = pending_requests_.find(peer_id);
-    if (it == pending_requests_.end()) {
-      return;
-    }
-    if (++it->second.attempts >= options_.request_max_retries) {
-      auto callback = std::move(it->second.cb);
-      pending_requests_.erase(it);
-      callback(Status(ErrorCode::kTimedOut, "connect request timed out"));
-      return;
-    }
-    send();
-    it->second.retry_event =
-        host_->loop().ScheduleAfter(options_.request_retry_interval, *holder);
-  };
-  pending.retry_event = host_->loop().ScheduleAfter(options_.request_retry_interval, *holder);
+void UdpRendezvousClient::RequestRetryTick(uint64_t peer_id) {
+  auto it = pending_requests_.find(peer_id);
+  if (it == pending_requests_.end()) {
+    return;
+  }
+  if (++it->second.attempts >= options_.request_max_retries) {
+    auto callback = std::move(it->second.cb);
+    pending_requests_.erase(it);
+    callback(Status(ErrorCode::kTimedOut, "connect request timed out"));
+    return;
+  }
+  it->second.resend();
+  it->second.retry_event = host_->loop().ScheduleAfter(options_.request_retry_interval,
+                                                       [this, peer_id] { RequestRetryTick(peer_id); });
 }
 
 void UdpRendezvousClient::SendConnectRequest(uint64_t peer_id, ConnectStrategy strategy,
@@ -198,15 +222,17 @@ void UdpRendezvousClient::SendRelay(uint64_t to_id, Bytes payload) {
 
 void UdpRendezvousClient::StartKeepAlive(SimDuration interval) {
   StopKeepAlive();
-  auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, interval, holder]() {
-    RendezvousMessage msg;
-    msg.type = RvMsgType::kKeepAlive;
-    msg.client_id = client_id_;
-    SendToServer(msg);
-    keepalive_event_ = host_->loop().ScheduleAfter(interval, *holder);
-  };
-  keepalive_event_ = host_->loop().ScheduleAfter(interval, *holder);
+  keepalive_event_ =
+      host_->loop().ScheduleAfter(interval, [this, interval] { KeepAliveTick(interval); });
+}
+
+void UdpRendezvousClient::KeepAliveTick(SimDuration interval) {
+  RendezvousMessage msg;
+  msg.type = RvMsgType::kKeepAlive;
+  msg.client_id = client_id_;
+  SendToServer(msg);
+  keepalive_event_ =
+      host_->loop().ScheduleAfter(interval, [this, interval] { KeepAliveTick(interval); });
 }
 
 void UdpRendezvousClient::StopKeepAlive() {
@@ -278,10 +304,14 @@ void TcpRendezvousClient::OnData(const Bytes& data) {
 }
 
 void TcpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
+  if (msg.epoch != 0 && server_epoch_ != 0 && msg.epoch != server_epoch_) {
+    ++restarts_detected_;
+  }
   switch (msg.type) {
     case RvMsgType::kRegisterOk: {
       public_ep_ = msg.public_ep;
       registered_ = true;
+      server_epoch_ = msg.epoch;
       if (register_cb_) {
         auto cb = std::move(register_cb_);
         register_cb_ = nullptr;

@@ -85,10 +85,21 @@ class UdpRendezvousClient {
   bool registered() const { return registered_; }
   bool obfuscate_addresses() const { return options_.obfuscate_addresses; }
 
+  // Last server epoch seen (0 until the first kRegisterOk) and the number of
+  // server restarts detected via an epoch change. Each detected restart
+  // triggers a transparent re-registration from the same socket, so the
+  // public endpoint and peer sessions are unaffected.
+  uint64_t server_epoch() const { return server_epoch_; }
+  uint64_t restarts_detected() const { return restarts_detected_; }
+
  private:
   void OnReceive(const Endpoint& from, const Bytes& payload);
   void HandleServerMessage(const RendezvousMessage& msg);
   void SendToServer(const RendezvousMessage& msg);
+  void ReRegister();
+  void RegisterRetryTick();
+  void RequestRetryTick(uint64_t peer_id);
+  void KeepAliveTick(SimDuration interval);
 
   Host* host_;
   Endpoint server_;
@@ -99,6 +110,8 @@ class UdpRendezvousClient {
   Endpoint private_ep_;
   Endpoint public_ep_;
   bool registered_ = false;
+  uint64_t server_epoch_ = 0;
+  uint64_t restarts_detected_ = 0;
 
   EndpointCallback register_cb_;
   int register_attempts_ = 0;
@@ -106,6 +119,7 @@ class UdpRendezvousClient {
 
   struct PendingRequest {
     std::function<void(Result<RendezvousMessage>)> cb;
+    std::function<void()> resend;
     int attempts = 0;
     ConnectStrategy strategy;
     uint64_t nonce;
@@ -162,6 +176,13 @@ class TcpRendezvousClient {
   bool registered() const { return registered_; }
   bool obfuscate_addresses() const { return options_.obfuscate_addresses; }
 
+  // Epoch bookkeeping mirrors UdpRendezvousClient, but a TCP client cannot
+  // re-register in place: a server restart kills the connection, so recovery
+  // goes through Reconnect(). The counter still records detected restarts
+  // (an epoch change across a reconnect).
+  uint64_t server_epoch() const { return server_epoch_; }
+  uint64_t restarts_detected() const { return restarts_detected_; }
+
  private:
   void OnData(const Bytes& data);
   void HandleServerMessage(const RendezvousMessage& msg);
@@ -179,6 +200,8 @@ class TcpRendezvousClient {
   Endpoint private_ep_;
   Endpoint public_ep_;
   bool registered_ = false;
+  uint64_t server_epoch_ = 0;
+  uint64_t restarts_detected_ = 0;
 
   EndpointCallback register_cb_;
   std::map<uint64_t, std::function<void(Result<RendezvousMessage>)>> pending_requests_;

@@ -4,7 +4,7 @@ namespace natpunch {
 namespace {
 
 constexpr uint8_t kMagic = 0x52;  // 'R'
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersion = 2;  // v2 added the server epoch field
 
 void WriteEndpoint(ByteWriter& w, const Endpoint& ep, bool obfuscate) {
   const Ipv4Address ip = obfuscate ? ep.ip.Complement() : ep.ip;
@@ -32,6 +32,7 @@ Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addre
   w.WriteU64(msg.client_id);
   w.WriteU64(msg.target_id);
   w.WriteU64(msg.nonce);
+  w.WriteU64(msg.epoch);
   WriteEndpoint(w, msg.public_ep, obfuscate_addresses);
   WriteEndpoint(w, msg.private_ep, obfuscate_addresses);
   w.WriteBytes(msg.payload);
@@ -47,7 +48,7 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
   RendezvousMessage msg;
   const uint8_t type = r.ReadU8();
   if (type < static_cast<uint8_t>(RvMsgType::kRegister) ||
-      type > static_cast<uint8_t>(RvMsgType::kSequentialReady)) {
+      type > static_cast<uint8_t>(RvMsgType::kKeepAliveAck)) {
     return std::nullopt;
   }
   msg.type = static_cast<RvMsgType>(type);
@@ -55,6 +56,7 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
   msg.client_id = r.ReadU64();
   msg.target_id = r.ReadU64();
   msg.nonce = r.ReadU64();
+  msg.epoch = r.ReadU64();
   msg.public_ep = ReadEndpoint(r, obfuscate_addresses);
   msg.private_ep = ReadEndpoint(r, obfuscate_addresses);
   msg.payload = r.ReadBytes();

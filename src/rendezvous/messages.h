@@ -32,6 +32,7 @@ enum class RvMsgType : uint8_t {
   kRelayData = 8,      // client -> S: payload for target_id (§2.2 relaying)
   kRelayForward = 9,   // S -> client: relayed payload from client_id
   kSequentialReady = 10,  // B -> S -> A: §4.5 step 3->4 signal
+  kKeepAliveAck = 11,  // S -> client: keepalive echo carrying the epoch
 };
 
 // How the requesting peer intends to establish connectivity; forwarded
@@ -49,6 +50,10 @@ struct RendezvousMessage {
   uint64_t client_id = 0;  // sender identity (register) or origin (forwards)
   uint64_t target_id = 0;  // destination peer for requests/relays
   uint64_t nonce = 0;      // session authentication token (§3.4)
+  // Server incarnation number, stamped by S into every server->client
+  // message (0 from clients). A client that sees the epoch change knows S
+  // restarted and lost its registration table, and must re-register.
+  uint64_t epoch = 0;
   ConnectStrategy strategy = ConnectStrategy::kHolePunch;
   Endpoint public_ep;
   Endpoint private_ep;

@@ -8,6 +8,7 @@ RendezvousServer::RendezvousServer(Host* host, uint16_t port, Options options)
     : host_(host), port_(port), options_(options) {}
 
 Status RendezvousServer::Start() {
+  ++epoch_;  // new incarnation: any state a prior one held is gone
   auto udp = host_->udp().Bind(port_);
   if (!udp.ok()) {
     return udp.status();
@@ -49,12 +50,16 @@ void RendezvousServer::Stop() {
 }
 
 void RendezvousServer::SendUdp(const Endpoint& to, const RendezvousMessage& msg) {
-  udp_socket_->SendTo(to, EncodeRendezvousMessage(msg, options_.obfuscate_addresses));
+  RendezvousMessage stamped = msg;
+  stamped.epoch = epoch_;
+  udp_socket_->SendTo(to, EncodeRendezvousMessage(stamped, options_.obfuscate_addresses));
 }
 
 void RendezvousServer::SendTcp(TcpPeer* peer, const RendezvousMessage& msg) {
+  RendezvousMessage stamped = msg;
+  stamped.epoch = epoch_;
   peer->socket->Send(
-      MessageFramer::Frame(EncodeRendezvousMessage(msg, options_.obfuscate_addresses)));
+      MessageFramer::Frame(EncodeRendezvousMessage(stamped, options_.obfuscate_addresses)));
 }
 
 void RendezvousServer::OnUdpReceive(const Endpoint& from, const Bytes& payload) {
@@ -128,6 +133,14 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
         if (it != clients_.end() && it->second.udp_registered) {
           it->second.udp_public = *via_udp_from;
         }
+        // Ack every keepalive, even from clients we no longer know: the
+        // epoch stamp is how a client behind a live NAT mapping learns the
+        // server restarted and must re-register.
+        RendezvousMessage ack;
+        ack.type = RvMsgType::kKeepAliveAck;
+        ack.client_id = msg.client_id;
+        ack.public_ep = *via_udp_from;  // observed endpoint, as a free refresh
+        SendUdp(*via_udp_from, ack);
       }
       return;
     }

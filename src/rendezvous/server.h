@@ -54,6 +54,11 @@ class RendezvousServer {
   // Number of currently known clients (either transport).
   size_t client_count() const { return clients_.size(); }
 
+  // Server incarnation number, bumped on every Start(). Stamped into every
+  // outbound message so clients can detect a restart (and the implied loss
+  // of the registration table) from any ack and re-register.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   struct TcpPeer {
     TcpSocket* socket = nullptr;
@@ -88,6 +93,7 @@ class RendezvousServer {
   std::map<uint64_t, ClientRecord> clients_;
   std::vector<std::unique_ptr<TcpPeer>> tcp_peers_;
   Stats stats_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace natpunch

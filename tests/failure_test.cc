@@ -108,6 +108,37 @@ TEST_F(FailureTest, NatRebootKillsSessionRepunchRecovers) {
   EXPECT_TRUE(SendWorks(fresh));
 }
 
+TEST_F(FailureTest, PunchedTcpStreamSurvivesServerOutage) {
+  // The §4.2 analogue of the UDP economic claim: once the simultaneous
+  // open completes, the stream runs NAT-to-NAT and S can vanish.
+  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  RendezvousServer server(topo.server, kServerPort);
+  ASSERT_TRUE(server.Start().ok());
+  TcpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  TcpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Connect(4321, [](Result<Endpoint>) {});
+  cb.Connect(4321, [](Result<Endpoint>) {});
+  TcpHolePuncher pa(&ca);
+  TcpHolePuncher pb(&cb);
+  int b_received = 0;
+  pb.SetIncomingStreamCallback([&](TcpP2pStream* s) {
+    s->SetReceiveCallback([&](const Bytes& data) { b_received += static_cast<int>(data.size()); });
+  });
+  topo.scenario->net().RunFor(Seconds(3));
+  TcpP2pStream* stream = nullptr;
+  pa.ConnectToPeer(2, [&](Result<TcpP2pStream*> r) { stream = r.ok() ? *r : nullptr; });
+  topo.scenario->net().RunFor(Seconds(20));
+  ASSERT_NE(stream, nullptr);
+
+  server.Stop();
+  topo.scenario->net().RunFor(Seconds(5));
+  ASSERT_TRUE(stream->alive());
+  stream->Send(Bytes(512, 7));
+  topo.scenario->net().RunFor(Seconds(5));
+  EXPECT_TRUE(stream->alive());
+  EXPECT_EQ(b_received, 512);
+}
+
 TEST_F(FailureTest, NatRebootBreaksEstablishedTcpStream) {
   auto topo = MakeFig5(NatConfig{}, NatConfig{});
   RendezvousServer server(topo.server, kServerPort);
