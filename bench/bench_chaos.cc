@@ -233,10 +233,11 @@ int main() {
               relay_endings, kTrials, failures);
   std::printf("\n * cone pairs re-punch their way through NAT reboots: downtime is one\n"
               "   backoff step plus a punch round-trip, and the trial ends direct.\n"
-              " * symmetric pairs cannot punch (§5) and land on TURN. Known gap the\n"
-              "   soak makes visible: the relay leg has no watchdog, so a NAT reboot\n"
-              "   while on the relay orphans the allocation and delivery flatlines\n"
-              "   even though the session still claims to be alive.\n"
+              " * symmetric pairs cannot punch (§5) and land on TURN. A NAT reboot\n"
+              "   while relayed orphans the allocation; the relay-leg watchdog\n"
+              "   notices the silence (up to relay_timeout of it — the long p95)\n"
+              "   and rebuilds the leg with a fresh allocation, so delivery resumes\n"
+              "   instead of flatlining for the rest of the trial.\n"
               " * the 2 s partition is absorbed: shorter than the 5 s session expiry,\n"
               "   so it costs delivery, not a recovery.\n");
 

@@ -22,7 +22,7 @@ int main() {
   // Pre-bind listeners.
   auto bind_sink = [&](Host* h, uint16_t port, int* counter) {
     auto sock = h->udp().Bind(port);
-    (*sock)->SetReceiveCallback([counter](const Endpoint&, const Bytes&) { ++*counter; });
+    (*sock)->SetReceiveCallback([counter](const Endpoint&, const Payload&) { ++*counter; });
     return *sock;
   };
   int server_got = 0, a0_got = 0, a1_got = 0, b0_got = 0;

@@ -100,7 +100,7 @@ int main() {
       } else {
         a.Permit(NatBIp());
         auto b_sock = env.topo.b->udp().Bind(4444);
-        (*b_sock)->SetReceiveCallback([s = *b_sock](const Endpoint& from, const Bytes& p) {
+        (*b_sock)->SetReceiveCallback([s = *b_sock](const Endpoint& from, const Payload& p) {
           s->SendTo(from, p);  // echo back at the relayed endpoint
         });
         Endpoint b_seen;

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Re-runs the benches that emit one-line BENCH_JSON summaries and compares
+their events/sec against the committed BENCH_*.json trajectories at the
+repo root. Exits non-zero if any entry regresses by more than --threshold
+(default 20%), printing a per-entry table either way.
+
+    scripts/bench_compare.py                  # compare against baselines
+    scripts/bench_compare.py --update         # rewrite baselines from this run
+    scripts/bench_compare.py --repeat 5       # best-of-5 to damp scheduler noise
+
+Entries are keyed by (bench, threads) so the parallel table1 rows compare
+thread-count to thread-count. Speed varies wildly across machines, so CI
+runs this as a non-blocking job: a red result is a prompt to look, not a
+merge gate (see .github/workflows/ci.yml).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# bench binary (under <build>/bench/) -> committed baseline at the repo root.
+BENCHES = {
+    "bench_table1": "BENCH_table1.json",
+    "bench_fig8_natcheck": "BENCH_fig8_natcheck.json",
+    "bench_micro": "BENCH_micro.json",
+    "bench_chaos": "BENCH_chaos.json",
+}
+
+PREFIX = "BENCH_JSON "
+
+
+def entry_key(entry):
+    return (entry["bench"], entry.get("threads"))
+
+
+def parse_lines(lines):
+    """BENCH_JSON lines (or bare baseline JSONL lines) -> {key: entry}."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        if line.startswith(PREFIX):
+            line = line[len(PREFIX):]
+        if not line.startswith("{"):
+            continue
+        entry = json.loads(line)
+        if "bench" in entry and "events_per_sec" in entry:
+            out[entry_key(entry)] = entry
+    return out
+
+
+def run_bench(binary, repeat):
+    """Run `binary` `repeat` times; keep each entry's best events/sec."""
+    best = {}
+    for _ in range(repeat):
+        proc = subprocess.run([str(binary)], capture_output=True, text=True, check=True)
+        for key, entry in parse_lines(proc.stdout.splitlines()).items():
+            if key not in best or entry["events_per_sec"] > best[key]["events_per_sec"]:
+                best[key] = entry
+    return best
+
+
+def fmt_key(key):
+    bench, threads = key
+    return bench if threads is None else f"{bench}[t={threads}]"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default=REPO / "build", type=Path)
+    ap.add_argument("--threshold", default=0.20, type=float,
+                    help="fractional events/sec drop that fails the gate (default 0.20)")
+    ap.add_argument("--repeat", default=3, type=int,
+                    help="runs per bench; best-of damps scheduler noise (default 3)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the committed baselines from this run")
+    args = ap.parse_args()
+
+    failures = []
+    rows = []
+    for binary_name, baseline_name in BENCHES.items():
+        binary = args.build_dir / "bench" / binary_name
+        if not binary.exists():
+            print(f"SKIP {binary_name}: {binary} not built", file=sys.stderr)
+            continue
+        fresh = run_bench(binary, args.repeat)
+
+        if args.update:
+            baseline_path = REPO / baseline_name
+            with open(baseline_path, "w") as f:
+                for entry in fresh.values():
+                    f.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            print(f"wrote {baseline_path.name}: {len(fresh)} entries")
+            continue
+
+        baseline_path = REPO / baseline_name
+        if not baseline_path.exists():
+            print(f"SKIP {binary_name}: no baseline {baseline_name}", file=sys.stderr)
+            continue
+        baseline = parse_lines(baseline_path.read_text().splitlines())
+        for key, entry in fresh.items():
+            base = baseline.get(key)
+            if base is None:
+                rows.append((fmt_key(key), None, entry["events_per_sec"], None, "NEW"))
+                continue
+            ratio = entry["events_per_sec"] / base["events_per_sec"]
+            verdict = "OK"
+            if ratio < 1.0 - args.threshold:
+                verdict = "REGRESSION"
+                failures.append(fmt_key(key))
+            rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
+                         ratio, verdict))
+
+    if args.update:
+        return 0
+
+    if rows:
+        width = max(len(r[0]) for r in rows)
+        print(f"{'bench':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>6}  verdict")
+        for name, base, cur, ratio, verdict in rows:
+            base_s = f"{base:>12,.0f}" if base is not None else f"{'-':>12}"
+            ratio_s = f"{ratio:>6.2f}" if ratio is not None else f"{'-':>6}"
+            print(f"{name:<{width}}  {base_s}  {cur:>12,.0f}  {ratio_s}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: events/sec dropped >{args.threshold:.0%} vs committed baseline "
+              f"for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall benches within {args.threshold:.0%} of committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,7 @@ void NatProber::Probe(uint16_t local_port, std::function<void(Result<NatProbeRep
   run->socket = *bound;
   run->cb = std::move(cb);
 
-  run->socket->SetReceiveCallback([this, run](const Endpoint& from, const Bytes& payload) {
+  run->socket->SetReceiveCallback([this, run](const Endpoint& from, const Payload& payload) {
     (void)from;
     if (run->done) {
       return;

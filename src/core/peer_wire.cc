@@ -15,7 +15,7 @@ Bytes EncodePeerMessage(const PeerMessage& msg) {
   return w.Take();
 }
 
-std::optional<PeerMessage> DecodePeerMessage(const Bytes& data) {
+std::optional<PeerMessage> DecodePeerMessage(ConstByteSpan data) {
   ByteReader r(data);
   if (r.ReadU8() != kMagic) {
     return std::nullopt;

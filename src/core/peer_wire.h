@@ -33,7 +33,7 @@ struct PeerMessage {
 };
 
 Bytes EncodePeerMessage(const PeerMessage& msg);
-std::optional<PeerMessage> DecodePeerMessage(const Bytes& data);
+std::optional<PeerMessage> DecodePeerMessage(ConstByteSpan data);
 
 }  // namespace natpunch
 

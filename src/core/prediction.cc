@@ -13,7 +13,7 @@ PredictivePuncher::PredictivePuncher(UdpHolePuncher* puncher, Endpoint stun1, En
       stun2_(stun2),
       config_(config) {
   puncher_->SetRawTrafficHandler(
-      [this](const Endpoint& from, const Bytes& payload) { OnRaw(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnRaw(from, payload); });
   rendezvous_->SetConnectForwardHandler(
       ConnectStrategy::kPredicted, [this](const RendezvousMessage& fwd) { OnForward(fwd); });
 }
@@ -25,7 +25,7 @@ Bytes PredictivePuncher::EncodePredicted(const Endpoint& predicted) {
   return w.Take();
 }
 
-std::optional<Endpoint> PredictivePuncher::DecodePredicted(const Bytes& payload) {
+std::optional<Endpoint> PredictivePuncher::DecodePredicted(ConstByteSpan payload) {
   ByteReader r(payload);
   Endpoint ep;
   ep.ip = Ipv4Address(r.ReadU32()).Complement();
@@ -125,7 +125,7 @@ void PredictivePuncher::SendSample(std::shared_ptr<Sample> sample) {
   });
 }
 
-void PredictivePuncher::OnRaw(const Endpoint& from, const Bytes& payload) {
+void PredictivePuncher::OnRaw(const Endpoint& from, const Payload& payload) {
   (void)from;
   if (!active_sample_) {
     return;

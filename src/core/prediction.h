@@ -45,11 +45,11 @@ class PredictivePuncher {
   // endpoint this socket's NAT will hand out.
   void SamplePrediction(std::function<void(Result<Endpoint>)> cb);
   void SendSample(std::shared_ptr<Sample> sample);
-  void OnRaw(const Endpoint& from, const Bytes& payload);
+  void OnRaw(const Endpoint& from, const Payload& payload);
   void OnForward(const RendezvousMessage& fwd);
 
   static Bytes EncodePredicted(const Endpoint& predicted);
-  static std::optional<Endpoint> DecodePredicted(const Bytes& payload);
+  static std::optional<Endpoint> DecodePredicted(ConstByteSpan payload);
 
   UdpHolePuncher* puncher_;
   UdpRendezvousClient* rendezvous_;

@@ -16,7 +16,7 @@ Bytes EncodeProbeMessage(const ProbeMessage& msg) {
   return w.Take();
 }
 
-std::optional<ProbeMessage> DecodeProbeMessage(const Bytes& data) {
+std::optional<ProbeMessage> DecodeProbeMessage(ConstByteSpan data) {
   ByteReader r(data);
   if (r.ReadU8() != kMagic) {
     return std::nullopt;
@@ -52,13 +52,13 @@ Status StunLikeServer::Start() {
   }
   alt_socket_ = *alt_sock;
   main_socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnMain(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnMain(from, payload); });
   alt_socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnAlt(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnAlt(from, payload); });
   return Status::Ok();
 }
 
-void StunLikeServer::OnMain(const Endpoint& from, const Bytes& payload) {
+void StunLikeServer::OnMain(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeProbeMessage(payload);
   if (!msg) {
     return;
@@ -95,7 +95,7 @@ void StunLikeServer::OnMain(const Endpoint& from, const Bytes& payload) {
   }
 }
 
-void StunLikeServer::OnAlt(const Endpoint& from, const Bytes& payload) {
+void StunLikeServer::OnAlt(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeProbeMessage(payload);
   if (!msg || msg->type != ProbeMsgType::kEchoRequest) {
     return;

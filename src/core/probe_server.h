@@ -40,7 +40,7 @@ struct ProbeMessage {
 };
 
 Bytes EncodeProbeMessage(const ProbeMessage& msg);
-std::optional<ProbeMessage> DecodeProbeMessage(const Bytes& data);
+std::optional<ProbeMessage> DecodeProbeMessage(ConstByteSpan data);
 
 class StunLikeServer {
  public:
@@ -61,8 +61,8 @@ class StunLikeServer {
   uint64_t requests_served() const { return requests_served_; }
 
  private:
-  void OnMain(const Endpoint& from, const Bytes& payload);
-  void OnAlt(const Endpoint& from, const Bytes& payload);
+  void OnMain(const Endpoint& from, const Payload& payload);
+  void OnAlt(const Endpoint& from, const Payload& payload);
 
   Host* host_;
   uint16_t port_;

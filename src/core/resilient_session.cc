@@ -164,6 +164,10 @@ void ResilientSessionManager::AdoptInner(ResilientSession* rs, UdpP2pSession* in
     loop_.Cancel(rs->relay_keepalive_event_);
     rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
   }
+  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_watchdog_event_);
+    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
+  }
   rs->turn_.reset();
   rs->relay_confirmed_ = false;
   rs->relay_nonce_ = 0;
@@ -284,6 +288,10 @@ void ResilientSessionManager::FailSession(ResilientSession* rs, const Status& st
     loop_.Cancel(rs->relay_keepalive_event_);
     rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
   }
+  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_watchdog_event_);
+    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
+  }
   rs->pending_sends_.clear();
   rs->SetPath(ResilientSession::Path::kFailed);
   if (rs->connect_cb_) {
@@ -340,6 +348,10 @@ void ResilientSessionManager::EnterRelay(ResilientSession* rs) {
 
 void ResilientSessionManager::RelayEstablished(ResilientSession* rs) {
   rs->SetPath(ResilientSession::Path::kRelay);
+  // Arm the watchdog immediately: it also covers a responder that never
+  // knocks (a relay that silently ate the introduction looks identical to
+  // one that died after it).
+  ArmRelayWatchdog(rs);
   if (rs->recovering_) {
     FinishRecovery(rs, /*via_relay=*/true);
   }
@@ -367,6 +379,7 @@ void ResilientSessionManager::OnRelayForward(const RendezvousMessage& msg) {
   rs->relay_target_ = *relayed;
   rs->relay_confirmed_ = false;
   rs->SetPath(ResilientSession::Path::kRelay);
+  ArmRelayWatchdog(rs);
   if (rs->recovering_) {
     FinishRecovery(rs, /*via_relay=*/true);
   }
@@ -391,6 +404,72 @@ void ResilientSessionManager::ResponderRelayKeepAlive(ResilientSession* rs) {
       loop_.ScheduleAfter(interval, [this, rs] { ResponderRelayKeepAlive(rs); });
 }
 
+void ResilientSessionManager::InitiatorRelayKeepAlive(ResilientSession* rs) {
+  rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  if (rs->path_ != ResilientSession::Path::kRelay || rs->turn_ == nullptr ||
+      !rs->relay_confirmed_) {
+    return;
+  }
+  PeerMessage msg;
+  msg.type = PeerMsgType::kKeepAlive;
+  msg.nonce = rs->relay_nonce_;
+  msg.sender_id = puncher_->rendezvous()->client_id();
+  rs->turn_->SendTo(rs->relay_target_, EncodePeerMessage(msg));
+  rs->relay_keepalive_event_ = loop_.ScheduleAfter(
+      config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
+}
+
+void ResilientSessionManager::ArmRelayWatchdog(ResilientSession* rs) {
+  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_watchdog_event_);
+  }
+  rs->last_relay_rx_ = loop_.now();
+  ScheduleRelayWatchdog(rs, config_.relay_timeout);
+}
+
+void ResilientSessionManager::ScheduleRelayWatchdog(ResilientSession* rs, SimDuration delay) {
+  rs->relay_watchdog_event_ = loop_.ScheduleAfter(delay, [this, rs] {
+    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
+    if (rs->path_ != ResilientSession::Path::kRelay) {
+      return;  // stale timer for a path we already left
+    }
+    const SimDuration silence = loop_.now() - rs->last_relay_rx_;
+    if (silence.micros() >= config_.relay_timeout.micros()) {
+      OnRelayDead(rs);
+      return;
+    }
+    // Traffic arrived since the timer was armed; sleep out the remainder of
+    // the current silence window instead of polling.
+    ScheduleRelayWatchdog(rs, config_.relay_timeout - silence);
+  });
+}
+
+void ResilientSessionManager::OnRelayDead(ResilientSession* rs) {
+  ++rs->relay_losses_;
+  NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " relay leg to peer "
+               << rs->peer_id_ << " silent for " << config_.relay_timeout.ToString()
+               << "; declaring it dead and "
+               << (rs->initiator_ ? "re-entering recovery" : "awaiting initiator recovery");
+  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
+    loop_.Cancel(rs->relay_keepalive_event_);
+    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  }
+  rs->turn_.reset();
+  rs->relay_confirmed_ = false;
+  rs->relay_nonce_ = 0;
+  rs->recovering_ = true;
+  rs->died_at_ = loop_.now();
+  rs->repunch_attempts_ = 0;
+  rs->SetPath(ResilientSession::Path::kConnecting);
+  // Same division of labor as OnInnerDead: the initiator climbs the
+  // recovery ladder (re-punch with backoff, then a fresh relay allocation —
+  // which finds a rebooted relay server); the responder waits for the
+  // recovery to arrive as a punch or a new kRelayOnly introduction.
+  if (rs->initiator_) {
+    ScheduleRepunch(rs);
+  }
+}
+
 void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
                                          const Bytes& payload) {
   ResilientSession* rs = FindSession(peer_id);
@@ -401,15 +480,20 @@ void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
   if (!msg || msg->nonce != rs->relay_nonce_) {
     return;  // §3.4 again: unauthenticated traffic at the relayed endpoint
   }
+  rs->last_relay_rx_ = loop_.now();
   rs->relay_target_ = from;  // the peer's live public endpoint, as observed
   if (!rs->relay_confirmed_) {
     rs->relay_confirmed_ = true;
-    // Answer so the peer stops fast-knocking and confirms its side.
+    // Answer so the peer stops fast-knocking and confirms its side, then
+    // keep answering on a fixed cadence so the responder's watchdog sees a
+    // live leg even when the application goes quiet.
     PeerMessage reply;
     reply.type = PeerMsgType::kKeepAlive;
     reply.nonce = rs->relay_nonce_;
     reply.sender_id = puncher_->rendezvous()->client_id();
     rs->turn_->SendTo(from, EncodePeerMessage(reply));
+    rs->relay_keepalive_event_ = loop_.ScheduleAfter(
+        config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
     FlushPending(rs);
   }
   if (msg->type == PeerMsgType::kData) {
@@ -430,6 +514,7 @@ void ResilientSessionManager::OnUnclaimed(const Endpoint& from, const PeerMessag
     if (rs->path_ != ResilientSession::Path::kRelay) {
       return;
     }
+    rs->last_relay_rx_ = loop_.now();
     if (!rs->relay_confirmed_) {
       rs->relay_confirmed_ = true;
       FlushPending(rs);

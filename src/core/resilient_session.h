@@ -52,6 +52,16 @@ struct ResilientSessionConfig {
   Endpoint turn_server;
   // Cap on datagrams buffered while the session is between paths.
   size_t max_pending_sends = 128;
+  // Relay-leg watchdog: while on the relay path the initiator sends
+  // keepalives through the relay every relay_keepalive_interval (the
+  // responder already knocks at the puncher's keepalive cadence), and each
+  // side declares the leg dead after relay_timeout without any inbound
+  // relay traffic. A dead leg re-enters the normal recovery ladder:
+  // re-punch with backoff, then a fresh relay allocation — so a rebooted
+  // relay server is picked up automatically. relay_timeout must exceed
+  // both keepalive cadences or an idle-but-healthy leg false-positives.
+  SimDuration relay_keepalive_interval = Seconds(5);
+  SimDuration relay_timeout = Seconds(30);
 };
 
 class ResilientSessionManager;
@@ -98,6 +108,8 @@ class ResilientSession {
   int total_repunch_attempts() const;
   uint64_t relayed_sent() const { return relayed_sent_; }
   uint64_t relayed_received() const { return relayed_received_; }
+  // Times the relay-leg watchdog declared the relay dead.
+  int relay_losses() const { return relay_losses_; }
 
  private:
   friend class ResilientSessionManager;
@@ -127,6 +139,11 @@ class ResilientSession {
   Endpoint relay_target_;    // responder: EA; initiator: peer's observed ep
   bool relay_confirmed_ = false;
   EventLoop::EventId relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  // Relay-leg watchdog: last time any relay traffic arrived, and the timer
+  // that checks the silence window against relay_timeout.
+  SimTime last_relay_rx_;
+  EventLoop::EventId relay_watchdog_event_ = EventLoop::kInvalidEventId;
+  int relay_losses_ = 0;
 
   std::vector<Bytes> pending_sends_;
   std::vector<RecoveryRecord> recoveries_;
@@ -190,6 +207,12 @@ class ResilientSessionManager {
                   const Bytes& payload);
   void OnUnclaimed(const Endpoint& from, const PeerMessage& msg);
   void ResponderRelayKeepAlive(ResilientSession* rs);
+  void InitiatorRelayKeepAlive(ResilientSession* rs);
+  // (Re)start the silence clock: records now as the last inbound and arms
+  // the watchdog timer for a full relay_timeout.
+  void ArmRelayWatchdog(ResilientSession* rs);
+  void ScheduleRelayWatchdog(ResilientSession* rs, SimDuration delay);
+  void OnRelayDead(ResilientSession* rs);
   Status RelaySend(ResilientSession* rs, Bytes payload);
 
   SimDuration NextBackoff(const ResilientSession* rs);

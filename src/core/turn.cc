@@ -17,7 +17,7 @@ Bytes EncodeTurnMessage(const TurnMessage& msg) {
   return w.Take();
 }
 
-std::optional<TurnMessage> DecodeTurnMessage(const Bytes& data) {
+std::optional<TurnMessage> DecodeTurnMessage(ConstByteSpan data) {
   ByteReader r(data);
   if (r.ReadU8() != kMagic) {
     return std::nullopt;
@@ -44,16 +44,21 @@ std::optional<TurnMessage> DecodeTurnMessage(const Bytes& data) {
 
 TurnServer::TurnServer(Host* host, TurnServerConfig config) : host_(host), config_(config) {}
 
-TurnServer::~TurnServer() {
+TurnServer::~TurnServer() { Stop(); }
+
+void TurnServer::Stop() {
   if (sweep_event_ != EventLoop::kInvalidEventId) {
     host_->loop().Cancel(sweep_event_);
+    sweep_event_ = EventLoop::kInvalidEventId;
   }
   if (control_ != nullptr) {
     control_->Close();
+    control_ = nullptr;
   }
   for (auto& [client, allocation] : allocations_) {
     allocation->relayed->Close();
   }
+  allocations_.clear();
 }
 
 Status TurnServer::Start() {
@@ -63,7 +68,7 @@ Status TurnServer::Start() {
   }
   control_ = *bound;
   control_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnControl(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnControl(from, payload); });
   ScheduleSweep();
   return Status::Ok();
 }
@@ -92,7 +97,7 @@ void TurnServer::ScheduleSweep() {
   });
 }
 
-void TurnServer::OnControl(const Endpoint& from, const Bytes& payload) {
+void TurnServer::OnControl(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeTurnMessage(payload);
   if (!msg) {
     return;
@@ -110,7 +115,7 @@ void TurnServer::OnControl(const Endpoint& from, const Bytes& payload) {
         allocation->relayed = *relayed;
         Allocation* raw = allocation.get();
         (*relayed)->SetReceiveCallback(
-            [this, raw](const Endpoint& peer, const Bytes& data) {
+            [this, raw](const Endpoint& peer, const Payload& data) {
               OnRelayed(raw, peer, data);
             });
         it = allocations_.emplace(from, std::move(allocation)).first;
@@ -141,7 +146,7 @@ void TurnServer::OnControl(const Endpoint& from, const Bytes& payload) {
   }
 }
 
-void TurnServer::OnRelayed(Allocation* allocation, const Endpoint& from, const Bytes& payload) {
+void TurnServer::OnRelayed(Allocation* allocation, const Endpoint& from, const Payload& payload) {
   auto perm = allocation->permissions.find(from.ip);
   if (perm == allocation->permissions.end() ||
       host_->loop().now() - perm->second >= config_.permission_lifetime) {
@@ -154,7 +159,7 @@ void TurnServer::OnRelayed(Allocation* allocation, const Endpoint& from, const B
   TurnMessage data;
   data.type = TurnMsgType::kData;
   data.peer = from;
-  data.payload = payload;
+  data.payload = payload.ToBytes();
   control_->SendTo(allocation->client, EncodeTurnMessage(data));
 }
 
@@ -165,6 +170,20 @@ void TurnServer::OnRelayed(Allocation* allocation, const Endpoint& from, const B
 TurnClient::TurnClient(Host* host, Endpoint server, Config config)
     : host_(host), server_(server), config_(config) {}
 
+TurnClient::~TurnClient() {
+  if (retry_event_ != EventLoop::kInvalidEventId) {
+    host_->loop().Cancel(retry_event_);
+  }
+  if (refresh_event_ != EventLoop::kInvalidEventId) {
+    host_->loop().Cancel(refresh_event_);
+  }
+  if (socket_ != nullptr) {
+    // The socket's receive callback captures `this`; Close() clears it so no
+    // delivery can run into a destroyed client.
+    socket_->Close();
+  }
+}
+
 void TurnClient::Allocate(uint16_t local_port, std::function<void(Result<Endpoint>)> cb) {
   auto bound = host_->udp().Bind(local_port);
   if (!bound.ok()) {
@@ -173,7 +192,7 @@ void TurnClient::Allocate(uint16_t local_port, std::function<void(Result<Endpoin
   }
   socket_ = *bound;
   socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnReceive(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnReceive(from, payload); });
   allocate_cb_ = std::move(cb);
   attempts_ = 0;
   SendAllocate();
@@ -208,7 +227,7 @@ void TurnClient::RefreshTick() {
   refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
 }
 
-void TurnClient::OnReceive(const Endpoint& from, const Bytes& payload) {
+void TurnClient::OnReceive(const Endpoint& from, const Payload& payload) {
   if (from != server_) {
     return;  // relayed traffic arrives wrapped in kData, never raw
   }

@@ -45,7 +45,7 @@ struct TurnMessage {
 };
 
 Bytes EncodeTurnMessage(const TurnMessage& msg);
-std::optional<TurnMessage> DecodeTurnMessage(const Bytes& data);
+std::optional<TurnMessage> DecodeTurnMessage(ConstByteSpan data);
 
 struct TurnServerConfig {
   uint16_t port = 3479;
@@ -63,6 +63,11 @@ class TurnServer {
   TurnServer& operator=(const TurnServer&) = delete;
 
   Status Start();
+  // Take the relay down: drops every allocation and closes the control and
+  // relayed sockets. Clients discover the outage only by silence (their
+  // refreshes and wrapped sends go unanswered), exactly like a crashed
+  // server. Start() brings it back empty.
+  void Stop();
   Endpoint endpoint() const { return Endpoint(host_->primary_address(), config_.port); }
 
   struct Stats {
@@ -83,8 +88,8 @@ class TurnServer {
     std::map<Ipv4Address, SimTime> permissions;  // address-based, RFC 5766 style
   };
 
-  void OnControl(const Endpoint& from, const Bytes& payload);
-  void OnRelayed(Allocation* allocation, const Endpoint& from, const Bytes& payload);
+  void OnControl(const Endpoint& from, const Payload& payload);
+  void OnRelayed(Allocation* allocation, const Endpoint& from, const Payload& payload);
   void ScheduleSweep();
 
   Host* host_;
@@ -105,6 +110,10 @@ class TurnClient {
 
   TurnClient(Host* host, Endpoint server, Config config);
   TurnClient(Host* host, Endpoint server) : TurnClient(host, server, Config{}) {}
+  ~TurnClient();
+
+  TurnClient(const TurnClient&) = delete;
+  TurnClient& operator=(const TurnClient&) = delete;
 
   // Bind a local socket (0 = ephemeral) and allocate a relayed endpoint.
   void Allocate(uint16_t local_port, std::function<void(Result<Endpoint>)> cb);
@@ -124,7 +133,7 @@ class TurnClient {
   bool allocated() const { return allocated_; }
 
  private:
-  void OnReceive(const Endpoint& from, const Bytes& payload);
+  void OnReceive(const Endpoint& from, const Payload& payload);
   void SendAllocate();
   void RefreshTick();
 

@@ -9,7 +9,7 @@ namespace natpunch {
 UdpHolePuncher::UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig config)
     : rendezvous_(rendezvous), config_(config), loop_(rendezvous->host()->loop()) {
   rendezvous_->SetPeerTrafficHandler(
-      [this](const Endpoint& from, const Bytes& payload) { OnPeerTraffic(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnPeerTraffic(from, payload); });
   rendezvous_->SetConnectForwardHandler(
       ConnectStrategy::kHolePunch, [this](const RendezvousMessage& fwd) {
         // Passive side of §3.2: S forwarded a connection request; punch back.
@@ -123,7 +123,7 @@ void UdpHolePuncher::PunchAtEndpoints(uint64_t peer_id, uint64_t nonce,
                std::move(cb));
 }
 
-void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Bytes& payload) {
+void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Payload& payload) {
   auto msg = DecodePeerMessage(payload);
   if (!msg) {
     if (raw_handler_) {

@@ -105,7 +105,7 @@ class UdpHolePuncher {
 
   // Datagrams on the shared socket that are neither rendezvous nor peer
   // protocol messages (e.g. STUN-like probe replies for port prediction).
-  void SetRawTrafficHandler(std::function<void(const Endpoint&, const Bytes&)> handler) {
+  void SetRawTrafficHandler(std::function<void(const Endpoint&, const Payload&)> handler) {
     raw_handler_ = std::move(handler);
   }
 
@@ -158,7 +158,7 @@ class UdpHolePuncher {
   void SendProbes(Attempt* attempt);
   void FinishAttempt(uint64_t nonce, const Endpoint& winner);
   void FailAttempt(uint64_t nonce, const Status& status);
-  void OnPeerTraffic(const Endpoint& from, const Bytes& payload);
+  void OnPeerTraffic(const Endpoint& from, const Payload& payload);
   void OnSocketError(const Endpoint& dst, ErrorCode code);
 
   void ArmSessionTimers(UdpP2pSession* session);
@@ -173,7 +173,7 @@ class UdpHolePuncher {
   std::map<uint64_t, Attempt> attempts_;                           // by nonce
   std::map<uint64_t, std::unique_ptr<UdpP2pSession>> sessions_;    // by nonce
   std::function<void(UdpP2pSession*)> incoming_cb_;
-  std::function<void(const Endpoint&, const Bytes&)> raw_handler_;
+  std::function<void(const Endpoint&, const Payload&)> raw_handler_;
   std::function<void(const Endpoint&, const PeerMessage&)> unclaimed_handler_;
 };
 

@@ -93,16 +93,18 @@ struct Table1Result {
   friend bool operator==(const Table1Result&, const Table1Result&) = default;
 };
 
-// Run the whole fleet sequentially; each device is its own simulation. This
-// is the determinism oracle for RunFleetParallel.
+// Run the whole fleet sequentially on one reused Scenario arena; each
+// device's simulation starts from a Reset that is bit-identical to a fresh
+// Network. This is the determinism oracle for RunFleetParallel.
 Table1Result RunFleet(const std::vector<DeviceSpec>& devices, uint64_t seed);
 
 // Run the fleet on `n_threads` worker threads (0 = hardware concurrency).
-// Each device still gets its own Network/EventLoop, its seed is drawn from
-// the same per-device seed sequence as the sequential path, and reports are
-// written into a pre-sized vector by device index before being tallied in
-// device order — so the Table1Result is bit-identical to RunFleet's
-// regardless of thread count or scheduling.
+// Each worker owns one Scenario arena reused (via Reset) across the devices
+// it pulls, each device's seed is drawn from the same per-device seed
+// sequence as the sequential path, and reports are written into a pre-sized
+// vector by device index before being tallied in device order — so the
+// Table1Result is bit-identical to RunFleet's regardless of thread count or
+// scheduling.
 Table1Result RunFleetParallel(const std::vector<DeviceSpec>& devices, uint64_t seed,
                               unsigned n_threads = 0);
 

@@ -83,7 +83,7 @@ void NatDevice::FlushMappings() {
 
 void NatDevice::Reboot() {
   ++stats_.reboots;
-  network_->trace().RecordEvent(network_->now(), name_, TraceEvent::kFault, "nat reboot");
+  network_->trace().RecordEvent(network_->now(), trace_id_, TraceEvent::kFault, "nat reboot");
   FlushMappings();
 }
 
@@ -175,8 +175,10 @@ void NatDevice::RewritePayloadAddress(Packet* packet, Ipv4Address from, Ipv4Addr
       packet->payload[i + 2] = static_cast<uint8_t>(replacement >> 8);
       packet->payload[i + 3] = static_cast<uint8_t>(replacement);
       ++stats_.payload_rewrites;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatPayloadRewrite, *packet,
-                               from.ToString() + "->" + to.ToString());
+      if (network_->trace().enabled()) {
+        network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatPayloadRewrite,
+                                 *packet, Detail(from, "->", to));
+      }
       i += 3;
     }
   }
@@ -184,7 +186,7 @@ void NatDevice::RewritePayloadAddress(Packet* packet, Ipv4Address from, Ipv4Addr
 
 void NatDevice::HandleOutbound(Packet packet) {
   if (--packet.ttl <= 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropTtl, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
   }
   if (packet.protocol == IpProtocol::kIcmp) {
@@ -196,7 +198,7 @@ void NatDevice::HandleOutbound(Packet packet) {
   NatTable::Entry* entry =
       table_.MapOutbound(packet.protocol, private_ep, remote, network_->now());
   if (entry == nullptr) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropNoRoute, packet,
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropNoRoute, packet,
                              "port pool exhausted");
     return;
   }
@@ -206,8 +208,12 @@ void NatDevice::HandleOutbound(Packet packet) {
   }
   packet.set_src(Endpoint(public_ip_, entry->public_port));
   ++stats_.translated_out;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatTranslateOut, packet,
-                           private_ep.ToString() + "=>" + packet.src().ToString());
+  // Guarded so the (allocation-free but snprintf-heavy) detail formatting is
+  // skipped entirely when tracing is off — this is the NAT's hottest line.
+  if (network_->trace().enabled()) {
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateOut, packet,
+                             Detail(private_ep, "=>", packet.src()));
+  }
   SendPacket(std::move(packet));
 }
 
@@ -215,11 +221,11 @@ void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
   switch (config_.unsolicited_tcp) {
     case NatUnsolicitedTcp::kDrop:
       ++stats_.dropped_unsolicited;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropUnsolicited, packet);
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet);
       return;
     case NatUnsolicitedTcp::kRst: {
       ++stats_.rst_rejections;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatRejectRst, packet);
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatRejectRst, packet);
       Packet rst;
       rst.protocol = IpProtocol::kTcp;
       rst.set_src(packet.dst());
@@ -234,7 +240,7 @@ void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
     }
     case NatUnsolicitedTcp::kIcmp: {
       ++stats_.icmp_rejections;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatRejectIcmp, packet);
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatRejectIcmp, packet);
       Packet icmp;
       icmp.protocol = IpProtocol::kIcmp;
       icmp.icmp.type = IcmpType::kDestinationUnreachable;
@@ -252,7 +258,7 @@ void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
 
 void NatDevice::HandleInbound(Packet packet) {
   if (--packet.ttl <= 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropTtl, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
   }
   if (packet.protocol == IpProtocol::kIcmp) {
@@ -265,7 +271,7 @@ void NatDevice::HandleInbound(Packet packet) {
       RejectUnsolicitedTcp(packet);
     } else {
       ++stats_.dropped_no_mapping;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropNoMapping, packet);
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet);
     }
     return;
   }
@@ -275,7 +281,7 @@ void NatDevice::HandleInbound(Packet packet) {
       RejectUnsolicitedTcp(packet);
     } else {
       ++stats_.dropped_unsolicited;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropUnsolicited, packet);
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet);
     }
     return;
   }
@@ -288,13 +294,13 @@ void NatDevice::HandleInbound(Packet packet) {
   }
   packet.set_dst(entry->private_ep);
   ++stats_.translated_in;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatTranslateIn, packet);
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateIn, packet);
   SendPacket(std::move(packet));
 }
 
 void NatDevice::HandleHairpin(Packet packet) {
   if (--packet.ttl <= 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropTtl, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
   }
   const bool supported = packet.protocol == IpProtocol::kUdp   ? config_.hairpin_udp
@@ -302,7 +308,7 @@ void NatDevice::HandleHairpin(Packet packet) {
                                                                : false;
   if (!supported) {
     ++stats_.dropped_no_mapping;
-    network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropNoMapping, packet,
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "hairpin unsupported");
     return;
   }
@@ -312,7 +318,7 @@ void NatDevice::HandleHairpin(Packet packet) {
       RejectUnsolicitedTcp(packet);
     } else {
       ++stats_.dropped_no_mapping;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropNoMapping, packet,
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                                "hairpin: no mapping");
     }
     return;
@@ -336,7 +342,7 @@ void NatDevice::HandleHairpin(Packet packet) {
       RejectUnsolicitedTcp(packet);
     } else {
       ++stats_.dropped_unsolicited;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropUnsolicited, packet,
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet,
                                "hairpin filtered");
     }
     return;
@@ -346,7 +352,7 @@ void NatDevice::HandleHairpin(Packet packet) {
   packet.set_src(translated_src);
   packet.set_dst(target->private_ep);
   ++stats_.hairpinned;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatHairpin, packet);
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatHairpin, packet);
   SendPacket(std::move(packet));
 }
 
@@ -418,7 +424,7 @@ void NatDevice::ExpireBasicSessions() {
 
 void NatDevice::HandleOutboundBasic(Packet packet) {
   if (--packet.ttl <= 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropTtl, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
   }
   if (packet.protocol == IpProtocol::kIcmp) {
@@ -427,21 +433,21 @@ void NatDevice::HandleOutboundBasic(Packet packet) {
   }
   auto assigned = AssignBasicAddress(packet.src_ip);
   if (!assigned.has_value()) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropNoRoute, packet,
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropNoRoute, packet,
                              "basic NAT pool exhausted");
     return;
   }
   basic_sessions_[packet.src_ip][packet.dst()] = network_->now();
   packet.src_ip = *assigned;  // port untouched — the defining Basic NAT property
   ++stats_.translated_out;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatTranslateOut, packet,
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateOut, packet,
                            "basic");
   SendPacket(std::move(packet));
 }
 
 void NatDevice::HandleInboundBasic(Packet packet) {
   if (--packet.ttl <= 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropTtl, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
   }
   const Ipv4Address private_ip = basic_in_.at(packet.dst_ip);
@@ -456,7 +462,7 @@ void NatDevice::HandleInboundBasic(Packet packet) {
       RejectUnsolicitedTcp(packet);
     } else {
       ++stats_.dropped_unsolicited;
-      network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropUnsolicited, packet,
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet,
                                "basic");
     }
     return;
@@ -466,7 +472,7 @@ void NatDevice::HandleInboundBasic(Packet packet) {
   }
   packet.dst_ip = private_ip;
   ++stats_.translated_in;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatTranslateIn, packet, "basic");
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateIn, packet, "basic");
   SendPacket(std::move(packet));
 }
 
@@ -479,7 +485,7 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
                                                                : false;
   if (!supported) {
     ++stats_.dropped_no_mapping;
-    network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropNoMapping, packet,
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "basic hairpin unsupported");
     return;
   }
@@ -498,7 +504,7 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
   packet.src_ip = *assigned;
   packet.dst_ip = target;
   ++stats_.hairpinned;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatHairpin, packet, "basic");
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatHairpin, packet, "basic");
   SendPacket(std::move(packet));
 }
 
@@ -512,14 +518,14 @@ void NatDevice::HandleInboundIcmp(Packet packet) {
       LookupInboundFresh(packet.icmp.original_protocol, packet.icmp.original_src.port);
   if (entry == nullptr) {
     ++stats_.dropped_no_mapping;
-    network_->trace().Record(network_->now(), name_, TraceEvent::kNatDropNoMapping, packet,
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "icmp: no mapping");
     return;
   }
   packet.icmp.original_src = entry->private_ep;
   packet.set_dst(Endpoint(entry->private_ep.ip, 0));
   ++stats_.translated_in;
-  network_->trace().Record(network_->now(), name_, TraceEvent::kNatTranslateIn, packet, "icmp");
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateIn, packet, "icmp");
   SendPacket(std::move(packet));
 }
 

@@ -81,7 +81,7 @@ void NatCheckClient::Run(uint16_t local_port, std::function<void(Result<NatCheck
   udp_socket_ = *bound;
   local_port_ = udp_socket_->local_port();
   udp_socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnUdpReceive(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnUdpReceive(from, payload); });
   deadline_timer_ = host_->loop().ScheduleAfter(config_.overall_timeout, [this] {
     // Report whatever has been learned so far rather than failing: a wedged
     // TCP phase on a weird NAT is itself a result.
@@ -118,7 +118,7 @@ void NatCheckClient::SendUdpPing(int server_index) {
   });
 }
 
-void NatCheckClient::OnUdpReceive(const Endpoint& from, const Bytes& payload) {
+void NatCheckClient::OnUdpReceive(const Endpoint& from, const Payload& payload) {
   (void)from;
   auto msg = DecodeNcMessage(payload);
   if (!msg || msg->session != session_) {

@@ -58,7 +58,7 @@ class NatCheckClient {
     MessageFramer framer;
   };
 
-  void OnUdpReceive(const Endpoint& from, const Bytes& payload);
+  void OnUdpReceive(const Endpoint& from, const Payload& payload);
   void SendUdpPing(int server_index);
   void StartUdpHairpin();
   void StartTcpPhase();

@@ -18,7 +18,7 @@ Bytes EncodeNcMessage(const NcMessage& msg) {
   return w.Take();
 }
 
-std::optional<NcMessage> DecodeNcMessage(const Bytes& data) {
+std::optional<NcMessage> DecodeNcMessage(ConstByteSpan data) {
   ByteReader r(data);
   if (r.ReadU8() != kMagic) {
     return std::nullopt;

@@ -52,7 +52,7 @@ struct NcMessage {
 };
 
 Bytes EncodeNcMessage(const NcMessage& msg);
-std::optional<NcMessage> DecodeNcMessage(const Bytes& data);
+std::optional<NcMessage> DecodeNcMessage(ConstByteSpan data);
 
 }  // namespace natpunch
 

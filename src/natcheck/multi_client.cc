@@ -40,7 +40,7 @@ void MultiClientNatCheck::ConsistencyProbe(
   Host* host = socket->host();
 
   // The receive path: pongs matching the current transaction advance us.
-  socket->SetReceiveCallback([this, probe, host](const Endpoint&, const Bytes& payload) {
+  socket->SetReceiveCallback([this, probe, host](const Endpoint&, const Payload& payload) {
     if (probe->done) {
       return;
     }

@@ -28,7 +28,7 @@ Status NatCheckServers::Start() {
     }
     udp_[i] = *sock;
     const int index = i + 1;
-    udp_[i]->SetReceiveCallback([this, index](const Endpoint& from, const Bytes& payload) {
+    udp_[i]->SetReceiveCallback([this, index](const Endpoint& from, const Payload& payload) {
       OnUdp(index, from, payload);
     });
   }
@@ -64,7 +64,7 @@ Status NatCheckServers::Start() {
   return Status::Ok();
 }
 
-void NatCheckServers::OnUdp(int index, const Endpoint& from, const Bytes& payload) {
+void NatCheckServers::OnUdp(int index, const Endpoint& from, const Payload& payload) {
   auto msg = DecodeNcMessage(payload);
   if (!msg) {
     return;

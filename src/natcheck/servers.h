@@ -61,7 +61,7 @@ class NatCheckServers {
 
   void StartUdp(Host* host, int index);
   void StartTcp(Host* host, int index);
-  void OnUdp(int index, const Endpoint& from, const Bytes& payload);
+  void OnUdp(int index, const Endpoint& from, const Payload& payload);
   void OnTcpMessage(TcpConn* conn, const NcMessage& msg);
   void Server3UdpControl(const NcMessage& msg);
   void Server3TcpProbe(uint64_t session, const Endpoint& client);

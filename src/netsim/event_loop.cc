@@ -7,12 +7,48 @@ namespace natpunch {
 
 EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   const int64_t t = std::max(at.micros(), now_.micros());
+  EnsureSlotCapacity();
   const EventId id = next_id_++;
-  slots_.push_back(Slot{std::move(fn), /*pending=*/true});
+  Slot& slot = slots_[static_cast<size_t>(id) & ring_mask_];
+  slot.fn = std::move(fn);
+  slot.pending = true;
   heap_.push_back(HeapEntry{t, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return id;
+}
+
+void EventLoop::EnsureSlotCapacity() {
+  if (next_id_ - base_id_ < slots_.size()) {
+    return;
+  }
+  if (slots_.empty()) {
+    slots_.resize(64);
+    ring_mask_ = 63;
+    return;
+  }
+  // The live id window filled the ring: double it and re-place the window at
+  // the new mask. Amortized across the run; steady state never gets here.
+  std::vector<Slot> bigger(slots_.size() * 2);
+  const size_t new_mask = bigger.size() - 1;
+  for (EventId id = base_id_; id < next_id_; ++id) {
+    bigger[static_cast<size_t>(id) & new_mask] = std::move(slots_[static_cast<size_t>(id) & ring_mask_]);
+  }
+  slots_ = std::move(bigger);
+  ring_mask_ = new_mask;
+}
+
+void EventLoop::Reset() {
+  for (Slot& slot : slots_) {
+    slot.fn = nullptr;  // destroys pending closures (and anything they own)
+    slot.pending = false;
+  }
+  heap_.clear();
+  live_ = 0;
+  now_ = SimTime();
+  next_id_ = 1;
+  base_id_ = 1;
+  events_processed_ = 0;
 }
 
 EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
@@ -23,12 +59,11 @@ EventLoop::Slot* EventLoop::SlotFor(EventId id) {
   if (id < base_id_ || id >= next_id_) {
     return nullptr;
   }
-  return &slots_[static_cast<size_t>(id - base_id_)];
+  return &slots_[static_cast<size_t>(id) & ring_mask_];
 }
 
 void EventLoop::CompactFront() {
-  while (!slots_.empty() && !slots_.front().pending) {
-    slots_.pop_front();
+  while (base_id_ < next_id_ && !slots_[static_cast<size_t>(base_id_) & ring_mask_].pending) {
     ++base_id_;
   }
 }

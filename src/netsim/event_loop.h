@@ -9,18 +9,17 @@
 // Implementation: a binary min-heap of (time, sequence) keys with lazy
 // cancellation. Cancel() only flips the event's slot to non-pending; the
 // tombstoned heap entry is discarded when it surfaces at the top. Callbacks
-// live in a deque indexed by event id (ids are issued sequentially, so the
-// slot for id i sits at i - base_id_), which gives O(1) id lookup with no
-// hashing and lets the front of the window be reclaimed as events retire.
-// This replaced a std::map/unordered_map pair: scheduling no longer
-// allocates a red-black tree node per event, and pops are O(log n) sifts
-// over a flat array.
+// live in a power-of-two ring buffer indexed by event id (ids are issued
+// sequentially, so the slot for id i sits at i & ring_mask_), which gives
+// O(1) id lookup with no hashing. Unlike the std::deque it replaced — which
+// allocated and freed ~512-byte blocks continuously as the id window slid —
+// the ring reaches a high-water size and then never touches the heap again,
+// which is what keeps the steady-state packet path allocation-free.
 
 #ifndef SRC_NETSIM_EVENT_LOOP_H_
 #define SRC_NETSIM_EVENT_LOOP_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -64,6 +63,13 @@ class EventLoop {
   size_t pending_count() const { return live_; }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Return to the pristine just-constructed state (clock at 0, no pending
+  // events, counters zeroed) while KEEPING the heap and ring capacities, so
+  // a reused loop schedules without allocating. Pending closures are
+  // destroyed. Lets fleet workers run thousands of device simulations on one
+  // arena.
+  void Reset();
+
  private:
   struct HeapEntry {
     int64_t time;  // micros
@@ -90,14 +96,17 @@ class EventLoop {
   void PopDead();
   // Retire fully-processed slots from the front of the id window.
   void CompactFront();
+  // Make room in the ring for one more id in [base_id_, next_id_].
+  void EnsureSlotCapacity();
 
   SimTime now_;
   EventId next_id_ = 1;
-  EventId base_id_ = 1;  // id of slots_.front()
+  EventId base_id_ = 1;  // earliest id still in the ring window
   uint64_t events_processed_ = 0;
   size_t live_ = 0;  // scheduled, not yet fired or cancelled
   std::vector<HeapEntry> heap_;
-  std::deque<Slot> slots_;
+  std::vector<Slot> slots_;  // ring buffer; size is a power of two
+  size_t ring_mask_ = 0;     // slots_.size() - 1
 };
 
 }  // namespace natpunch

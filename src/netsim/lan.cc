@@ -8,7 +8,9 @@
 namespace natpunch {
 
 Lan::Lan(Network* network, std::string name, LanConfig config)
-    : network_(network), name_(std::move(name)), config_(config) {}
+    : network_(network), name_(std::move(name)), config_(config) {
+  trace_id_ = network_->trace().Intern(name_);
+}
 
 void Lan::Attach(Node* node, int iface, Ipv4Address ip) {
   attachments_.push_back(Attachment{node, iface, ip});
@@ -25,15 +27,16 @@ bool Lan::HasAddress(Ipv4Address ip) const {
 
 void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
   ++packets_;
-  bytes_ += packet.WireSize();
+  const size_t wire_size = packet.WireSize();
+  bytes_ += wire_size;
 
   if (!up_) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kLinkDown, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kLinkDown, packet);
     return;
   }
 
   if (config_.loss > 0.0 && network_->rng().NextBool(config_.loss)) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropLoss, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropLoss, packet);
     return;
   }
 
@@ -44,35 +47,34 @@ void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
                             : network_->rng().NextBool(config_.burst.p_good_to_bad);
     const double p = burst_bad_ ? config_.burst.loss_bad : config_.burst.loss_good;
     if (p > 0.0 && network_->rng().NextBool(p)) {
-      network_->trace().Record(network_->now(), name_, TraceEvent::kDropBurst, packet,
+      network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropBurst, packet,
                                burst_bad_ ? "bad" : "good");
       return;
     }
   }
 
+  // Single scan: prefer an attachment owning next_hop on another node, but
+  // remember the first owner of any kind so a node may legitimately address
+  // itself (loopback-style) when nothing else matches.
   const Attachment* target = nullptr;
   for (const auto& a : attachments_) {
-    if (a.ip == next_hop && a.node != sender) {
+    if (a.ip != next_hop) {
+      continue;
+    }
+    if (a.node != sender) {
       target = &a;
       break;
     }
-  }
-  // A node may legitimately address itself (loopback-style); allow it when
-  // no other attachment matches.
-  if (target == nullptr) {
-    for (const auto& a : attachments_) {
-      if (a.ip == next_hop) {
-        target = &a;
-        break;
-      }
+    if (target == nullptr) {
+      target = &a;
     }
   }
   if (target == nullptr) {
     const TraceEvent event = (config_.is_global && packet.dst_ip.IsPrivate())
                                  ? TraceEvent::kDropPrivateLeak
                                  : TraceEvent::kDropNoNextHop;
-    network_->trace().Record(network_->now(), name_, event, packet,
-                             "next_hop=" + next_hop.ToString());
+    network_->trace().Record(network_->now(), trace_id_, event, packet,
+                             Detail("next_hop=", next_hop));
     return;
   }
 
@@ -83,7 +85,7 @@ void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
   if (config_.bandwidth_bps > 0) {
     // Serialization on a shared medium: wait for the segment to go idle,
     // then occupy it for the frame's transmission time.
-    const double tx_seconds = static_cast<double>(packet.WireSize()) * 8 / config_.bandwidth_bps;
+    const double tx_seconds = static_cast<double>(wire_size) * 8 / config_.bandwidth_bps;
     const SimDuration tx_time = Micros(static_cast<int64_t>(tx_seconds * 1e6));
     const SimTime start = std::max(network_->now(), medium_free_at_);
     medium_free_at_ = start + tx_time;
@@ -113,8 +115,8 @@ void Lan::Deliver(uint32_t slot) {
   Packet packet = std::move(deliveries_[slot].packet);
   deliveries_[slot].node = nullptr;
   free_slots_.push_back(slot);
-  network_->trace().Record(network_->now(), node->name(), TraceEvent::kDeliver, packet);
-  node->HandlePacket(iface, packet);
+  network_->trace().Record(network_->now(), node->trace_id(), TraceEvent::kDeliver, packet);
+  node->HandlePacket(iface, std::move(packet));
 }
 
 }  // namespace natpunch

@@ -16,6 +16,7 @@
 #include "src/netsim/address.h"
 #include "src/netsim/packet.h"
 #include "src/netsim/sim_time.h"
+#include "src/netsim/trace.h"
 
 namespace natpunch {
 
@@ -98,6 +99,7 @@ class Lan {
 
   Network* network_;
   std::string name_;
+  TraceNodeId trace_id_ = 0;
   LanConfig config_;
   bool up_ = true;
   bool burst_bad_ = false;  // Gilbert-Elliott channel state

@@ -15,4 +15,15 @@ Lan* Network::CreateLan(std::string name, LanConfig config) {
   return lans_.back().get();
 }
 
+void Network::Reset(uint64_t seed) {
+  // Pending event closures may capture nodes/lans; destroy them first.
+  loop_.Reset();
+  // Nodes reference Lans (attachments), so nodes go before lans.
+  nodes_.clear();
+  lans_.clear();
+  trace_.ClearAll();
+  rng_ = Rng(seed);
+  next_packet_id_ = 1;
+}
+
 }  // namespace natpunch

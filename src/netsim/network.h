@@ -51,6 +51,14 @@ class Network {
 
   uint64_t NextPacketId() { return next_packet_id_++; }
 
+  // Tear down every Node and Lan and return to the state of a freshly
+  // constructed Network(seed) — clock at 0, packet ids restarting at 1, no
+  // trace records or interned names — while keeping the event loop's and
+  // trace recorder's warmed-up capacities. A reused arena runs the next
+  // simulation bit-identically to a fresh Network but without the per-run
+  // allocation storm; the fleet runner leans on this.
+  void Reset(uint64_t seed);
+
   void RunFor(SimDuration d) { loop_.RunFor(d); }
   void RunUntil(SimTime t) { loop_.RunUntil(t); }
   size_t RunUntilIdle(size_t max_events = 10'000'000) { return loop_.RunUntilIdle(max_events); }

@@ -5,7 +5,9 @@
 
 namespace natpunch {
 
-Node::Node(Network* network, std::string name) : network_(network), name_(std::move(name)) {}
+Node::Node(Network* network, std::string name) : network_(network), name_(std::move(name)) {
+  trace_id_ = network_->trace().Intern(name_);
+}
 
 Node::~Node() = default;
 
@@ -58,13 +60,13 @@ bool Node::SendPacket(Packet packet) {
   Ipv4Address next_hop;
   const int iface = RouteLookup(packet.dst_ip, &next_hop);
   if (iface < 0) {
-    network_->trace().Record(network_->now(), name_, TraceEvent::kDropNoRoute, packet);
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropNoRoute, packet);
     return false;
   }
   if (packet.src_ip.IsUnspecified()) {
     packet.src_ip = ifaces_[static_cast<size_t>(iface)].ip;
   }
-  network_->trace().Record(network_->now(), name_, TraceEvent::kSend, packet);
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kSend, packet);
   ifaces_[static_cast<size_t>(iface)].lan->Transmit(this, next_hop, std::move(packet));
   return true;
 }

@@ -15,6 +15,7 @@
 
 #include "src/netsim/address.h"
 #include "src/netsim/packet.h"
+#include "src/netsim/trace.h"
 
 namespace natpunch {
 
@@ -56,11 +57,14 @@ class Node {
   bool OwnsAddress(Ipv4Address a) const;
 
   const std::string& name() const { return name_; }
+  // Interned name for allocation-free trace recording.
+  TraceNodeId trace_id() const { return trace_id_; }
   Network* network() const { return network_; }
 
  protected:
   Network* network_;
   std::string name_;
+  TraceNodeId trace_id_ = 0;
 
  private:
   struct Iface {

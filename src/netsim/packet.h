@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/netsim/address.h"
+#include "src/netsim/payload.h"
 #include "src/util/bytes.h"
 
 namespace natpunch {
@@ -59,7 +60,7 @@ struct Packet {
   IpProtocol protocol = IpProtocol::kUdp;
   TcpHeader tcp;    // meaningful iff protocol == kTcp
   IcmpHeader icmp;  // meaningful iff protocol == kIcmp
-  Bytes payload;
+  Payload payload;  // small-buffer optimized: no heap for messages <= 64 bytes
   int ttl = 64;
   uint64_t id = 0;  // unique per packet, assigned by Network, for tracing
 

@@ -1,5 +1,8 @@
 #include "src/netsim/trace.h"
 
+#include <cstdio>
+#include <cstring>
+
 namespace natpunch {
 
 std::string_view TraceEventName(TraceEvent e) {
@@ -46,27 +49,63 @@ std::string_view TraceEventName(TraceEvent e) {
   return "?";
 }
 
-std::string TraceRecord::ToString() const {
-  std::string out = time.ToString() + " " + node + " " + std::string(TraceEventName(event)) + " " +
+TraceDetail& TraceDetail::Append(std::string_view text) {
+  size_t n = text.size();
+  if (n > kCapacity - size_) {
+    n = kCapacity - size_;
+  }
+  std::memcpy(buf_ + size_, text.data(), n);
+  size_ = static_cast<uint8_t>(size_ + n);
+  return *this;
+}
+
+TraceDetail& TraceDetail::Append(Ipv4Address ip) {
+  char tmp[16];
+  const uint32_t b = ip.bits();
+  const int n = std::snprintf(tmp, sizeof(tmp), "%u.%u.%u.%u", (b >> 24) & 0xff, (b >> 16) & 0xff,
+                              (b >> 8) & 0xff, b & 0xff);
+  return Append(std::string_view(tmp, static_cast<size_t>(n)));
+}
+
+TraceDetail& TraceDetail::Append(const Endpoint& ep) {
+  Append(ep.ip);
+  char tmp[8];
+  const int n = std::snprintf(tmp, sizeof(tmp), ":%u", ep.port);
+  return Append(std::string_view(tmp, static_cast<size_t>(n)));
+}
+
+TraceDetail& TraceDetail::Append(uint64_t value) {
+  char tmp[24];
+  const int n = std::snprintf(tmp, sizeof(tmp), "%llu", static_cast<unsigned long long>(value));
+  return Append(std::string_view(tmp, static_cast<size_t>(n)));
+}
+
+std::string TraceRecord::ToString(const TraceRecorder& trace) const {
+  std::string out = time.ToString() + " " + trace.NodeName(node) + " " +
+                    std::string(TraceEventName(event)) + " " +
                     std::string(IpProtocolName(protocol)) + " " + src.ToString() + "->" +
                     dst.ToString() + " #" + std::to_string(packet_id);
   if (!detail.empty()) {
-    out += " (" + detail + ")";
+    out += " (";
+    out += detail.view();
+    out += ")";
   }
   return out;
 }
 
-void TraceRecorder::Record(SimTime time, const std::string& node, TraceEvent event,
-                           const Packet& packet, std::string detail) {
-  if (!enabled_) {
-    return;
+TraceNodeId TraceRecorder::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
   }
-  records_.push_back(TraceRecord{time, node, event, packet.id, packet.protocol, packet.src(),
-                                 packet.dst(), std::move(detail)});
+  const TraceNodeId id = static_cast<TraceNodeId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
 }
 
-void TraceRecorder::RecordEvent(SimTime time, const std::string& node, TraceEvent event,
-                                std::string detail) {
+void TraceRecorder::RecordEvent(SimTime time, TraceNodeId node, TraceEvent event,
+                                TraceDetail detail) {
   if (!enabled_) {
     return;
   }
@@ -74,8 +113,8 @@ void TraceRecorder::RecordEvent(SimTime time, const std::string& node, TraceEven
   record.time = time;
   record.node = node;
   record.event = event;
-  record.detail = std::move(detail);
-  records_.push_back(std::move(record));
+  record.detail = detail;
+  records_.push_back(record);
 }
 
 size_t TraceRecorder::Count(TraceEvent event) const {
@@ -88,7 +127,7 @@ size_t TraceRecorder::Count(TraceEvent event) const {
   return n;
 }
 
-size_t TraceRecorder::Count(TraceEvent event, const std::string& node) const {
+size_t TraceRecorder::Count(TraceEvent event, TraceNodeId node) const {
   size_t n = 0;
   for (const auto& r : records_) {
     if (r.event == event && r.node == node) {
@@ -98,10 +137,18 @@ size_t TraceRecorder::Count(TraceEvent event, const std::string& node) const {
   return n;
 }
 
+size_t TraceRecorder::Count(TraceEvent event, const std::string& node) const {
+  auto it = ids_.find(node);
+  if (it == ids_.end()) {
+    return 0;
+  }
+  return Count(event, it->second);
+}
+
 std::string TraceRecorder::Dump() const {
   std::string out;
   for (const auto& r : records_) {
-    out += r.ToString();
+    out += r.ToString(*this);
     out.push_back('\n');
   }
   return out;

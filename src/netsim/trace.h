@@ -5,12 +5,20 @@
 // "B's NAT dropped A's first SYN as unsolicited" or "NAT C hairpinned the
 // datagram back inside". Disabled by default; recording costs nothing when
 // off.
+//
+// The recorder is allocation-free on the hot path: node names are interned
+// once (Node/Lan cache their TraceNodeId at construction) and the per-record
+// detail text lives in a bounded inline buffer instead of a std::string, so
+// recording a hop never touches the heap once the records vector has warmed
+// up its capacity.
 
 #ifndef SRC_NETSIM_TRACE_H_
 #define SRC_NETSIM_TRACE_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/netsim/packet.h"
@@ -42,36 +50,116 @@ enum class TraceEvent {
 
 std::string_view TraceEventName(TraceEvent e);
 
+// Interned node name; index into the recorder's name table. 0 is the empty
+// name.
+using TraceNodeId = uint32_t;
+
+// Bounded inline detail text. Appends past the capacity truncate silently —
+// every detail the simulator itself produces ("ip:port=>ip:port" at worst)
+// fits; only pathological fault labels would clip. Building one never
+// allocates, which is what lets the always-on NAT translate/drop paths record
+// rich reasons without perturbing the zero-allocation packet path.
+class TraceDetail {
+ public:
+  static constexpr size_t kCapacity = 55;
+
+  TraceDetail() = default;
+  TraceDetail(const char* text) { Append(std::string_view(text)); }    // NOLINT: implicit
+  TraceDetail(std::string_view text) { Append(text); }                 // NOLINT: implicit
+  TraceDetail(const std::string& text) { Append(std::string_view(text)); }  // NOLINT: implicit
+
+  bool empty() const { return size_ == 0; }
+  std::string_view view() const { return std::string_view(buf_, size_); }
+
+  TraceDetail& Append(std::string_view text);
+  TraceDetail& Append(const Endpoint& ep);  // "a.b.c.d:port"
+  TraceDetail& Append(Ipv4Address ip);      // "a.b.c.d"
+  TraceDetail& Append(uint64_t value);
+
+ private:
+  uint8_t size_ = 0;
+  char buf_[kCapacity];
+};
+
+// Variadic builder: Detail(private_ep, "=>", mapped_ep).
+template <typename... Parts>
+TraceDetail Detail(const Parts&... parts) {
+  TraceDetail d;
+  (d.Append(parts), ...);
+  return d;
+}
+
+class TraceRecorder;
+
 struct TraceRecord {
   SimTime time;
-  std::string node;
+  TraceNodeId node = 0;
   TraceEvent event = TraceEvent::kSend;
   uint64_t packet_id = 0;
   IpProtocol protocol = IpProtocol::kUdp;
   Endpoint src;
   Endpoint dst;
-  std::string detail;
+  TraceDetail detail;
 
-  std::string ToString() const;
+  // Needs the recorder that produced the record to resolve the node name.
+  std::string ToString(const TraceRecorder& trace) const;
 };
 
 class TraceRecorder {
  public:
+  TraceRecorder() { names_.emplace_back(); }  // id 0 = ""
+
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Find-or-add `name` in the table. Nodes and Lans intern once at
+  // construction and record with the id thereafter.
+  TraceNodeId Intern(std::string_view name);
+  const std::string& NodeName(TraceNodeId id) const { return names_[id]; }
+
+  void Record(SimTime time, TraceNodeId node, TraceEvent event, const Packet& packet,
+              TraceDetail detail = TraceDetail()) {
+    if (!enabled_) {
+      return;
+    }
+    records_.push_back(TraceRecord{time, node, event, packet.id, packet.protocol, packet.src(),
+                                   packet.dst(), detail});
+  }
+
+  // Convenience overload interning on the fly; test and tooling code keeps
+  // passing plain strings.
   void Record(SimTime time, const std::string& node, TraceEvent event, const Packet& packet,
-              std::string detail = "");
+              TraceDetail detail = TraceDetail()) {
+    if (!enabled_) {
+      return;
+    }
+    Record(time, Intern(node), event, packet, detail);
+  }
 
   // Record an event with no associated packet (fault-injection actions,
   // link state changes). packet_id stays 0 and the endpoints unspecified.
-  void RecordEvent(SimTime time, const std::string& node, TraceEvent event, std::string detail);
+  void RecordEvent(SimTime time, TraceNodeId node, TraceEvent event, TraceDetail detail);
+  void RecordEvent(SimTime time, const std::string& node, TraceEvent event, TraceDetail detail) {
+    if (!enabled_) {
+      return;
+    }
+    RecordEvent(time, Intern(node), event, detail);
+  }
 
   const std::vector<TraceRecord>& records() const { return records_; }
+  // Drops the records but keeps the vector capacity and the name table, so a
+  // warmed-up recorder stays allocation-free after a Clear().
   void Clear() { records_.clear(); }
+  // Full reset: also forgets interned names (Network::Reset).
+  void ClearAll() {
+    records_.clear();
+    names_.resize(1);
+    ids_.clear();
+  }
 
   // Number of records matching `event` (optionally restricted to a node).
   size_t Count(TraceEvent event) const;
+  size_t Count(TraceEvent event, TraceNodeId node) const;
   size_t Count(TraceEvent event, const std::string& node) const;
 
   // Dump all records, one line each; handy in failing tests.
@@ -80,6 +168,8 @@ class TraceRecorder {
  private:
   bool enabled_ = false;
   std::vector<TraceRecord> records_;
+  std::vector<std::string> names_;                    // id -> name
+  std::unordered_map<std::string, TraceNodeId> ids_;  // name -> id
 };
 
 }  // namespace natpunch

@@ -25,7 +25,7 @@ void UdpRendezvousClient::Register(uint16_t local_port, EndpointCallback cb) {
   socket_ = *bound;
   private_ep_ = Endpoint(host_->primary_address(), socket_->local_port());
   socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnReceive(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnReceive(from, payload); });
   register_cb_ = std::move(cb);
   register_attempts_ = 0;
 
@@ -50,7 +50,7 @@ void UdpRendezvousClient::RegisterRetryTick() {
                                                       [this] { RegisterRetryTick(); });
 }
 
-void UdpRendezvousClient::OnReceive(const Endpoint& from, const Bytes& payload) {
+void UdpRendezvousClient::OnReceive(const Endpoint& from, const Payload& payload) {
   if (from == server_) {
     auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
     if (msg) {

@@ -37,7 +37,7 @@ class UdpRendezvousClient {
   using EndpointCallback = std::function<void(Result<Endpoint>)>;
   using MessageHandler = std::function<void(const RendezvousMessage&)>;
   using RelayHandler = std::function<void(uint64_t from_id, const Bytes& payload)>;
-  using PeerTrafficHandler = std::function<void(const Endpoint& from, const Bytes& payload)>;
+  using PeerTrafficHandler = std::function<void(const Endpoint& from, const Payload& payload)>;
 
   UdpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
                       RendezvousClientOptions options = RendezvousClientOptions{});
@@ -93,7 +93,7 @@ class UdpRendezvousClient {
   uint64_t restarts_detected() const { return restarts_detected_; }
 
  private:
-  void OnReceive(const Endpoint& from, const Bytes& payload);
+  void OnReceive(const Endpoint& from, const Payload& payload);
   void HandleServerMessage(const RendezvousMessage& msg);
   void SendToServer(const RendezvousMessage& msg);
   void ReRegister();

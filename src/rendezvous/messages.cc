@@ -39,7 +39,7 @@ Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addre
   return w.Take();
 }
 
-std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
+std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
                                                          bool obfuscate_addresses) {
   ByteReader r(data);
   if (r.ReadU8() != kMagic || r.ReadU8() != kVersion) {

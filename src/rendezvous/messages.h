@@ -61,7 +61,7 @@ struct RendezvousMessage {
 };
 
 Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addresses);
-std::optional<RendezvousMessage> DecodeRendezvousMessage(const Bytes& data,
+std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
                                                          bool obfuscate_addresses);
 
 // Reassembles length-prefixed messages from a TCP byte stream.

@@ -15,7 +15,7 @@ Status RendezvousServer::Start() {
   }
   udp_socket_ = *udp;
   udp_socket_->SetReceiveCallback(
-      [this](const Endpoint& from, const Bytes& payload) { OnUdpReceive(from, payload); });
+      [this](const Endpoint& from, const Payload& payload) { OnUdpReceive(from, payload); });
 
   tcp_listener_ = host_->tcp().CreateSocket();
   tcp_listener_->SetReuseAddr(true);
@@ -62,7 +62,7 @@ void RendezvousServer::SendTcp(TcpPeer* peer, const RendezvousMessage& msg) {
       MessageFramer::Frame(EncodeRendezvousMessage(stamped, options_.obfuscate_addresses)));
 }
 
-void RendezvousServer::OnUdpReceive(const Endpoint& from, const Bytes& payload) {
+void RendezvousServer::OnUdpReceive(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
   if (!msg) {
     return;

@@ -75,7 +75,7 @@ class RendezvousServer {
     Endpoint tcp_private;
   };
 
-  void OnUdpReceive(const Endpoint& from, const Bytes& payload);
+  void OnUdpReceive(const Endpoint& from, const Payload& payload);
   void OnTcpAccept(TcpSocket* socket);
   void OnTcpData(TcpPeer* peer, const Bytes& data);
 

@@ -3,6 +3,16 @@
 namespace natpunch {
 
 Scenario::Scenario(Options options) : options_(options), net_(options.seed) {
+  BuildInternet();
+}
+
+void Scenario::Reset(Options options) {
+  options_ = options;
+  net_.Reset(options.seed);
+  BuildInternet();
+}
+
+void Scenario::BuildInternet() {
   LanConfig config;
   config.latency = options_.internet_latency;
   config.loss = options_.internet_loss;

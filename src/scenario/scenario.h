@@ -41,6 +41,14 @@ class Scenario {
   explicit Scenario(Options options);
   Scenario() : Scenario(Options{}) {}
 
+  // Tear down the whole topology and rebuild the empty internet realm, as if
+  // this Scenario had just been constructed with `options`. The underlying
+  // Network keeps its warmed-up event-loop and trace capacities
+  // (Network::Reset), so a reused Scenario runs the next simulation
+  // bit-identically to a fresh one without the per-run allocation storm.
+  // All Lan*/Node* pointers previously handed out are invalidated.
+  void Reset(Options options);
+
   Network& net() { return net_; }
   Lan* internet() { return internet_; }
   const Options& options() const { return options_; }
@@ -67,6 +75,7 @@ class Scenario {
  private:
   Host* AddHostToSiteInternal(NattedSite* site, const std::string& name, Ipv4Address ip,
                               int prefix_length, Ipv4Address gateway);
+  void BuildInternet();
 
   Options options_;
   Network net_;

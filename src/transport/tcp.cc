@@ -445,7 +445,7 @@ void TcpSocket::ProcessPayload(const Packet& p) {
   if (seg_len > 0) {
     if (SeqGt(seg_seq, rcv_nxt_)) {
       // Future data: stash for reassembly, send a duplicate ACK.
-      out_of_order_.emplace(seg_seq, p.payload);
+      out_of_order_.emplace(seg_seq, p.payload.ToBytes());
       should_ack = true;
     } else if (SeqGt(seg_seq + seg_len, rcv_nxt_)) {
       const uint32_t offset = rcv_nxt_ - seg_seq;

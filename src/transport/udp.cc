@@ -9,7 +9,7 @@ UdpSocket::UdpSocket(UdpStack* stack, uint16_t port) : stack_(stack), port_(port
 
 Host* UdpSocket::host() const { return stack_->host(); }
 
-Status UdpSocket::SendTo(const Endpoint& dst, Bytes payload) {
+Status UdpSocket::SendTo(const Endpoint& dst, Payload payload) {
   if (closed_) {
     return Status(ErrorCode::kClosed);
   }
@@ -36,7 +36,7 @@ void UdpSocket::Close() {
   stack_->ScheduleReclaim(port_);
 }
 
-void UdpSocket::Deliver(const Endpoint& from, const Bytes& payload) {
+void UdpSocket::Deliver(const Endpoint& from, const Payload& payload) {
   if (closed_) {
     return;
   }

@@ -25,7 +25,7 @@ class UdpStack;
 
 class UdpSocket {
  public:
-  using ReceiveCallback = std::function<void(const Endpoint& from, const Bytes& payload)>;
+  using ReceiveCallback = std::function<void(const Endpoint& from, const Payload& payload)>;
   // Invoked when an ICMP error arrives for a datagram this socket sent.
   using ErrorCallback = std::function<void(const Endpoint& dst, ErrorCode code)>;
 
@@ -34,8 +34,14 @@ class UdpSocket {
   UdpSocket(const UdpSocket&) = delete;
   UdpSocket& operator=(const UdpSocket&) = delete;
 
-  // Send a datagram to `dst` from this socket's port.
-  Status SendTo(const Endpoint& dst, Bytes payload);
+  // Send a datagram to `dst` from this socket's port. Bytes converts
+  // implicitly, so existing `SendTo(dst, writer.Take())` call sites work.
+  Status SendTo(const Endpoint& dst, Payload payload);
+  // Zero-copy variant: builds the payload straight into the packet's inline
+  // buffer; the steady-state path for messages <= Payload::kInlineCapacity.
+  Status SendTo(const Endpoint& dst, const uint8_t* data, size_t len) {
+    return SendTo(dst, Payload(data, len));
+  }
 
   void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
   void SetErrorCallback(ErrorCallback cb) { error_cb_ = std::move(cb); }
@@ -51,7 +57,7 @@ class UdpSocket {
  private:
   friend class UdpStack;
 
-  void Deliver(const Endpoint& from, const Bytes& payload);
+  void Deliver(const Endpoint& from, const Payload& payload);
   void DeliverError(const Endpoint& dst, ErrorCode code);
 
   UdpStack* stack_;

@@ -18,6 +18,26 @@ namespace natpunch {
 
 using Bytes = std::vector<uint8_t>;
 
+// Non-owning view over contiguous bytes. Decode functions take this so they
+// accept Bytes, Payload (see src/netsim/payload.h), or raw pointers without
+// copying; it is the C++17-compatible stand-in for std::span<const uint8_t>.
+class ConstByteSpan {
+ public:
+  constexpr ConstByteSpan() : data_(nullptr), size_(0) {}
+  constexpr ConstByteSpan(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ConstByteSpan(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}  // NOLINT
+
+  constexpr const uint8_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const uint8_t* begin() const { return data_; }
+  constexpr const uint8_t* end() const { return data_ + size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -43,6 +63,7 @@ class ByteWriter {
 class ByteReader {
  public:
   explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  explicit ByteReader(ConstByteSpan span) : data_(span.data()), size_(span.size()) {}
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   uint8_t ReadU8();

@@ -281,6 +281,85 @@ TEST_F(ChaosRecoveryTest, SymmetricBothSidesFallsBackToRelayAndDataFlows) {
   EXPECT_GT(turn.stats().relayed_to_client, 0u);
 }
 
+TEST_F(ChaosRecoveryTest, RelayDeathDetectedByWatchdogAndRelayReestablished) {
+  // Same structurally-unpunchable world as above, but now the RELAY dies
+  // mid-session. The relay-leg watchdog must notice the silence, re-enter
+  // the recovery ladder (the re-punch fails again — the NATs are still
+  // symmetric), and land on a fresh allocation against the restarted
+  // server, whose state the restart wiped.
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  symmetric.filtering = NatFiltering::kAddressAndPortDependent;
+  symmetric.port_allocation = NatPortAllocation::kRandom;
+
+  topo_ = MakeFig5(symmetric, symmetric);
+  Host* relay_host = topo_.scenario->AddPublicHost("T", Ipv4Address::FromOctets(18, 181, 0, 40));
+  TurnServer turn(relay_host);
+  ASSERT_TRUE(turn.Start().ok());
+
+  server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort);
+  ASSERT_TRUE(server_->Start().ok());
+  ca_ = std::make_unique<UdpRendezvousClient>(topo_.a, server_->endpoint(), 1);
+  cb_ = std::make_unique<UdpRendezvousClient>(topo_.b, server_->endpoint(), 2);
+  ca_->Register(4321, [](Result<Endpoint>) {});
+  cb_->Register(4321, [](Result<Endpoint>) {});
+  ca_->StartKeepAlive(Seconds(1));
+  cb_->StartKeepAlive(Seconds(1));
+  UdpPunchConfig punch;
+  punch.punch_timeout = Seconds(3);      // fail the hopeless punches quickly
+  punch.keepalive_interval = Seconds(1);  // responder knock cadence < relay_timeout
+  pa_ = std::make_unique<UdpHolePuncher>(ca_.get(), punch);
+  pb_ = std::make_unique<UdpHolePuncher>(cb_.get(), punch);
+  ResilientSessionConfig resilient;
+  resilient.turn_server = turn.endpoint();
+  resilient.relay_keepalive_interval = Seconds(1);
+  resilient.relay_timeout = Seconds(5);
+  resilient.max_repunch_attempts = 1;
+  ma_ = std::make_unique<ResilientSessionManager>(pa_.get(), resilient);
+  mb_ = std::make_unique<ResilientSessionManager>(pb_.get(), resilient);
+  mb_->SetIncomingSessionCallback([this](ResilientSession* s) {
+    incoming_ = s;
+    s->SetReceiveCallback([this](const Bytes&) { ++b_received_; });
+  });
+  topo_.scenario->net().RunFor(Seconds(2));
+
+  ResilientSession* session = Connect();
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(session->path(), ResilientSession::Path::kRelay);
+  ASSERT_TRUE(SendWorks(session));
+  EXPECT_EQ(session->relay_losses(), 0);
+
+  // Kill the relay, then bring it back (empty) while the watchdog and the
+  // re-punch ladder are still climbing toward the fresh EnterRelay.
+  turn.Stop();
+  topo_.scenario->net().RunFor(Seconds(3));
+  ASSERT_TRUE(turn.Start().ok());
+  EXPECT_EQ(turn.active_allocations(), 0u);
+
+  topo_.scenario->net().RunFor(Seconds(30));
+  EXPECT_GE(session->relay_losses(), 1);
+  ASSERT_NE(incoming_, nullptr);
+  EXPECT_GE(incoming_->relay_losses(), 1);
+  EXPECT_EQ(session->path(), ResilientSession::Path::kRelay);
+  EXPECT_EQ(incoming_->path(), ResilientSession::Path::kRelay);
+  // The loss was recorded as a completed recovery over the relay, with the
+  // doomed direct re-punch counted on the way.
+  ASSERT_GE(session->recoveries().size(), 1u);
+  EXPECT_TRUE(session->recoveries().back().via_relay);
+  EXPECT_GE(session->recoveries().back().repunch_attempts, 1);
+  // No duplicate session objects surfaced on either side.
+  EXPECT_EQ(ma_->session_count(), 1u);
+  EXPECT_EQ(mb_->session_count(), 1u);
+
+  // The rebuilt leg carries data both ways.
+  EXPECT_TRUE(SendWorks(session));
+  int a_received = 0;
+  session->SetReceiveCallback([&](const Bytes&) { ++a_received; });
+  incoming_->Send(Bytes{2});
+  topo_.scenario->net().RunFor(Seconds(2));
+  EXPECT_GT(a_received, 0);
+}
+
 TEST_F(ChaosRecoveryTest, ServerRestartDetectedByEpochAndReRegisteredTransparently) {
   Build(NatConfig{}, NatConfig{}, Endpoint{}, Seconds(10), 4);
   ASSERT_TRUE(ca_->registered());

@@ -69,7 +69,7 @@ class StunServerTest : public ::testing::Test {
     ASSERT_TRUE(s2_->Start().ok());
     client_host_ = scenario_->AddPublicHost("C", Ipv4Address::FromOctets(99, 1, 1, 1));
     client_ = *client_host_->udp().Bind(5000);
-    client_->SetReceiveCallback([this](const Endpoint& from, const Bytes& payload) {
+    client_->SetReceiveCallback([this](const Endpoint& from, const Payload& payload) {
       last_from_ = from;
       last_reply_ = DecodeProbeMessage(payload);
     });

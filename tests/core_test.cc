@@ -184,7 +184,7 @@ TEST_F(UdpPunchTest, StrayHostCannotHijackSession) {
                                                Ipv4Address::FromOctets(10, 0, 0, 9));
   auto stray_sock = stray->udp().Bind(4321);
   ASSERT_TRUE(stray_sock.ok());
-  (*stray_sock)->SetReceiveCallback([s = *stray_sock](const Endpoint& from, const Bytes&) {
+  (*stray_sock)->SetReceiveCallback([s = *stray_sock](const Endpoint& from, const Payload&) {
     s->SendTo(from, Bytes{'f', 'a', 'k', 'e'});  // not a valid PeerMessage
   });
   UdpP2pSession* session = Punch();

@@ -30,7 +30,7 @@ class BasicNatTest : public ::testing::Test {
   void Build(const NatConfig& nat) {
     topo_ = MakeFig5(nat, NatConfig{});
     observer_sock_ = *topo_.server->udp().Bind(kServerPort);
-    observer_sock_->SetReceiveCallback([this](const Endpoint& from, const Bytes&) {
+    observer_sock_->SetReceiveCallback([this](const Endpoint& from, const Payload&) {
       observed_ = from;
       observer_sock_->SendTo(from, Bytes{'a'});
     });
@@ -45,7 +45,7 @@ TEST_F(BasicNatTest, TranslatesAddressOnlyPreservingPort) {
   Build(BasicNat());
   auto sock = topo_.a->udp().Bind(4321);
   Bytes reply;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes& p) { reply = p; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload& p) { reply = p.ToBytes(); });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo_.scenario->net().RunFor(Seconds(1));
   // Port preserved, address from the pool (public_ip + 1..N).
@@ -78,7 +78,7 @@ TEST_F(BasicNatTest, ConsistentTranslationAcrossDestinations) {
   topo_.scenario->net().RunFor(Seconds(1));
   const Endpoint first = observed_;
   auto other = topo_.server->udp().Bind(5678);
-  (*other)->SetReceiveCallback([this, s = *other](const Endpoint& from, const Bytes&) {
+  (*other)->SetReceiveCallback([this, s = *other](const Endpoint& from, const Payload&) {
     observed_ = from;
   });
   (*sock)->SendTo(Endpoint(ServerIp(), 5678), Bytes{2});
@@ -90,7 +90,7 @@ TEST_F(BasicNatTest, FilteringStillApplies) {
   Build(BasicNat());  // APD filtering default
   auto sock = topo_.a->udp().Bind(4321);
   bool received = false;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload&) { received = true; });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo_.scenario->net().RunFor(Seconds(1));
   received = false;

@@ -221,7 +221,7 @@ class NatDeviceTest : public ::testing::Test {
   UdpSocket* StartObserver(Host* server, uint16_t port) {
     auto sock = server->udp().Bind(port);
     EXPECT_TRUE(sock.ok());
-    (*sock)->SetReceiveCallback([this, s = *sock](const Endpoint& from, const Bytes&) {
+    (*sock)->SetReceiveCallback([this, s = *sock](const Endpoint& from, const Payload&) {
       observed_ = from;
       s->SendTo(from, Bytes{'a', 'c', 'k'});
     });
@@ -237,7 +237,7 @@ TEST_F(NatDeviceTest, OutboundTranslationUsesPaperPorts) {
   auto sock = topo.a->udp().Bind(4321);
   ASSERT_TRUE(sock.ok());
   Bytes reply;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes& p) { reply = p; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload& p) { reply = p.ToBytes(); });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{'h', 'i'});
   topo.scenario->net().RunFor(Seconds(1));
 
@@ -286,7 +286,7 @@ TEST_F(NatDeviceTest, UnsolicitedUdpFiltered) {
   StartObserver(topo.server, kServerPort);
   auto sock = topo.a->udp().Bind(4321);
   bool stray_received = false;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { stray_received = true; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload&) { stray_received = true; });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo.scenario->net().RunFor(Seconds(1));
   stray_received = false;
@@ -307,7 +307,7 @@ TEST_F(NatDeviceTest, FullConePassesUnsolicited) {
   StartObserver(topo.server, kServerPort);
   auto sock = topo.a->udp().Bind(4321);
   bool received = false;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload&) { received = true; });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo.scenario->net().RunFor(Seconds(1));
   received = false;
@@ -326,8 +326,8 @@ TEST_F(NatDeviceTest, PunchOpensFilterBothWays) {
   auto sb = topo.b->udp().Bind(4321);
   int a_got = 0;
   int b_got = 0;
-  (*sa)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++a_got; });
-  (*sb)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++b_got; });
+  (*sa)->SetReceiveCallback([&](const Endpoint&, const Payload&) { ++a_got; });
+  (*sb)->SetReceiveCallback([&](const Endpoint&, const Payload&) { ++b_got; });
   // Register with S so mappings exist (62000 and 31000... here both 62000
   // since each NAT has its own sequential space).
   (*sa)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
@@ -384,7 +384,7 @@ TEST_F(NatDeviceTest, HairpinDisabledDropsLoopback) {
   auto sa = topo.a->udp().Bind(4321);
   auto sb = topo.b->udp().Bind(4321);
   bool a_received = false;
-  (*sa)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { a_received = true; });
+  (*sa)->SetReceiveCallback([&](const Endpoint&, const Payload&) { a_received = true; });
   (*sa)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo.scenario->net().RunFor(Seconds(1));
   const Endpoint a_pub = observed_;
@@ -404,7 +404,7 @@ TEST_F(NatDeviceTest, HairpinTranslatesBothAddresses) {
   auto sb = topo.b->udp().Bind(4321);
   Endpoint a_saw_from;
   bool a_received = false;
-  (*sa)->SetReceiveCallback([&](const Endpoint& from, const Bytes&) {
+  (*sa)->SetReceiveCallback([&](const Endpoint& from, const Payload&) {
     a_saw_from = from;
     a_received = true;
   });
@@ -426,7 +426,7 @@ TEST_F(NatDeviceTest, PayloadRewriteAndObfuscationDefense) {
   auto topo = MakeFig5(bad, NatConfig{});
   auto server_sock = topo.server->udp().Bind(kServerPort);
   Bytes seen;
-  (*server_sock)->SetReceiveCallback([&](const Endpoint&, const Bytes& p) { seen = p; });
+  (*server_sock)->SetReceiveCallback([&](const Endpoint&, const Payload& p) { seen = p.ToBytes(); });
 
   auto sock = topo.a->udp().Bind(4321);
   const Ipv4Address priv = topo.a->primary_address();
@@ -463,7 +463,7 @@ TEST_F(NatDeviceTest, IdleMappingExpiresAndTrafficRefreshes) {
   StartObserver(topo.server, kServerPort);
   auto sock = topo.a->udp().Bind(4321);
   int replies = 0;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++replies; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload&) { ++replies; });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo.scenario->net().RunFor(Seconds(1));
   EXPECT_EQ(topo.site_a.nat->active_mapping_count(), 1u);
@@ -486,7 +486,7 @@ TEST_F(NatDeviceTest, MultiLevelOutboundAndBack) {
   StartObserver(topo.server, kServerPort);
   auto sock = topo.a->udp().Bind(4321);
   Bytes reply;
-  (*sock)->SetReceiveCallback([&](const Endpoint&, const Bytes& p) { reply = p; });
+  (*sock)->SetReceiveCallback([&](const Endpoint&, const Payload& p) { reply = p.ToBytes(); });
   (*sock)->SendTo(Endpoint(ServerIp(), kServerPort), Bytes{1});
   topo.scenario->net().RunFor(Seconds(2));
   // S sees NAT C's public address, not NAT A's ISP-realm address.
@@ -508,9 +508,9 @@ TEST_F(NatDeviceTest, StrayHostWithSamePrivateAddress) {
   auto s2 = target_like->udp().Bind(4321);
   Endpoint from;
   Bytes got;
-  (*s2)->SetReceiveCallback([&](const Endpoint& f, const Bytes& p) {
+  (*s2)->SetReceiveCallback([&](const Endpoint& f, const Payload& p) {
     from = f;
-    got = p;
+    got = p.ToBytes();
   });
   // stray sends to 10.0.0.3:4321 — same-LAN delivery, no NAT involved.
   (*stray_sock)->SendTo(Endpoint(target_like->primary_address(), 4321), Bytes{'x'});

@@ -1,0 +1,229 @@
+// Payload (small-buffer-optimized packet payload) unit tests: inline/heap
+// boundary behavior, copy/move semantics, growth, equality — plus a
+// differential test that the interned-id trace records render the same text
+// a std::string-based record would.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "src/netsim/packet.h"
+#include "src/netsim/payload.h"
+#include "src/netsim/trace.h"
+#include "src/util/bytes.h"
+
+namespace natpunch {
+namespace {
+
+Bytes Pattern(size_t n) {
+  Bytes b(n);
+  std::iota(b.begin(), b.end(), static_cast<uint8_t>(1));
+  return b;
+}
+
+TEST(PayloadTest, DefaultIsEmptyAndInline) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.is_inline());
+}
+
+TEST(PayloadTest, SmallStaysInline) {
+  const Bytes src = Pattern(Payload::kInlineCapacity);  // exactly the boundary
+  Payload p(src);
+  EXPECT_TRUE(p.is_inline());
+  EXPECT_EQ(p, src);
+}
+
+TEST(PayloadTest, OverBoundaryGoesToHeap) {
+  const Bytes src = Pattern(Payload::kInlineCapacity + 1);
+  Payload p(src);
+  EXPECT_FALSE(p.is_inline());
+  EXPECT_EQ(p, src);
+}
+
+TEST(PayloadTest, CopyPreservesContentInlineAndHeap) {
+  for (size_t n : {size_t{3}, Payload::kInlineCapacity + 40}) {
+    const Bytes src = Pattern(n);
+    Payload a(src);
+    Payload b(a);  // copy ctor
+    EXPECT_EQ(b, src);
+    Payload c;
+    c = a;  // copy assign
+    EXPECT_EQ(c, src);
+    EXPECT_EQ(a, src);  // source untouched
+  }
+}
+
+TEST(PayloadTest, MoveInlineCopiesBytesAndEmptiesSource) {
+  const Bytes src = Pattern(8);
+  Payload a(src);
+  Payload b(std::move(a));
+  EXPECT_EQ(b, src);
+  EXPECT_TRUE(b.is_inline());
+  EXPECT_TRUE(a.empty());  // NOLINT: use-after-move is the point
+}
+
+TEST(PayloadTest, MoveHeapStealsBuffer) {
+  const Bytes src = Pattern(Payload::kInlineCapacity + 100);
+  Payload a(src);
+  const uint8_t* buf = a.data();
+  Payload b(std::move(a));
+  EXPECT_EQ(b.data(), buf);  // pointer stolen, not copied
+  EXPECT_EQ(b, src);
+  EXPECT_TRUE(a.is_inline());  // NOLINT: source back to the inline rep
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(PayloadTest, MoveAssignReleasesOldHeapBuffer) {
+  Payload a(Pattern(Payload::kInlineCapacity + 10));
+  Payload b(Pattern(Payload::kInlineCapacity + 20));
+  const Bytes expect = b.ToBytes();
+  a = std::move(b);
+  EXPECT_EQ(a, expect);
+}
+
+TEST(PayloadTest, ResizeGrowsAcrossBoundaryPreservingPrefix) {
+  Payload p(Pattern(10));
+  p.resize(Payload::kInlineCapacity + 30);
+  EXPECT_FALSE(p.is_inline());
+  EXPECT_EQ(p.size(), Payload::kInlineCapacity + 30);
+  const Bytes prefix = Pattern(10);
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(p[i], prefix[i]) << i;
+  }
+  for (size_t i = prefix.size(); i < p.size(); ++i) {
+    EXPECT_EQ(p[i], 0u) << i;  // new bytes zero-filled
+  }
+}
+
+TEST(PayloadTest, AppendCrossesBoundary) {
+  const Bytes head = Pattern(60);
+  const Bytes tail = Pattern(20);
+  Payload p(head);
+  p.append(tail.data(), tail.size());
+  Bytes expect = head;
+  expect.insert(expect.end(), tail.begin(), tail.end());
+  EXPECT_FALSE(p.is_inline());
+  EXPECT_EQ(p, expect);
+}
+
+TEST(PayloadTest, ClearKeepsHeapCapacityForReuse) {
+  Payload p(Pattern(Payload::kInlineCapacity + 5));
+  const uint8_t* buf = p.data();
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  p.assign(Pattern(Payload::kInlineCapacity + 3).data(), Payload::kInlineCapacity + 3);
+  EXPECT_EQ(p.data(), buf);  // old buffer reused, no fresh allocation
+}
+
+TEST(PayloadTest, EqualityAgainstBytesBothDirections) {
+  const Bytes src = Pattern(12);
+  Payload p(src);
+  EXPECT_TRUE(p == src);
+  EXPECT_TRUE(src == p);
+  Bytes other = src;
+  other[3] ^= 0xff;
+  EXPECT_FALSE(p == other);
+  EXPECT_FALSE(other == p);
+  EXPECT_TRUE(p == Payload(src));
+  // Same content on different representations still compares equal.
+  Payload heap(Pattern(Payload::kInlineCapacity + 1));
+  heap.resize(12);
+  heap.assign(src.data(), src.size());
+  EXPECT_FALSE(heap.is_inline());
+  EXPECT_TRUE(heap == p);
+}
+
+TEST(PayloadTest, ToBytesRoundTripsAndSpanViews) {
+  const Bytes src = Pattern(33);
+  Payload p(src);
+  EXPECT_EQ(p.ToBytes(), src);
+  ConstByteSpan span = p;  // implicit view, no copy
+  EXPECT_EQ(span.data(), p.data());
+  EXPECT_EQ(span.size(), p.size());
+}
+
+// --- Trace differential: interned-id records must render exactly what the
+// old std::string-node representation printed. -------------------------------
+
+// The legacy renderer the trace used before node interning and inline
+// details, reproduced verbatim as the reference.
+std::string LegacyRender(SimTime time, const std::string& node, TraceEvent event,
+                         const Packet& packet, const std::string& detail) {
+  std::string out = time.ToString() + " " + node + " " + std::string(TraceEventName(event)) +
+                    " " + std::string(IpProtocolName(packet.protocol)) + " " +
+                    packet.src().ToString() + "->" + packet.dst().ToString() + " #" +
+                    std::to_string(packet.id);
+  if (!detail.empty()) {
+    out += " (" + detail + ")";
+  }
+  return out;
+}
+
+Packet TestPacket(uint64_t id) {
+  Packet p;
+  p.id = id;
+  p.protocol = IpProtocol::kUdp;
+  p.src_ip = Ipv4Address::FromOctets(10, 0, 0, 1);
+  p.src_port = 4321;
+  p.dst_ip = Ipv4Address::FromOctets(138, 76, 29, 7);
+  p.dst_port = 31000;
+  p.payload = Bytes{1, 2, 3};
+  return p;
+}
+
+TEST(TraceDifferentialTest, DumpMatchesLegacyFormat) {
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  const TraceNodeId a = trace.Intern("A-nat");
+  const TraceNodeId b = trace.Intern("internet");
+
+  const Packet p1 = TestPacket(7);
+  const Packet p2 = TestPacket(8);
+  trace.Record(SimTime() + Millis(20), a, TraceEvent::kNatTranslateOut, p1,
+               Detail(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 1), 4321), "=>",
+                      Endpoint(Ipv4Address::FromOctets(155, 99, 25, 11), 62000)));
+  trace.Record(SimTime() + Millis(41), b, TraceEvent::kDropLoss, p2);
+  trace.Record(SimTime() + Millis(60), "B-nat", TraceEvent::kNatDropUnsolicited, p2,
+               "no mapping");
+
+  const std::string expected =
+      LegacyRender(SimTime() + Millis(20), "A-nat", TraceEvent::kNatTranslateOut, p1,
+                   "10.0.0.1:4321=>155.99.25.11:62000") +
+      "\n" +
+      LegacyRender(SimTime() + Millis(41), "internet", TraceEvent::kDropLoss, p2, "") + "\n" +
+      LegacyRender(SimTime() + Millis(60), "B-nat", TraceEvent::kNatDropUnsolicited, p2,
+                   "no mapping") +
+      "\n";
+  EXPECT_EQ(trace.Dump(), expected);
+}
+
+TEST(TraceDifferentialTest, DetailTruncatesAtCapacityWithoutCorruption) {
+  const std::string longtext(200, 'x');
+  TraceDetail d(longtext);
+  EXPECT_EQ(d.view(), std::string(TraceDetail::kCapacity, 'x'));
+  // Appending past capacity is a no-op, not a crash or overflow.
+  d.Append(Endpoint(Ipv4Address::FromOctets(1, 2, 3, 4), 9));
+  EXPECT_EQ(d.view().size(), TraceDetail::kCapacity);
+}
+
+TEST(TraceDifferentialTest, CountByNameMatchesCountById) {
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  const Packet p = TestPacket(1);
+  const TraceNodeId id = trace.Intern("N");
+  trace.Record(SimTime(), id, TraceEvent::kSend, p);
+  trace.Record(SimTime(), id, TraceEvent::kSend, p);
+  trace.Record(SimTime(), "M", TraceEvent::kSend, p);
+  EXPECT_EQ(trace.Count(TraceEvent::kSend), 3u);
+  EXPECT_EQ(trace.Count(TraceEvent::kSend, "N"), 2u);
+  EXPECT_EQ(trace.Count(TraceEvent::kSend, id), 2u);
+  EXPECT_EQ(trace.Count(TraceEvent::kSend, "M"), 1u);
+  EXPECT_EQ(trace.Count(TraceEvent::kSend, "absent"), 0u);
+}
+
+}  // namespace
+}  // namespace natpunch

@@ -15,12 +15,12 @@ bool EchoWorks(Network& net, Host* from, Host* to, uint16_t port) {
   if (!server.ok()) {
     return false;
   }
-  (*server)->SetReceiveCallback([s = *server](const Endpoint& peer, const Bytes& p) {
+  (*server)->SetReceiveCallback([s = *server](const Endpoint& peer, const Payload& p) {
     s->SendTo(peer, p);
   });
   auto client = from->udp().Bind(0);
   bool echoed = false;
-  (*client)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { echoed = true; });
+  (*client)->SetReceiveCallback([&](const Endpoint&, const Payload&) { echoed = true; });
   (*client)->SendTo(Endpoint(to->primary_address(), port), Bytes{1});
   net.RunFor(Seconds(1));
   (*server)->Close();
@@ -46,7 +46,7 @@ TEST(ScenarioTest, Fig5ClientsReachServerNotEachOther) {
   auto sock = topo.a->udp().Bind(0);
   bool received = false;
   auto sink = topo.b->udp().Bind(9003);
-  (*sink)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sink)->SetReceiveCallback([&](const Endpoint&, const Payload&) { received = true; });
   (*sock)->SendTo(Endpoint(topo.b->primary_address(), 9003), Bytes{1});
   net.RunFor(Seconds(1));
   EXPECT_FALSE(received);

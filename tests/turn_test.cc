@@ -86,8 +86,8 @@ TEST_F(TurnTest, RelaysBetweenSymmetricNattedPeers) {
   auto b_sock = topo_.b->udp().Bind(4444);
   Bytes b_got;
   Endpoint b_got_from;
-  (*b_sock)->SetReceiveCallback([&](const Endpoint& from, const Bytes& p) {
-    b_got = p;
+  (*b_sock)->SetReceiveCallback([&](const Endpoint& from, const Payload& p) {
+    b_got = p.ToBytes();
     b_got_from = from;
   });
 

@@ -57,9 +57,9 @@ TEST_F(UdpTest, SendAndReceive) {
 
   Endpoint got_from;
   Bytes got_payload;
-  (*sb)->SetReceiveCallback([&](const Endpoint& from, const Bytes& payload) {
+  (*sb)->SetReceiveCallback([&](const Endpoint& from, const Payload& payload) {
     got_from = from;
-    got_payload = payload;
+    got_payload = payload.ToBytes();
   });
   ASSERT_TRUE((*sa)->SendTo(EndpointOf(b_, 4321), Bytes{1, 2, 3}).ok());
   net_.RunUntilIdle();
@@ -74,8 +74,8 @@ TEST_F(UdpTest, OneSocketTalksToManyPeers) {
   auto sb1 = b_->udp().Bind(1111);
   auto sb2 = b_->udp().Bind(2222);
   int received = 0;
-  (*sb1)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++received; });
-  (*sb2)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { ++received; });
+  (*sb1)->SetReceiveCallback([&](const Endpoint&, const Payload&) { ++received; });
+  (*sb2)->SetReceiveCallback([&](const Endpoint&, const Payload&) { ++received; });
   (*sa)->SendTo(EndpointOf(b_, 1111), Bytes{1});
   (*sa)->SendTo(EndpointOf(b_, 2222), Bytes{2});
   net_.RunUntilIdle();
@@ -113,7 +113,7 @@ TEST_F(UdpTest, CloseStopsDeliveryAndFreesPort) {
   auto sa = a_->udp().Bind(4321);
   auto sb = b_->udp().Bind(4321);
   bool received = false;
-  (*sb)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sb)->SetReceiveCallback([&](const Endpoint&, const Payload&) { received = true; });
   (*sb)->Close();
   (*sa)->SendTo(EndpointOf(b_, 4321), Bytes{1});
   net_.RunUntilIdle();
@@ -139,7 +139,7 @@ TEST_F(UdpTest, HostsDoNotForward) {
   auto sa = a_->udp().Bind(4321);
   auto sb = b_->udp().Bind(9999);
   bool received = false;
-  (*sb)->SetReceiveCallback([&](const Endpoint&, const Bytes&) { received = true; });
+  (*sb)->SetReceiveCallback([&](const Endpoint&, const Payload&) { received = true; });
   // Craft a packet to a bogus address whose next hop resolves to b via a
   // host route.
   a_->AddRoute(Ipv4Prefix(Ipv4Address::FromOctets(99, 9, 9, 9), 32), 0,
