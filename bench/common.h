@@ -10,12 +10,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/udp_puncher.h"
 #include "src/core/tcp_puncher.h"
+#include "src/obs/json_export.h"
 #include "src/rendezvous/server.h"
 #include "src/scenario/scenario.h"
 
@@ -153,14 +155,36 @@ inline void Title(const char* text) { std::printf("\n==== %s ====\n\n", text); }
 
 // One-line machine-readable summary, for recording BENCH_*.json trajectories
 // per PR (grep for "BENCH_JSON"). `extra` is spliced in verbatim as
-// additional JSON fields, e.g. R"("threads":4,"speedup":2.1)".
+// additional JSON fields, e.g. R"("threads":4,"speedup":2.1)". When
+// `metrics_json` is non-null (an obs::MetricsJson object), it rides along as
+// a "metrics" field — the snapshot is a superset of the summary, and
+// scripts/bench_compare.py keeps parsing the same line.
 inline void JsonSummary(const char* bench, double wall_ms, uint64_t events,
-                        const char* extra = nullptr) {
+                        const char* extra = nullptr,
+                        const std::string* metrics_json = nullptr) {
   const double events_per_sec = wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0;
   std::printf("BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"events\":%llu,"
-              "\"events_per_sec\":%.0f%s%s}\n",
+              "\"events_per_sec\":%.0f%s%s%s%s}\n",
               bench, wall_ms, static_cast<unsigned long long>(events), events_per_sec,
-              extra != nullptr ? "," : "", extra != nullptr ? extra : "");
+              extra != nullptr ? "," : "", extra != nullptr ? extra : "",
+              metrics_json != nullptr ? ",\"metrics\":" : "",
+              metrics_json != nullptr ? metrics_json->c_str() : "");
+}
+
+// CI artifact hook: when NATPUNCH_OBS_DIR is set (the bench CI job exports
+// it), write the metrics snapshot — and a Chrome-trace timeline when given —
+// as <dir>/<bench>_metrics.json / <dir>/<bench>_trace.json for upload.
+inline void WriteObsArtifacts(const char* bench, const std::string& metrics_json,
+                              const std::string* trace_json = nullptr) {
+  const char* dir = std::getenv("NATPUNCH_OBS_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string base = std::string(dir) + "/" + bench;
+  obs::WriteFileOrWarn(base + "_metrics.json", metrics_json);
+  if (trace_json != nullptr) {
+    obs::WriteFileOrWarn(base + "_trace.json", *trace_json);
+  }
 }
 
 }  // namespace bench

@@ -6,9 +6,16 @@ their events/sec against the committed BENCH_*.json trajectories at the
 repo root. Exits non-zero if any entry regresses by more than --threshold
 (default 20%), printing a per-entry table either way.
 
+A missing or empty current measurement is a hard failure, never a silent
+skip: a bench binary that was not built, a bench that prints no BENCH_JSON
+line, or a baseline entry the fresh run no longer produces all indicate the
+gate is not measuring what the baseline recorded.
+
     scripts/bench_compare.py                  # compare against baselines
     scripts/bench_compare.py --update         # rewrite baselines from this run
     scripts/bench_compare.py --repeat 5       # best-of-5 to damp scheduler noise
+    scripts/bench_compare.py --summary out.md # also append a markdown table
+                                              # (CI points this at $GITHUB_STEP_SUMMARY)
 
 Entries are keyed by (bench, threads) so the parallel table1 rows compare
 thread-count to thread-count. Speed varies wildly across machines, so CI
@@ -70,6 +77,27 @@ def fmt_key(key):
     return bench if threads is None else f"{bench}[t={threads}]"
 
 
+def write_summary(path, rows, failures, threshold):
+    """Append the comparison as a markdown table (for $GITHUB_STEP_SUMMARY)."""
+    lines = ["## Bench regression gate", ""]
+    lines.append("| bench | baseline ev/s | current ev/s | ratio | verdict |")
+    lines.append("|---|---|---|---|---|")
+    for name, base, cur, ratio, verdict in rows:
+        base_s = f"{base:,.0f}" if base is not None else "—"
+        cur_s = f"{cur:,.0f}" if cur is not None else "—"
+        ratio_s = f"{ratio:.2f}" if ratio is not None else "—"
+        mark = " ❌" if verdict in ("REGRESSION", "MISSING") else ""
+        lines.append(f"| `{name}` | {base_s} | {cur_s} | {ratio_s} | {verdict}{mark} |")
+    lines.append("")
+    if failures:
+        lines.append(f"**FAIL**: {', '.join(failures)} (threshold {threshold:.0%})")
+    else:
+        lines.append(f"All benches within {threshold:.0%} of committed baselines.")
+    lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -80,6 +108,8 @@ def main():
                     help="runs per bench; best-of damps scheduler noise (default 3)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the committed baselines from this run")
+    ap.add_argument("--summary", type=Path, default=None,
+                    help="append a markdown comparison table to this file")
     args = ap.parse_args()
 
     failures = []
@@ -87,9 +117,20 @@ def main():
     for binary_name, baseline_name in BENCHES.items():
         binary = args.build_dir / "bench" / binary_name
         if not binary.exists():
-            print(f"SKIP {binary_name}: {binary} not built", file=sys.stderr)
+            print(f"ERROR {binary_name}: {binary} not built — build the bench targets "
+                  f"first (cmake --build {args.build_dir} --target {binary_name})",
+                  file=sys.stderr)
+            failures.append(binary_name)
+            rows.append((binary_name, None, None, None, "MISSING"))
             continue
         fresh = run_bench(binary, args.repeat)
+        if not fresh:
+            print(f"ERROR {binary_name}: produced no BENCH_JSON line — the bench ran "
+                  f"but emitted no measurement; its output format regressed",
+                  file=sys.stderr)
+            failures.append(binary_name)
+            rows.append((binary_name, None, None, None, "MISSING"))
+            continue
 
         if args.update:
             baseline_path = REPO / baseline_name
@@ -101,7 +142,8 @@ def main():
 
         baseline_path = REPO / baseline_name
         if not baseline_path.exists():
-            print(f"SKIP {binary_name}: no baseline {baseline_name}", file=sys.stderr)
+            print(f"SKIP {binary_name}: no baseline {baseline_name} committed yet "
+                  f"(run with --update to create it)", file=sys.stderr)
             continue
         baseline = parse_lines(baseline_path.read_text().splitlines())
         for key, entry in fresh.items():
@@ -116,6 +158,15 @@ def main():
                 failures.append(fmt_key(key))
             rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
                          ratio, verdict))
+        # A baseline entry the fresh run never emitted means the current
+        # measurement is missing (renamed bench, dropped thread count): fail
+        # loudly instead of comparing an incomplete table.
+        for key, base in baseline.items():
+            if key not in fresh:
+                print(f"ERROR {fmt_key(key)}: baseline entry has no current measurement "
+                      f"— {binary_name} no longer emits it", file=sys.stderr)
+                failures.append(fmt_key(key))
+                rows.append((fmt_key(key), base["events_per_sec"], None, None, "MISSING"))
 
     if args.update:
         return 0
@@ -125,12 +176,16 @@ def main():
         print(f"{'bench':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>6}  verdict")
         for name, base, cur, ratio, verdict in rows:
             base_s = f"{base:>12,.0f}" if base is not None else f"{'-':>12}"
+            cur_s = f"{cur:>12,.0f}" if cur is not None else f"{'-':>12}"
             ratio_s = f"{ratio:>6.2f}" if ratio is not None else f"{'-':>6}"
-            print(f"{name:<{width}}  {base_s}  {cur:>12,.0f}  {ratio_s}  {verdict}")
+            print(f"{name:<{width}}  {base_s}  {cur_s}  {ratio_s}  {verdict}")
+
+    if args.summary is not None:
+        write_summary(args.summary, rows, failures, args.threshold)
 
     if failures:
-        print(f"\nFAIL: events/sec dropped >{args.threshold:.0%} vs committed baseline "
-              f"for: {', '.join(failures)}", file=sys.stderr)
+        print(f"\nFAIL: missing or regressed measurements (threshold {args.threshold:.0%}): "
+              f"{', '.join(failures)}", file=sys.stderr)
         return 1
     print(f"\nall benches within {args.threshold:.0%} of committed baselines")
     return 0

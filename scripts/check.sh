@@ -12,6 +12,10 @@
 #                                    # session teardown are where lifetime
 #                                    # bugs hide)
 #
+# When ccache is on PATH it is wired in as the compiler launcher
+# automatically (CI caches its directory across runs; locally it just makes
+# rebuilds after a branch switch cheap).
+#
 # Environment knobs:
 #   BUILD_DIR      (default: build)
 #   TSAN_BUILD_DIR (default: build-tsan)
@@ -26,26 +30,36 @@ TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 JOBS=${JOBS:-$(nproc)}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+# One parameterized sanitizer pass: configure with the given -fsanitize
+# flags, rebuild only the targets whose behavior the sanitizer guards, and
+# re-run their tests. Usage: sanitizer_pass BUILD_DIR SAN_FLAGS TEST_FILTER TARGET...
+sanitizer_pass() {
+  local dir=$1 san=$2 filter=$3
+  shift 3
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=$san -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=$san" \
+    "${LAUNCHER_ARGS[@]}"
+  cmake --build "$dir" -j"$JOBS" --target "$@"
+  ctest --test-dir "$dir" --output-on-failure -R "$filter"
+}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 if [[ "${NATPUNCH_TSAN:-0}" == "1" ]]; then
   echo "==== TSan pass: rebuilding fleet/netsim tests with -fsanitize=thread ===="
-  cmake -B "$TSAN_BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" --target fleet_test netsim_test
-  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -R 'Fleet|EventLoop'
+  sanitizer_pass "$TSAN_BUILD_DIR" thread 'Fleet|EventLoop' fleet_test netsim_test
 fi
 
 if [[ "${NATPUNCH_ASAN:-0}" == "1" ]]; then
   echo "==== ASan/UBSan pass: rebuilding chaos/failure tests with -fsanitize=address,undefined ===="
-  cmake -B "$ASAN_BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-  cmake --build "$ASAN_BUILD_DIR" -j"$JOBS" --target chaos_test failure_test
-  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -R 'Chaos|Failure'
+  sanitizer_pass "$ASAN_BUILD_DIR" address,undefined 'Chaos|Failure' chaos_test failure_test
 fi

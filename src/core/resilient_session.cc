@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
@@ -102,6 +103,13 @@ ResilientSessionManager::ResilientSessionManager(UdpHolePuncher* puncher,
   puncher_->rendezvous()->SetConnectForwardHandler(
       ConnectStrategy::kRelayOnly,
       [this](const RendezvousMessage& fwd) { OnRelayForward(fwd); });
+  if (obs::MetricsRegistry* reg = puncher_->rendezvous()->host()->network()->metrics()) {
+    metric_recoveries_ = reg->GetCounter("resilient.recoveries");
+    metric_relay_fallbacks_ = reg->GetCounter("resilient.relay_fallbacks");
+    metric_relay_losses_ = reg->GetCounter("resilient.relay_losses");
+    metric_downtime_ms_ =
+        reg->GetHistogram("resilient.recovery_downtime_ms", obs::LatencyBucketsMs());
+  }
 }
 
 ResilientSession* ResilientSessionManager::FindSession(uint64_t peer_id) {
@@ -273,6 +281,8 @@ void ResilientSessionManager::FinishRecovery(ResilientSession* rs, bool via_rela
   rec.repunch_attempts = rs->repunch_attempts_;
   rec.via_relay = via_relay;
   rs->recoveries_.push_back(rec);
+  obs::Inc(metric_recoveries_);
+  obs::Observe(metric_downtime_ms_, rec.downtime.millis());
   NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " recovered session to peer "
                << rs->peer_id_ << " via " << (via_relay ? "relay" : "re-punch") << " after "
                << rec.downtime.ToString() << " (" << rec.repunch_attempts << " re-punches)";
@@ -317,6 +327,7 @@ void ResilientSessionManager::FlushPending(ResilientSession* rs) {
 // --------------------------------------------------------------------------
 
 void ResilientSessionManager::EnterRelay(ResilientSession* rs) {
+  obs::Inc(metric_relay_fallbacks_);
   Host* host = puncher_->rendezvous()->host();
   rs->relay_nonce_ = host->rng().NextU64();
   rs->relay_confirmed_ = false;
@@ -446,6 +457,7 @@ void ResilientSessionManager::ScheduleRelayWatchdog(ResilientSession* rs, SimDur
 
 void ResilientSessionManager::OnRelayDead(ResilientSession* rs) {
   ++rs->relay_losses_;
+  obs::Inc(metric_relay_losses_);
   NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " relay leg to peer "
                << rs->peer_id_ << " silent for " << config_.relay_timeout.ToString()
                << "; declaring it dead and "

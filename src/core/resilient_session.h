@@ -222,6 +222,13 @@ class ResilientSessionManager {
   EventLoop& loop_;
   std::map<uint64_t, std::unique_ptr<ResilientSession>> sessions_;  // by peer id
   std::function<void(ResilientSession*)> incoming_cb_;
+
+  // Registry names: resilient.recoveries / relay_fallbacks / relay_losses
+  // and the resilient.recovery_downtime_ms histogram. Null without metrics.
+  obs::Counter* metric_recoveries_ = nullptr;
+  obs::Counter* metric_relay_fallbacks_ = nullptr;
+  obs::Counter* metric_relay_losses_ = nullptr;
+  obs::Histogram* metric_downtime_ms_ = nullptr;
 };
 
 }  // namespace natpunch

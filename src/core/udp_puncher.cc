@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
@@ -19,6 +20,12 @@ UdpHolePuncher::UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig c
   if (rendezvous_->socket() != nullptr) {
     rendezvous_->socket()->SetErrorCallback(
         [this](const Endpoint& dst, ErrorCode code) { OnSocketError(dst, code); });
+  }
+  if (obs::MetricsRegistry* reg = rendezvous_->host()->network()->metrics()) {
+    metric_attempts_ = reg->GetCounter("punch.attempts");
+    metric_successes_ = reg->GetCounter("punch.successes");
+    metric_failures_ = reg->GetCounter("punch.failures");
+    metric_rtt_ms_ = reg->GetHistogram("punch.rtt_ms", obs::LatencyBucketsMs());
   }
 }
 
@@ -54,6 +61,7 @@ UdpHolePuncher::Attempt* UdpHolePuncher::StartAttempt(uint64_t peer_id, uint64_t
   if (attempts_.count(nonce) != 0 || sessions_.count(nonce) != 0) {
     return nullptr;  // already punching or punched this session
   }
+  obs::Inc(metric_attempts_);
   Attempt& attempt = attempts_[nonce];
   attempt.peer_id = peer_id;
   attempt.nonce = nonce;
@@ -243,6 +251,8 @@ void UdpHolePuncher::FinishAttempt(uint64_t nonce, const Endpoint& winner) {
   session->used_private_ =
       winner == attempt.peer_private && attempt.peer_private != attempt.peer_public;
   session->punch_elapsed_ = loop_.now() - attempt.started;
+  obs::Inc(metric_successes_);
+  obs::Observe(metric_rtt_ms_, session->punch_elapsed_.millis());
   session->probes_sent_ = attempt.probes_sent;
   session->last_inbound_ = loop_.now();
   UdpP2pSession* raw = session.get();
@@ -273,6 +283,7 @@ void UdpHolePuncher::FailAttempt(uint64_t nonce, const Status& status) {
   if (attempt.deadline_event != EventLoop::kInvalidEventId) {
     loop_.Cancel(attempt.deadline_event);
   }
+  obs::Inc(metric_failures_);
   if (attempt.cb) {
     attempt.cb(status);
   }
@@ -297,8 +308,8 @@ void UdpHolePuncher::SessionKeepAliveTick(uint64_t nonce) {
     return;
   }
   SendPeerMessage(it->second->peer_endpoint_, PeerMsgType::kKeepAlive, nonce, Bytes{});
-  it->second->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval,
-                                                     [this, nonce] { SessionKeepAliveTick(nonce); });
+  it->second->keepalive_event_ = loop_.ScheduleAfter(
+      config_.keepalive_interval, [this, nonce] { SessionKeepAliveTick(nonce); });
 }
 
 void UdpHolePuncher::SessionExpiryTick(uint64_t nonce) {

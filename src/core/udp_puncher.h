@@ -22,6 +22,11 @@
 
 namespace natpunch {
 
+namespace obs {
+class Counter;
+class Histogram;
+}  // namespace obs
+
 struct UdpPunchConfig {
   SimDuration probe_interval = Millis(200);
   SimDuration punch_timeout = Seconds(10);
@@ -170,6 +175,15 @@ class UdpHolePuncher {
   UdpRendezvousClient* rendezvous_;
   UdpPunchConfig config_;
   EventLoop& loop_;
+
+  // Registry names: punch.attempts / successes / failures and the
+  // punch.rtt_ms latency histogram (shared across all punchers in the
+  // Network — per-run aggregates, not per-host). Null without metrics.
+  obs::Counter* metric_attempts_ = nullptr;
+  obs::Counter* metric_successes_ = nullptr;
+  obs::Counter* metric_failures_ = nullptr;
+  obs::Histogram* metric_rtt_ms_ = nullptr;
+
   std::map<uint64_t, Attempt> attempts_;                           // by nonce
   std::map<uint64_t, std::unique_ptr<UdpP2pSession>> sessions_;    // by nonce
   std::function<void(UdpP2pSession*)> incoming_cb_;

@@ -284,6 +284,22 @@ void VendorTally::Add(const DeviceSpec& device, const NatCheckReport& report) {
     ++tcp_hairpin_n;
     tcp_hairpin_yes += (report.tcp_hairpin_tested && report.tcp_hairpin) ? 1 : 0;
   }
+  if (!report.udp_reachable) {
+    ++taxonomy.udp_unreachable;
+  } else if (!report.udp_consistent) {
+    ++taxonomy.udp_inconsistent;
+  }
+  if (device.reports_tcp) {
+    if (!report.tcp_reachable) {
+      ++taxonomy.tcp_unreachable;
+    } else if (!report.tcp_consistent) {
+      ++taxonomy.tcp_inconsistent;
+    } else if (report.tcp_rejects_unsolicited) {
+      ++taxonomy.tcp_rejected;
+    }
+  }
+  taxonomy.device_reboots += report.nat_reboots;
+  taxonomy.expired_mappings += report.nat_expired_mappings;
 }
 
 namespace {

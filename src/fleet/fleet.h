@@ -70,6 +70,23 @@ std::vector<DeviceSpec> BuildFleet(const std::vector<VendorProfile>& vendors, ui
 NatCheckReport RunNatCheckOn(const DeviceSpec& device, uint64_t seed,
                              uint64_t* events = nullptr);
 
+// Why reports failed the §6.2 classification — the taxonomy behind each
+// "no" in Table 1. Buckets are mutually exclusive per report and protocol:
+// a report counts under its first failed precondition only (unreachable
+// before inconsistent before rejected).
+struct FailureTaxonomy {
+  int udp_unreachable = 0;    // a UDP check server never answered
+  int udp_inconsistent = 0;   // symmetric mapping: different public endpoints
+  int tcp_unreachable = 0;
+  int tcp_inconsistent = 0;
+  int tcp_rejected = 0;  // §5.2: RST/ICMP answered the unsolicited SYN
+  // Device health over this vendor's runs (chaos reboots, idle expiry).
+  uint64_t device_reboots = 0;
+  uint64_t expired_mappings = 0;
+
+  friend bool operator==(const FailureTaxonomy&, const FailureTaxonomy&) = default;
+};
+
 struct VendorTally {
   int udp_yes = 0;
   int udp_n = 0;
@@ -79,6 +96,7 @@ struct VendorTally {
   int tcp_n = 0;
   int tcp_hairpin_yes = 0;
   int tcp_hairpin_n = 0;
+  FailureTaxonomy taxonomy;
 
   void Add(const DeviceSpec& device, const NatCheckReport& report);
 

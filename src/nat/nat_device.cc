@@ -13,12 +13,24 @@ NatDevice::NatDevice(Network* network, std::string name, NatConfig config)
       config_(config),
       table_(config.mapping, config.port_allocation, config.port_base, network->rng().Fork(),
              config.symmetric_on_port_contention) {
+  if (obs::MetricsRegistry* reg = network->metrics()) {
+    char name[96];
+    const auto metric = [&](const char* suffix) {
+      const int n = std::snprintf(name, sizeof(name), "nat.%s.%s", name_.c_str(), suffix);
+      return reg->GetCounter(std::string_view(name, static_cast<size_t>(n)));
+    };
+    metric_mappings_created_ = metric("mappings_created");
+    metric_mappings_expired_ = metric("mappings_expired");
+    metric_filtered_ = metric("filtered_drops");
+    metric_hairpins_ = metric("hairpins");
+    metric_rejections_ = metric("rejections");
+  }
   ScheduleSweep();
 }
 
 void NatDevice::ScheduleSweep() {
   network_->event_loop().ScheduleAfter(kSweepInterval, [this] {
-    stats_.expired_mappings += table_.Expire(network_->now(), CurrentTimeouts());
+    CountExpired(table_.Expire(network_->now(), CurrentTimeouts()));
     if (config_.basic_nat) {
       ExpireBasicSessions();
     }
@@ -46,7 +58,7 @@ bool NatDevice::EntryExpired(const NatTable::Entry& entry) const {
 NatTable::Entry* NatDevice::LookupInboundFresh(IpProtocol protocol, uint16_t public_port) {
   NatTable::Entry* entry = table_.FindByPublicPort(protocol, public_port);
   if (entry != nullptr && EntryExpired(*entry)) {
-    stats_.expired_mappings += table_.Expire(network_->now(), CurrentTimeouts());
+    CountExpired(table_.Expire(network_->now(), CurrentTimeouts()));
     return nullptr;
   }
   return entry;
@@ -74,7 +86,7 @@ void NatDevice::SetUpstream(std::optional<Ipv4Address> gateway) {
 }
 
 void NatDevice::FlushMappings() {
-  stats_.expired_mappings += table_.size();
+  CountExpired(table_.size());
   table_.Clear();
   basic_out_.clear();
   basic_in_.clear();
@@ -195,8 +207,12 @@ void NatDevice::HandleOutbound(Packet packet) {
   }
   const Endpoint private_ep = packet.src();
   const Endpoint remote = packet.dst();
+  const size_t mappings_before = table_.size();
   NatTable::Entry* entry =
       table_.MapOutbound(packet.protocol, private_ep, remote, network_->now());
+  if (entry != nullptr && table_.size() > mappings_before) {
+    CountMappingCreated();
+  }
   if (entry == nullptr) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropNoRoute, packet,
                              "port pool exhausted");
@@ -220,11 +236,11 @@ void NatDevice::HandleOutbound(Packet packet) {
 void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
   switch (config_.unsolicited_tcp) {
     case NatUnsolicitedTcp::kDrop:
-      ++stats_.dropped_unsolicited;
+      CountDropUnsolicited();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet);
       return;
     case NatUnsolicitedTcp::kRst: {
-      ++stats_.rst_rejections;
+      CountRejection(stats_.rst_rejections);
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatRejectRst, packet);
       Packet rst;
       rst.protocol = IpProtocol::kTcp;
@@ -239,7 +255,7 @@ void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
       return;
     }
     case NatUnsolicitedTcp::kIcmp: {
-      ++stats_.icmp_rejections;
+      CountRejection(stats_.icmp_rejections);
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatRejectIcmp, packet);
       Packet icmp;
       icmp.protocol = IpProtocol::kIcmp;
@@ -270,7 +286,7 @@ void NatDevice::HandleInbound(Packet packet) {
     if (packet.protocol == IpProtocol::kTcp && packet.tcp.syn && !packet.tcp.ack) {
       RejectUnsolicitedTcp(packet);
     } else {
-      ++stats_.dropped_no_mapping;
+      CountDropNoMapping();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet);
     }
     return;
@@ -280,7 +296,7 @@ void NatDevice::HandleInbound(Packet packet) {
     if (packet.protocol == IpProtocol::kTcp && packet.tcp.syn && !packet.tcp.ack) {
       RejectUnsolicitedTcp(packet);
     } else {
-      ++stats_.dropped_unsolicited;
+      CountDropUnsolicited();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet);
     }
     return;
@@ -307,7 +323,7 @@ void NatDevice::HandleHairpin(Packet packet) {
                          : packet.protocol == IpProtocol::kTcp ? config_.hairpin_tcp
                                                                : false;
   if (!supported) {
-    ++stats_.dropped_no_mapping;
+    CountDropNoMapping();
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "hairpin unsupported");
     return;
@@ -317,7 +333,7 @@ void NatDevice::HandleHairpin(Packet packet) {
     if (packet.protocol == IpProtocol::kTcp && packet.tcp.syn && !packet.tcp.ack) {
       RejectUnsolicitedTcp(packet);
     } else {
-      ++stats_.dropped_no_mapping;
+      CountDropNoMapping();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                                "hairpin: no mapping");
     }
@@ -326,10 +342,14 @@ void NatDevice::HandleHairpin(Packet packet) {
   // Translate the source exactly as an outbound packet would be (a
   // well-behaved hairpin per §3.5: the receiver sees the sender's public
   // endpoint).
+  const size_t mappings_before = table_.size();
   NatTable::Entry* source =
       table_.MapOutbound(packet.protocol, packet.src(), packet.dst(), network_->now());
   if (source == nullptr) {
     return;
+  }
+  if (table_.size() > mappings_before) {
+    CountMappingCreated();
   }
   TrackTcpOutbound(source, packet);
   const Endpoint translated_src(public_ip_, source->public_port);
@@ -341,7 +361,7 @@ void NatDevice::HandleHairpin(Packet packet) {
     if (packet.protocol == IpProtocol::kTcp && packet.tcp.syn && !packet.tcp.ack) {
       RejectUnsolicitedTcp(packet);
     } else {
-      ++stats_.dropped_unsolicited;
+      CountDropUnsolicited();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet,
                                "hairpin filtered");
     }
@@ -351,7 +371,7 @@ void NatDevice::HandleHairpin(Packet packet) {
   TrackTcpInbound(target, packet);
   packet.set_src(translated_src);
   packet.set_dst(target->private_ep);
-  ++stats_.hairpinned;
+  CountHairpin();
   network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatHairpin, packet);
   SendPacket(std::move(packet));
 }
@@ -413,7 +433,7 @@ void NatDevice::ExpireBasicSessions() {
       if (binding != basic_out_.end()) {
         basic_in_.erase(binding->second);
         basic_out_.erase(binding);
-        ++stats_.expired_mappings;
+        CountExpired(1);
       }
       host = basic_sessions_.erase(host);
     } else {
@@ -461,7 +481,7 @@ void NatDevice::HandleInboundBasic(Packet packet) {
     if (packet.protocol == IpProtocol::kTcp && packet.tcp.syn && !packet.tcp.ack) {
       RejectUnsolicitedTcp(packet);
     } else {
-      ++stats_.dropped_unsolicited;
+      CountDropUnsolicited();
       network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropUnsolicited, packet,
                                "basic");
     }
@@ -472,7 +492,8 @@ void NatDevice::HandleInboundBasic(Packet packet) {
   }
   packet.dst_ip = private_ip;
   ++stats_.translated_in;
-  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateIn, packet, "basic");
+  network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateIn, packet,
+                           "basic");
   SendPacket(std::move(packet));
 }
 
@@ -484,7 +505,7 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
                          : packet.protocol == IpProtocol::kTcp ? config_.hairpin_tcp
                                                                : false;
   if (!supported) {
-    ++stats_.dropped_no_mapping;
+    CountDropNoMapping();
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "basic hairpin unsupported");
     return;
@@ -497,13 +518,13 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
   basic_sessions_[packet.src_ip][packet.dst()] = network_->now();
   if (config_.hairpin_filtered &&
       !BasicSessionAllows(target, Endpoint(*assigned, packet.src_port))) {
-    ++stats_.dropped_unsolicited;
+    CountDropUnsolicited();
     return;
   }
   basic_sessions_[target][Endpoint(*assigned, packet.src_port)] = network_->now();
   packet.src_ip = *assigned;
   packet.dst_ip = target;
-  ++stats_.hairpinned;
+  CountHairpin();
   network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatHairpin, packet, "basic");
   SendPacket(std::move(packet));
 }
@@ -517,7 +538,7 @@ void NatDevice::HandleInboundIcmp(Packet packet) {
   NatTable::Entry* entry =
       LookupInboundFresh(packet.icmp.original_protocol, packet.icmp.original_src.port);
   if (entry == nullptr) {
-    ++stats_.dropped_no_mapping;
+    CountDropNoMapping();
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatDropNoMapping, packet,
                              "icmp: no mapping");
     return;

@@ -53,6 +53,12 @@ class NatDevice : public Node {
   };
   const Stats& stats() const { return stats_; }
 
+  // Registry names (when the Network has metrics enabled):
+  //   nat.<name>.mappings_created / mappings_expired / filtered_drops /
+  //   hairpins / rejections
+  // filtered_drops folds the two silent-drop reasons (unsolicited inbound,
+  // no mapping); rejections folds the §5.2 bad behaviors (RST + ICMP).
+
   size_t active_mapping_count() const { return table_.size(); }
 
   // Failure injection: drop every translation, as a consumer router reboot
@@ -100,11 +106,44 @@ class NatDevice : public Node {
 
   void ScheduleSweep();
 
+  // Single increment points for Stats fields that also mirror into the
+  // metrics registry; every stat site goes through these.
+  void CountMappingCreated() {
+    obs::Inc(metric_mappings_created_);
+  }
+  void CountExpired(uint64_t n) {
+    stats_.expired_mappings += n;
+    obs::Inc(metric_mappings_expired_, n);
+  }
+  void CountDropUnsolicited() {
+    ++stats_.dropped_unsolicited;
+    obs::Inc(metric_filtered_);
+  }
+  void CountDropNoMapping() {
+    ++stats_.dropped_no_mapping;
+    obs::Inc(metric_filtered_);
+  }
+  void CountHairpin() {
+    ++stats_.hairpinned;
+    obs::Inc(metric_hairpins_);
+  }
+  void CountRejection(uint64_t& stat) {
+    ++stat;
+    obs::Inc(metric_rejections_);
+  }
+
   NatConfig config_;
   NatTable table_;
   Ipv4Address public_ip_;
   int outside_iface_ = -1;
   Stats stats_;
+
+  // Null when the owning Network has no metrics registry.
+  obs::Counter* metric_mappings_created_ = nullptr;
+  obs::Counter* metric_mappings_expired_ = nullptr;
+  obs::Counter* metric_filtered_ = nullptr;
+  obs::Counter* metric_hairpins_ = nullptr;
+  obs::Counter* metric_rejections_ = nullptr;
 
   // Basic NAT state: 1:1 address bindings plus per-host session activity
   // (for filtering and idle reclamation; idle timing uses udp_timeout for

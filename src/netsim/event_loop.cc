@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace natpunch {
 
 EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
@@ -15,6 +17,7 @@ EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   heap_.push_back(HeapEntry{t, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  obs::Set(metric_heap_depth_, static_cast<int64_t>(live_));
   return id;
 }
 
@@ -32,7 +35,8 @@ void EventLoop::EnsureSlotCapacity() {
   std::vector<Slot> bigger(slots_.size() * 2);
   const size_t new_mask = bigger.size() - 1;
   for (EventId id = base_id_; id < next_id_; ++id) {
-    bigger[static_cast<size_t>(id) & new_mask] = std::move(slots_[static_cast<size_t>(id) & ring_mask_]);
+    bigger[static_cast<size_t>(id) & new_mask] =
+        std::move(slots_[static_cast<size_t>(id) & ring_mask_]);
   }
   slots_ = std::move(bigger);
   ring_mask_ = new_mask;
@@ -107,6 +111,7 @@ bool EventLoop::RunOne() {
   CompactFront();  // `slot` is dead past this point
   now_ = SimTime(top.time);
   ++events_processed_;
+  obs::Inc(metric_dispatched_);
   fn();
   return true;
 }

@@ -27,6 +27,11 @@
 
 namespace natpunch {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 class EventLoop {
  public:
   using EventId = uint64_t;
@@ -67,8 +72,17 @@ class EventLoop {
   // events, counters zeroed) while KEEPING the heap and ring capacities, so
   // a reused loop schedules without allocating. Pending closures are
   // destroyed. Lets fleet workers run thousands of device simulations on one
-  // arena.
+  // arena. Attached metrics handles survive a Reset (the registry they live
+  // in is reset separately by Network::Reset).
   void Reset();
+
+  // Observability hookup (Network::EnableMetrics): `dispatched` counts every
+  // fired event, `heap_depth` tracks the pending-event level and its
+  // high-water mark. Either may be null; recording is allocation-free.
+  void AttachMetrics(obs::Counter* dispatched, obs::Gauge* heap_depth) {
+    metric_dispatched_ = dispatched;
+    metric_heap_depth_ = heap_depth;
+  }
 
  private:
   struct HeapEntry {
@@ -107,6 +121,8 @@ class EventLoop {
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;  // ring buffer; size is a power of two
   size_t ring_mask_ = 0;     // slots_.size() - 1
+  obs::Counter* metric_dispatched_ = nullptr;
+  obs::Gauge* metric_heap_depth_ = nullptr;
 };
 
 }  // namespace natpunch

@@ -15,6 +15,15 @@ Lan* Network::CreateLan(std::string name, LanConfig config) {
   return lans_.back().get();
 }
 
+obs::MetricsRegistry* Network::EnableMetrics() {
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    loop_.AttachMetrics(metrics_->GetCounter("loop.events_dispatched"),
+                        metrics_->GetGauge("loop.heap_depth"));
+  }
+  return metrics_.get();
+}
+
 void Network::Reset(uint64_t seed) {
   // Pending event closures may capture nodes/lans; destroy them first.
   loop_.Reset();
@@ -22,6 +31,11 @@ void Network::Reset(uint64_t seed) {
   nodes_.clear();
   lans_.clear();
   trace_.ClearAll();
+  // Values restart per run; registrations (and their capacity) survive so
+  // the next run's nodes re-register without allocating.
+  if (metrics_ != nullptr) {
+    metrics_->Reset();
+  }
   rng_ = Rng(seed);
   next_packet_id_ = 1;
 }

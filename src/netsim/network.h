@@ -20,6 +20,7 @@
 #include "src/netsim/lan.h"
 #include "src/netsim/node.h"
 #include "src/netsim/trace.h"
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 
 namespace natpunch {
@@ -36,6 +37,15 @@ class Network {
   SimTime now() const { return loop_.now(); }
   Rng& rng() { return rng_; }
   TraceRecorder& trace() { return trace_; }
+
+  // Observability. EnableMetrics creates the registry (idempotent) and wires
+  // the event loop's dispatch counter and heap-depth gauge; it must run
+  // BEFORE nodes are created so they can register their metrics at
+  // construction (Scenario::Options.metrics does this). metrics() is null
+  // until then — instrumented components treat null as "disabled" and skip
+  // recording entirely.
+  obs::MetricsRegistry* EnableMetrics();
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
 
   Lan* CreateLan(std::string name, LanConfig config = LanConfig{});
 
@@ -67,6 +77,7 @@ class Network {
   EventLoop loop_;
   Rng rng_;
   TraceRecorder trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Lan>> lans_;
   std::vector<std::unique_ptr<Node>> nodes_;
   uint64_t next_packet_id_ = 1;

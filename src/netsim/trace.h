@@ -116,6 +116,10 @@ class TraceRecorder {
   // construction and record with the id thereafter.
   TraceNodeId Intern(std::string_view name);
   const std::string& NodeName(TraceNodeId id) const { return names_[id]; }
+  // Number of interned names including id 0 (the empty name); every node id
+  // is < name_count(). The Chrome-trace exporter iterates this to emit one
+  // named timeline row per node.
+  size_t name_count() const { return names_.size(); }
 
   void Record(SimTime time, TraceNodeId node, TraceEvent event, const Packet& packet,
               TraceDetail detail = TraceDetail()) {

@@ -1,0 +1,39 @@
+// Chrome trace-event exporter: TraceRecorder -> a JSON timeline that loads
+// in chrome://tracing and https://ui.perfetto.dev.
+//
+// Mapping: the simulation is one process ("natpunch sim", pid 1); every
+// interned trace node (host, NAT, LAN) becomes a named thread row, and each
+// TraceRecord becomes a thread-scoped instant event at its simulated-time
+// microsecond, categorized so Perfetto's filter box can isolate NAT
+// translations, drops, or fault injections. Packet id, endpoints, and the
+// record's detail text ride along in "args" and show in the inspector pane.
+//
+// The output is the JSON Trace Event Format's object form
+// ({"traceEvents":[...]}), the most widely compatible container; its
+// structure is pinned by tests/obs_test.cc with a real JSON parse.
+
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/netsim/trace.h"
+
+namespace natpunch {
+namespace obs {
+
+// Trace-event category for a simulator event kind: "net" (send/deliver/
+// forward), "nat" (translations, hairpins), "drop" (every drop reason,
+// NAT-filtered included), "fault" (chaos engine and link state).
+std::string_view TraceEventCategory(TraceEvent event);
+
+// Render every record in `trace` (plus process/thread metadata) as one
+// self-contained Chrome trace JSON document.
+std::string ChromeTraceJson(const TraceRecorder& trace,
+                            std::string_view process_name = "natpunch sim");
+
+}  // namespace obs
+}  // namespace natpunch
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

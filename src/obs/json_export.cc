@@ -1,0 +1,120 @@
+#include "src/obs/json_export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace natpunch {
+namespace obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buf, static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n)
+                                                          : sizeof(buf) - 1);
+  }
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          AppendF(out, "\\u%04x", ch);
+        } else {
+          out->push_back(ch);
+        }
+        break;
+    }
+  }
+}
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    AppendF(&out, "\":%" PRIu64, counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    AppendF(&out, "\":{\"value\":%" PRId64 ",\"max\":%" PRId64 "}", gauge->value(), gauge->max());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    AppendF(&out, "\":{\"count\":%" PRIu64 ",\"sum\":%" PRId64 ",\"min\":%" PRId64
+                  ",\"max\":%" PRId64 ",\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"buckets\":[",
+            hist->count(), hist->sum(), hist->observed_min(), hist->observed_max(),
+            hist->Percentile(0.50), hist->Percentile(0.95), hist->Percentile(0.99));
+    const auto& bounds = hist->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      AppendF(&out, "[%" PRId64 ",%" PRIu64 "]", bounds[i], hist->bucket_count(i));
+    }
+    AppendF(&out, "],\"overflow\":%" PRIu64 "}", hist->bucket_count(bounds.size()));
+  }
+  out += "}}";
+  return out;
+}
+
+bool WriteFileOrWarn(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok) {
+    std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace natpunch

@@ -1,0 +1,43 @@
+// JSON snapshot exporter for a MetricsRegistry.
+//
+// The snapshot is deterministic and byte-stable: metrics iterate in name
+// order, integers print exactly, and percentiles use fixed %.3f formatting —
+// the golden test in tests/obs_test.cc pins the bytes. The format is the
+// "superset of BENCH_JSON" the benches write per run: a bench splices the
+// object produced here into its one-line summary as a "metrics" field (see
+// bench/common.h), so scripts/bench_compare.py keeps parsing the same lines
+// while humans and tooling get the full registry alongside.
+
+#ifndef SRC_OBS_JSON_EXPORT_H_
+#define SRC_OBS_JSON_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace natpunch {
+namespace obs {
+
+// Append `text` to `out` with JSON string escaping (quotes, backslashes,
+// control characters). Shared by the metrics and Chrome-trace exporters.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+// The whole registry as one compact JSON object:
+//   {"counters":{"name":123,...},
+//    "gauges":{"name":{"value":1,"max":2},...},
+//    "histograms":{"name":{"count":2,"sum":30,"min":10,"max":20,
+//                          "p50":15.000,"p95":19.500,"p99":19.900,
+//                          "buckets":[[10,1],[20,1]],"overflow":0},...}}
+// Histogram "buckets" entries are [upper_bound, count] pairs; "overflow"
+// counts values >= the last bound.
+std::string MetricsJson(const MetricsRegistry& registry);
+
+// Write `content` to `path`; returns false (and leaves no partial file
+// behind beyond what the OS did) on any I/O error.
+bool WriteFileOrWarn(const std::string& path, std::string_view content);
+
+}  // namespace obs
+}  // namespace natpunch
+
+#endif  // SRC_OBS_JSON_EXPORT_H_

@@ -1,0 +1,125 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace natpunch {
+namespace obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) {
+    value = 0;  // latencies are non-negative; clamp defensively
+  }
+  // First bound strictly greater than value = the bucket's upper edge.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t c = counts_[i];
+    if (c == 0) {
+      continue;
+    }
+    if (static_cast<double>(cum + c) >= target) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      const double upper = i < bounds_.size() ? static_cast<double>(bounds_[i])
+                                              : static_cast<double>(max_);
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      const double value = lower + frac * (upper - lower);
+      // Clamp into the observed range: a single sample reports itself at
+      // every percentile, and overflow-bucket results stay data-bounded.
+      return std::clamp(value, static_cast<double>(min_), static_cast<double>(max_));
+    }
+    cum += c;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+const std::vector<int64_t>& LatencyBucketsMs() {
+  static const std::vector<int64_t> kBuckets = {1,    2,    5,    10,    20,    50,    100,
+                                                200,  500,  1000, 2000,  5000,  10000, 20000,
+                                                30000, 60000};
+  return kBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<int64_t>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::unique_ptr<Histogram>(new Histogram(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace natpunch

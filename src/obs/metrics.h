@@ -1,0 +1,184 @@
+// Metrics registry: counters, gauges, and fixed-bucket latency histograms.
+//
+// The paper's evaluation is an exercise in measurement — success rates per
+// vendor and per NAT behavior — and this layer gives the simulator a uniform
+// way to answer "what did this run cost?": retransmissions, mapping
+// expirations, punch round-trips, recovery downtime. Every component
+// registers named metrics here; exporters (src/obs/json_export.h,
+// src/obs/chrome_trace.h) turn a registry into machine-readable snapshots.
+//
+// Hot-path contract, inherited from the zero-allocation packet path
+// (tests/alloc_test.cc): once a metric handle exists, recording into it —
+// Counter::Inc, Gauge::Set, Histogram::Observe — NEVER touches the heap.
+// Registration (GetCounter & friends) may allocate on the FIRST sighting of
+// a name; a warmed-up registry resolves repeat registrations without
+// allocating, which is what lets the fleet runner reuse one registry across
+// thousands of device simulations (MetricsRegistry::Reset zeroes values but
+// keeps every registration and its capacity).
+//
+// Zero-overhead-when-disabled: components hold nullable handles and record
+// through the obs::Inc/Set/Observe helpers, so a simulation that never
+// enabled metrics (Network::EnableMetrics) pays one null check per site.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natpunch {
+namespace obs {
+
+// Monotonic event count. Increments wrap modulo 2^64 by design (unsigned
+// overflow is defined behavior); at one increment per simulated packet that
+// is ~58000 years of continuous simulation, and the wrap is still exact.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Instantaneous level with a high-water mark (e.g. event-loop heap depth).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_ = v;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+  void Add(int64_t delta) { Set(value_ + delta); }
+  int64_t value() const { return value_; }
+  int64_t max() const { return max_; }
+  void Reset() {
+    value_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_ = 0;
+};
+
+// Fixed-bucket histogram for non-negative values (latencies in ms or us).
+//
+// Bucket i < bounds.size() covers [bounds[i-1], bounds[i]) with bucket 0
+// anchored at 0; values >= bounds.back() land in the overflow bucket, whose
+// upper edge is the maximum observed value. Observe() is a binary search
+// over the bounds — no allocation, no floating point.
+//
+// Percentile(p) interpolates linearly within the containing bucket and
+// clamps the result to [min observed, max observed], so a single-sample
+// histogram reports that exact sample at every percentile and the overflow
+// bucket yields finite, data-bounded values. An empty histogram reports 0.
+class Histogram {
+ public:
+  void Observe(int64_t value);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  // Minimum / maximum observed value; 0 when empty.
+  int64_t observed_min() const { return count_ > 0 ? min_ : 0; }
+  int64_t observed_max() const { return count_ > 0 ? max_ : 0; }
+
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  // p in [0, 1]. See the class comment for the interpolation contract.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  std::vector<int64_t> bounds_;    // strictly increasing, fixed at creation
+  std::vector<uint64_t> counts_;   // bounds_.size() + 1; last is overflow
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Default bucket bounds for millisecond-scale latencies (punch RTT,
+// recovery downtime): 1 ms .. 60 s, roughly 1-2-5 per decade.
+const std::vector<int64_t>& LatencyBucketsMs();
+
+// Named metric store with find-or-create registration. Names are sorted
+// (std::map), so exporters iterate deterministically and two runs of the
+// same simulation produce byte-identical snapshots.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Handles are stable for the registry's lifetime —
+  // components cache them at construction and record lock-free thereafter.
+  // A histogram's bounds are fixed by its first registration; later calls
+  // with different bounds return the existing histogram unchanged.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, const std::vector<int64_t>& bounds);
+
+  // Lookup without creating; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // Zero every value while KEEPING all registrations (and their heap
+  // capacity), so a reused arena re-registers without allocating
+  // (Network::Reset calls this).
+  void Reset();
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  // Deterministic (name-sorted) iteration for exporters.
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Null-safe recording helpers: the idiom for instrumented components, which
+// hold nullptr handles when their Network has no metrics registry.
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) {
+    c->Inc(n);
+  }
+}
+inline void Set(Gauge* g, int64_t v) {
+  if (g != nullptr) {
+    g->Set(v);
+  }
+}
+inline void Observe(Histogram* h, int64_t v) {
+  if (h != nullptr) {
+    h->Observe(v);
+  }
+}
+
+}  // namespace obs
+}  // namespace natpunch
+
+#endif  // SRC_OBS_METRICS_H_

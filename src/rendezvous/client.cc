@@ -195,8 +195,8 @@ void UdpRendezvousClient::RequestRetryTick(uint64_t peer_id) {
     return;
   }
   it->second.resend();
-  it->second.retry_event = host_->loop().ScheduleAfter(options_.request_retry_interval,
-                                                       [this, peer_id] { RequestRetryTick(peer_id); });
+  it->second.retry_event = host_->loop().ScheduleAfter(
+      options_.request_retry_interval, [this, peer_id] { RequestRetryTick(peer_id); });
 }
 
 void UdpRendezvousClient::SendConnectRequest(uint64_t peer_id, ConnectStrategy strategy,

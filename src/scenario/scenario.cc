@@ -3,12 +3,18 @@
 namespace natpunch {
 
 Scenario::Scenario(Options options) : options_(options), net_(options.seed) {
+  if (options_.metrics) {
+    net_.EnableMetrics();
+  }
   BuildInternet();
 }
 
 void Scenario::Reset(Options options) {
   options_ = options;
   net_.Reset(options.seed);
+  if (options_.metrics) {
+    net_.EnableMetrics();
+  }
   BuildInternet();
 }
 

@@ -36,6 +36,11 @@ class Scenario {
     SimDuration lan_latency = Millis(1);
     double internet_loss = 0.0;
     HostConfig host_config;
+    // Create the Network's metrics registry before any node exists, so
+    // every instrumented component (event loop, NATs, TCP stacks, punchers)
+    // registers and records. Off by default: recording is cheap but the
+    // default stays zero-overhead.
+    bool metrics = false;
   };
 
   explicit Scenario(Options options);

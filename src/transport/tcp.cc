@@ -1,7 +1,9 @@
 #include "src/transport/tcp.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "src/obs/metrics.h"
 #include "src/transport/host.h"
 #include "src/util/logging.h"
 
@@ -192,6 +194,9 @@ void TcpSocket::SendControl(bool syn, bool ack, bool fin, bool rst, uint32_t seq
   p.tcp.seq = seq;
   p.tcp.ack_seq = ack_seq;
   p.tcp.window = stack_->config().receive_window;
+  if (rst) {
+    obs::Inc(stack_->metric_rsts_sent_);
+  }
   host()->SendFromTransport(std::move(p));
 }
 
@@ -315,6 +320,7 @@ void TcpSocket::HandleSegmentSynSent(const Packet& p) {
   if (p.tcp.syn) {
     // Simultaneous open (§4.4): answer with a SYN-ACK whose SYN part replays
     // our original SYN, same sequence number.
+    obs::Inc(stack_->metric_simultaneous_opens_);
     irs_ = p.tcp.seq;
     rcv_nxt_ = p.tcp.seq + 1;
     snd_wnd_ = p.tcp.window;
@@ -595,6 +601,7 @@ void TcpSocket::CancelRetransmit() {
 void TcpSocket::OnRetransmitTimeout() {
   retransmit_event_ = EventLoop::kInvalidEventId;
   ++retransmit_count_;
+  obs::Inc(stack_->metric_retransmits_);
   const TcpConfig& config = stack_->config();
 
   if (state_ == TcpState::kSynSent) {
@@ -678,7 +685,18 @@ void TcpSocket::Teardown() {
 // TcpStack
 // ---------------------------------------------------------------------------
 
-TcpStack::TcpStack(Host* host, TcpConfig config) : host_(host), config_(config) {}
+TcpStack::TcpStack(Host* host, TcpConfig config) : host_(host), config_(config) {
+  if (obs::MetricsRegistry* reg = host->network()->metrics()) {
+    char name[96];
+    const auto metric = [&](const char* suffix) {
+      const int n = std::snprintf(name, sizeof(name), "tcp.%s.%s", host->name().c_str(), suffix);
+      return reg->GetCounter(std::string_view(name, static_cast<size_t>(n)));
+    };
+    metric_retransmits_ = metric("retransmits");
+    metric_simultaneous_opens_ = metric("simultaneous_opens");
+    metric_rsts_sent_ = metric("rsts_sent");
+  }
+}
 
 TcpSocket* TcpStack::CreateSocket() {
   sockets_.push_back(std::make_unique<TcpSocket>(this));
@@ -762,6 +780,7 @@ void TcpStack::SendRstFor(const Packet& packet) {
     rst.tcp.ack_seq = packet.tcp.seq + static_cast<uint32_t>(packet.payload.size()) +
                       (packet.tcp.syn ? 1 : 0) + (packet.tcp.fin ? 1 : 0);
   }
+  obs::Inc(metric_rsts_sent_);
   host_->SendFromTransport(std::move(rst));
 }
 

@@ -40,6 +40,10 @@
 
 namespace natpunch {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class Host;
 class TcpStack;
 
@@ -221,6 +225,12 @@ class TcpStack {
   std::unordered_map<FourTuple, TcpSocket*, FourTupleHash> connections_;
   std::map<uint16_t, TcpSocket*> listeners_;
   std::multimap<uint16_t, TcpSocket*> bound_;
+
+  // Registry names: tcp.<host>.retransmits / simultaneous_opens / rsts_sent.
+  // Null when the owning Network has no metrics registry.
+  obs::Counter* metric_retransmits_ = nullptr;
+  obs::Counter* metric_simultaneous_opens_ = nullptr;
+  obs::Counter* metric_rsts_sent_ = nullptr;
 };
 
 }  // namespace natpunch

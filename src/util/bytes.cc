@@ -63,7 +63,8 @@ uint32_t ByteReader::ReadU32() {
   if (!CheckAvail(4)) {
     return 0;
   }
-  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 | static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+               static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
                static_cast<uint32_t>(data_[pos_ + 2]) << 8 | static_cast<uint32_t>(data_[pos_ + 3]);
   pos_ += 4;
   return v;

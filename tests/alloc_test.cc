@@ -99,9 +99,11 @@ TEST(ZeroAllocTest, SteadyStatePunchedExchangeAllocatesNothing) {
   // Fig. 5: A and B behind distinct default (cone, port-restricted) NATs.
   // Sequential allocation from port_base gives each client the paper's
   // 62000 public port, so the punch needs no rendezvous server.
-  auto topo = MakeFig5(NatConfig{}, NatConfig{});
+  Scenario::Options options;
+  options.metrics = true;  // the guarantee must hold WITH metrics enabled
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
   Network& net = topo.scenario->net();
-  net.trace().set_enabled(true);  // the guarantee must hold WITH tracing on
+  net.trace().set_enabled(true);  // ...and WITH tracing on
 
   auto sa = topo.a->udp().Bind(4321);
   auto sb = topo.b->udp().Bind(4321);
@@ -136,6 +138,9 @@ TEST(ZeroAllocTest, SteadyStatePunchedExchangeAllocatesNothing) {
 
   const size_t a_before = a_bytes;
   const size_t b_before = b_bytes;
+  const obs::Counter* dispatched = net.metrics()->FindCounter("loop.events_dispatched");
+  ASSERT_NE(dispatched, nullptr);
+  const uint64_t dispatched_before = dispatched->value();
   g_allocs.store(0);
   g_samples.store(0);
   g_counting.store(true);
@@ -151,6 +156,8 @@ TEST(ZeroAllocTest, SteadyStatePunchedExchangeAllocatesNothing) {
   EXPECT_EQ(b_bytes - b_before, static_cast<size_t>(kRounds) * sizeof(msg));
   // ...tracing really was recording hops...
   EXPECT_GT(net.trace().records().size(), static_cast<size_t>(kRounds));
+  // ...metrics really were recording (dispatch counter moved)...
+  EXPECT_GT(dispatched->value(), dispatched_before + static_cast<uint64_t>(kRounds));
   // ...and not one byte came off the heap.
   EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
 }

@@ -183,9 +183,9 @@ class ContentionTest : public ::testing::Test {
                                             Ipv4Address::FromOctets(10, 0, 0, 9));
     s1_host_ = topo_.server;
     s2_host_ = topo_.scenario->AddPublicHost("S2b", Ipv4Address::FromOctets(18, 181, 0, 32));
-    servers_ = std::make_unique<NatCheckServers>(s1_host_, s2_host_,
-                                                 topo_.scenario->AddPublicHost(
-                                                     "S3b", Ipv4Address::FromOctets(18, 181, 0, 33)));
+    servers_ = std::make_unique<NatCheckServers>(
+        s1_host_, s2_host_,
+        topo_.scenario->AddPublicHost("S3b", Ipv4Address::FromOctets(18, 181, 0, 33)));
     ASSERT_TRUE(servers_->Start().ok());
   }
 

@@ -426,7 +426,8 @@ TEST_F(NatDeviceTest, PayloadRewriteAndObfuscationDefense) {
   auto topo = MakeFig5(bad, NatConfig{});
   auto server_sock = topo.server->udp().Bind(kServerPort);
   Bytes seen;
-  (*server_sock)->SetReceiveCallback([&](const Endpoint&, const Payload& p) { seen = p.ToBytes(); });
+  (*server_sock)->SetReceiveCallback(
+      [&](const Endpoint&, const Payload& p) { seen = p.ToBytes(); });
 
   auto sock = topo.a->udp().Bind(4321);
   const Ipv4Address priv = topo.a->primary_address();

@@ -218,7 +218,8 @@ TEST_F(RendezvousTest, TcpRegisterAndIntroduce) {
   EXPECT_EQ(rb->ip, NatBIp());
 
   bool got_fwd = false;
-  cb.SetConnectForwardHandler(ConnectStrategy::kHolePunch, [&](const RendezvousMessage&) { got_fwd = true; });
+  cb.SetConnectForwardHandler(ConnectStrategy::kHolePunch,
+                              [&](const RendezvousMessage&) { got_fwd = true; });
   Result<RendezvousMessage> ack = Status(ErrorCode::kInProgress);
   ca.RequestConnect(2, ConnectStrategy::kHolePunch, 5,
                     [&](Result<RendezvousMessage> r) { ack = std::move(r); });

@@ -100,7 +100,8 @@ TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
   ASSERT_TRUE(listener->Bind(7000).ok());
   Bytes received;
   listener->Listen([&](TcpSocket* s) {
-    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+    s->SetDataCallback(
+        [&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
   });
 
   Bytes blob(100 * 1000);
@@ -124,7 +125,8 @@ TEST_F(TcpTest, TransferSurvivesLoss) {
   ASSERT_TRUE(listener->Bind(7000).ok());
   Bytes received;
   listener->Listen([&](TcpSocket* s) {
-    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+    s->SetDataCallback(
+        [&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
   });
 
   Bytes blob(20 * 1000, 0x5a);
@@ -389,7 +391,8 @@ TEST_F(TcpTest, DataFlushedBeforeFin) {
   Bytes received;
   bool eof = false;
   listener->Listen([&](TcpSocket* s) {
-    s->SetDataCallback([&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+    s->SetDataCallback(
+        [&](const Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
     s->SetClosedCallback([&](Status st) { eof = st.ok(); });
   });
   TcpSocket* client = a->tcp().CreateSocket();
