@@ -1,0 +1,261 @@
+// Micro-benchmarks for the NAT datapath fast path (google-benchmark):
+// translation-table churn at several live-mapping sizes, the outbound and
+// inbound per-packet hit paths, the filtered-miss path, and an expiry storm.
+// A deliberately naive std::map-backed control table — ordered indexes plus
+// full-scan expiry, the shape NatTable had before the flat-hash rewrite —
+// runs the same churn workload so the BENCH_JSON lines document the speedup
+// and bench_compare.py can gate on it.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/nat/nat_table.h"
+
+namespace natpunch {
+namespace {
+
+constexpr uint16_t kPortBase = 1024;
+
+NatTable MakeTable() {
+  return NatTable(NatMapping::kEndpointIndependent, NatPortAllocation::kSequential, kPortBase,
+                  Rng(1));
+}
+
+Endpoint PrivateEp(uint32_t i) {
+  // Spread private endpoints over addresses and ports so each churn step
+  // creates a distinct mapping.
+  return Endpoint(Ipv4Address(0x0a000000u + (i >> 12)), static_cast<uint16_t>(1024 + (i & 0xfff)));
+}
+
+const Endpoint kRemote(Ipv4Address::FromOctets(18, 0, 0, 1), 9000);
+
+// Steady-state churn: the table hovers at `live` mappings; every step maps a
+// new private endpoint, advances the clock one tick, and expires the oldest.
+// Entry lifetime equals `live` ticks, so creation and expiry balance.
+void BM_NatMappingChurn(benchmark::State& state) {
+  const uint32_t live = static_cast<uint32_t>(state.range(0));
+  NatTable table = MakeTable();
+  const NatTable::Timeouts timeouts{Micros(live), Micros(live), Micros(live)};
+  uint32_t i = 0;
+  int64_t now = 0;
+  for (auto _ : state) {
+    auto* entry = table.MapOutbound(IpProtocol::kUdp, PrivateEp(i++), kRemote, SimTime(now));
+    benchmark::DoNotOptimize(entry);
+    ++now;
+    table.Expire(SimTime(now), timeouts);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["live"] = static_cast<double>(table.size());
+}
+BENCHMARK(BM_NatMappingChurn)->Arg(1000)->Arg(10000)->Arg(64000);
+
+// Outbound hit: the per-packet fast path once a mapping exists (find +
+// session refresh + expiry-list move).
+void BM_NatOutboundHit(benchmark::State& state) {
+  NatTable table = MakeTable();
+  const Endpoint priv = PrivateEp(0);
+  int64_t now = 0;
+  table.MapOutbound(IpProtocol::kUdp, priv, kRemote, SimTime(now));
+  for (auto _ : state) {
+    auto* entry = table.MapOutbound(IpProtocol::kUdp, priv, kRemote, SimTime(++now));
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatOutboundHit);
+
+// Inbound hit: public-port lookup plus the filtering check that admits the
+// packet (the remote has a fresh session).
+void BM_NatInboundHit(benchmark::State& state) {
+  NatTable table = MakeTable();
+  auto* entry = table.MapOutbound(IpProtocol::kUdp, PrivateEp(0), kRemote, SimTime(0));
+  const uint16_t port = entry->public_port;
+  for (auto _ : state) {
+    auto* found = table.FindByPublicPort(IpProtocol::kUdp, port);
+    const bool ok = table.AllowsInbound(*found, NatFiltering::kAddressAndPortDependent, kRemote,
+                                        SimTime(1), Seconds(60));
+    benchmark::DoNotOptimize(found);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatInboundHit);
+
+// Filtered miss: the lookup succeeds but the filtering policy rejects the
+// (unsolicited) remote — the hot path for every probe a NAT drops.
+void BM_NatFilteredMiss(benchmark::State& state) {
+  NatTable table = MakeTable();
+  auto* entry = table.MapOutbound(IpProtocol::kUdp, PrivateEp(0), kRemote, SimTime(0));
+  const uint16_t port = entry->public_port;
+  const Endpoint attacker(Ipv4Address::FromOctets(66, 0, 0, 1), 4444);
+  for (auto _ : state) {
+    auto* found = table.FindByPublicPort(IpProtocol::kUdp, port);
+    const bool ok = table.AllowsInbound(*found, NatFiltering::kAddressAndPortDependent, attacker,
+                                        SimTime(1), Seconds(60));
+    benchmark::DoNotOptimize(found);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatFilteredMiss);
+
+// Expiry storm: populate 10k mappings, then jump the clock past the timeout
+// so one Expire() call removes everything. Measures O(expired) teardown and
+// the entry pool's recycle path (iterations after the first rebuild the
+// table entirely from the free list).
+void BM_NatExpiryStorm(benchmark::State& state) {
+  constexpr uint32_t kMappings = 10000;
+  NatTable table = MakeTable();
+  const NatTable::Timeouts timeouts{Seconds(60), Seconds(60), Seconds(60)};
+  int64_t now = 0;
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < kMappings; ++i) {
+      table.MapOutbound(IpProtocol::kUdp, PrivateEp(i), kRemote, SimTime(now));
+    }
+    now += Seconds(120).micros();
+    const size_t expired = table.Expire(SimTime(now), timeouts);
+    if (expired != kMappings) {
+      state.SkipWithError("expiry storm removed the wrong count");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kMappings);
+}
+BENCHMARK(BM_NatExpiryStorm)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// std::map control: the pre-fast-path shape — ordered-tree indexes and
+// expiry that scans the whole table. Used only as a baseline; it implements
+// just enough of the NatTable contract to run the churn workload.
+// ---------------------------------------------------------------------------
+
+class MapControlTable {
+ public:
+  struct Entry {
+    Endpoint private_ep;
+    uint16_t public_port = 0;
+    SimTime last_refresh;
+    std::vector<NatTable::Entry::Session> sessions;
+  };
+
+  Entry* MapOutbound(const Endpoint& private_ep, const Endpoint& remote, SimTime now) {
+    const auto key = std::make_tuple(private_ep.ip.bits(), private_ep.port);
+    auto it = by_out_.find(key);
+    if (it == by_out_.end()) {
+      Entry entry;
+      entry.private_ep = private_ep;
+      entry.public_port = next_port_++;
+      it = by_out_.emplace(key, entry).first;
+      by_port_.emplace(it->second.public_port, &it->second);
+    }
+    Entry& entry = it->second;
+    entry.last_refresh = now;
+    for (auto& session : entry.sessions) {
+      if (session.remote == remote) {
+        session.last = now;
+        return &entry;
+      }
+    }
+    entry.sessions.push_back({remote, now});
+    return &entry;
+  }
+
+  void Expire(SimTime now, SimDuration timeout) {
+    for (auto it = by_out_.begin(); it != by_out_.end();) {
+      if (now - it->second.last_refresh >= timeout) {
+        by_port_.erase(it->second.public_port);
+        it = by_out_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return by_out_.size(); }
+
+ private:
+  std::map<std::tuple<uint32_t, uint16_t>, Entry> by_out_;
+  std::map<uint16_t, Entry*> by_port_;
+  uint16_t next_port_ = kPortBase;
+};
+
+void BM_NatMappingChurnMapControl(benchmark::State& state) {
+  const uint32_t live = static_cast<uint32_t>(state.range(0));
+  MapControlTable table;
+  uint32_t i = 0;
+  int64_t now = 0;
+  for (auto _ : state) {
+    auto* entry = table.MapOutbound(PrivateEp(i++), kRemote, SimTime(now));
+    benchmark::DoNotOptimize(entry);
+    ++now;
+    table.Expire(SimTime(now), Micros(live));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["live"] = static_cast<double>(table.size());
+}
+BENCHMARK(BM_NatMappingChurnMapControl)->Arg(1000);
+
+// Fixed-size churn workloads timed outside google-benchmark so the run emits
+// the one-line BENCH_JSON records bench_compare.py trends and gates on.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+}  // namespace natpunch
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  using namespace natpunch;
+  constexpr uint32_t kOps = 400'000;
+  constexpr uint32_t kLive = 10'000;
+
+  NatTable table = MakeTable();
+  const NatTable::Timeouts timeouts{Micros(kLive), Micros(kLive), Micros(kLive)};
+  const double fast_ms = TimeMs([&] {
+    int64_t now = 0;
+    for (uint32_t i = 0; i < kOps; ++i) {
+      benchmark::DoNotOptimize(
+          table.MapOutbound(IpProtocol::kUdp, PrivateEp(i), kRemote, SimTime(now)));
+      ++now;
+      table.Expire(SimTime(now), timeouts);
+    }
+  });
+  bench::JsonSummary("nat_churn", fast_ms, kOps);
+
+  // The control runs 20x fewer ops (full-scan expiry makes each op ~O(live));
+  // events_per_sec stays comparable because it normalizes by op count.
+  constexpr uint32_t kControlOps = 20'000;
+  MapControlTable control;
+  const double control_ms = TimeMs([&] {
+    int64_t now = 0;
+    for (uint32_t i = 0; i < kControlOps; ++i) {
+      benchmark::DoNotOptimize(control.MapOutbound(PrivateEp(i), kRemote, SimTime(now)));
+      ++now;
+      control.Expire(SimTime(now), Micros(kLive));
+    }
+  });
+  bench::JsonSummary("nat_churn_map_control", control_ms, kControlOps);
+
+  const double speedup = (fast_ms > 0 && control_ms > 0)
+                             ? (static_cast<double>(kOps) / fast_ms) /
+                                   (static_cast<double>(kControlOps) / control_ms)
+                             : 0.0;
+  std::printf("nat_churn speedup over std::map control: %.1fx\n", speedup);
+  return 0;
+}

@@ -46,9 +46,7 @@ int main(int argc, char** argv) {
   const auto vendors = PaperTable1Vendors();
   const auto fleet = BuildFleet(vendors, /*seed=*/2005);
 
-  const auto seq_start = std::chrono::steady_clock::now();
   const Table1Result result = RunFleet(fleet, /*seed=*/6);
-  const double seq_ms = MsSince(seq_start);
 
   std::printf("%s\n", FormatTable1(result, &vendors).c_str());
 

@@ -18,9 +18,17 @@ gate is not measuring what the baseline recorded.
                                               # (CI points this at $GITHUB_STEP_SUMMARY)
 
 Entries are keyed by (bench, threads) so the parallel table1 rows compare
-thread-count to thread-count. Speed varies wildly across machines, so CI
-runs this as a non-blocking job: a red result is a prompt to look, not a
-merge gate (see .github/workflows/ci.yml).
+thread-count to thread-count.
+
+Gating is split by how machine-sensitive a bench is. The substrate micros
+(bench_micro, bench_nat) measure tight single-threaded loops whose relative
+cost is stable across hosts: a regression there fails the gate, and CI
+blocks on it. The fleet benches (bench_table1, bench_fig8_natcheck,
+bench_chaos) depend on scheduler behavior and core count, so their
+regressions are reported as ADVISORY — visible in the table and the summary,
+but not failing the exit code. Structural problems (a bench missing, no
+BENCH_JSON line, a baseline entry no longer emitted) always fail regardless
+of tier.
 """
 
 import argparse
@@ -36,8 +44,13 @@ BENCHES = {
     "bench_table1": "BENCH_table1.json",
     "bench_fig8_natcheck": "BENCH_fig8_natcheck.json",
     "bench_micro": "BENCH_micro.json",
+    "bench_nat": "BENCH_nat.json",
     "bench_chaos": "BENCH_chaos.json",
 }
+
+# Benches whose regressions fail the gate (see the module docstring); the
+# rest are advisory.
+BLOCKING = {"bench_micro", "bench_nat"}
 
 PREFIX = "BENCH_JSON "
 
@@ -86,7 +99,8 @@ def write_summary(path, rows, failures, threshold):
         base_s = f"{base:,.0f}" if base is not None else "—"
         cur_s = f"{cur:,.0f}" if cur is not None else "—"
         ratio_s = f"{ratio:.2f}" if ratio is not None else "—"
-        mark = " ❌" if verdict in ("REGRESSION", "MISSING") else ""
+        mark = " ❌" if verdict in ("REGRESSION", "MISSING") else (
+            " ⚠️" if verdict == "ADVISORY" else "")
         lines.append(f"| `{name}` | {base_s} | {cur_s} | {ratio_s} | {verdict}{mark} |")
     lines.append("")
     if failures:
@@ -113,6 +127,7 @@ def main():
     args = ap.parse_args()
 
     failures = []
+    advisories = []
     rows = []
     for binary_name, baseline_name in BENCHES.items():
         binary = args.build_dir / "bench" / binary_name
@@ -154,8 +169,12 @@ def main():
             ratio = entry["events_per_sec"] / base["events_per_sec"]
             verdict = "OK"
             if ratio < 1.0 - args.threshold:
-                verdict = "REGRESSION"
-                failures.append(fmt_key(key))
+                if binary_name in BLOCKING:
+                    verdict = "REGRESSION"
+                    failures.append(fmt_key(key))
+                else:
+                    verdict = "ADVISORY"
+                    advisories.append(fmt_key(key))
             rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
                          ratio, verdict))
         # A baseline entry the fresh run never emitted means the current
@@ -183,11 +202,15 @@ def main():
     if args.summary is not None:
         write_summary(args.summary, rows, failures, args.threshold)
 
+    if advisories:
+        print(f"\nADVISORY (fleet benches, not gating): {', '.join(advisories)} regressed "
+              f"past {args.threshold:.0%} — re-measure locally before trusting the number",
+              file=sys.stderr)
     if failures:
         print(f"\nFAIL: missing or regressed measurements (threshold {args.threshold:.0%}): "
               f"{', '.join(failures)}", file=sys.stderr)
         return 1
-    print(f"\nall benches within {args.threshold:.0%} of committed baselines")
+    print(f"\nall gating benches within {args.threshold:.0%} of committed baselines")
     return 0
 
 

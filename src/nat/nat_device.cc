@@ -24,6 +24,8 @@ NatDevice::NatDevice(Network* network, std::string name, NatConfig config)
     metric_filtered_ = metric("filtered_drops");
     metric_hairpins_ = metric("hairpins");
     metric_rejections_ = metric("rejections");
+    metric_flowcache_hits_ = metric("flowcache_hits");
+    metric_flowcache_misses_ = metric("flowcache_misses");
   }
   ScheduleSweep();
 }
@@ -56,11 +58,55 @@ bool NatDevice::EntryExpired(const NatTable::Entry& entry) const {
 }
 
 NatTable::Entry* NatDevice::LookupInboundFresh(IpProtocol protocol, uint16_t public_port) {
-  NatTable::Entry* entry = table_.FindByPublicPort(protocol, public_port);
+  NatTable::Entry* entry;
+  if (in_cache_.entry != nullptr && in_cache_.generation == table_.generation() &&
+      in_cache_.public_port == public_port && in_cache_.protocol == protocol) {
+    entry = in_cache_.entry;
+    obs::Inc(metric_flowcache_hits_);
+  } else {
+    entry = table_.FindByPublicPort(protocol, public_port);
+    obs::Inc(metric_flowcache_misses_);
+    if (entry != nullptr) {
+      in_cache_ = InboundFlowCache{protocol, public_port, entry, table_.generation()};
+    }
+  }
   if (entry != nullptr && EntryExpired(*entry)) {
+    // The stale hit still triggers a sweep (now O(expired), and this entry
+    // is by definition among the expired), preserving the exact port-free
+    // timing of the old full-scan path. The sweep bumps the table
+    // generation, so both flow caches invalidate.
     CountExpired(table_.Expire(network_->now(), CurrentTimeouts()));
     return nullptr;
   }
+  return entry;
+}
+
+NatTable::Entry* NatDevice::MapOutboundCached(const Packet& packet, const Endpoint& private_ep,
+                                              const Endpoint& remote, bool* created) {
+  *created = false;
+  if (out_cache_.entry != nullptr && out_cache_.generation == table_.generation() &&
+      out_cache_.contention_epoch == table_.contention_epoch() &&
+      out_cache_.protocol == packet.protocol && out_cache_.private_ep == private_ep &&
+      out_cache_.remote == remote) {
+    // Identical observable effect to MapOutbound on an existing entry: the
+    // port_users_ record is already present (same private endpoint) and the
+    // outbound key is unchanged (same generation + contention epoch), so
+    // only the refresh remains.
+    table_.Touch(out_cache_.entry, remote, network_->now());
+    obs::Inc(metric_flowcache_hits_);
+    return out_cache_.entry;
+  }
+  obs::Inc(metric_flowcache_misses_);
+  const size_t mappings_before = table_.size();
+  NatTable::Entry* entry =
+      table_.MapOutbound(packet.protocol, private_ep, remote, network_->now());
+  if (entry == nullptr) {
+    return nullptr;
+  }
+  *created = table_.size() > mappings_before;
+  out_cache_ = OutboundFlowCache{packet.protocol,     private_ep, remote,
+                                 entry,               table_.generation(),
+                                 table_.contention_epoch()};
   return entry;
 }
 
@@ -87,10 +133,11 @@ void NatDevice::SetUpstream(std::optional<Ipv4Address> gateway) {
 
 void NatDevice::FlushMappings() {
   CountExpired(table_.size());
-  table_.Clear();
+  table_.Clear();  // bumps the table generation -> both flow caches miss
   basic_out_.clear();
   basic_in_.clear();
   basic_sessions_.clear();
+  basic_lru_.clear();
 }
 
 void NatDevice::Reboot() {
@@ -109,7 +156,7 @@ std::optional<Endpoint> NatDevice::PublicEndpointFor(IpProtocol protocol,
   return Endpoint(public_ip_, entry->public_port);
 }
 
-void NatDevice::HandlePacket(int iface, Packet packet) {
+void NatDevice::HandlePacket(int iface, Packet&& packet) {
   if (iface == outside_iface_) {
     if (config_.basic_nat && basic_in_.count(packet.dst_ip) != 0) {
       HandleInboundBasic(std::move(packet));
@@ -158,6 +205,7 @@ void NatDevice::TrackTcpOutbound(NatTable::Entry* entry, const Packet& packet) {
   if (packet.tcp.ack && entry->tcp_inbound_seen && !entry->tcp_closing) {
     entry->tcp_established = true;
   }
+  table_.Reclassify(entry);
 }
 
 void NatDevice::TrackTcpInbound(NatTable::Entry* entry, const Packet& packet) {
@@ -168,6 +216,7 @@ void NatDevice::TrackTcpInbound(NatTable::Entry* entry, const Packet& packet) {
   if (packet.tcp.rst || packet.tcp.fin) {
     entry->tcp_closing = true;
   }
+  table_.Reclassify(entry);
 }
 
 void NatDevice::RewritePayloadAddress(Packet* packet, Ipv4Address from, Ipv4Address to) {
@@ -196,7 +245,7 @@ void NatDevice::RewritePayloadAddress(Packet* packet, Ipv4Address from, Ipv4Addr
   }
 }
 
-void NatDevice::HandleOutbound(Packet packet) {
+void NatDevice::HandleOutbound(Packet&& packet) {
   if (--packet.ttl <= 0) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
@@ -207,10 +256,9 @@ void NatDevice::HandleOutbound(Packet packet) {
   }
   const Endpoint private_ep = packet.src();
   const Endpoint remote = packet.dst();
-  const size_t mappings_before = table_.size();
-  NatTable::Entry* entry =
-      table_.MapOutbound(packet.protocol, private_ep, remote, network_->now());
-  if (entry != nullptr && table_.size() > mappings_before) {
+  bool created = false;
+  NatTable::Entry* entry = MapOutboundCached(packet, private_ep, remote, &created);
+  if (created) {
     CountMappingCreated();
   }
   if (entry == nullptr) {
@@ -272,7 +320,7 @@ void NatDevice::RejectUnsolicitedTcp(const Packet& packet) {
   }
 }
 
-void NatDevice::HandleInbound(Packet packet) {
+void NatDevice::HandleInbound(Packet&& packet) {
   if (--packet.ttl <= 0) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
@@ -302,7 +350,7 @@ void NatDevice::HandleInbound(Packet packet) {
     return;
   }
   if (config_.refresh_on_inbound) {
-    entry->Refresh(packet.src(), network_->now());
+    table_.Touch(entry, packet.src(), network_->now());
   }
   TrackTcpInbound(entry, packet);
   if (config_.rewrite_payload_addresses) {
@@ -314,7 +362,7 @@ void NatDevice::HandleInbound(Packet packet) {
   SendPacket(std::move(packet));
 }
 
-void NatDevice::HandleHairpin(Packet packet) {
+void NatDevice::HandleHairpin(Packet&& packet) {
   if (--packet.ttl <= 0) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
@@ -342,13 +390,12 @@ void NatDevice::HandleHairpin(Packet packet) {
   // Translate the source exactly as an outbound packet would be (a
   // well-behaved hairpin per §3.5: the receiver sees the sender's public
   // endpoint).
-  const size_t mappings_before = table_.size();
-  NatTable::Entry* source =
-      table_.MapOutbound(packet.protocol, packet.src(), packet.dst(), network_->now());
+  bool created = false;
+  NatTable::Entry* source = MapOutboundCached(packet, packet.src(), packet.dst(), &created);
   if (source == nullptr) {
     return;
   }
-  if (table_.size() > mappings_before) {
+  if (created) {
     CountMappingCreated();
   }
   TrackTcpOutbound(source, packet);
@@ -367,7 +414,7 @@ void NatDevice::HandleHairpin(Packet packet) {
     }
     return;
   }
-  target->Refresh(translated_src, network_->now());
+  table_.Touch(target, translated_src, network_->now());
   TrackTcpInbound(target, packet);
   packet.set_src(translated_src);
   packet.set_dst(target->private_ep);
@@ -417,16 +464,30 @@ bool NatDevice::BasicSessionAllows(Ipv4Address private_ip, const Endpoint& remot
   return false;
 }
 
-void NatDevice::ExpireBasicSessions() {
+void NatDevice::TouchBasicSession(Ipv4Address private_ip, const Endpoint& remote) {
   const SimTime now = network_->now();
-  for (auto host = basic_sessions_.begin(); host != basic_sessions_.end();) {
-    for (auto session = host->second.begin(); session != host->second.end();) {
-      if (now - session->second >= config_.udp_timeout) {
-        session = host->second.erase(session);
-      } else {
-        ++session;
-      }
+  basic_sessions_[private_ip][remote] = now;
+  basic_lru_.emplace(now, std::make_pair(private_ip, remote));
+}
+
+void NatDevice::ExpireBasicSessions() {
+  // Pop queue nodes until the head is fresh — O(expired + superseded), not
+  // O(sessions). A node whose authoritative session time moved forward is a
+  // superseded duplicate (the session was refreshed after this node was
+  // logged) and is skipped; the refresh logged a newer node.
+  const SimTime now = network_->now();
+  while (!basic_lru_.empty() && now - basic_lru_.begin()->first >= config_.udp_timeout) {
+    const auto [private_ip, remote] = basic_lru_.begin()->second;
+    basic_lru_.erase(basic_lru_.begin());
+    auto host = basic_sessions_.find(private_ip);
+    if (host == basic_sessions_.end()) {
+      continue;
     }
+    auto session = host->second.find(remote);
+    if (session == host->second.end() || now - session->second < config_.udp_timeout) {
+      continue;
+    }
+    host->second.erase(session);
     if (host->second.empty()) {
       // Reclaim the public address once the host goes fully idle.
       auto binding = basic_out_.find(host->first);
@@ -435,14 +496,12 @@ void NatDevice::ExpireBasicSessions() {
         basic_out_.erase(binding);
         CountExpired(1);
       }
-      host = basic_sessions_.erase(host);
-    } else {
-      ++host;
+      basic_sessions_.erase(host);
     }
   }
 }
 
-void NatDevice::HandleOutboundBasic(Packet packet) {
+void NatDevice::HandleOutboundBasic(Packet&& packet) {
   if (--packet.ttl <= 0) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
@@ -457,7 +516,7 @@ void NatDevice::HandleOutboundBasic(Packet packet) {
                              "basic NAT pool exhausted");
     return;
   }
-  basic_sessions_[packet.src_ip][packet.dst()] = network_->now();
+  TouchBasicSession(packet.src_ip, packet.dst());
   packet.src_ip = *assigned;  // port untouched — the defining Basic NAT property
   ++stats_.translated_out;
   network_->trace().Record(network_->now(), trace_id_, TraceEvent::kNatTranslateOut, packet,
@@ -465,7 +524,7 @@ void NatDevice::HandleOutboundBasic(Packet packet) {
   SendPacket(std::move(packet));
 }
 
-void NatDevice::HandleInboundBasic(Packet packet) {
+void NatDevice::HandleInboundBasic(Packet&& packet) {
   if (--packet.ttl <= 0) {
     network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDropTtl, packet);
     return;
@@ -488,7 +547,7 @@ void NatDevice::HandleInboundBasic(Packet packet) {
     return;
   }
   if (config_.refresh_on_inbound) {
-    basic_sessions_[private_ip][packet.src()] = network_->now();
+    TouchBasicSession(private_ip, packet.src());
   }
   packet.dst_ip = private_ip;
   ++stats_.translated_in;
@@ -497,7 +556,7 @@ void NatDevice::HandleInboundBasic(Packet packet) {
   SendPacket(std::move(packet));
 }
 
-void NatDevice::HandleHairpinBasic(Packet packet) {
+void NatDevice::HandleHairpinBasic(Packet&& packet) {
   if (--packet.ttl <= 0) {
     return;
   }
@@ -515,13 +574,13 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
     return;
   }
   const Ipv4Address target = basic_in_.at(packet.dst_ip);
-  basic_sessions_[packet.src_ip][packet.dst()] = network_->now();
+  TouchBasicSession(packet.src_ip, packet.dst());
   if (config_.hairpin_filtered &&
       !BasicSessionAllows(target, Endpoint(*assigned, packet.src_port))) {
     CountDropUnsolicited();
     return;
   }
-  basic_sessions_[target][Endpoint(*assigned, packet.src_port)] = network_->now();
+  TouchBasicSession(target, Endpoint(*assigned, packet.src_port));
   packet.src_ip = *assigned;
   packet.dst_ip = target;
   CountHairpin();
@@ -529,7 +588,7 @@ void NatDevice::HandleHairpinBasic(Packet packet) {
   SendPacket(std::move(packet));
 }
 
-void NatDevice::HandleInboundIcmp(Packet packet) {
+void NatDevice::HandleInboundIcmp(Packet&& packet) {
   // The quoted original packet was sent by an inside host through one of our
   // mappings: original_src is the mapping's public endpoint.
   if (packet.icmp.original_src.ip != public_ip_) {
@@ -550,7 +609,7 @@ void NatDevice::HandleInboundIcmp(Packet packet) {
   SendPacket(std::move(packet));
 }
 
-void NatDevice::HandleOutboundIcmp(Packet packet) {
+void NatDevice::HandleOutboundIcmp(Packet&& packet) {
   // An inside host is reporting an error about a packet it received. The
   // quoted original_dst is the inside host's private endpoint; the outside
   // world knows that endpoint by its public mapping, so translate the

@@ -11,8 +11,10 @@
 #ifndef SRC_NAT_NAT_DEVICE_H_
 #define SRC_NAT_NAT_DEVICE_H_
 
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "src/nat/nat_config.h"
 #include "src/nat/nat_table.h"
@@ -33,7 +35,7 @@ class NatDevice : public Node {
   // gateway (used when this NAT sits behind another NAT).
   void SetUpstream(std::optional<Ipv4Address> gateway = std::nullopt);
 
-  void HandlePacket(int iface, Packet packet) override;
+  void HandlePacket(int iface, Packet&& packet) override;
 
   const NatConfig& config() const { return config_; }
   NatConfig& mutable_config() { return config_; }
@@ -73,23 +75,31 @@ class NatDevice : public Node {
                                             const Endpoint& remote);
 
  private:
-  void HandleOutbound(Packet packet);
-  void HandleInbound(Packet packet);
-  void HandleHairpin(Packet packet);
-  void HandleInboundIcmp(Packet packet);
-  void HandleOutboundIcmp(Packet packet);
+  void HandleOutbound(Packet&& packet);
+  void HandleInbound(Packet&& packet);
+  void HandleHairpin(Packet&& packet);
+  void HandleInboundIcmp(Packet&& packet);
+  void HandleOutboundIcmp(Packet&& packet);
 
   // Basic NAT (§2.1): address-only translation with a public address pool.
-  void HandleOutboundBasic(Packet packet);
-  void HandleInboundBasic(Packet packet);
-  void HandleHairpinBasic(Packet packet);
+  void HandleOutboundBasic(Packet&& packet);
+  void HandleInboundBasic(Packet&& packet);
+  void HandleHairpinBasic(Packet&& packet);
   // nullopt when the pool is exhausted.
   std::optional<Ipv4Address> AssignBasicAddress(Ipv4Address private_ip);
   bool BasicSessionAllows(Ipv4Address private_ip, const Endpoint& remote) const;
+  // Refresh the (private_ip, remote) session and log it in the expiry queue.
+  void TouchBasicSession(Ipv4Address private_ip, const Endpoint& remote);
   void ExpireBasicSessions();
 
-  // Inbound lookup with lazy expiry of the hit entry.
+  // Inbound lookup (through the inbound flow cache) with lazy expiry of the
+  // hit entry.
   NatTable::Entry* LookupInboundFresh(IpProtocol protocol, uint16_t public_port);
+  // Outbound find-or-create through the outbound flow cache; exactly
+  // table_.MapOutbound observably, but a cache hit skips every hash lookup.
+  // Sets *created when a new mapping was made.
+  NatTable::Entry* MapOutboundCached(const Packet& packet, const Endpoint& private_ep,
+                                     const Endpoint& remote, bool* created);
   SimDuration SessionTimeoutFor(const NatTable::Entry& entry) const;
   bool EntryExpired(const NatTable::Entry& entry) const;
   NatTable::Timeouts CurrentTimeouts() const;
@@ -144,6 +154,31 @@ class NatDevice : public Node {
   obs::Counter* metric_filtered_ = nullptr;
   obs::Counter* metric_hairpins_ = nullptr;
   obs::Counter* metric_rejections_ = nullptr;
+  obs::Counter* metric_flowcache_hits_ = nullptr;
+  obs::Counter* metric_flowcache_misses_ = nullptr;
+
+  // Single-entry per-direction flow caches: the last translated flow in
+  // each direction short-circuits the table lookups. A cached Entry* is
+  // only valid while the table generation is unchanged (no entry has been
+  // removed); the outbound cache additionally pins the contention epoch,
+  // because a §6.3 port-contention demotion changes which outbound key the
+  // cached (private_ep, remote) pair maps through.
+  struct OutboundFlowCache {
+    IpProtocol protocol = IpProtocol::kUdp;
+    Endpoint private_ep;
+    Endpoint remote;
+    NatTable::Entry* entry = nullptr;
+    uint64_t generation = 0;
+    uint64_t contention_epoch = 0;
+  };
+  struct InboundFlowCache {
+    IpProtocol protocol = IpProtocol::kUdp;
+    uint16_t public_port = 0;
+    NatTable::Entry* entry = nullptr;
+    uint64_t generation = 0;
+  };
+  OutboundFlowCache out_cache_;
+  InboundFlowCache in_cache_;
 
   // Basic NAT state: 1:1 address bindings plus per-host session activity
   // (for filtering and idle reclamation; idle timing uses udp_timeout for
@@ -151,6 +186,11 @@ class NatDevice : public Node {
   std::map<Ipv4Address, Ipv4Address> basic_out_;  // private -> public
   std::map<Ipv4Address, Ipv4Address> basic_in_;   // public -> private
   std::map<Ipv4Address, std::map<Endpoint, SimTime>> basic_sessions_;  // by private ip
+  // Lazy expiry queue over basic sessions: every refresh logs a node; the
+  // sweep pops stale nodes and consults basic_sessions_ (authoritative) so
+  // it only ever touches O(expired + superseded) nodes, never the whole
+  // session population.
+  std::multimap<SimTime, std::pair<Ipv4Address, Endpoint>> basic_lru_;
 };
 
 }  // namespace natpunch

@@ -1,7 +1,5 @@
 #include "src/nat/nat_table.h"
 
-#include <algorithm>
-
 namespace natpunch {
 
 bool NatTable::Entry::AllowsInbound(NatFiltering filtering, const Endpoint& remote, SimTime now,
@@ -10,26 +8,21 @@ bool NatTable::Entry::AllowsInbound(NatFiltering filtering, const Endpoint& remo
     case NatFiltering::kEndpointIndependent:
       return true;
     case NatFiltering::kAddressDependent:
-      for (const auto& [ep, last] : sessions) {
-        if (ep.ip == remote.ip && now - last < session_timeout) {
+      for (const Session& session : sessions) {
+        if (session.remote.ip == remote.ip && now - session.last < session_timeout) {
           return true;
         }
       }
       return false;
-    case NatFiltering::kAddressAndPortDependent: {
-      auto it = sessions.find(remote);
-      return it != sessions.end() && now - it->second < session_timeout;
-    }
+    case NatFiltering::kAddressAndPortDependent:
+      for (const Session& session : sessions) {
+        if (session.remote == remote && now - session.last < session_timeout) {
+          return true;
+        }
+      }
+      return false;
   }
   return false;
-}
-
-SimTime NatTable::Entry::NewestActivity() const {
-  SimTime newest;
-  for (const auto& [ep, last] : sessions) {
-    newest = std::max(newest, last);
-  }
-  return newest;
 }
 
 NatTable::NatTable(NatMapping mapping, NatPortAllocation allocation, uint16_t port_base, Rng rng,
@@ -44,8 +37,8 @@ NatTable::NatTable(NatMapping mapping, NatPortAllocation allocation, uint16_t po
 
 NatMapping NatTable::EffectiveMapping(IpProtocol protocol, const Endpoint& private_ep) const {
   if (symmetric_on_contention_) {
-    auto it = port_users_.find(PortKey{protocol, private_ep.port});
-    if (it != port_users_.end() && it->second.size() > 1) {
+    const PortUsers* users = port_users_.Find(PortKey{protocol, private_ep.port});
+    if (users != nullptr && users->multi) {
       return NatMapping::kAddressAndPortDependent;
     }
   }
@@ -70,7 +63,7 @@ NatTable::OutKey NatTable::MakeOutKey(IpProtocol protocol, const Endpoint& priva
 }
 
 bool NatTable::PortFree(IpProtocol protocol, uint16_t port) const {
-  return by_port_.count(PortKey{protocol, port}) == 0;
+  return !by_port_.Contains(PortKey{protocol, port});
 }
 
 uint16_t NatTable::AllocatePort(IpProtocol protocol, uint16_t private_port) {
@@ -102,40 +95,176 @@ uint16_t NatTable::AllocatePort(IpProtocol protocol, uint16_t private_port) {
   return 0;
 }
 
+// --- Entry pool -------------------------------------------------------------
+
+NatTable::Entry* NatTable::AcquireEntry() {
+  if (free_list_ != nullptr) {
+    Entry* entry = free_list_;
+    free_list_ = entry->free_next;
+    entry->free_next = nullptr;
+    return entry;
+  }
+  arena_.push_back(std::make_unique<Entry>());
+  return arena_.back().get();
+}
+
+void NatTable::ReleaseEntry(Entry* entry) {
+  entry->sessions.clear();  // keeps capacity for the next tenant
+  entry->tcp_inbound_seen = false;
+  entry->tcp_established = false;
+  entry->tcp_closing = false;
+  entry->lru_prev = nullptr;
+  entry->lru_next = nullptr;
+  entry->chain_prev = nullptr;
+  entry->chain_next = nullptr;
+  entry->free_next = free_list_;
+  free_list_ = entry;
+}
+
+// --- Intrusive expiry lists -------------------------------------------------
+
+void NatTable::ListUnlink(Entry* entry) {
+  List& list = lists_[entry->lru_class];
+  if (entry->lru_prev != nullptr) {
+    entry->lru_prev->lru_next = entry->lru_next;
+  } else {
+    list.head = entry->lru_next;
+  }
+  if (entry->lru_next != nullptr) {
+    entry->lru_next->lru_prev = entry->lru_prev;
+  } else {
+    list.tail = entry->lru_prev;
+  }
+  entry->lru_prev = nullptr;
+  entry->lru_next = nullptr;
+}
+
+void NatTable::ListAppend(int cls, Entry* entry) {
+  List& list = lists_[cls];
+  entry->lru_class = cls;
+  entry->lru_prev = list.tail;
+  entry->lru_next = nullptr;
+  if (list.tail != nullptr) {
+    list.tail->lru_next = entry;
+  } else {
+    list.head = entry;
+  }
+  list.tail = entry;
+}
+
+void NatTable::ListInsertSorted(int cls, Entry* entry) {
+  List& list = lists_[cls];
+  Entry* after = list.tail;
+  while (after != nullptr && after->last_refresh > entry->last_refresh) {
+    after = after->lru_prev;
+  }
+  entry->lru_class = cls;
+  entry->lru_prev = after;
+  if (after != nullptr) {
+    entry->lru_next = after->lru_next;
+    after->lru_next = entry;
+  } else {
+    entry->lru_next = list.head;
+    list.head = entry;
+  }
+  if (entry->lru_next != nullptr) {
+    entry->lru_next->lru_prev = entry;
+  } else {
+    list.tail = entry;
+  }
+}
+
+void NatTable::MoveToListTail(Entry* entry) {
+  // Refresh times are monotone, so tail append preserves the sort.
+  if (lists_[entry->lru_class].tail == entry) {
+    return;
+  }
+  const int cls = entry->lru_class;
+  ListUnlink(entry);
+  ListAppend(cls, entry);
+}
+
+// --- Private-endpoint chains ------------------------------------------------
+
+void NatTable::ChainInsert(Entry* entry) {
+  Entry** head = by_priv_.FindOrInsert(PrivKey{entry->protocol, entry->private_ep});
+  entry->chain_prev = nullptr;
+  entry->chain_next = *head;
+  if (*head != nullptr) {
+    (*head)->chain_prev = entry;
+  }
+  *head = entry;
+}
+
+void NatTable::ChainUnlink(Entry* entry) {
+  if (entry->chain_next != nullptr) {
+    entry->chain_next->chain_prev = entry->chain_prev;
+  }
+  if (entry->chain_prev != nullptr) {
+    entry->chain_prev->chain_next = entry->chain_next;
+  } else {
+    const PrivKey key{entry->protocol, entry->private_ep};
+    if (entry->chain_next != nullptr) {
+      *by_priv_.Find(key) = entry->chain_next;
+    } else {
+      by_priv_.Erase(key);
+    }
+  }
+  entry->chain_prev = nullptr;
+  entry->chain_next = nullptr;
+}
+
+// --- Public API -------------------------------------------------------------
+
 NatTable::Entry* NatTable::MapOutbound(IpProtocol protocol, const Endpoint& private_ep,
                                        const Endpoint& remote, SimTime now) {
-  port_users_[PortKey{protocol, private_ep.port}].insert(private_ep.ip);
+  PortUsers* users = port_users_.FindOrInsert(PortKey{protocol, private_ep.port});
+  if (!users->any) {
+    users->any = true;
+    users->first = private_ep.ip;
+  } else if (!users->multi && users->first != private_ep.ip) {
+    users->multi = true;
+    // EffectiveMapping for this port just changed; outbound flow caches
+    // keyed under the old mapping behavior must miss.
+    ++contention_epoch_;
+  }
   const OutKey key =
       MakeOutKey(protocol, private_ep, remote, EffectiveMapping(protocol, private_ep));
-  auto it = by_out_.find(key);
-  if (it == by_out_.end()) {
+  bool inserted = false;
+  Entry** slot = by_out_.FindOrInsert(key, &inserted);
+  if (inserted) {
     const uint16_t port = AllocatePort(protocol, private_ep.port);
     if (port == 0) {
+      by_out_.Erase(key);
       return nullptr;
     }
-    auto entry = std::make_unique<Entry>();
+    Entry* entry = AcquireEntry();
     entry->protocol = protocol;
     entry->private_ep = private_ep;
     entry->public_port = port;
-    Entry* raw = entry.get();
-    by_port_[PortKey{protocol, port}] = raw;
-    it = by_out_.emplace(key, std::move(entry)).first;
+    entry->out_key = key;
+    *slot = entry;
+    by_port_.InsertOrAssign(PortKey{protocol, port}, entry);
+    ChainInsert(entry);
+    entry->Refresh(remote, now);
+    ListAppend(ClassOf(*entry), entry);
+    return entry;
   }
-  Entry* entry = it->second.get();
-  entry->Refresh(remote, now);
+  Entry* entry = *slot;
+  Touch(entry, remote, now);
   return entry;
 }
 
 NatTable::Entry* NatTable::FindOutbound(IpProtocol protocol, const Endpoint& private_ep,
                                         const Endpoint& remote) {
-  auto it = by_out_.find(
+  Entry** slot = by_out_.Find(
       MakeOutKey(protocol, private_ep, remote, EffectiveMapping(protocol, private_ep)));
-  return it == by_out_.end() ? nullptr : it->second.get();
+  return slot == nullptr ? nullptr : *slot;
 }
 
 NatTable::Entry* NatTable::FindByPublicPort(IpProtocol protocol, uint16_t public_port) {
-  auto it = by_port_.find(PortKey{protocol, public_port});
-  return it == by_port_.end() ? nullptr : it->second;
+  Entry** slot = by_port_.Find(PortKey{protocol, public_port});
+  return slot == nullptr ? nullptr : *slot;
 }
 
 bool NatTable::AllowsInbound(const Entry& entry, NatFiltering filtering, const Endpoint& remote,
@@ -143,10 +272,9 @@ bool NatTable::AllowsInbound(const Entry& entry, NatFiltering filtering, const E
   if (filtering == NatFiltering::kEndpointIndependent) {
     return true;
   }
-  for (const auto& [key, other] : by_port_) {
-    if (key.protocol != entry.protocol || other->private_ep != entry.private_ep) {
-      continue;
-    }
+  Entry* const* head = by_priv_.Find(PrivKey{entry.protocol, entry.private_ep});
+  for (const Entry* other = head == nullptr ? nullptr : *head; other != nullptr;
+       other = other->chain_next) {
     if (other->AllowsInbound(filtering, remote, now, session_timeout)) {
       return true;
     }
@@ -156,41 +284,74 @@ bool NatTable::AllowsInbound(const Entry& entry, NatFiltering filtering, const E
 
 NatTable::Entry* NatTable::FindByPrivateEndpoint(IpProtocol protocol,
                                                  const Endpoint& private_ep) {
-  for (auto& [key, entry] : by_port_) {
-    if (key.protocol == protocol && entry->private_ep == private_ep) {
-      return entry;
+  Entry* const* head = by_priv_.Find(PrivKey{protocol, private_ep});
+  Entry* best = nullptr;
+  for (Entry* other = head == nullptr ? nullptr : *head; other != nullptr;
+       other = other->chain_next) {
+    if (best == nullptr || other->public_port < best->public_port) {
+      best = other;
     }
   }
-  return nullptr;
+  return best;
+}
+
+void NatTable::RemoveEntry(Entry* entry) {
+  ListUnlink(entry);
+  ChainUnlink(entry);
+  by_port_.Erase(PortKey{entry->protocol, entry->public_port});
+  by_out_.Erase(entry->out_key);
+  ReleaseEntry(entry);
+  ++generation_;
 }
 
 size_t NatTable::Expire(SimTime now, const Timeouts& timeouts) {
+  const SimDuration limits[kClassCount] = {timeouts.udp, timeouts.tcp_established,
+                                           timeouts.tcp_transitory};
   size_t expired = 0;
-  for (auto it = by_out_.begin(); it != by_out_.end();) {
-    Entry& entry = *it->second;
-    SimDuration limit = timeouts.udp;
-    if (entry.protocol == IpProtocol::kTcp) {
-      limit = (entry.tcp_established && !entry.tcp_closing) ? timeouts.tcp_established
-                                                            : timeouts.tcp_transitory;
-    }
-    // Per-session timers first (§3.6), then the mapping itself once every
-    // session is gone.
-    for (auto session = entry.sessions.begin(); session != entry.sessions.end();) {
-      if (now - session->second >= limit) {
-        session = entry.sessions.erase(session);
-      } else {
-        ++session;
+  // Pop stale heads. An entry whose TCP flags were flipped without a
+  // Reclassify() call (unit tests poke the flags directly) is lazily
+  // migrated to its true class list when it surfaces; the outer loop
+  // re-scans because a migration can land an entry on an already-visited
+  // list. Migration is idempotent, so this terminates.
+  bool migrated = true;
+  while (migrated) {
+    migrated = false;
+    for (int cls = 0; cls < kClassCount; ++cls) {
+      while (Entry* head = lists_[cls].head) {
+        const int actual = ClassOf(*head);
+        if (actual != cls) {
+          ListUnlink(head);
+          ListInsertSorted(actual, head);
+          migrated = true;
+          continue;
+        }
+        if (now - head->last_refresh < limits[cls]) {
+          break;
+        }
+        RemoveEntry(head);
+        ++expired;
       }
-    }
-    if (entry.sessions.empty()) {
-      by_port_.erase(PortKey{entry.protocol, entry.public_port});
-      it = by_out_.erase(it);
-      ++expired;
-    } else {
-      ++it;
     }
   }
   return expired;
+}
+
+void NatTable::Clear() {
+  for (List& list : lists_) {
+    Entry* entry = list.head;
+    while (entry != nullptr) {
+      Entry* next = entry->lru_next;
+      ReleaseEntry(entry);
+      entry = next;
+    }
+    list.head = nullptr;
+    list.tail = nullptr;
+  }
+  by_out_.Clear();
+  by_port_.Clear();
+  by_priv_.Clear();
+  port_users_.Clear();
+  ++generation_;
 }
 
 }  // namespace natpunch

@@ -7,6 +7,7 @@ constexpr uint8_t kMagic = 0x4e;  // 'N'
 
 Bytes EncodeNcMessage(const NcMessage& msg) {
   ByteWriter w;
+  w.Reserve(18);  // fixed wire size: magic..verdict below
   w.WriteU8(kMagic);
   w.WriteU8(static_cast<uint8_t>(msg.type));
   w.WriteU64(msg.session);

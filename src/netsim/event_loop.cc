@@ -7,6 +7,49 @@
 
 namespace natpunch {
 
+void EventLoop::HeapPush(HeapEntry entry) {
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!Earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventLoop::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = (i << 2) + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (Earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
 EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   const int64_t t = std::max(at.micros(), now_.micros());
   EnsureSlotCapacity();
@@ -14,8 +57,7 @@ EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   Slot& slot = slots_[static_cast<size_t>(id) & ring_mask_];
   slot.fn = std::move(fn);
   slot.pending = true;
-  heap_.push_back(HeapEntry{t, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  HeapPush(HeapEntry{t, id});
   ++live_;
   obs::Set(metric_heap_depth_, static_cast<int64_t>(live_));
   return id;
@@ -43,7 +85,12 @@ void EventLoop::EnsureSlotCapacity() {
 }
 
 void EventLoop::Reset() {
-  for (Slot& slot : slots_) {
+  // Only the live id window can hold closures: fired and cancelled slots are
+  // nulled on retirement, and ids below base_id_ were compacted past. A fleet
+  // worker Resets once per device simulation, so clearing the (typically
+  // tiny) window instead of the whole ring matters at scale.
+  for (EventId id = base_id_; id < next_id_; ++id) {
+    Slot& slot = slots_[static_cast<size_t>(id) & ring_mask_];
     slot.fn = nullptr;  // destroys pending closures (and anything they own)
     slot.pending = false;
   }
@@ -53,10 +100,6 @@ void EventLoop::Reset() {
   next_id_ = 1;
   base_id_ = 1;
   events_processed_ = 0;
-}
-
-EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
 }
 
 EventLoop::Slot* EventLoop::SlotFor(EventId id) {
@@ -78,8 +121,7 @@ void EventLoop::PopDead() {
     if (slot != nullptr && slot->pending) {
       return;
     }
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    HeapPopTop();
   }
 }
 
@@ -95,14 +137,9 @@ bool EventLoop::Cancel(EventId id) {
   return true;
 }
 
-bool EventLoop::RunOne() {
-  PopDead();
-  if (heap_.empty()) {
-    return false;
-  }
+void EventLoop::DispatchTop() {
   const HeapEntry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
+  HeapPopTop();
   Slot* slot = SlotFor(top.id);
   std::function<void()> fn = std::move(slot->fn);
   slot->pending = false;
@@ -113,16 +150,28 @@ bool EventLoop::RunOne() {
   ++events_processed_;
   obs::Inc(metric_dispatched_);
   fn();
+}
+
+bool EventLoop::RunOne() {
+  PopDead();
+  if (heap_.empty()) {
+    return false;
+  }
+  DispatchTop();
   return true;
 }
 
 void EventLoop::RunUntil(SimTime deadline) {
+  // One PopDead per dispatch: the loop peeks the live top itself instead of
+  // delegating to RunOne (which would re-PopDead an already-clean heap —
+  // measurably half the PopDead traffic on the fleet workload).
+  const int64_t limit = deadline.micros();
   for (;;) {
     PopDead();
-    if (heap_.empty() || heap_.front().time > deadline.micros()) {
+    if (heap_.empty() || heap_.front().time > limit) {
       break;
     }
-    RunOne();
+    DispatchTop();
   }
   now_ = std::max(now_, deadline);
 }

@@ -6,9 +6,14 @@
 // reproducing exact packet interleavings (e.g. whether A's SYN reaches B's
 // NAT before B's SYN leaves it).
 //
-// Implementation: a binary min-heap of (time, sequence) keys with lazy
-// cancellation. Cancel() only flips the event's slot to non-pending; the
-// tombstoned heap entry is discarded when it surfaces at the top. Callbacks
+// Implementation: a 4-ary min-heap of (time, sequence) keys with lazy
+// cancellation. The (time, id) key is a strict total order (ids are unique),
+// so the pop sequence — and therefore every packet interleaving — is
+// identical to any other correct priority queue; the wider fan-out just
+// halves the tree depth and keeps sift paths in fewer cache lines, which
+// matters at ~10M schedules per fleet run. Cancel() only flips the event's
+// slot to non-pending; the tombstoned heap entry is discarded when it
+// surfaces at the top. Callbacks
 // live in a power-of-two ring buffer indexed by event id (ids are issued
 // sequentially, so the slot for id i sits at i & ring_mask_), which gives
 // O(1) id lookup with no hashing. Unlike the std::deque it replaced — which
@@ -46,7 +51,9 @@ class EventLoop {
   // Schedule `fn` to run at absolute time `at` (clamped to now).
   EventId ScheduleAt(SimTime at, std::function<void()> fn);
   // Schedule `fn` to run `delay` from now.
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   // Cancel a pending event. Returns true if it was still pending.
   bool Cancel(EventId id);
@@ -89,13 +96,12 @@ class EventLoop {
     int64_t time;  // micros
     EventId id;
   };
-  // Min-heap on (time, id); std::push_heap keeps the *largest* element at
-  // the front under operator<, so "earlier" must compare greater.
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      return a.time > b.time || (a.time == b.time && a.id > b.id);
-    }
-  };
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  }
+  // 4-ary min-heap primitives over heap_; the minimum sits at heap_[0].
+  void HeapPush(HeapEntry entry);
+  void HeapPopTop();
 
   struct Slot {
     std::function<void()> fn;
@@ -105,6 +111,9 @@ class EventLoop {
   // Slot for `id`, or nullptr if the id was never issued / already retired
   // out of the window.
   Slot* SlotFor(EventId id);
+  // Pop and run the heap top. Precondition: PopDead() has run and the heap
+  // is non-empty (the top is live).
+  void DispatchTop();
   // Drop tombstoned (cancelled) entries off the heap top so heap_.front()
   // is the earliest still-pending event.
   void PopDead();

@@ -25,7 +25,7 @@ bool Lan::HasAddress(Ipv4Address ip) const {
   return false;
 }
 
-void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet packet) {
+void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet&& packet) {
   ++packets_;
   const size_t wire_size = packet.WireSize();
   bytes_ += wire_size;

@@ -72,8 +72,10 @@ class Lan {
   bool HasAddress(Ipv4Address ip) const;
 
   // Emit `packet` toward `next_hop` on this segment. Applies loss and delay,
-  // then delivers to the attachment owning next_hop, if any.
-  void Transmit(Node* sender, Ipv4Address next_hop, Packet packet);
+  // then delivers to the attachment owning next_hop, if any. The packet is
+  // consumed (parked in the pooled delivery slot) only when it survives the
+  // loss/link checks.
+  void Transmit(Node* sender, Ipv4Address next_hop, Packet&& packet);
 
   uint64_t packets_transmitted() const { return packets_; }
   uint64_t bytes_transmitted() const { return bytes_; }

@@ -40,12 +40,16 @@ class Node {
   void AddDefaultRoute(int iface, Ipv4Address gateway);
 
   // Called by the Lan when a packet is delivered to interface `iface`.
-  virtual void HandlePacket(int iface, Packet packet) = 0;
+  // Takes the packet by rvalue reference: forwarding devices mutate it in
+  // place and re-emit it, so the delivery→translate→transmit chain moves the
+  // Packet exactly twice (out of the Lan's slot pool and back in) instead of
+  // once per call frame.
+  virtual void HandlePacket(int iface, Packet&& packet) = 0;
 
   // Route `packet` by destination and emit it on the selected interface.
   // Fills in src_ip from the egress interface when unset. Returns false
   // (and records a trace drop) when no route matches.
-  bool SendPacket(Packet packet);
+  bool SendPacket(Packet&& packet);
 
   // Longest-prefix-match lookup. Returns the interface index and sets
   // *next_hop, or -1 when no route matches.
@@ -79,6 +83,14 @@ class Node {
 
   std::vector<Iface> ifaces_;
   std::vector<Route> routes_;
+
+  // One-entry route cache for SendPacket. Most nodes converse with a handful
+  // of destinations, and the routing table is static after topology setup,
+  // so the longest-prefix scan is pure per destination between AddRoute
+  // calls (which invalidate the cache).
+  Ipv4Address cached_dst_;
+  Ipv4Address cached_next_hop_;
+  int cached_iface_ = -1;
 };
 
 }  // namespace natpunch

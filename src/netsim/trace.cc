@@ -94,7 +94,7 @@ std::string TraceRecord::ToString(const TraceRecorder& trace) const {
 }
 
 TraceNodeId TraceRecorder::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) {
     return it->second;
   }

@@ -170,10 +170,17 @@ class TraceRecorder {
   std::string Dump() const;
 
  private:
+  // Heterogeneous lookup so Intern(string_view) — which every Node/Lan
+  // constructor calls — never materializes a temporary std::string.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+
   bool enabled_ = false;
   std::vector<TraceRecord> records_;
-  std::vector<std::string> names_;                    // id -> name
-  std::unordered_map<std::string, TraceNodeId> ids_;  // name -> id
+  std::vector<std::string> names_;  // id -> name
+  std::unordered_map<std::string, TraceNodeId, NameHash, std::equal_to<>> ids_;  // name -> id
 };
 
 }  // namespace natpunch

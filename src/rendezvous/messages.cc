@@ -25,6 +25,7 @@ Endpoint ReadEndpoint(ByteReader& r, bool obfuscate) {
 
 Bytes EncodeRendezvousMessage(const RendezvousMessage& msg, bool obfuscate_addresses) {
   ByteWriter w;
+  w.Reserve(50 + msg.payload.size());  // fixed header fields + length-prefixed payload
   w.WriteU8(kMagic);
   w.WriteU8(kVersion);
   w.WriteU8(static_cast<uint8_t>(msg.type));
@@ -68,6 +69,7 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
 
 Bytes MessageFramer::Frame(const Bytes& body) {
   ByteWriter w;
+  w.Reserve(2 + body.size());
   w.WriteU16(static_cast<uint16_t>(body.size()));
   w.WriteRaw(body.data(), body.size());
   return w.Take();

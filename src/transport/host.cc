@@ -32,9 +32,9 @@ uint16_t Host::AllocateEphemeralPort(IpProtocol protocol) {
   return 0;
 }
 
-void Host::SendFromTransport(Packet packet) { SendPacket(std::move(packet)); }
+void Host::SendFromTransport(Packet&& packet) { SendPacket(std::move(packet)); }
 
-void Host::HandlePacket(int iface, Packet packet) {
+void Host::HandlePacket(int iface, Packet&& packet) {
   (void)iface;
   if (!OwnsAddress(packet.dst_ip)) {
     // Hosts do not forward.

@@ -35,7 +35,7 @@ class Host : public Node {
   TcpStack& tcp() { return *tcp_; }
   const HostConfig& config() const { return config_; }
 
-  void HandlePacket(int iface, Packet packet) override;
+  void HandlePacket(int iface, Packet&& packet) override;
 
   // First interface's address; hosts in this library are single-homed.
   Ipv4Address primary_address() const;
@@ -47,7 +47,7 @@ class Host : public Node {
   Rng& rng();
 
   // Transport stacks emit through this so every packet goes via routing.
-  void SendFromTransport(Packet packet);
+  void SendFromTransport(Packet&& packet);
 
  private:
   HostConfig config_;

@@ -704,60 +704,70 @@ TcpSocket* TcpStack::CreateSocket() {
 }
 
 bool TcpStack::IsPortBound(uint16_t port) const {
-  return bound_.count(port) > 0 || listeners_.count(port) > 0;
+  return bound_.Contains(port) || listeners_.Contains(port);
 }
 
 Status TcpStack::RegisterBind(TcpSocket* socket, uint16_t port) {
-  auto range = bound_.equal_range(port);
-  for (auto it = range.first; it != range.second; ++it) {
-    if (!it->second->reuse_addr() || !socket->reuse_addr()) {
-      return Status(ErrorCode::kAddressInUse, "TCP port " + std::to_string(port));
+  std::vector<TcpSocket*>* sharers = bound_.Find(port);
+  if (sharers != nullptr) {
+    for (TcpSocket* other : *sharers) {
+      if (!other->reuse_addr() || !socket->reuse_addr()) {
+        return Status(ErrorCode::kAddressInUse, "TCP port " + std::to_string(port));
+      }
     }
   }
-  bound_.emplace(port, socket);
+  bound_.FindOrInsert(port)->push_back(socket);
   return Status::Ok();
 }
 
 void TcpStack::UnregisterBind(TcpSocket* socket) {
-  auto range = bound_.equal_range(socket->local_port());
-  for (auto it = range.first; it != range.second; ++it) {
-    if (it->second == socket) {
-      bound_.erase(it);
-      return;
+  std::vector<TcpSocket*>* sharers = bound_.Find(socket->local_port());
+  if (sharers == nullptr) {
+    return;
+  }
+  for (auto it = sharers->begin(); it != sharers->end(); ++it) {
+    if (*it == socket) {
+      sharers->erase(it);
+      break;
     }
+  }
+  if (sharers->empty()) {
+    bound_.Erase(socket->local_port());
   }
 }
 
 Status TcpStack::RegisterListener(TcpSocket* socket) {
-  auto [it, inserted] = listeners_.emplace(socket->local_port(), socket);
-  (void)it;
+  bool inserted = false;
+  TcpSocket** slot = listeners_.FindOrInsert(socket->local_port(), &inserted);
   if (!inserted) {
     return Status(ErrorCode::kAddressInUse,
                   "listener exists on port " + std::to_string(socket->local_port()));
   }
+  *slot = socket;
   return Status::Ok();
 }
 
 void TcpStack::UnregisterListener(TcpSocket* socket) {
-  auto it = listeners_.find(socket->local_port());
-  if (it != listeners_.end() && it->second == socket) {
-    listeners_.erase(it);
+  TcpSocket** slot = listeners_.Find(socket->local_port());
+  if (slot != nullptr && *slot == socket) {
+    listeners_.Erase(socket->local_port());
   }
 }
 
 Status TcpStack::RegisterConnection(TcpSocket* socket) {
-  auto [it, inserted] = connections_.emplace(socket->tuple_, socket);
-  (void)it;
+  bool inserted = false;
+  TcpSocket** slot = connections_.FindOrInsert(socket->tuple_, &inserted);
   if (!inserted) {
     return Status(ErrorCode::kAddressInUse, "4-tuple in use: " + socket->tuple_.ToString());
   }
+  *slot = socket;
   return Status::Ok();
 }
 
 void TcpStack::UnregisterConnection(TcpSocket* socket) {
-  auto it = connections_.find(socket->tuple_);
-  if (it != connections_.end() && it->second == socket) {
-    connections_.erase(it);
+  TcpSocket** slot = connections_.Find(socket->tuple_);
+  if (slot != nullptr && *slot == socket) {
+    connections_.Erase(socket->tuple_);
   }
 }
 
@@ -810,10 +820,10 @@ void TcpStack::SpawnFromListener(TcpSocket* listener, const Packet& syn,
 
 void TcpStack::HandlePacket(const Packet& packet) {
   const FourTuple tuple{packet.dst(), packet.src()};
-  auto conn_it = connections_.find(tuple);
-  TcpSocket* conn = conn_it != connections_.end() ? conn_it->second : nullptr;
-  auto listen_it = listeners_.find(packet.dst_port);
-  TcpSocket* listener = listen_it != listeners_.end() ? listen_it->second : nullptr;
+  TcpSocket** conn_slot = connections_.Find(tuple);
+  TcpSocket* conn = conn_slot != nullptr ? *conn_slot : nullptr;
+  TcpSocket** listen_slot = listeners_.Find(packet.dst_port);
+  TcpSocket* listener = listen_slot != nullptr ? *listen_slot : nullptr;
 
   const bool bare_syn = packet.tcp.syn && !packet.tcp.ack && !packet.tcp.rst;
   if (bare_syn) {
@@ -860,11 +870,11 @@ void TcpStack::HandlePacket(const Packet& packet) {
 
 void TcpStack::HandleIcmpError(const Packet& icmp) {
   const FourTuple tuple{icmp.icmp.original_src, icmp.icmp.original_dst};
-  auto it = connections_.find(tuple);
-  if (it == connections_.end()) {
+  TcpSocket* const* slot = connections_.Find(tuple);
+  if (slot == nullptr) {
     return;
   }
-  TcpSocket* conn = it->second;
+  TcpSocket* conn = *slot;
   if (conn->state() == TcpState::kSynSent) {
     // "Host unreachable" / "port unreachable" style hard errors abort the
     // connection attempt; the hole punching layer retries (§4.2 step 4).

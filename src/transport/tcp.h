@@ -29,13 +29,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/netsim/event_loop.h"
 #include "src/netsim/packet.h"
 #include "src/transport/tcp_types.h"
 #include "src/util/bytes.h"
+#include "src/util/flat_hash.h"
 #include "src/util/result.h"
 
 namespace natpunch {
@@ -222,9 +222,12 @@ class TcpStack {
   Host* host_;
   TcpConfig config_;
   std::vector<std::unique_ptr<TcpSocket>> sockets_;
-  std::unordered_map<FourTuple, TcpSocket*, FourTupleHash> connections_;
-  std::map<uint16_t, TcpSocket*> listeners_;
-  std::multimap<uint16_t, TcpSocket*> bound_;
+  // Per-segment demux tables, all flat-hash (see src/util/flat_hash.h).
+  // bound_ keeps insertion order within a port (SO_REUSEADDR sockets), the
+  // order the old multimap guaranteed.
+  FlatHashMap<FourTuple, TcpSocket*, FourTupleHash> connections_;
+  FlatHashMap<uint16_t, TcpSocket*> listeners_;
+  FlatHashMap<uint16_t, std::vector<TcpSocket*>> bound_;
 
   // Registry names: tcp.<host>.retransmits / simultaneous_opens / rsts_sent.
   // Null when the owning Network has no metrics registry.

@@ -61,23 +61,26 @@ Result<UdpSocket*> UdpStack::Bind(uint16_t port) {
     if (port == 0) {
       return Status(ErrorCode::kAddressInUse, "ephemeral ports exhausted");
     }
-  } else if (sockets_.count(port) != 0 && !sockets_[port]->closed()) {
-    return Status(ErrorCode::kAddressInUse, "UDP port " + std::to_string(port));
+  } else {
+    std::unique_ptr<UdpSocket>* existing = sockets_.Find(port);
+    if (existing != nullptr && !(*existing)->closed()) {
+      return Status(ErrorCode::kAddressInUse, "UDP port " + std::to_string(port));
+    }
   }
   auto socket = std::make_unique<UdpSocket>(this, port);
   UdpSocket* raw = socket.get();
-  sockets_[port] = std::move(socket);
+  *sockets_.FindOrInsert(port) = std::move(socket);
   return raw;
 }
 
 bool UdpStack::IsPortBound(uint16_t port) const {
-  auto it = sockets_.find(port);
-  return it != sockets_.end() && !it->second->closed();
+  const std::unique_ptr<UdpSocket>* socket = sockets_.Find(port);
+  return socket != nullptr && !(*socket)->closed();
 }
 
 void UdpStack::HandlePacket(const Packet& packet) {
-  auto it = sockets_.find(packet.dst_port);
-  if (it == sockets_.end() || it->second->closed()) {
+  std::unique_ptr<UdpSocket>* socket = sockets_.Find(packet.dst_port);
+  if (socket == nullptr || (*socket)->closed()) {
     if (host_->config().icmp_on_closed_udp_port) {
       Packet icmp;
       icmp.protocol = IpProtocol::kIcmp;
@@ -91,26 +94,26 @@ void UdpStack::HandlePacket(const Packet& packet) {
     }
     return;
   }
-  it->second->Deliver(packet.src(), packet.payload);
+  (*socket)->Deliver(packet.src(), packet.payload);
 }
 
 void UdpStack::HandleIcmpError(const Packet& icmp) {
   // The quoted original packet was sent by us: original_src.port identifies
   // the local socket, original_dst is the unreachable destination.
-  auto it = sockets_.find(icmp.icmp.original_src.port);
-  if (it == sockets_.end() || it->second->closed()) {
+  std::unique_ptr<UdpSocket>* socket = sockets_.Find(icmp.icmp.original_src.port);
+  if (socket == nullptr || (*socket)->closed()) {
     return;
   }
   const ErrorCode code =
       icmp.icmp.code == 3 ? ErrorCode::kConnectionRefused : ErrorCode::kHostUnreachable;
-  it->second->DeliverError(icmp.icmp.original_dst, code);
+  (*socket)->DeliverError(icmp.icmp.original_dst, code);
 }
 
 void UdpStack::ScheduleReclaim(uint16_t port) {
   host_->loop().ScheduleAfter(Micros(0), [this, port] {
-    auto it = sockets_.find(port);
-    if (it != sockets_.end() && it->second->closed()) {
-      sockets_.erase(it);
+    std::unique_ptr<UdpSocket>* socket = sockets_.Find(port);
+    if (socket != nullptr && (*socket)->closed()) {
+      sockets_.Erase(port);
     }
   });
 }

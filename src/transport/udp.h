@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "src/netsim/address.h"
 #include "src/netsim/packet.h"
 #include "src/util/bytes.h"
+#include "src/util/flat_hash.h"
 #include "src/util/result.h"
 
 namespace natpunch {
@@ -91,7 +91,8 @@ class UdpStack {
   void ScheduleReclaim(uint16_t port);
 
   Host* host_;
-  std::map<uint16_t, std::unique_ptr<UdpSocket>> sockets_;
+  // Port demux. Flat hash: this lookup runs once per delivered datagram.
+  FlatHashMap<uint16_t, std::unique_ptr<UdpSocket>> sockets_;
 };
 
 }  // namespace natpunch

@@ -2,25 +2,6 @@
 
 namespace natpunch {
 
-void ByteWriter::WriteU8(uint8_t v) { buffer_.push_back(v); }
-
-void ByteWriter::WriteU16(uint16_t v) {
-  buffer_.push_back(static_cast<uint8_t>(v >> 8));
-  buffer_.push_back(static_cast<uint8_t>(v));
-}
-
-void ByteWriter::WriteU32(uint32_t v) {
-  buffer_.push_back(static_cast<uint8_t>(v >> 24));
-  buffer_.push_back(static_cast<uint8_t>(v >> 16));
-  buffer_.push_back(static_cast<uint8_t>(v >> 8));
-  buffer_.push_back(static_cast<uint8_t>(v));
-}
-
-void ByteWriter::WriteU64(uint64_t v) {
-  WriteU32(static_cast<uint32_t>(v >> 32));
-  WriteU32(static_cast<uint32_t>(v));
-}
-
 void ByteWriter::WriteBytes(const Bytes& v) {
   WriteU16(static_cast<uint16_t>(v.size()));
   buffer_.insert(buffer_.end(), v.begin(), v.end());
@@ -33,47 +14,6 @@ void ByteWriter::WriteString(std::string_view v) {
 
 void ByteWriter::WriteRaw(const uint8_t* data, size_t len) {
   buffer_.insert(buffer_.end(), data, data + len);
-}
-
-bool ByteReader::CheckAvail(size_t n) {
-  if (!ok_ || size_ - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  return true;
-}
-
-uint8_t ByteReader::ReadU8() {
-  if (!CheckAvail(1)) {
-    return 0;
-  }
-  return data_[pos_++];
-}
-
-uint16_t ByteReader::ReadU16() {
-  if (!CheckAvail(2)) {
-    return 0;
-  }
-  uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
-  pos_ += 2;
-  return v;
-}
-
-uint32_t ByteReader::ReadU32() {
-  if (!CheckAvail(4)) {
-    return 0;
-  }
-  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
-               static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
-               static_cast<uint32_t>(data_[pos_ + 2]) << 8 | static_cast<uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
-
-uint64_t ByteReader::ReadU64() {
-  uint64_t hi = ReadU32();
-  uint64_t lo = ReadU32();
-  return hi << 32 | lo;
 }
 
 Bytes ByteReader::ReadBytes() {

@@ -42,10 +42,28 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
-  void WriteU8(uint8_t v);
-  void WriteU16(uint16_t v);
-  void WriteU32(uint32_t v);
-  void WriteU64(uint64_t v);
+  // Pre-size the buffer. Encoders know their wire size up front; without
+  // this, building an 18-byte message from push_backs pays the vector's full
+  // 1->2->4->... doubling walk in allocations.
+  void Reserve(size_t n) { buffer_.reserve(n); }
+
+  // The fixed-width writers are inline: every simulated wire message funnels
+  // through them, so the per-field call overhead is hot-path cost.
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(uint16_t v) {
+    buffer_.push_back(static_cast<uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<uint8_t>(v));
+  }
+  void WriteU32(uint32_t v) {
+    buffer_.push_back(static_cast<uint8_t>(v >> 24));
+    buffer_.push_back(static_cast<uint8_t>(v >> 16));
+    buffer_.push_back(static_cast<uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<uint8_t>(v));
+  }
+  void WriteU64(uint64_t v) {
+    WriteU32(static_cast<uint32_t>(v >> 32));
+    WriteU32(static_cast<uint32_t>(v));
+  }
   // Length-prefixed (u16) byte string.
   void WriteBytes(const Bytes& v);
   void WriteString(std::string_view v);
@@ -66,10 +84,32 @@ class ByteReader {
   explicit ByteReader(ConstByteSpan span) : data_(span.data()), size_(span.size()) {}
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  uint8_t ReadU8();
-  uint16_t ReadU16();
-  uint32_t ReadU32();
-  uint64_t ReadU64();
+  uint8_t ReadU8() { return CheckAvail(1) ? data_[pos_++] : 0; }
+  uint16_t ReadU16() {
+    if (!CheckAvail(2)) {
+      return 0;
+    }
+    const auto v =
+        static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t ReadU32() {
+    if (!CheckAvail(4)) {
+      return 0;
+    }
+    const uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+                       static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+                       static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+                       static_cast<uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t ReadU64() {
+    const uint64_t hi = ReadU32();
+    const uint64_t lo = ReadU32();
+    return hi << 32 | lo;
+  }
   Bytes ReadBytes();
   std::string ReadString();
 
@@ -79,7 +119,13 @@ class ByteReader {
   bool AtEnd() const { return pos_ == size_; }
 
  private:
-  bool CheckAvail(size_t n);
+  bool CheckAvail(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
 
   const uint8_t* data_;
   size_t size_;

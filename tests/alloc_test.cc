@@ -15,6 +15,7 @@
 #include <new>
 #include <string>
 
+#include "src/nat/nat_table.h"
 #include "src/scenario/scenario.h"
 #include "src/transport/host.h"
 
@@ -159,6 +160,53 @@ TEST(ZeroAllocTest, SteadyStatePunchedExchangeAllocatesNothing) {
   // ...metrics really were recording (dispatch counter moved)...
   EXPECT_GT(dispatched->value(), dispatched_before + static_cast<uint64_t>(kRounds));
   // ...and not one byte came off the heap.
+  EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
+}
+
+TEST(ZeroAllocTest, SteadyStateMappingChurnAllocatesNothing) {
+  // The NAT table's pooled-entry guarantee: once the table has reached its
+  // high-water size, continuous mapping churn — expiry tearing mappings down
+  // and new outbound traffic recreating them — recycles entries, hash slots,
+  // and session vectors without touching the heap.
+  NatTable table(NatMapping::kEndpointIndependent, NatPortAllocation::kSequential, 62000, Rng(1));
+
+  // A bounded endpoint population (the steady-state shape: the same inside
+  // hosts keep talking) cycling through a table that holds half of them live
+  // at any instant.
+  constexpr uint32_t kEndpoints = 512;
+  constexpr int64_t kLifetime = kEndpoints / 2;  // in churn steps
+  const NatTable::Timeouts timeouts{Micros(kLifetime), Micros(kLifetime), Micros(kLifetime)};
+  const auto private_ep = [](uint32_t i) {
+    return Endpoint(Ipv4Address(0x0a000001u + i / 128), static_cast<uint16_t>(2000 + i % 128));
+  };
+  const Endpoint remotes[2] = {Endpoint(Ipv4Address::FromOctets(18, 0, 0, 1), 9000),
+                               Endpoint(Ipv4Address::FromOctets(18, 0, 0, 2), 9001)};
+
+  int64_t now = 0;
+  const auto churn = [&](int steps) {
+    for (int i = 0; i < steps; ++i) {
+      const uint32_t idx = static_cast<uint32_t>(now) % kEndpoints;
+      NatTable::Entry* entry = table.MapOutbound(IpProtocol::kUdp, private_ep(idx),
+                                                 remotes[now % 2], SimTime(now));
+      ASSERT_NE(entry, nullptr);
+      ++now;
+      table.Expire(SimTime(now), timeouts);
+    }
+  };
+
+  // Warm-up: several full generations so the entry pool, every flat-hash
+  // index, and the per-entry session vectors reach high water.
+  churn(static_cast<int>(kEndpoints) * 6);
+  const size_t live_before = table.size();
+  ASSERT_GT(live_before, 0u);
+
+  g_allocs.store(0);
+  g_samples.store(0);
+  g_counting.store(true);
+  churn(static_cast<int>(kEndpoints) * 6);
+  g_counting.store(false);
+
+  EXPECT_EQ(table.size(), live_before);  // the churn really was steady-state
   EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
 }
 

@@ -1,0 +1,416 @@
+// Randomized differential test: NatTable (flat-hash indexes, intrusive
+// expiry lists, pooled entries) against a deliberately simple std::map
+// reference model implementing the same contract. Both sides consume an
+// identical seeded op stream — map, find, inbound filtering, TCP
+// reclassification, expiry, reboot — across every mapping behavior, port
+// allocation policy, and the §6.3 contention demotion, and must agree on
+// every observable at every step. The reference mirrors the port allocator
+// exactly (including the RNG draw sequence for random allocation), so even
+// allocated port numbers are compared, not just set sizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/nat/nat_table.h"
+
+namespace natpunch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference model
+// ---------------------------------------------------------------------------
+
+struct ModelEntry {
+  IpProtocol protocol = IpProtocol::kUdp;
+  Endpoint private_ep;
+  uint16_t public_port = 0;
+  SimTime last_refresh;
+  std::vector<std::pair<Endpoint, SimTime>> sessions;  // insertion-ordered
+  bool tcp_inbound_seen = false;
+  bool tcp_established = false;
+  bool tcp_closing = false;
+
+  int TimeoutClass() const {
+    if (protocol != IpProtocol::kTcp) {
+      return 0;
+    }
+    return (tcp_established && !tcp_closing) ? 1 : 2;
+  }
+
+  void Refresh(const Endpoint& remote, SimTime now) {
+    for (auto& session : sessions) {
+      if (session.first == remote) {
+        session.second = now;
+        last_refresh = now;
+        return;
+      }
+    }
+    sessions.emplace_back(remote, now);
+    last_refresh = now;
+  }
+
+  bool SessionsAllow(NatFiltering filtering, const Endpoint& remote, SimTime now,
+                     SimDuration session_timeout) const {
+    for (const auto& session : sessions) {
+      const bool fresh = now - session.second < session_timeout;
+      if (!fresh) {
+        continue;
+      }
+      if (filtering == NatFiltering::kAddressDependent && session.first.ip == remote.ip) {
+        return true;
+      }
+      if (filtering == NatFiltering::kAddressAndPortDependent && session.first == remote) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class ModelTable {
+ public:
+  using OutKey = std::tuple<int, uint32_t, uint16_t, uint32_t, uint16_t>;
+
+  ModelTable(NatMapping mapping, NatPortAllocation allocation, uint16_t port_base, Rng rng,
+             bool symmetric_on_contention)
+      : mapping_(mapping),
+        allocation_(allocation),
+        symmetric_on_contention_(symmetric_on_contention),
+        port_base_(port_base),
+        next_port_udp_(port_base),
+        next_port_tcp_(port_base),
+        rng_(rng) {}
+
+  ModelEntry* MapOutbound(IpProtocol protocol, const Endpoint& private_ep, const Endpoint& remote,
+                          SimTime now) {
+    auto& users = port_users_[{static_cast<int>(protocol), private_ep.port}];
+    if (!users.any) {
+      users.any = true;
+      users.first = private_ep.ip;
+    } else if (!users.multi && users.first != private_ep.ip) {
+      users.multi = true;
+    }
+    const OutKey key = MakeOutKey(protocol, private_ep, remote);
+    auto it = by_out_.find(key);
+    if (it == by_out_.end()) {
+      const uint16_t port = AllocatePort(protocol, private_ep.port);
+      if (port == 0) {
+        return nullptr;
+      }
+      auto entry = std::make_unique<ModelEntry>();
+      entry->protocol = protocol;
+      entry->private_ep = private_ep;
+      entry->public_port = port;
+      entry->Refresh(remote, now);
+      ModelEntry* raw = entry.get();
+      by_out_.emplace(key, std::move(entry));
+      by_port_.emplace(std::make_pair(static_cast<int>(protocol), port), key);
+      return raw;
+    }
+    it->second->Refresh(remote, now);
+    return it->second.get();
+  }
+
+  ModelEntry* FindOutbound(IpProtocol protocol, const Endpoint& private_ep,
+                           const Endpoint& remote) {
+    auto it = by_out_.find(MakeOutKey(protocol, private_ep, remote));
+    return it == by_out_.end() ? nullptr : it->second.get();
+  }
+
+  ModelEntry* FindByPublicPort(IpProtocol protocol, uint16_t port) {
+    auto it = by_port_.find({static_cast<int>(protocol), port});
+    return it == by_port_.end() ? nullptr : by_out_.at(it->second).get();
+  }
+
+  ModelEntry* FindByPrivateEndpoint(IpProtocol protocol, const Endpoint& private_ep) {
+    ModelEntry* best = nullptr;
+    for (auto& [key, entry] : by_out_) {
+      if (entry->protocol == protocol && entry->private_ep == private_ep &&
+          (best == nullptr || entry->public_port < best->public_port)) {
+        best = entry.get();
+      }
+    }
+    return best;
+  }
+
+  bool AllowsInbound(const ModelEntry& entry, NatFiltering filtering, const Endpoint& remote,
+                     SimTime now, SimDuration session_timeout) const {
+    if (filtering == NatFiltering::kEndpointIndependent) {
+      return true;
+    }
+    // Per RFC 4787 the filter state belongs to the internal endpoint: union
+    // over every mapping of entry.private_ep.
+    for (const auto& [key, other] : by_out_) {
+      if (other->protocol == entry.protocol && other->private_ep == entry.private_ep &&
+          other->SessionsAllow(filtering, remote, now, session_timeout)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t Expire(SimTime now, const NatTable::Timeouts& timeouts) {
+    const SimDuration limits[3] = {timeouts.udp, timeouts.tcp_established,
+                                   timeouts.tcp_transitory};
+    size_t expired = 0;
+    for (auto it = by_out_.begin(); it != by_out_.end();) {
+      const ModelEntry& entry = *it->second;
+      if (now - entry.last_refresh >= limits[entry.TimeoutClass()]) {
+        by_port_.erase({static_cast<int>(entry.protocol), entry.public_port});
+        it = by_out_.erase(it);
+        ++expired;
+      } else {
+        ++it;
+      }
+    }
+    return expired;
+  }
+
+  void Clear() {
+    by_out_.clear();
+    by_port_.clear();
+    port_users_.clear();
+  }
+
+  size_t size() const { return by_out_.size(); }
+
+ private:
+  struct PortUsers {
+    Ipv4Address first;
+    bool any = false;
+    bool multi = false;
+  };
+
+  NatMapping EffectiveMapping(IpProtocol protocol, const Endpoint& private_ep) const {
+    if (symmetric_on_contention_) {
+      auto it = port_users_.find({static_cast<int>(protocol), private_ep.port});
+      if (it != port_users_.end() && it->second.multi) {
+        return NatMapping::kAddressAndPortDependent;
+      }
+    }
+    return mapping_;
+  }
+
+  OutKey MakeOutKey(IpProtocol protocol, const Endpoint& private_ep,
+                    const Endpoint& remote) const {
+    switch (EffectiveMapping(protocol, private_ep)) {
+      case NatMapping::kEndpointIndependent:
+        return {static_cast<int>(protocol), private_ep.ip.bits(), private_ep.port, 0, 0};
+      case NatMapping::kAddressDependent:
+        return {static_cast<int>(protocol), private_ep.ip.bits(), private_ep.port,
+                remote.ip.bits(), 0};
+      case NatMapping::kAddressAndPortDependent:
+        return {static_cast<int>(protocol), private_ep.ip.bits(), private_ep.port,
+                remote.ip.bits(), remote.port};
+    }
+    return {};
+  }
+
+  bool PortFree(IpProtocol protocol, uint16_t port) const {
+    return by_port_.count({static_cast<int>(protocol), port}) == 0;
+  }
+
+  // Mirrors NatTable::AllocatePort exactly, including the RNG draw sequence,
+  // so allocated port numbers are directly comparable.
+  uint16_t AllocatePort(IpProtocol protocol, uint16_t private_port) {
+    if (allocation_ == NatPortAllocation::kPortPreserving && private_port != 0 &&
+        PortFree(protocol, private_port)) {
+      return private_port;
+    }
+    if (allocation_ == NatPortAllocation::kRandom) {
+      for (int attempt = 0; attempt < 4096; ++attempt) {
+        const uint16_t port = static_cast<uint16_t>(
+            port_base_ + rng_.NextBelow(static_cast<uint64_t>(65536 - port_base_)));
+        if (PortFree(protocol, port)) {
+          return port;
+        }
+      }
+      return 0;
+    }
+    uint16_t& next_port = protocol == IpProtocol::kTcp ? next_port_tcp_ : next_port_udp_;
+    const int pool = 65536 - port_base_;
+    for (int attempt = 0; attempt < pool; ++attempt) {
+      const uint16_t port = next_port;
+      next_port = next_port >= 65535 ? port_base_ : static_cast<uint16_t>(next_port + 1);
+      if (PortFree(protocol, port)) {
+        return port;
+      }
+    }
+    return 0;
+  }
+
+  NatMapping mapping_;
+  NatPortAllocation allocation_;
+  bool symmetric_on_contention_;
+  uint16_t port_base_;
+  uint16_t next_port_udp_;
+  uint16_t next_port_tcp_;
+  Rng rng_;
+  std::map<OutKey, std::unique_ptr<ModelEntry>> by_out_;
+  std::map<std::pair<int, uint16_t>, OutKey> by_port_;
+  std::map<std::pair<int, uint16_t>, PortUsers> port_users_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Lcg {
+  uint64_t state;
+  uint64_t Next(uint64_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % bound;
+  }
+};
+
+void CompareEntries(const NatTable::Entry* real, const ModelEntry* model, int step,
+                    const char* what) {
+  ASSERT_EQ(real == nullptr, model == nullptr) << what << " presence diverged at step " << step;
+  if (real == nullptr) {
+    return;
+  }
+  ASSERT_EQ(real->public_port, model->public_port) << what << " port diverged at step " << step;
+  ASSERT_EQ(real->private_ep, model->private_ep) << what << " endpoint diverged at " << step;
+  ASSERT_EQ(real->sessions.size(), model->sessions.size())
+      << what << " session count diverged at step " << step;
+  ASSERT_EQ(real->last_refresh.micros(), model->last_refresh.micros())
+      << what << " refresh time diverged at step " << step;
+}
+
+struct Config {
+  NatMapping mapping;
+  NatPortAllocation allocation;
+  bool contention;
+};
+
+void RunDifferential(const Config& config, uint64_t seed, int steps) {
+  // A small pool keeps ports colliding and the wrap/exhaustion paths hot.
+  const uint16_t port_base = 65000;
+  NatTable table(config.mapping, config.allocation, port_base, Rng(seed), config.contention);
+  ModelTable model(config.mapping, config.allocation, port_base, Rng(seed), config.contention);
+
+  Lcg lcg{seed * 2654435761ULL + 1};
+  int64_t now = 0;
+  std::vector<uint16_t> seen_ports;  // every port ever allocated, for probes
+
+  // Few addresses x few ports so §6.3 contention (two inside IPs on one
+  // private port) occurs constantly.
+  const auto private_ep = [&](uint64_t r) {
+    return Endpoint(Ipv4Address(0x0a000001u + static_cast<uint32_t>(r % 3)),
+                    static_cast<uint16_t>(5000 + r / 3 % 5));
+  };
+  const auto remote_ep = [&](uint64_t r) {
+    return Endpoint(Ipv4Address(0x12000001u + static_cast<uint32_t>(r % 4)),
+                    static_cast<uint16_t>(7000 + r / 4 % 3));
+  };
+  const auto protocol_of = [](uint64_t r) {
+    return r % 2 == 0 ? IpProtocol::kUdp : IpProtocol::kTcp;
+  };
+  const NatFiltering kFilters[] = {NatFiltering::kEndpointIndependent,
+                                   NatFiltering::kAddressDependent,
+                                   NatFiltering::kAddressAndPortDependent};
+
+  for (int step = 0; step < steps; ++step) {
+    now += static_cast<int64_t>(lcg.Next(500'000));  // 0..0.5s per step
+    const uint64_t op = lcg.Next(100);
+    const IpProtocol protocol = protocol_of(lcg.Next(2));
+    if (op < 40) {
+      const Endpoint priv = private_ep(lcg.Next(15));
+      const Endpoint remote = remote_ep(lcg.Next(12));
+      NatTable::Entry* real = table.MapOutbound(protocol, priv, remote, SimTime(now));
+      ModelEntry* mod = model.MapOutbound(protocol, priv, remote, SimTime(now));
+      CompareEntries(real, mod, step, "MapOutbound");
+      if (real != nullptr) {
+        seen_ports.push_back(real->public_port);
+      }
+    } else if (op < 55) {
+      const Endpoint priv = private_ep(lcg.Next(15));
+      const Endpoint remote = remote_ep(lcg.Next(12));
+      CompareEntries(table.FindOutbound(protocol, priv, remote),
+                     model.FindOutbound(protocol, priv, remote), step, "FindOutbound");
+    } else if (op < 65) {
+      if (!seen_ports.empty()) {
+        const uint16_t port = seen_ports[lcg.Next(seen_ports.size())];
+        CompareEntries(table.FindByPublicPort(protocol, port),
+                       model.FindByPublicPort(protocol, port), step, "FindByPublicPort");
+      }
+    } else if (op < 72) {
+      const Endpoint priv = private_ep(lcg.Next(15));
+      CompareEntries(table.FindByPrivateEndpoint(protocol, priv),
+                     model.FindByPrivateEndpoint(protocol, priv), step, "FindByPrivateEndpoint");
+    } else if (op < 82) {
+      // Inbound filtering decision across all three policies.
+      if (!seen_ports.empty()) {
+        const uint16_t port = seen_ports[lcg.Next(seen_ports.size())];
+        NatTable::Entry* real = table.FindByPublicPort(protocol, port);
+        ModelEntry* mod = model.FindByPublicPort(protocol, port);
+        CompareEntries(real, mod, step, "inbound lookup");
+        if (real != nullptr && mod != nullptr) {
+          const Endpoint remote = remote_ep(lcg.Next(12));
+          const SimDuration session_timeout = Seconds(static_cast<int64_t>(1 + lcg.Next(90)));
+          for (const NatFiltering filtering : kFilters) {
+            ASSERT_EQ(
+                table.AllowsInbound(*real, filtering, remote, SimTime(now), session_timeout),
+                model.AllowsInbound(*mod, filtering, remote, SimTime(now), session_timeout))
+                << "AllowsInbound diverged at step " << step;
+          }
+        }
+      }
+    } else if (op < 88) {
+      // TCP lifetime tracking: flip flags on a live mapping and re-file it.
+      if (!seen_ports.empty()) {
+        const uint16_t port = seen_ports[lcg.Next(seen_ports.size())];
+        NatTable::Entry* real = table.FindByPublicPort(IpProtocol::kTcp, port);
+        ModelEntry* mod = model.FindByPublicPort(IpProtocol::kTcp, port);
+        CompareEntries(real, mod, step, "tcp lookup");
+        if (real != nullptr && mod != nullptr) {
+          const uint64_t flags = lcg.Next(4);
+          real->tcp_inbound_seen = mod->tcp_inbound_seen = true;
+          real->tcp_established = mod->tcp_established = (flags & 1) != 0;
+          real->tcp_closing = mod->tcp_closing = (flags & 2) != 0;
+          table.Reclassify(real);
+        }
+      }
+    } else if (op < 97) {
+      const NatTable::Timeouts timeouts{Seconds(static_cast<int64_t>(1 + lcg.Next(120))),
+                                        Seconds(static_cast<int64_t>(60 + lcg.Next(7200))),
+                                        Seconds(static_cast<int64_t>(1 + lcg.Next(240)))};
+      ASSERT_EQ(table.Expire(SimTime(now), timeouts), model.Expire(SimTime(now), timeouts))
+          << "Expire count diverged at step " << step;
+    } else {
+      // NAT reboot.
+      table.Clear();
+      model.Clear();
+    }
+    ASSERT_EQ(table.size(), model.size()) << "size diverged at step " << step;
+  }
+}
+
+class NatTableModelTest
+    : public ::testing::TestWithParam<std::tuple<NatMapping, NatPortAllocation, bool>> {};
+
+// 18 configs x 6000 steps = 108k differential ops.
+TEST_P(NatTableModelTest, AgreesWithMapReference) {
+  const auto [mapping, allocation, contention] = GetParam();
+  const uint64_t seed = 1000 + static_cast<uint64_t>(mapping) * 100 +
+                        static_cast<uint64_t>(allocation) * 10 + (contention ? 1 : 0);
+  RunDifferential(Config{mapping, allocation, contention}, seed, 6000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBehaviors, NatTableModelTest,
+    ::testing::Combine(::testing::Values(NatMapping::kEndpointIndependent,
+                                         NatMapping::kAddressDependent,
+                                         NatMapping::kAddressAndPortDependent),
+                       ::testing::Values(NatPortAllocation::kSequential,
+                                         NatPortAllocation::kPortPreserving,
+                                         NatPortAllocation::kRandom),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace natpunch

@@ -316,9 +316,9 @@ TEST(PacketTest, SummaryShowsFlags) {
 class SinkNode : public Node {
  public:
   SinkNode(Network* net, std::string name) : Node(net, std::move(name)) {}
-  void HandlePacket(int iface, Packet packet) override {
+  void HandlePacket(int iface, Packet&& packet) override {
     (void)iface;
-    received.push_back(packet);
+    received.push_back(std::move(packet));
   }
   std::vector<Packet> received;
 };
@@ -333,7 +333,7 @@ TEST(LanTest, DeliversToOwnerWithLatency) {
 
   Packet p;
   p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
-  ASSERT_TRUE(a->SendPacket(p));
+  ASSERT_TRUE(a->SendPacket(std::move(p)));
   net.RunFor(Millis(4));
   EXPECT_TRUE(b->received.empty());
   net.RunFor(Millis(2));
@@ -350,7 +350,7 @@ TEST(LanTest, NoRouteDropRecorded) {
   a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
   Packet p;
   p.set_dst(Endpoint(Ipv4Address::FromOctets(99, 0, 0, 1), 9));
-  EXPECT_FALSE(a->SendPacket(p));  // off-subnet, no default route
+  EXPECT_FALSE(a->SendPacket(std::move(p)));  // off-subnet, no default route
   EXPECT_EQ(net.trace().Count(TraceEvent::kDropNoRoute), 1u);
 }
 
@@ -362,7 +362,7 @@ TEST(LanTest, MissingNextHopDropRecorded) {
   a->AttachTo(lan, Ipv4Address::FromOctets(10, 0, 0, 1));
   Packet p;
   p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 99), 9));  // on-subnet, absent
-  EXPECT_TRUE(a->SendPacket(p));
+  EXPECT_TRUE(a->SendPacket(std::move(p)));
   net.RunUntilIdle();
   EXPECT_EQ(net.trace().Count(TraceEvent::kDropNoNextHop), 1u);
 }
@@ -376,7 +376,7 @@ TEST(LanTest, PrivateLeakOnGlobalRealm) {
   a->AddRoute(Ipv4Prefix(Ipv4Address(0), 0), iface);
   Packet p;
   p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 1, 1, 3), 9));
-  EXPECT_TRUE(a->SendPacket(p));
+  EXPECT_TRUE(a->SendPacket(std::move(p)));
   net.RunUntilIdle();
   EXPECT_EQ(net.trace().Count(TraceEvent::kDropPrivateLeak), 1u);
 }
@@ -392,7 +392,7 @@ TEST(LanTest, LossDropsDeterministically) {
   for (int i = 0; i < 200; ++i) {
     Packet p;
     p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
-    a->SendPacket(p);
+    a->SendPacket(std::move(p));
   }
   net.RunUntilIdle();
   const size_t delivered = b->received.size();
@@ -416,7 +416,7 @@ TEST(LanTest, BandwidthSerializesPackets) {
     p.protocol = IpProtocol::kUdp;
     p.payload = Bytes(1000);
     p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
-    a->SendPacket(p);
+    a->SendPacket(std::move(p));
   }
   net.RunFor(Millis(50));
   EXPECT_LT(b->received.size(), 10u);  // still serializing
@@ -436,7 +436,7 @@ TEST(LanTest, InfiniteBandwidthDeliversConcurrently) {
     Packet p;
     p.payload = Bytes(1000);
     p.set_dst(Endpoint(Ipv4Address::FromOctets(10, 0, 0, 2), 9));
-    a->SendPacket(p);
+    a->SendPacket(std::move(p));
   }
   net.RunFor(Millis(1));
   EXPECT_EQ(b->received.size(), 10u);  // all arrive after one latency
