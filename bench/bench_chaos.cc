@@ -258,10 +258,11 @@ int main() {
   std::printf("\n * cone pairs re-punch their way through NAT reboots: downtime is one\n"
               "   backoff step plus a punch round-trip, and the trial ends direct.\n"
               " * symmetric pairs cannot punch (§5) and land on TURN. A NAT reboot\n"
-              "   while relayed orphans the allocation; the relay-leg watchdog\n"
-              "   notices the silence (up to relay_timeout of it — the long p95)\n"
-              "   and rebuilds the leg with a fresh allocation, so delivery resumes\n"
-              "   instead of flatlining for the rest of the trial.\n"
+              "   while relayed orphans the allocation; the adaptive relay-leg\n"
+              "   watchdog (2 keepalive rounds + margin*srtt of silence, not the\n"
+              "   static relay_timeout) notices and rebuilds the leg with a fresh\n"
+              "   allocation, so delivery resumes instead of flatlining — these\n"
+              "   detections dominate the p95.\n"
               " * the 2 s partition is absorbed: shorter than the 5 s session expiry,\n"
               "   so it costs delivery, not a recovery.\n");
 

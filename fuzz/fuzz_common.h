@@ -1,0 +1,42 @@
+// Shared helpers for the decoder fuzz targets.
+//
+// Every target enforces the same two properties on attacker-controlled
+// bytes:
+//   1. No decoder may crash, throw, or trip ASan/UBSan — garbage decodes to
+//      nullopt, nothing else.
+//   2. Canonical decode: any accepted frame must re-encode to exactly the
+//      bytes that arrived. If it does not, the decoder accepted a non-wire
+//      form (trailing bytes, a tolerated bad enum, a normalized field) and
+//      two honest implementations could disagree about what was said.
+
+#ifndef FUZZ_FUZZ_COMMON_H_
+#define FUZZ_FUZZ_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/bytes.h"
+
+namespace natpunch::fuzz {
+
+inline ConstByteSpan Span(const uint8_t* data, size_t size) {
+  return ConstByteSpan(data, size);
+}
+
+// Abort (so the fuzzer records a crash) when an accepted input fails to
+// round-trip byte-for-byte.
+inline void CheckCanonical(const uint8_t* data, size_t size, const Bytes& reencoded,
+                           const char* target) {
+  if (reencoded.size() == size && std::memcmp(reencoded.data(), data, size) == 0) {
+    return;
+  }
+  std::fprintf(stderr, "%s: accepted frame re-encodes differently (%zu -> %zu bytes)\n",
+               target, size, reencoded.size());
+  std::abort();
+}
+
+}  // namespace natpunch::fuzz
+
+#endif  // FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,44 @@
+// Fuzz target: the u16-length-prefixed TCP framer fed an attacker-controlled
+// byte stream in attacker-controlled chunk sizes, with every reassembled
+// frame pushed through the rendezvous decoder (the framer's main consumer).
+//
+// The first input byte seeds the chunking pattern so the fuzzer can explore
+// reassembly across arbitrary segment boundaries; the rest is the stream.
+
+#include <algorithm>
+
+#include "fuzz/fuzz_common.h"
+#include "src/rendezvous/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  if (size == 0) {
+    return 0;
+  }
+  uint32_t chunk_seed = data[0];
+  MessageFramer framer;
+  size_t pos = 1;
+  while (pos < size) {
+    // Chunk sizes cycle through 1..17 bytes driven by the seed byte — small
+    // enough to split every header and length prefix across reads.
+    const size_t chunk = 1 + (chunk_seed % 17);
+    chunk_seed = chunk_seed * 1103515245u + 12345u;
+    const size_t n = std::min(chunk, size - pos);
+    for (const Bytes& body : framer.Append(Bytes(data + pos, data + pos + n))) {
+      if (body.size() > MessageFramer::kDefaultMaxFrame) {
+        std::abort();  // the oversize guard must never emit such a frame
+      }
+      auto msg = DecodeRendezvousMessage(ConstByteSpan(body.data(), body.size()),
+                                         /*obfuscate_addresses=*/false);
+      if (msg) {
+        fuzz::CheckCanonical(body.data(), body.size(),
+                             EncodeRendezvousMessage(*msg, false), "framer/rendezvous");
+      }
+    }
+    if (framer.poisoned()) {
+      break;  // a real owner tears the connection down here
+    }
+    pos += n;
+  }
+  return 0;
+}

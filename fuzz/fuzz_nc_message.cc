@@ -1,0 +1,13 @@
+// Fuzz target: natcheck UDP/TCP control messages (magic 0x4e).
+
+#include "fuzz/fuzz_common.h"
+#include "src/natcheck/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  auto msg = DecodeNcMessage(fuzz::Span(data, size));
+  if (msg) {
+    fuzz::CheckCanonical(data, size, EncodeNcMessage(*msg), "nc_message");
+  }
+  return 0;
+}

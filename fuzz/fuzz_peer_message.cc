@@ -1,0 +1,13 @@
+// Fuzz target: peer-wire datagrams and TCP frame bodies (magic 0x50).
+
+#include "fuzz/fuzz_common.h"
+#include "src/core/peer_wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  auto msg = DecodePeerMessage(fuzz::Span(data, size));
+  if (msg) {
+    fuzz::CheckCanonical(data, size, EncodePeerMessage(*msg), "peer_message");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fuzz target: STUN-like probe echo messages (magic 0x51).
+
+#include "fuzz/fuzz_common.h"
+#include "src/core/probe_server.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  auto msg = DecodeProbeMessage(fuzz::Span(data, size));
+  if (msg) {
+    fuzz::CheckCanonical(data, size, EncodeProbeMessage(*msg), "probe_message");
+  }
+  return 0;
+}

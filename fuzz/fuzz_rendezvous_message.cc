@@ -1,0 +1,19 @@
+// Fuzz target: rendezvous protocol messages (magic 0x52), both address
+// modes. Obfuscation is an involution (IP complement), so each mode must
+// independently satisfy the canonical-decode property.
+
+#include "fuzz/fuzz_common.h"
+#include "src/rendezvous/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  for (const bool obfuscate : {false, true}) {
+    auto msg = DecodeRendezvousMessage(fuzz::Span(data, size), obfuscate);
+    if (msg) {
+      fuzz::CheckCanonical(data, size, EncodeRendezvousMessage(*msg, obfuscate),
+                           obfuscate ? "rendezvous_message/obfuscated"
+                                     : "rendezvous_message/plain");
+    }
+  }
+  return 0;
+}

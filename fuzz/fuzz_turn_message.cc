@@ -1,0 +1,13 @@
+// Fuzz target: TURN-style relay control/data messages (magic 0x54).
+
+#include "fuzz/fuzz_common.h"
+#include "src/core/turn.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  auto msg = DecodeTurnMessage(fuzz::Span(data, size));
+  if (msg) {
+    fuzz::CheckCanonical(data, size, EncodeTurnMessage(*msg), "turn_message");
+  }
+  return 0;
+}

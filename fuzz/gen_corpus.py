@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Generate the seed corpus for the decoder fuzz targets.
+
+Deterministic (fixed PRNG seed): re-running regenerates byte-identical
+files, so the committed corpus never churns. Each target gets well-formed
+frames of every message type plus the classic hostile shapes — truncations,
+single-bit flips, trailing bytes, bad enums, oversized length prefixes —
+exactly the rejection paths the armor added. The corpus doubles as the
+input set for the standalone replay drivers run under ctest.
+"""
+
+import pathlib
+import random
+import struct
+
+ROOT = pathlib.Path(__file__).resolve().parent / "corpus"
+RNG = random.Random(0x4E415450)  # "NATP"
+
+
+def be16(v):
+    return struct.pack(">H", v)
+
+
+def be32(v):
+    return struct.pack(">I", v)
+
+
+def be64(v):
+    return struct.pack(">Q", v)
+
+
+def nc_message(mtype=1, session=0x1122334455667788, server_index=1,
+               ip=0x0A000001, port=4321, verdict=2):
+    return (bytes([0x4E, mtype]) + be64(session) + bytes([server_index]) +
+            be32(ip) + be16(port) + bytes([verdict]))
+
+
+def rendezvous_message(mtype=1, strategy=1, client=1, target=2,
+                       nonce=0xDEADBEEF, epoch=7, payload=b"hi"):
+    def endpoint(ip, port):
+        return be32(ip) + be16(port)
+
+    return (bytes([0x52, 0x02, mtype, strategy]) + be64(client) + be64(target) +
+            be64(nonce) + be64(epoch) + endpoint(0xC0A80101, 5000) +
+            endpoint(0x0A000002, 6000) + be16(len(payload)) + payload)
+
+
+def peer_message(mtype=1, nonce=0xFEEDFACE, sender=42, payload=b"data"):
+    return (bytes([0x50, mtype]) + be64(nonce) + be64(sender) +
+            be16(len(payload)) + payload)
+
+
+def turn_message(mtype=1, ip=0x08080808, port=3478, payload=b"relay"):
+    return (bytes([0x54, mtype]) + be32(ip) + be16(port) +
+            be16(len(payload)) + payload)
+
+
+def probe_message(mtype=1, txn=0xABCDEF, ip=0x01020304, port=9000, tag=0):
+    return (bytes([0x51, mtype]) + be64(txn) + be32(ip) + be16(port) +
+            bytes([tag]))
+
+
+def mutations(frame):
+    """Hostile variants of one well-formed frame."""
+    out = []
+    # Every truncation length (prefixes are the cheap attacker move).
+    out += [frame[:n] for n in range(len(frame))]
+    # A handful of single-bit flips, including the magic and the tail.
+    for _ in range(8):
+        i = RNG.randrange(len(frame))
+        b = bytearray(frame)
+        b[i] ^= 1 << RNG.randrange(8)
+        out.append(bytes(b))
+    # Trailing garbage must be rejected (AtEnd armor).
+    out.append(frame + b"\x00")
+    out.append(frame + bytes(RNG.randrange(256) for _ in range(16)))
+    # Enum bytes out of range.
+    for i in (1, len(frame) - 1):
+        b = bytearray(frame)
+        b[i] = 0xFF
+        out.append(bytes(b))
+    return out
+
+
+def write(target, frames):
+    directory = ROOT / target
+    directory.mkdir(parents=True, exist_ok=True)
+    for idx, frame in enumerate(frames):
+        (directory / f"seed_{idx:03d}.bin").write_bytes(frame)
+    print(f"{target}: {len(frames)} seeds")
+
+
+def main():
+    nc = [nc_message(mtype=t) for t in range(1, 9)]
+    write("nc_message", nc + mutations(nc[0]))
+
+    rv = [rendezvous_message(mtype=t) for t in range(1, 9)]
+    rv += [rendezvous_message(strategy=s) for s in range(1, 6)]
+    rv += [rendezvous_message(payload=b"")]
+    rv += [rendezvous_message(payload=bytes(200))]
+    write("rendezvous_message", rv + mutations(rv[0]))
+
+    pw = [peer_message(mtype=t) for t in range(1, 6)]
+    pw += [peer_message(payload=b""), peer_message(payload=bytes(300))]
+    write("peer_message", pw + mutations(pw[0]))
+
+    tn = [turn_message(mtype=t) for t in range(1, 6)]
+    tn += [turn_message(payload=b"")]
+    write("turn_message", tn + mutations(tn[0]))
+
+    pb = [probe_message(mtype=t, tag=g) for t in range(1, 5) for g in range(3)]
+    write("probe_message", pb + mutations(pb[0]))
+
+    # Framer streams: chunk-seed byte + framed messages, then hostile frames.
+    def framed(body):
+        return be16(len(body)) + body
+
+    streams = [
+        bytes([3]) + framed(rendezvous_message()) + framed(rendezvous_message(mtype=2)),
+        bytes([7]) + framed(b""),  # empty frame
+        bytes([1]) + framed(rendezvous_message())[:-3],  # cut mid-frame
+        bytes([5]) + be16(0xFFFF) + bytes(64),  # oversize prefix -> poisoned
+        bytes([11]) + be16(8193) + bytes(32),  # one past the 8 KiB cap
+        bytes([2]) + framed(bytes(RNG.randrange(256) for _ in range(50))),
+    ]
+    for _ in range(6):
+        streams.append(bytes(RNG.randrange(256) for _ in range(RNG.randrange(1, 120))))
+    write("framer", streams)
+
+
+if __name__ == "__main__":
+    main()

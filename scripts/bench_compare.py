@@ -52,6 +52,11 @@ BENCHES = {
 # rest are advisory.
 BLOCKING = {"bench_micro", "bench_nat"}
 
+# Advisory floor for the chaos soak's availability figure: how many
+# percentage points below the committed baseline the current run may land
+# before the gate flags it.
+AVAILABILITY_SLACK = 2.0
+
 PREFIX = "BENCH_JSON "
 
 
@@ -175,6 +180,18 @@ def main():
                 else:
                     verdict = "ADVISORY"
                     advisories.append(fmt_key(key))
+            # Chaos-availability floor (advisory): throughput aside, the soak
+            # must keep delivering datagrams. A drop of more than
+            # AVAILABILITY_SLACK percentage points below the committed
+            # baseline means sessions stopped recovering, which events/sec
+            # alone would not catch.
+            if "availability" in entry and "availability" in base:
+                floor = base["availability"] - AVAILABILITY_SLACK
+                if entry["availability"] < floor:
+                    verdict = "ADVISORY"
+                    advisories.append(
+                        f"{fmt_key(key)} availability {entry['availability']:.1f}% "
+                        f"< floor {floor:.1f}%")
             rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
                          ratio, verdict))
         # A baseline entry the fresh run never emitted means the current

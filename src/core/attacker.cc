@@ -1,0 +1,89 @@
+#include "src/core/attacker.h"
+
+namespace natpunch {
+
+GarbageBlaster::GarbageBlaster(Host* host, GarbageBlasterConfig config)
+    : host_(host), config_(std::move(config)), rng_(config_.seed) {}
+
+GarbageBlaster::~GarbageBlaster() { Stop(); }
+
+Status GarbageBlaster::Start() {
+  auto bound = host_->udp().Bind(0);
+  if (!bound.ok()) {
+    return bound.status();
+  }
+  socket_ = *bound;
+  Tick();
+  return Status::Ok();
+}
+
+void GarbageBlaster::Stop() {
+  if (timer_ != EventLoop::kInvalidEventId) {
+    host_->loop().Cancel(timer_);
+    timer_ = EventLoop::kInvalidEventId;
+  }
+  if (socket_ != nullptr) {
+    socket_->Close();
+    socket_ = nullptr;
+  }
+}
+
+void GarbageBlaster::Tick() {
+  socket_->SendTo(config_.target, NextBlast());
+  ++sent_;
+  timer_ = host_->loop().ScheduleAfter(config_.interval, [this] { Tick(); });
+}
+
+Bytes GarbageBlaster::NextBlast() {
+  // Round-robin over the strategies so a short blast still covers all four;
+  // the bytes inside each are seeded-random.
+  const uint32_t strategy = strategy_;
+  strategy_ = (strategy_ + 1) % 4;
+  const auto random_bytes = [this](size_t n) {
+    Bytes out(n);
+    for (auto& b : out) {
+      b = static_cast<uint8_t>(rng_.NextBelow(256));
+    }
+    return out;
+  };
+  switch (strategy) {
+    case 0: {  // pure random bytes
+      const size_t n = static_cast<size_t>(
+          rng_.NextInRange(static_cast<int64_t>(config_.min_random_bytes),
+                           static_cast<int64_t>(config_.max_random_bytes)));
+      return random_bytes(n);
+    }
+    case 1: {  // valid magic, random body: gets past the first decoder check
+      const size_t n = static_cast<size_t>(
+          rng_.NextInRange(static_cast<int64_t>(config_.min_random_bytes),
+                           static_cast<int64_t>(config_.max_random_bytes)));
+      Bytes out = random_bytes(n);
+      if (!config_.magics.empty()) {
+        out[0] = config_.magics[rng_.NextBelow(config_.magics.size())];
+      }
+      return out;
+    }
+    case 2: {  // bit-flipped copy of a well-formed template frame
+      if (templates_.empty()) {
+        return random_bytes(config_.max_random_bytes);
+      }
+      Bytes out = templates_[rng_.NextBelow(templates_.size())];
+      const uint64_t flips = 1 + rng_.NextBelow(4);
+      for (uint64_t i = 0; i < flips; ++i) {
+        const uint64_t bit = rng_.NextBelow(out.size() * 8);
+        out[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      return out;
+    }
+    default: {  // truncated prefix of a well-formed template frame
+      if (templates_.empty()) {
+        return random_bytes(1);
+      }
+      const Bytes& frame = templates_[rng_.NextBelow(templates_.size())];
+      const size_t n = static_cast<size_t>(rng_.NextBelow(frame.size()));
+      return Bytes(frame.begin(), frame.begin() + static_cast<ptrdiff_t>(n));
+    }
+  }
+}
+
+}  // namespace natpunch

@@ -1,0 +1,75 @@
+// GarbageBlaster: an adversarial node that floods a victim endpoint with
+// hostile bytes.
+//
+// Ford et al. (§3.4) assume P2P endpoints authenticate each other precisely
+// because the network may deliver traffic from anyone; this node makes that
+// adversary concrete. It cycles through four seeded strategies per datagram:
+// pure random bytes, random bytes behind a valid protocol magic (so the
+// decoder gets past the first check), bit-flipped copies of a well-formed
+// template frame (so deep field validation is exercised), and truncated
+// prefixes of a well-formed frame (every partial-read path). Fully
+// deterministic per seed — chaos tests replay the exact same blast.
+//
+// Used by tests to prove two things: no decoder on the victim crashes or
+// misparses (drops are counted via wire.<node>.malformed_drops), and the
+// rendezvous server's rate limiting/quarantine shields registered clients.
+
+#ifndef SRC_CORE_ATTACKER_H_
+#define SRC_CORE_ATTACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/transport/host.h"
+#include "src/util/rng.h"
+
+namespace natpunch {
+
+struct GarbageBlasterConfig {
+  Endpoint target;
+  SimDuration interval = Millis(10);  // one datagram per tick
+  uint64_t seed = 1;
+  // Payload sizes for the pure-random strategy, inclusive bounds.
+  size_t min_random_bytes = 1;
+  size_t max_random_bytes = 96;
+  // Magic bytes to prepend in the magic-prefixed strategy; defaults cover
+  // every protocol in the repo.
+  std::vector<uint8_t> magics = {0x52, 0x50, 0x4e, 0x54, 0x51};
+};
+
+class GarbageBlaster {
+ public:
+  GarbageBlaster(Host* host, GarbageBlasterConfig config);
+  ~GarbageBlaster();
+
+  GarbageBlaster(const GarbageBlaster&) = delete;
+  GarbageBlaster& operator=(const GarbageBlaster&) = delete;
+
+  // Template frames for the bit-flip and truncation strategies; callers
+  // supply well-formed encodings of the victim's protocol so the blast
+  // exercises deep validation, not just the magic check. Without templates
+  // those strategies fall back to pure random bytes.
+  void AddTemplate(const Bytes& frame) { templates_.push_back(frame); }
+
+  Status Start();
+  void Stop();
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  void Tick();
+  Bytes NextBlast();
+
+  Host* host_;
+  GarbageBlasterConfig config_;
+  Rng rng_;
+  UdpSocket* socket_ = nullptr;
+  EventLoop::EventId timer_ = EventLoop::kInvalidEventId;
+  std::vector<Bytes> templates_;
+  uint64_t sent_ = 0;
+  uint32_t strategy_ = 0;  // round-robin cursor over the four strategies
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_CORE_ATTACKER_H_

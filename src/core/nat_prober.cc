@@ -54,7 +54,11 @@ void NatProber::Probe(uint16_t local_port, std::function<void(Result<NatProbeRep
       return;
     }
     auto msg = DecodeProbeMessage(payload);
-    if (!msg || msg->type != ProbeMsgType::kEchoReply || msg->txn != run->txn) {
+    if (!msg) {
+      host_->CountMalformedDrop();
+      return;
+    }
+    if (msg->type != ProbeMsgType::kEchoReply || msg->txn != run->txn) {
       return;  // stale or foreign
     }
     // Record per step and advance.

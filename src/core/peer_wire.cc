@@ -30,7 +30,8 @@ std::optional<PeerMessage> DecodePeerMessage(ConstByteSpan data) {
   msg.nonce = r.ReadU64();
   msg.sender_id = r.ReadU64();
   msg.payload = r.ReadBytes();
-  if (!r.ok()) {
+  // Exact-length frames only: trailing attacker bytes must not decode.
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
   return msg;

@@ -131,7 +131,11 @@ void PredictivePuncher::OnRaw(const Endpoint& from, const Payload& payload) {
     return;
   }
   auto msg = DecodeProbeMessage(payload);
-  if (!msg || msg->type != ProbeMsgType::kEchoReply || msg->txn != active_sample_->txn) {
+  if (!msg) {
+    rendezvous_->host()->CountMalformedDrop();
+    return;
+  }
+  if (msg->type != ProbeMsgType::kEchoReply || msg->txn != active_sample_->txn) {
     return;
   }
   auto sample = active_sample_;

@@ -31,10 +31,15 @@ std::optional<ProbeMessage> DecodeProbeMessage(ConstByteSpan data) {
   msg.txn = r.ReadU64();
   msg.observed.ip = Ipv4Address(r.ReadU32());
   msg.observed.port = r.ReadU16();
-  msg.source_tag = static_cast<ProbeSourceTag>(r.ReadU8());
-  if (!r.ok()) {
+  const uint8_t source_tag = r.ReadU8();
+  // Strict armor: enum byte validated, frame consumed exactly.
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
+  if (source_tag > static_cast<uint8_t>(ProbeSourceTag::kPartner)) {
+    return std::nullopt;
+  }
+  msg.source_tag = static_cast<ProbeSourceTag>(source_tag);
   return msg;
 }
 
@@ -61,6 +66,7 @@ Status StunLikeServer::Start() {
 void StunLikeServer::OnMain(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeProbeMessage(payload);
   if (!msg) {
+    host_->CountMalformedDrop();
     return;
   }
   ++requests_served_;
@@ -97,7 +103,11 @@ void StunLikeServer::OnMain(const Endpoint& from, const Payload& payload) {
 
 void StunLikeServer::OnAlt(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeProbeMessage(payload);
-  if (!msg || msg->type != ProbeMsgType::kEchoRequest) {
+  if (!msg) {
+    host_->CountMalformedDrop();
+    return;
+  }
+  if (msg->type != ProbeMsgType::kEchoRequest) {
     return;
   }
   ++requests_served_;

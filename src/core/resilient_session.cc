@@ -27,6 +27,11 @@ std::optional<Endpoint> DecodeRelayEndpoint(const Bytes& data) {
   return Endpoint(ip, port);
 }
 
+// Relay keepalives with an empty payload are RTT probes and get echoed;
+// echoes carry this one-byte marker so they are never echoed back (which
+// would otherwise ping-pong forever at network RTT).
+constexpr uint8_t kKeepAliveReplyMarker = 1;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -407,6 +412,7 @@ void ResilientSessionManager::ResponderRelayKeepAlive(ResilientSession* rs) {
   if (rs->path_ != ResilientSession::Path::kRelay || rs->turn_ != nullptr) {
     return;
   }
+  MarkKeepAliveProbe(rs);
   puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kKeepAlive, rs->relay_nonce_,
                             Bytes{});
   const SimDuration interval = rs->relay_confirmed_ ? puncher_->config().keepalive_interval
@@ -425,6 +431,7 @@ void ResilientSessionManager::InitiatorRelayKeepAlive(ResilientSession* rs) {
   msg.type = PeerMsgType::kKeepAlive;
   msg.nonce = rs->relay_nonce_;
   msg.sender_id = puncher_->rendezvous()->client_id();
+  MarkKeepAliveProbe(rs);
   rs->turn_->SendTo(rs->relay_target_, EncodePeerMessage(msg));
   rs->relay_keepalive_event_ = loop_.ScheduleAfter(
       config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
@@ -435,7 +442,7 @@ void ResilientSessionManager::ArmRelayWatchdog(ResilientSession* rs) {
     loop_.Cancel(rs->relay_watchdog_event_);
   }
   rs->last_relay_rx_ = loop_.now();
-  ScheduleRelayWatchdog(rs, config_.relay_timeout);
+  ScheduleRelayWatchdog(rs, EffectiveRelayTimeout(rs));
 }
 
 void ResilientSessionManager::ScheduleRelayWatchdog(ResilientSession* rs, SimDuration delay) {
@@ -444,22 +451,67 @@ void ResilientSessionManager::ScheduleRelayWatchdog(ResilientSession* rs, SimDur
     if (rs->path_ != ResilientSession::Path::kRelay) {
       return;  // stale timer for a path we already left
     }
+    // Recompute per wakeup: fresh RTT samples may have tightened the window
+    // while the timer slept.
+    const SimDuration window = EffectiveRelayTimeout(rs);
     const SimDuration silence = loop_.now() - rs->last_relay_rx_;
-    if (silence.micros() >= config_.relay_timeout.micros()) {
+    if (silence.micros() >= window.micros()) {
       OnRelayDead(rs);
       return;
     }
     // Traffic arrived since the timer was armed; sleep out the remainder of
     // the current silence window instead of polling.
-    ScheduleRelayWatchdog(rs, config_.relay_timeout - silence);
+    ScheduleRelayWatchdog(rs, window - silence);
   });
+}
+
+SimDuration ResilientSessionManager::EffectiveRelayTimeout(const ResilientSession* rs) const {
+  if (!config_.adaptive_relay_timeout || rs->relay_srtt_.micros() == 0) {
+    return config_.relay_timeout;
+  }
+  // Two whole keepalive rounds (tolerates one lost round outright) plus a
+  // generous multiple of the observed leg RTT for queueing excursions.
+  const int64_t adaptive_us =
+      2 * config_.relay_keepalive_interval.micros() +
+      static_cast<int64_t>(config_.relay_rtt_margin * rs->relay_srtt_.micros());
+  // The static relay_timeout stays the hard ceiling even when it sits below
+  // the floor (tests dial it down); the floor only guards against a tiny
+  // srtt collapsing the window.
+  const int64_t floor_us =
+      std::min(config_.relay_timeout_floor.micros(), config_.relay_timeout.micros());
+  return Micros(std::clamp(adaptive_us, floor_us, config_.relay_timeout.micros()));
+}
+
+void ResilientSessionManager::NoteRelayInbound(ResilientSession* rs) {
+  rs->last_relay_rx_ = loop_.now();
+  if (!rs->rtt_pending_) {
+    return;
+  }
+  // Any inbound relay traffic answers the open probe: the peer echoes
+  // keepalives immediately, so probe->first-inbound bounds the leg RTT.
+  const SimDuration sample = loop_.now() - rs->last_keepalive_tx_;
+  rs->relay_srtt_ = rs->relay_srtt_.micros() == 0
+                        ? sample
+                        : Micros((7 * rs->relay_srtt_.micros() + sample.micros()) / 8);
+  rs->rtt_pending_ = false;
+}
+
+void ResilientSessionManager::MarkKeepAliveProbe(ResilientSession* rs) {
+  if (rs->rtt_pending_) {
+    // An unanswered probe stays open: the eventual sample then spans the
+    // lost round, inflating srtt — loosening the timeout under loss, which
+    // is the conservative direction.
+    return;
+  }
+  rs->rtt_pending_ = true;
+  rs->last_keepalive_tx_ = loop_.now();
 }
 
 void ResilientSessionManager::OnRelayDead(ResilientSession* rs) {
   ++rs->relay_losses_;
   obs::Inc(metric_relay_losses_);
   NP_LOG(Info) << puncher_->rendezvous()->host()->name() << " relay leg to peer "
-               << rs->peer_id_ << " silent for " << config_.relay_timeout.ToString()
+               << rs->peer_id_ << " silent for " << EffectiveRelayTimeout(rs).ToString()
                << "; declaring it dead and "
                << (rs->initiator_ ? "re-entering recovery" : "awaiting initiator recovery");
   if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
@@ -469,6 +521,7 @@ void ResilientSessionManager::OnRelayDead(ResilientSession* rs) {
   rs->turn_.reset();
   rs->relay_confirmed_ = false;
   rs->relay_nonce_ = 0;
+  rs->rtt_pending_ = false;  // the open probe died with the leg
   rs->recovering_ = true;
   rs->died_at_ = loop_.now();
   rs->repunch_attempts_ = 0;
@@ -489,24 +542,33 @@ void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
     return;
   }
   auto msg = DecodePeerMessage(payload);
-  if (!msg || msg->nonce != rs->relay_nonce_) {
+  if (!msg) {
+    puncher_->rendezvous()->host()->CountMalformedDrop();
+    return;
+  }
+  if (msg->nonce != rs->relay_nonce_) {
     return;  // §3.4 again: unauthenticated traffic at the relayed endpoint
   }
-  rs->last_relay_rx_ = loop_.now();
+  NoteRelayInbound(rs);
   rs->relay_target_ = from;  // the peer's live public endpoint, as observed
   if (!rs->relay_confirmed_) {
     rs->relay_confirmed_ = true;
-    // Answer so the peer stops fast-knocking and confirms its side, then
-    // keep answering on a fixed cadence so the responder's watchdog sees a
-    // live leg even when the application goes quiet.
+    // Start answering on a fixed cadence so the responder's watchdog sees a
+    // live leg even when the application goes quiet. (The probe echo below
+    // answers this first knock immediately, stopping the fast-knocking.)
+    rs->relay_keepalive_event_ = loop_.ScheduleAfter(
+        config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
+    FlushPending(rs);
+  }
+  if (msg->type == PeerMsgType::kKeepAlive && msg->payload.empty()) {
+    // Echo the probe so the responder can sample the leg RTT; the marker
+    // keeps the echo from being echoed back.
     PeerMessage reply;
     reply.type = PeerMsgType::kKeepAlive;
     reply.nonce = rs->relay_nonce_;
     reply.sender_id = puncher_->rendezvous()->client_id();
+    reply.payload = Bytes{kKeepAliveReplyMarker};
     rs->turn_->SendTo(from, EncodePeerMessage(reply));
-    rs->relay_keepalive_event_ = loop_.ScheduleAfter(
-        config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
-    FlushPending(rs);
   }
   if (msg->type == PeerMsgType::kData) {
     ++rs->relayed_received_;
@@ -526,10 +588,15 @@ void ResilientSessionManager::OnUnclaimed(const Endpoint& from, const PeerMessag
     if (rs->path_ != ResilientSession::Path::kRelay) {
       return;
     }
-    rs->last_relay_rx_ = loop_.now();
+    NoteRelayInbound(rs);
     if (!rs->relay_confirmed_) {
       rs->relay_confirmed_ = true;
       FlushPending(rs);
+    }
+    if (msg.type == PeerMsgType::kKeepAlive && msg.payload.empty()) {
+      // Echo the initiator's probe (marker payload: see OnTurnData).
+      puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kKeepAlive, rs->relay_nonce_,
+                                Bytes{kKeepAliveReplyMarker});
     }
     if (msg.type == PeerMsgType::kData) {
       ++rs->relayed_received_;

@@ -62,6 +62,18 @@ struct ResilientSessionConfig {
   // both keepalive cadences or an idle-but-healthy leg false-positives.
   SimDuration relay_keepalive_interval = Seconds(5);
   SimDuration relay_timeout = Seconds(30);
+  // Adaptive relay failure detection. Keepalives double as RTT probes: a
+  // probe (empty payload) is echoed by the peer with a one-byte reply
+  // marker, and each side keeps an EWMA of the probe->inbound delay. The
+  // watchdog then waits clamp(2 * relay_keepalive_interval +
+  // relay_rtt_margin * srtt, relay_timeout_floor, relay_timeout) of silence
+  // instead of the static relay_timeout — at simulated RTTs that is ~10 s
+  // instead of 30 s, while still tolerating one whole lost keepalive round.
+  // Until the first RTT sample (or with the flag off) the static
+  // relay_timeout applies.
+  bool adaptive_relay_timeout = true;
+  SimDuration relay_timeout_floor = Seconds(8);
+  double relay_rtt_margin = 6.0;
 };
 
 class ResilientSessionManager;
@@ -110,6 +122,8 @@ class ResilientSession {
   uint64_t relayed_received() const { return relayed_received_; }
   // Times the relay-leg watchdog declared the relay dead.
   int relay_losses() const { return relay_losses_; }
+  // Smoothed relay-leg RTT from keepalive probes; 0 before the first sample.
+  SimDuration relay_srtt() const { return relay_srtt_; }
 
  private:
   friend class ResilientSessionManager;
@@ -144,6 +158,10 @@ class ResilientSession {
   SimTime last_relay_rx_;
   EventLoop::EventId relay_watchdog_event_ = EventLoop::kInvalidEventId;
   int relay_losses_ = 0;
+  // Keepalive RTT probe state for the adaptive watchdog.
+  SimTime last_keepalive_tx_;
+  bool rtt_pending_ = false;
+  SimDuration relay_srtt_ = Micros(0);  // EWMA (1/8 gain); 0 = unsampled
 
   std::vector<Bytes> pending_sends_;
   std::vector<RecoveryRecord> recoveries_;
@@ -212,6 +230,14 @@ class ResilientSessionManager {
   // the watchdog timer for a full relay_timeout.
   void ArmRelayWatchdog(ResilientSession* rs);
   void ScheduleRelayWatchdog(ResilientSession* rs, SimDuration delay);
+  // The silence window the watchdog currently applies to this session:
+  // static relay_timeout until RTT samples exist, adaptive afterwards.
+  SimDuration EffectiveRelayTimeout(const ResilientSession* rs) const;
+  // Bookkeeping common to both sides' inbound relay traffic: refresh the
+  // silence clock and fold a pending keepalive probe into the srtt.
+  void NoteRelayInbound(ResilientSession* rs);
+  // Stamp an outbound keepalive as an RTT probe (no-op while one is open).
+  void MarkKeepAliveProbe(ResilientSession* rs);
   void OnRelayDead(ResilientSession* rs);
   Status RelaySend(ResilientSession* rs, Bytes payload);
 

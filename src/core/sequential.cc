@@ -81,7 +81,11 @@ void SequentialPuncher::AuthAsInitiator(TcpSocket* socket, uint64_t peer_id, uin
     const std::vector<Bytes> frames = framer->Append(data);
     for (size_t i = 0; i < frames.size(); ++i) {
       auto msg = DecodePeerMessage(frames[i]);
-      if (msg && msg->type == PeerMsgType::kAuthOk && msg->nonce == nonce) {
+      if (!msg) {
+        socket->host()->CountMalformedDrop();
+        continue;
+      }
+      if (msg->type == PeerMsgType::kAuthOk && msg->nonce == nonce) {
         // Keep anything that followed the auth confirmation for the stream.
         for (size_t j = i + 1; j < frames.size(); ++j) {
           framer->Append(MessageFramer::Frame(frames[j]));
@@ -183,6 +187,7 @@ void SequentialPuncher::OnResponderData(ResponderPending* pending, const Bytes& 
   for (size_t i = 0; i < frames.size(); ++i) {
     auto msg = DecodePeerMessage(frames[i]);
     if (!msg) {
+      pending->socket->host()->CountMalformedDrop();
       continue;
     }
     if (msg->type == PeerMsgType::kAuth && msg->nonce == pending->nonce) {

@@ -205,6 +205,7 @@ void TcpHolePuncher::OnPendingData(PendingStream* pending, const Bytes& data) {
   for (size_t i = 0; i < frames.size(); ++i) {
     auto msg = DecodePeerMessage(frames[i]);
     if (!msg) {
+      pending->socket->host()->CountMalformedDrop();
       continue;
     }
     const bool nonce_known =

@@ -1,5 +1,7 @@
 #include "src/core/tcp_stream.h"
 
+#include "src/transport/host.h"
+
 namespace natpunch {
 
 TcpP2pStream::TcpP2pStream(TcpSocket* socket, uint64_t peer_id, uint64_t nonce,
@@ -11,6 +13,9 @@ TcpP2pStream::TcpP2pStream(TcpSocket* socket, uint64_t peer_id, uint64_t nonce,
       framer_(std::move(framer)),
       used_private_(used_private_endpoint),
       punch_elapsed_(punch_elapsed) {
+  // Application payloads flow here; the control-plane 8 KiB cap would poison
+  // the stream on the first bulk chunk.
+  framer_.set_max_frame(MessageFramer::kMaxDataFrame);
   socket_->SetDataCallback([this](const Bytes& data) { OnData(data); });
   socket_->SetClosedCallback([this](Status status) {
     alive_ = false;
@@ -42,7 +47,11 @@ void TcpP2pStream::Close() {
 void TcpP2pStream::OnData(const Bytes& data) {
   for (const Bytes& body : framer_.Append(data)) {
     auto msg = DecodePeerMessage(body);
-    if (!msg || msg->nonce != nonce_) {
+    if (!msg) {
+      socket_->host()->CountMalformedDrop();
+      continue;
+    }
+    if (msg->nonce != nonce_) {
       continue;
     }
     if (msg->type == PeerMsgType::kData) {

@@ -32,7 +32,8 @@ std::optional<TurnMessage> DecodeTurnMessage(ConstByteSpan data) {
   msg.peer.ip = Ipv4Address(r.ReadU32());
   msg.peer.port = r.ReadU16();
   msg.payload = r.ReadBytes();
-  if (!r.ok()) {
+  // Exact-length frames only: trailing attacker bytes must not decode.
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
   return msg;
@@ -100,6 +101,7 @@ void TurnServer::ScheduleSweep() {
 void TurnServer::OnControl(const Endpoint& from, const Payload& payload) {
   auto msg = DecodeTurnMessage(payload);
   if (!msg) {
+    host_->CountMalformedDrop();
     return;
   }
   auto it = allocations_.find(from);
@@ -233,6 +235,7 @@ void TurnClient::OnReceive(const Endpoint& from, const Payload& payload) {
   }
   auto msg = DecodeTurnMessage(payload);
   if (!msg) {
+    host_->CountMalformedDrop();
     return;
   }
   switch (msg->type) {

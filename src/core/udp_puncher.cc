@@ -134,8 +134,13 @@ void UdpHolePuncher::PunchAtEndpoints(uint64_t peer_id, uint64_t nonce,
 void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Payload& payload) {
   auto msg = DecodePeerMessage(payload);
   if (!msg) {
+    // Non-peer-wire bytes are legitimate here when a raw handler is
+    // installed (STUN-like prediction probes ride the same socket);
+    // without one they are garbage on the punch flow.
     if (raw_handler_) {
       raw_handler_(from, payload);
+    } else {
+      rendezvous_->host()->CountMalformedDrop();
     }
     return;
   }

@@ -121,7 +121,11 @@ void NatCheckClient::SendUdpPing(int server_index) {
 void NatCheckClient::OnUdpReceive(const Endpoint& from, const Payload& payload) {
   (void)from;
   auto msg = DecodeNcMessage(payload);
-  if (!msg || msg->session != session_) {
+  if (!msg) {
+    host_->CountMalformedDrop();
+    return;
+  }
+  if (msg->session != session_) {
     return;
   }
   switch (msg->type) {
@@ -214,7 +218,11 @@ void NatCheckClient::StartTcpPhase() {
       socket->SetDataCallback([this, conn](const Bytes& data) {
         for (const Bytes& body : conn->framer.Append(data)) {
           auto msg = DecodeNcMessage(body);
-          if (msg && msg->type == NcMsgType::kTcpHairpinHello) {
+          if (!msg) {
+            host_->CountMalformedDrop();
+            continue;
+          }
+          if (msg->type == NcMsgType::kTcpHairpinHello) {
             NcMessage reply;
             reply.type = NcMsgType::kTcpHairpinReply;
             reply.session = msg->session;
@@ -241,7 +249,11 @@ void NatCheckClient::TcpHelloTo(int server_index) {
     socket->SetDataCallback([this, socket, slot](const Bytes& data) {
       for (const Bytes& body : tcp_framer_[slot].Append(data)) {
         auto msg = DecodeNcMessage(body);
-        if (msg && msg->type == NcMsgType::kTcpReply) {
+        if (!msg) {
+          host_->CountMalformedDrop();
+          continue;
+        }
+        if (msg->type == NcMsgType::kTcpReply) {
           OnTcpReply(*msg);
         }
       }
@@ -336,7 +348,11 @@ void NatCheckClient::StartTcpHairpin() {
   socket->SetDataCallback([this, socket](const Bytes& data) {
     for (const Bytes& body : tcp_hairpin_framer_.Append(data)) {
       auto msg = DecodeNcMessage(body);
-      if (msg && msg->type == NcMsgType::kTcpHairpinReply) {
+      if (!msg) {
+        host_->CountMalformedDrop();
+        continue;
+      }
+      if (msg->type == NcMsgType::kTcpHairpinReply) {
         report_.tcp_hairpin = true;
         socket->Close();
         Finish();

@@ -35,10 +35,20 @@ std::optional<NcMessage> DecodeNcMessage(ConstByteSpan data) {
   msg.server_index = r.ReadU8();
   msg.observed.ip = Ipv4Address(r.ReadU32());
   msg.observed.port = r.ReadU16();
-  msg.verdict = static_cast<NcProbeVerdict>(r.ReadU8());
-  if (!r.ok()) {
+  const uint8_t verdict = r.ReadU8();
+  // Strict armor: every enum byte validated, the frame consumed exactly.
+  // Anything else is attacker-controlled garbage and must decode to nullopt
+  // (never crash, never round-trip differently than it arrived).
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
+  if (verdict > static_cast<uint8_t>(NcProbeVerdict::kRefused)) {
+    return std::nullopt;
+  }
+  if (msg.server_index > 3) {
+    return std::nullopt;  // servers are 1..3; 0 = unset in client pings
+  }
+  msg.verdict = static_cast<NcProbeVerdict>(verdict);
   return msg;
 }
 

@@ -45,7 +45,11 @@ void MultiClientNatCheck::ConsistencyProbe(
       return;
     }
     auto msg = DecodeNcMessage(payload);
-    if (!msg || msg->type != NcMsgType::kUdpPong || msg->session != probe->txn) {
+    if (!msg) {
+      host->CountMalformedDrop();
+      return;
+    }
+    if (msg->type != NcMsgType::kUdpPong || msg->session != probe->txn) {
       return;
     }
     if (probe->timer != EventLoop::kInvalidEventId) {

@@ -51,9 +51,11 @@ Status NatCheckServers::Start() {
       accepted->SetDataCallback([this, conn](const Bytes& data) {
         for (const Bytes& body : conn->framer.Append(data)) {
           auto msg = DecodeNcMessage(body);
-          if (msg) {
-            OnTcpMessage(conn, *msg);
+          if (!msg) {
+            hosts_[conn->server_index - 1]->CountMalformedDrop();
+            continue;
           }
+          OnTcpMessage(conn, *msg);
         }
       });
     });
@@ -67,6 +69,7 @@ Status NatCheckServers::Start() {
 void NatCheckServers::OnUdp(int index, const Endpoint& from, const Payload& payload) {
   auto msg = DecodeNcMessage(payload);
   if (!msg) {
+    hosts_[index - 1]->CountMalformedDrop();
     return;
   }
   switch (msg->type) {

@@ -61,6 +61,23 @@ void FaultScheduler::BurstLoss(SimTime at, Lan* lan, const GilbertElliottConfig&
   });
 }
 
+void FaultScheduler::Mangle(SimTime at, Lan* lan, const MangleConfig& params,
+                            SimDuration duration) {
+  Schedule(at, lan->name(), "mangle start", [this, lan, params, duration] {
+    const MangleConfig before = lan->config().mangle;
+    LanConfig hostile = lan->config();
+    hostile.mangle = params;
+    lan->set_config(hostile);
+    if (duration.micros() > 0) {
+      Schedule(network_->now() + duration, lan->name(), "mangle end", [lan, before] {
+        LanConfig restored = lan->config();
+        restored.mangle = before;
+        lan->set_config(restored);
+      });
+    }
+  });
+}
+
 void FaultScheduler::At(SimTime at, std::string label, std::function<void()> action) {
   Schedule(at, "fault", std::move(label), std::move(action));
 }

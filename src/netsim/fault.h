@@ -44,6 +44,11 @@ class FaultScheduler {
   void BurstLoss(SimTime at, Lan* lan, const GilbertElliottConfig& params,
                  SimDuration duration);
 
+  // Run `lan` under adversarial packet mangling (corruption, duplication,
+  // reordering, truncation) during [at, at+duration), then restore the
+  // previous mangle configuration. duration 0 = hostile until further notice.
+  void Mangle(SimTime at, Lan* lan, const MangleConfig& params, SimDuration duration);
+
   // Execute an arbitrary fault action (NAT reboot via NatDevice::Reboot,
   // rendezvous server stop/start, mapping churn, ...). `label` names the
   // fault in the kFault trace event.

@@ -1,15 +1,29 @@
 #include "src/netsim/lan.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/netsim/network.h"
 #include "src/netsim/node.h"
+#include "src/obs/metrics.h"
 
 namespace natpunch {
 
 Lan::Lan(Network* network, std::string name, LanConfig config)
     : network_(network), name_(std::move(name)), config_(config) {
   trace_id_ = network_->trace().Intern(name_);
+  if (obs::MetricsRegistry* reg = network_->metrics()) {
+    char metric_name[96];
+    const auto metric = [&](const char* suffix) {
+      const int n =
+          std::snprintf(metric_name, sizeof(metric_name), "lan.%s.%s", name_.c_str(), suffix);
+      return reg->GetCounter(std::string_view(metric_name, static_cast<size_t>(n)));
+    };
+    metric_corrupted_ = metric("corrupted");
+    metric_duplicated_ = metric("duplicated");
+    metric_reordered_ = metric("reordered");
+    metric_truncated_ = metric("truncated");
+  }
 }
 
 void Lan::Attach(Node* node, int iface, Ipv4Address ip) {
@@ -92,19 +106,81 @@ void Lan::Transmit(Node* sender, Ipv4Address next_hop, Packet&& packet) {
     delay = delay + (medium_free_at_ - network_->now());
   }
 
-  uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<uint32_t>(deliveries_.size());
-    deliveries_.emplace_back();
+  // Adversarial mangling happens after the loss models and target resolution
+  // so a mangled packet is always one that would otherwise have been
+  // delivered intact. Corruption/truncation mutate the payload in place
+  // (the duplicate, if any, carries the same damage — real duplication
+  // happens downstream of the corrupting link).
+  SimDuration extra_hold = Micros(0);
+  bool duplicate = false;
+  if (config_.mangle.any()) {
+    Mangle(packet, extra_hold, duplicate);
   }
+
+  if (duplicate) {
+    const uint32_t dup_slot = AcquireSlot();
+    PendingDelivery& dup = deliveries_[dup_slot];
+    dup.node = target->node;
+    dup.iface = target->iface;
+    dup.packet = packet;  // copy; the original is parked below
+    network_->event_loop().ScheduleAfter(delay, [this, dup_slot] { Deliver(dup_slot); });
+  }
+
+  const uint32_t slot = AcquireSlot();
   PendingDelivery& pending = deliveries_[slot];
   pending.node = target->node;
   pending.iface = target->iface;
   pending.packet = std::move(packet);
-  network_->event_loop().ScheduleAfter(delay, [this, slot] { Deliver(slot); });
+  network_->event_loop().ScheduleAfter(delay + extra_hold, [this, slot] { Deliver(slot); });
+}
+
+uint32_t Lan::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const uint32_t slot = static_cast<uint32_t>(deliveries_.size());
+  deliveries_.emplace_back();
+  return slot;
+}
+
+void Lan::Mangle(Packet& packet, SimDuration& extra, bool& duplicate) {
+  const MangleConfig& m = config_.mangle;
+  Rng& rng = network_->rng();
+  // Fixed draw order (corrupt, truncate, duplicate, reorder), each kind
+  // drawing only when its probability is non-zero: replays are bit-identical
+  // per seed and disabling a kind never shifts the stream of the others.
+  if (m.corrupt > 0.0 && !packet.payload.empty() && rng.NextBool(m.corrupt)) {
+    const uint64_t max_bits = m.corrupt_max_bits < 1 ? 1 : static_cast<uint64_t>(m.corrupt_max_bits);
+    const uint64_t bits = 1 + rng.NextBelow(max_bits);
+    for (uint64_t i = 0; i < bits; ++i) {
+      const uint64_t bit = rng.NextBelow(static_cast<uint64_t>(packet.payload.size()) * 8);
+      packet.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kCorrupt, packet,
+                             Detail("bits=", bits));
+    obs::Inc(metric_corrupted_);
+  }
+  if (m.truncate > 0.0 && !packet.payload.empty() && rng.NextBool(m.truncate)) {
+    const size_t new_size = static_cast<size_t>(rng.NextBelow(packet.payload.size()));
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kTruncate, packet,
+                             Detail(uint64_t{packet.payload.size()}, "=>", uint64_t{new_size}));
+    packet.payload.resize(new_size);
+    obs::Inc(metric_truncated_);
+  }
+  if (m.duplicate > 0.0 && rng.NextBool(m.duplicate)) {
+    duplicate = true;
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kDuplicate, packet);
+    obs::Inc(metric_duplicated_);
+  }
+  if (m.reorder > 0.0 && rng.NextBool(m.reorder)) {
+    const int64_t max_us = std::max<int64_t>(1, m.reorder_hold.micros());
+    extra = Micros(rng.NextInRange(1, max_us));
+    network_->trace().Record(network_->now(), trace_id_, TraceEvent::kReorder, packet,
+                             Detail("hold_us=", static_cast<uint64_t>(extra.micros())));
+    obs::Inc(metric_reordered_);
+  }
 }
 
 void Lan::Deliver(uint32_t slot) {

@@ -20,6 +20,10 @@
 
 namespace natpunch {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 class Network;
 class Node;
 
@@ -36,11 +40,30 @@ struct GilbertElliottConfig {
   double loss_bad = 1.0;        // loss probability while in the bad state
 };
 
+// Adversarial in-flight mangling: seeded, deterministic byte-level hostility
+// on top of the loss models. Each fault kind is independent and draws
+// randomness only while its probability is non-zero, so enabling one (or
+// none) never perturbs the RNG stream consumed by the others — golden traces
+// for non-hostile configs stay bit-identical. Every applied fault is traced
+// (kCorrupt/kDuplicate/kReorder/kTruncate) and counted via obs metrics
+// (`lan.<name>.corrupted/duplicated/reordered/truncated`).
+struct MangleConfig {
+  double corrupt = 0.0;        // per-packet probability of flipping payload bits
+  int corrupt_max_bits = 3;    // 1..corrupt_max_bits bits flipped per corruption
+  double truncate = 0.0;       // probability of cutting the payload short
+  double duplicate = 0.0;      // probability of delivering the packet twice
+  double reorder = 0.0;        // probability of holding the packet back
+  SimDuration reorder_hold = Millis(50);  // max extra hold; actual in [1us, hold]
+
+  bool any() const { return corrupt > 0.0 || truncate > 0.0 || duplicate > 0.0 || reorder > 0.0; }
+};
+
 struct LanConfig {
   SimDuration latency = Millis(5);     // one-way propagation delay
   SimDuration jitter = Micros(0);      // extra uniform delay in [0, jitter]
   double loss = 0.0;                // independent per-packet loss probability
   GilbertElliottConfig burst{};     // correlated burst loss, on top of `loss`
+  MangleConfig mangle{};            // adversarial corruption/dup/reorder/truncate
   // Shared-medium capacity in bits/s; 0 = infinite. Packets serialize one
   // at a time, so a saturated segment queues (and delays) everything on it.
   double bandwidth_bps = 0.0;
@@ -98,6 +121,12 @@ class Lan {
   };
 
   void Deliver(uint32_t slot);
+  // Applies the MangleConfig to a packet that survived the loss models.
+  // Mutates the payload in place (corrupt/truncate) and reports via `extra`
+  // how long a reordered packet is held past its computed delay and via
+  // `duplicate` whether a second copy must be scheduled.
+  void Mangle(Packet& packet, SimDuration& extra, bool& duplicate);
+  uint32_t AcquireSlot();
 
   Network* network_;
   std::string name_;
@@ -111,6 +140,11 @@ class Lan {
   uint64_t bytes_ = 0;
   std::vector<PendingDelivery> deliveries_;
   std::vector<uint32_t> free_slots_;
+  // Null when the Network has no metrics registry (obs::Inc is null-safe).
+  obs::Counter* metric_corrupted_ = nullptr;
+  obs::Counter* metric_duplicated_ = nullptr;
+  obs::Counter* metric_reordered_ = nullptr;
+  obs::Counter* metric_truncated_ = nullptr;
 };
 
 }  // namespace natpunch

@@ -45,17 +45,36 @@ std::string_view TraceEventName(TraceEvent e) {
       return "DROP_BURST";
     case TraceEvent::kFault:
       return "FAULT";
+    case TraceEvent::kCorrupt:
+      return "CORRUPT";
+    case TraceEvent::kDuplicate:
+      return "DUPLICATE";
+    case TraceEvent::kReorder:
+      return "REORDER";
+    case TraceEvent::kTruncate:
+      return "TRUNCATE";
   }
   return "?";
 }
 
 TraceDetail& TraceDetail::Append(std::string_view text) {
-  size_t n = text.size();
-  if (n > kCapacity - size_) {
-    n = kCapacity - size_;
+  if (truncated()) {
+    return *this;  // tail already replaced by the sentinel; keep it last
   }
-  std::memcpy(buf_ + size_, text.data(), n);
-  size_ = static_cast<uint8_t>(size_ + n);
+  const size_t used = size();
+  size_t n = text.size();
+  if (n <= kCapacity - used) {
+    std::memcpy(buf_ + used, text.data(), n);
+    size_ = static_cast<uint8_t>(used + n);
+    return *this;
+  }
+  // Overflow: fill the buffer, then overwrite the last three bytes with a
+  // UTF-8 ellipsis so the clipped detail is visibly incomplete.
+  static_assert(kCapacity >= 3, "no room for the truncation sentinel");
+  n = kCapacity - used;
+  std::memcpy(buf_ + used, text.data(), n);
+  std::memcpy(buf_ + kCapacity - 3, "\xe2\x80\xa6", 3);
+  size_ = static_cast<uint8_t>(kCapacity) | kTruncatedBit;
   return *this;
 }
 

@@ -46,6 +46,10 @@ enum class TraceEvent {
   kLinkDown,            // packet dropped because the segment is administratively down
   kDropBurst,           // Gilbert-Elliott burst-loss drop (bad state)
   kFault,               // fault-injection engine executed a scheduled fault
+  kCorrupt,             // adversarial fault: payload bits flipped in flight
+  kDuplicate,           // adversarial fault: packet delivered twice
+  kReorder,             // adversarial fault: packet held back past its peers
+  kTruncate,            // adversarial fault: payload cut short in flight
 };
 
 std::string_view TraceEventName(TraceEvent e);
@@ -54,11 +58,12 @@ std::string_view TraceEventName(TraceEvent e);
 // name.
 using TraceNodeId = uint32_t;
 
-// Bounded inline detail text. Appends past the capacity truncate silently —
-// every detail the simulator itself produces ("ip:port=>ip:port" at worst)
-// fits; only pathological fault labels would clip. Building one never
-// allocates, which is what lets the always-on NAT translate/drop paths record
-// rich reasons without perturbing the zero-allocation packet path.
+// Bounded inline detail text. Every detail the simulator itself produces
+// ("ip:port=>ip:port" at worst) fits; an append past the capacity replaces
+// the tail with a "…" sentinel so a clipped diagnostic can never be read as
+// complete. Building one never allocates, which is what lets the always-on
+// NAT translate/drop paths record rich reasons without perturbing the
+// zero-allocation packet path.
 class TraceDetail {
  public:
   static constexpr size_t kCapacity = 55;
@@ -68,8 +73,10 @@ class TraceDetail {
   TraceDetail(std::string_view text) { Append(text); }                 // NOLINT: implicit
   TraceDetail(const std::string& text) { Append(std::string_view(text)); }  // NOLINT: implicit
 
-  bool empty() const { return size_ == 0; }
-  std::string_view view() const { return std::string_view(buf_, size_); }
+  bool empty() const { return size() == 0; }
+  std::string_view view() const { return std::string_view(buf_, size()); }
+  // True when any Append overflowed the buffer; view() then ends in "…".
+  bool truncated() const { return (size_ & kTruncatedBit) != 0; }
 
   TraceDetail& Append(std::string_view text);
   TraceDetail& Append(const Endpoint& ep);  // "a.b.c.d:port"
@@ -77,6 +84,12 @@ class TraceDetail {
   TraceDetail& Append(uint64_t value);
 
  private:
+  // The truncation flag rides the high bit of size_ (size <= 55 < 128) so
+  // the sentinel costs no extra record bytes.
+  static constexpr uint8_t kTruncatedBit = 0x80;
+
+  size_t size() const { return size_ & ~kTruncatedBit; }
+
   uint8_t size_ = 0;
   char buf_[kCapacity];
 };

@@ -59,7 +59,12 @@ void UdpRendezvousClient::OnReceive(const Endpoint& from, const Payload& payload
     }
     // Undecodable traffic from the server endpoint falls through as peer
     // traffic (it could be a punch probe from a peer behind the same
-    // address in a hairpin scenario — unlikely but harmless).
+    // address in a hairpin scenario — unlikely but harmless). With no peer
+    // handler to claim it, it is garbage on the rendezvous flow: count it.
+    if (!peer_traffic_handler_) {
+      host_->CountMalformedDrop();
+      return;
+    }
   }
   if (peer_traffic_handler_) {
     peer_traffic_handler_(from, payload);
@@ -248,7 +253,10 @@ void UdpRendezvousClient::StopKeepAlive() {
 
 TcpRendezvousClient::TcpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
                                          RendezvousClientOptions options)
-    : host_(host), server_(server), client_id_(client_id), options_(options) {}
+    : host_(host), server_(server), client_id_(client_id), options_(options) {
+  // Relayed application chunks arrive over this connection: data-tier cap.
+  framer_.set_max_frame(MessageFramer::kMaxDataFrame);
+}
 
 void TcpRendezvousClient::SendToServer(const RendezvousMessage& msg) {
   connection_->Send(
@@ -297,9 +305,11 @@ void TcpRendezvousClient::DoConnect(uint16_t local_port, EndpointCallback cb) {
 void TcpRendezvousClient::OnData(const Bytes& data) {
   for (const Bytes& body : framer_.Append(data)) {
     auto msg = DecodeRendezvousMessage(body, options_.obfuscate_addresses);
-    if (msg) {
-      HandleServerMessage(*msg);
+    if (!msg) {
+      host_->CountMalformedDrop();
+      continue;
     }
+    HandleServerMessage(*msg);
   }
 }
 
@@ -407,6 +417,7 @@ void TcpRendezvousClient::CloseConnection() {
 
 void TcpRendezvousClient::Reconnect(EndpointCallback cb) {
   framer_ = MessageFramer();
+  framer_.set_max_frame(MessageFramer::kMaxDataFrame);
   DoConnect(0, std::move(cb));
 }
 

@@ -53,7 +53,12 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
     return std::nullopt;
   }
   msg.type = static_cast<RvMsgType>(type);
-  msg.strategy = static_cast<ConnectStrategy>(r.ReadU8());
+  const uint8_t strategy = r.ReadU8();
+  if (strategy < static_cast<uint8_t>(ConnectStrategy::kHolePunch) ||
+      strategy > static_cast<uint8_t>(ConnectStrategy::kPredicted)) {
+    return std::nullopt;
+  }
+  msg.strategy = static_cast<ConnectStrategy>(strategy);
   msg.client_id = r.ReadU64();
   msg.target_id = r.ReadU64();
   msg.nonce = r.ReadU64();
@@ -61,7 +66,9 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
   msg.public_ep = ReadEndpoint(r, obfuscate_addresses);
   msg.private_ep = ReadEndpoint(r, obfuscate_addresses);
   msg.payload = r.ReadBytes();
-  if (!r.ok()) {
+  // Trailing bytes after the payload mean the frame is not ours (or was
+  // spliced by an attacker); strict armor rejects rather than guesses.
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
   return msg;
@@ -81,6 +88,15 @@ std::vector<Bytes> MessageFramer::Append(const Bytes& data) {
   size_t pos = 0;
   while (buffer_.size() - pos >= 2) {
     const size_t len = static_cast<size_t>(buffer_[pos]) << 8 | buffer_[pos + 1];
+    if (len > max_frame_) {
+      // A length prefix beyond any legitimate message means the stream is
+      // desynchronized (corruption) or hostile (memory-exhaustion header).
+      // There is no way to resynchronize a length-prefixed stream, so drop
+      // everything buffered; the transport layer owns reconnecting.
+      ++oversize_frames_;
+      buffer_.clear();
+      return out;
+    }
     if (buffer_.size() - pos - 2 < len) {
       break;
     }

@@ -65,16 +65,38 @@ std::optional<RendezvousMessage> DecodeRendezvousMessage(ConstByteSpan data,
                                                          bool obfuscate_addresses);
 
 // Reassembles length-prefixed messages from a TCP byte stream.
+//
+// Armor: a length prefix above max_frame marks the stream as desynchronized
+// or hostile. The framer drops its whole buffer and counts the event; there
+// is no resync point in a length-prefixed stream, so the owner should treat
+// the connection as poisoned. The cap is two-tier: control-only streams keep
+// the tight 8 KiB default, while data-bearing boundaries (p2p streams, the
+// rendezvous connection that carries relay payloads) raise it to the u16
+// prefix's own ceiling via set_max_frame(kMaxDataFrame).
 class MessageFramer {
  public:
+  static constexpr size_t kDefaultMaxFrame = 8192;
+  // Largest frame the u16 length prefix can describe; boundaries that carry
+  // bulk application payloads use this instead of the control-plane default.
+  static constexpr size_t kMaxDataFrame = 65535;
+
   // Frame a message body for stream transmission.
   static Bytes Frame(const Bytes& body);
 
   // Feed stream bytes; returns every complete message body now available.
   std::vector<Bytes> Append(const Bytes& data);
 
+  void set_max_frame(size_t max_frame) { max_frame_ = max_frame; }
+  // Number of times an over-limit length prefix forced a buffer drop.
+  uint64_t oversize_frames() const { return oversize_frames_; }
+  // True when the framer has hit an oversize prefix; the stream past that
+  // point is unparseable and the connection should be torn down.
+  bool poisoned() const { return oversize_frames_ > 0; }
+
  private:
   Bytes buffer_;
+  size_t max_frame_ = kDefaultMaxFrame;
+  uint64_t oversize_frames_ = 0;
 };
 
 }  // namespace natpunch

@@ -1,11 +1,17 @@
 #include "src/rendezvous/server.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
 
 RendezvousServer::RendezvousServer(Host* host, uint16_t port, Options options)
-    : host_(host), port_(port), options_(options) {}
+    : host_(host), port_(port), options_(options) {
+  if (obs::MetricsRegistry* reg = host_->network()->metrics()) {
+    metric_rate_limited_ = reg->GetCounter("rendezvous.rate_limited_drops");
+    metric_quarantined_ = reg->GetCounter("rendezvous.quarantined_sources");
+  }
+}
 
 Status RendezvousServer::Start() {
   ++epoch_;  // new incarnation: any state a prior one held is gone
@@ -47,6 +53,7 @@ void RendezvousServer::Stop() {
     }
   }
   clients_.clear();
+  sources_.clear();  // a restarted incarnation starts with a clean slate
 }
 
 void RendezvousServer::SendUdp(const Endpoint& to, const RendezvousMessage& msg) {
@@ -62,9 +69,52 @@ void RendezvousServer::SendTcp(TcpPeer* peer, const RendezvousMessage& msg) {
       MessageFramer::Frame(EncodeRendezvousMessage(stamped, options_.obfuscate_addresses)));
 }
 
+bool RendezvousServer::AdmitUdp(const Endpoint& from) {
+  if (options_.max_msgs_per_window == 0 && options_.quarantine_threshold == 0) {
+    return true;
+  }
+  SourceState& src = sources_[from];
+  const SimTime now = host_->loop().now();
+  if (now < src.quarantined_until) {
+    ++stats_.quarantined_drops;
+    return false;
+  }
+  if (options_.max_msgs_per_window > 0) {
+    if (now - src.window_start >= options_.rate_window) {
+      src.window_start = now;
+      src.msgs_in_window = 0;
+    }
+    if (++src.msgs_in_window > options_.max_msgs_per_window) {
+      ++stats_.rate_limited_drops;
+      obs::Inc(metric_rate_limited_);
+      return false;
+    }
+  }
+  return true;
+}
+
+void RendezvousServer::NoteUdpMalformed(const Endpoint& from) {
+  if (options_.quarantine_threshold == 0) {
+    return;
+  }
+  SourceState& src = sources_[from];
+  if (++src.malformed >= options_.quarantine_threshold) {
+    src.quarantined_until = host_->loop().now() + options_.quarantine_duration;
+    src.malformed = 0;
+    ++stats_.quarantined_sources;
+    obs::Inc(metric_quarantined_);
+  }
+}
+
 void RendezvousServer::OnUdpReceive(const Endpoint& from, const Payload& payload) {
+  if (!AdmitUdp(from)) {
+    return;
+  }
   auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
   if (!msg) {
+    ++stats_.malformed_frames;
+    host_->CountMalformedDrop();
+    NoteUdpMalformed(from);
     return;
   }
   HandleMessage(*msg, &from, nullptr);
@@ -74,6 +124,9 @@ void RendezvousServer::OnTcpAccept(TcpSocket* socket) {
   tcp_peers_.push_back(std::make_unique<TcpPeer>());
   TcpPeer* peer = tcp_peers_.back().get();
   peer->socket = socket;
+  // The rendezvous connection doubles as the relay data path (kRelayData
+  // carries application chunks), so it gets the data-tier frame cap.
+  peer->framer.set_max_frame(MessageFramer::kMaxDataFrame);
   socket->SetDataCallback([this, peer](const Bytes& data) { OnTcpData(peer, data); });
   socket->SetClosedCallback([this, peer](const Status&) {
     // Connection gone; drop the TCP registration but keep any UDP one.
@@ -91,9 +144,27 @@ void RendezvousServer::OnTcpData(TcpPeer* peer, const Bytes& data) {
   for (const Bytes& body : peer->framer.Append(data)) {
     auto msg = DecodeRendezvousMessage(body, options_.obfuscate_addresses);
     if (!msg) {
+      ++stats_.malformed_frames;
+      host_->CountMalformedDrop();
+      if (options_.quarantine_threshold > 0 &&
+          ++peer->malformed >= options_.quarantine_threshold) {
+        // A TCP peer is already authenticated by its connection; quarantine
+        // means hanging up on it.
+        ++stats_.quarantined_sources;
+        obs::Inc(metric_quarantined_);
+        peer->socket->Abort();
+        return;
+      }
       continue;
     }
     HandleMessage(*msg, nullptr, peer);
+  }
+  if (peer->framer.poisoned()) {
+    // Oversize length prefix: the stream can never resynchronize. Count it
+    // once and drop the connection.
+    ++stats_.malformed_frames;
+    host_->CountMalformedDrop();
+    peer->socket->Abort();
   }
 }
 

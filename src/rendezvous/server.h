@@ -23,6 +23,18 @@ class RendezvousServer {
  public:
   struct Options {
     bool obfuscate_addresses = false;
+    // Hostile-client controls. All default off (0) so cooperative scenarios
+    // and existing benches see identical behavior; chaos/attacker tests turn
+    // them on explicitly.
+    //
+    // Per-source UDP rate limit: more than max_msgs_per_window messages from
+    // one source endpoint within rate_window are dropped (and counted).
+    uint32_t max_msgs_per_window = 0;  // 0 = no rate limiting
+    SimDuration rate_window = Seconds(1);
+    // Quarantine: a source that sends quarantine_threshold malformed frames
+    // is ignored for quarantine_duration (UDP) or disconnected (TCP).
+    uint32_t quarantine_threshold = 0;  // 0 = no quarantine
+    SimDuration quarantine_duration = Seconds(30);
   };
 
   RendezvousServer(Host* host, uint16_t port, Options options);
@@ -48,6 +60,10 @@ class RendezvousServer {
     uint64_t relayed_messages = 0;
     uint64_t relayed_bytes = 0;
     uint64_t unknown_targets = 0;
+    uint64_t malformed_frames = 0;    // frames that failed strict decoding
+    uint64_t rate_limited_drops = 0;  // messages shed by the per-source limit
+    uint64_t quarantined_sources = 0; // sources/connections put in the box
+    uint64_t quarantined_drops = 0;   // messages ignored while quarantined
   };
   const Stats& stats() const { return stats_; }
 
@@ -64,6 +80,16 @@ class RendezvousServer {
     TcpSocket* socket = nullptr;
     MessageFramer framer;
     uint64_t client_id = 0;
+    uint32_t malformed = 0;  // strict-decode failures on this connection
+  };
+
+  // Per-source abuse bookkeeping for the UDP side; only populated when the
+  // Options enable rate limiting or quarantine.
+  struct SourceState {
+    SimTime window_start;
+    uint32_t msgs_in_window = 0;
+    uint32_t malformed = 0;
+    SimTime quarantined_until;
   };
 
   struct ClientRecord {
@@ -74,6 +100,11 @@ class RendezvousServer {
     Endpoint tcp_public;
     Endpoint tcp_private;
   };
+
+  // Returns false when the source is quarantined or over its rate limit and
+  // the message must be shed before decoding.
+  bool AdmitUdp(const Endpoint& from);
+  void NoteUdpMalformed(const Endpoint& from);
 
   void OnUdpReceive(const Endpoint& from, const Payload& payload);
   void OnTcpAccept(TcpSocket* socket);
@@ -92,8 +123,11 @@ class RendezvousServer {
   TcpSocket* tcp_listener_ = nullptr;
   std::map<uint64_t, ClientRecord> clients_;
   std::vector<std::unique_ptr<TcpPeer>> tcp_peers_;
+  std::map<Endpoint, SourceState> sources_;
   Stats stats_;
   uint64_t epoch_ = 0;
+  obs::Counter* metric_rate_limited_ = nullptr;
+  obs::Counter* metric_quarantined_ = nullptr;
 };
 
 }  // namespace natpunch

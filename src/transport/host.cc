@@ -1,5 +1,8 @@
 #include "src/transport/host.h"
 
+#include <cstdio>
+
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
@@ -8,6 +11,12 @@ Host::Host(Network* network, std::string name, HostConfig config)
     : Node(network, std::move(name)), config_(config) {
   udp_ = std::make_unique<UdpStack>(this);
   tcp_ = std::make_unique<TcpStack>(this, config_.tcp);
+  if (obs::MetricsRegistry* reg = network_->metrics()) {
+    char metric_name[96];
+    const int n = std::snprintf(metric_name, sizeof(metric_name), "wire.%s.malformed_drops",
+                                name_.c_str());
+    metric_malformed_ = reg->GetCounter(std::string_view(metric_name, static_cast<size_t>(n)));
+  }
 }
 
 Host::~Host() = default;
@@ -33,6 +42,11 @@ uint16_t Host::AllocateEphemeralPort(IpProtocol protocol) {
 }
 
 void Host::SendFromTransport(Packet&& packet) { SendPacket(std::move(packet)); }
+
+void Host::CountMalformedDrop() {
+  ++malformed_drops_;
+  obs::Inc(metric_malformed_);
+}
 
 void Host::HandlePacket(int iface, Packet&& packet) {
   (void)iface;

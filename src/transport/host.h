@@ -19,6 +19,10 @@
 
 namespace natpunch {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 struct HostConfig {
   TcpConfig tcp;
   // Real hosts answer datagrams to closed UDP ports with ICMP port
@@ -49,11 +53,21 @@ class Host : public Node {
   // Transport stacks emit through this so every packet goes via routing.
   void SendFromTransport(Packet&& packet);
 
+  // Wire armor accounting: every protocol endpoint on this host (rendezvous,
+  // natcheck, TURN, puncher, framed TCP streams) calls this when it drops a
+  // frame that failed strict decoding. Counted locally always and as the
+  // `wire.<host>.malformed_drops` metric when metrics are enabled, so a
+  // hostile-network run can audit exactly where garbage was shed.
+  void CountMalformedDrop();
+  uint64_t malformed_drops() const { return malformed_drops_; }
+
  private:
   HostConfig config_;
   std::unique_ptr<UdpStack> udp_;
   std::unique_ptr<TcpStack> tcp_;
   uint16_t next_ephemeral_ = 49152;
+  uint64_t malformed_drops_ = 0;
+  obs::Counter* metric_malformed_ = nullptr;  // null when metrics disabled
 };
 
 }  // namespace natpunch

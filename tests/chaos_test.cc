@@ -13,11 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/attacker.h"
 #include "src/core/resilient_session.h"
 #include "src/core/turn.h"
 #include "src/netsim/fault.h"
 #include "src/rendezvous/server.h"
 #include "src/scenario/scenario.h"
+#include "src/transport/host.h"
 
 namespace natpunch {
 namespace {
@@ -431,6 +433,258 @@ TEST_F(ChaosRecoveryTest, BurstLossWindowDropsAndRestores) {
   // Window (2 s) < expiry (5 s): absorbed without a recovery.
   EXPECT_EQ(session->recoveries().size(), 0u);
   EXPECT_TRUE(SendWorks(session));
+}
+
+TEST_F(ChaosRecoveryTest, AdaptiveWatchdogDetectsRelayDeathWellUnderStaticTimeout) {
+  // Default relay timings: 5 s keepalives, 30 s static timeout. The
+  // adaptive watchdog samples the leg RTT from keepalive probe echoes and
+  // tightens the silence window to ~2 keepalive rounds + margin*srtt —
+  // about 10 s at simulated RTTs — without any config tuning.
+  NatConfig symmetric;
+  symmetric.mapping = NatMapping::kAddressAndPortDependent;
+  symmetric.filtering = NatFiltering::kAddressAndPortDependent;
+  symmetric.port_allocation = NatPortAllocation::kRandom;
+
+  topo_ = MakeFig5(symmetric, symmetric);
+  Host* relay_host = topo_.scenario->AddPublicHost("T", Ipv4Address::FromOctets(18, 181, 0, 40));
+  TurnServer turn(relay_host);
+  ASSERT_TRUE(turn.Start().ok());
+
+  server_ = std::make_unique<RendezvousServer>(topo_.server, kServerPort);
+  ASSERT_TRUE(server_->Start().ok());
+  ca_ = std::make_unique<UdpRendezvousClient>(topo_.a, server_->endpoint(), 1);
+  cb_ = std::make_unique<UdpRendezvousClient>(topo_.b, server_->endpoint(), 2);
+  ca_->Register(4321, [](Result<Endpoint>) {});
+  cb_->Register(4321, [](Result<Endpoint>) {});
+  UdpPunchConfig punch;
+  punch.punch_timeout = Seconds(3);  // fail the hopeless punch quickly
+  pa_ = std::make_unique<UdpHolePuncher>(ca_.get(), punch);
+  pb_ = std::make_unique<UdpHolePuncher>(cb_.get(), punch);
+  ResilientSessionConfig resilient;  // stock adaptive settings
+  resilient.turn_server = turn.endpoint();
+  ma_ = std::make_unique<ResilientSessionManager>(pa_.get(), resilient);
+  mb_ = std::make_unique<ResilientSessionManager>(pb_.get(), resilient);
+  mb_->SetIncomingSessionCallback([this](ResilientSession* s) {
+    incoming_ = s;
+    s->SetReceiveCallback([this](const Bytes&) { ++b_received_; });
+  });
+  topo_.scenario->net().RunFor(Seconds(2));
+
+  ResilientSession* session = Connect();
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(session->path(), ResilientSession::Path::kRelay);
+  ASSERT_TRUE(SendWorks(session));
+
+  // Let a few keepalive rounds pass so both sides hold an RTT estimate.
+  topo_.scenario->net().RunFor(Seconds(12));
+  EXPECT_GT(session->relay_srtt().micros(), 0);
+  ASSERT_NE(incoming_, nullptr);
+  EXPECT_GT(incoming_->relay_srtt().micros(), 0);
+
+  // Kill the relay and clock how long until the watchdog notices.
+  turn.Stop();
+  const SimTime killed_at = topo_.scenario->net().now();
+  SimDuration detected_after = Seconds(60);
+  while (topo_.scenario->net().now() - killed_at < Seconds(40)) {
+    topo_.scenario->net().RunFor(Millis(500));
+    if (session->relay_losses() >= 1) {
+      detected_after = topo_.scenario->net().now() - killed_at;
+      break;
+    }
+  }
+  // 2 * 5 s keepalives + margin*srtt lands near 10-11 s — a third of the
+  // static 30 s window, and comfortably under half of it.
+  EXPECT_GE(session->relay_losses(), 1);
+  EXPECT_LT(detected_after.micros(), Seconds(15).micros());
+  EXPECT_GE(detected_after.micros(), Seconds(8).micros());  // floor respected
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-network hardening: adversarial fault storms and attacker nodes
+// ---------------------------------------------------------------------------
+
+struct StormOutcome {
+  std::string trace;
+  uint64_t corrupted = 0, duplicated = 0, reordered = 0, truncated = 0;
+  uint64_t malformed_drops = 0;
+  int b_received = 0;
+  int64_t downtime_micros = 0;
+  bool alive_at_end = false;
+  bool data_flows_after = false;
+};
+
+StormOutcome RunHostileStorm(uint64_t seed) {
+  Scenario::Options options;
+  options.seed = seed;
+  Fig5Topology topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  Network& net = topo.scenario->net();
+  net.trace().set_enabled(true);
+
+  RendezvousServer server(topo.server, kServerPort);
+  EXPECT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  ca.StartKeepAlive(Seconds(1));
+  cb.StartKeepAlive(Seconds(1));
+  UdpPunchConfig punch;
+  punch.keepalive_interval = Seconds(1);
+  punch.session_expiry = Seconds(5);
+  UdpHolePuncher pa(&ca, punch);
+  UdpHolePuncher pb(&cb, punch);
+  ResilientSessionConfig resilient;
+  resilient.backoff_initial = Millis(500);
+  resilient.max_repunch_attempts = 4;
+  ResilientSessionManager ma(&pa, resilient);
+  ResilientSessionManager mb(&pb, resilient);
+
+  StormOutcome out;
+  mb.SetIncomingSessionCallback([&out](ResilientSession* s) {
+    s->SetReceiveCallback([&out](const Bytes&) { ++out.b_received; });
+  });
+  ResilientSession* session = nullptr;
+  net.event_loop().ScheduleAfter(Seconds(2), [&] {
+    ma.ConnectToPeer(2, [&](Result<ResilientSession*> r) {
+      if (r.ok()) {
+        session = *r;
+      }
+    });
+  });
+  std::function<void()> pump = [&] {
+    if (session != nullptr && session->alive()) {
+      session->Send(Bytes{0xAB});
+    }
+    net.event_loop().ScheduleAfter(Millis(500), pump);
+  };
+  net.event_loop().ScheduleAfter(Seconds(3), pump);
+
+  // A combined corruption + truncation + duplication + reorder storm on the
+  // internet segment, long after the punch so it hits a live session.
+  FaultScheduler faults(&net);
+  MangleConfig storm;
+  storm.corrupt = 0.25;
+  storm.truncate = 0.10;
+  storm.duplicate = 0.20;
+  storm.reorder = 0.30;
+  storm.reorder_hold = Millis(80);
+  faults.Mangle(At(6), topo.scenario->internet(), storm, Seconds(10));
+
+  net.RunFor(Seconds(25));
+
+  out.corrupted = net.trace().Count(TraceEvent::kCorrupt);
+  out.duplicated = net.trace().Count(TraceEvent::kDuplicate);
+  out.reordered = net.trace().Count(TraceEvent::kReorder);
+  out.truncated = net.trace().Count(TraceEvent::kTruncate);
+  out.malformed_drops = topo.a->malformed_drops() + topo.b->malformed_drops() +
+                        topo.server->malformed_drops();
+  if (session != nullptr) {
+    out.alive_at_end = session->alive();
+    out.downtime_micros = session->total_downtime().micros();
+    const int before = out.b_received;
+    session->Send(Bytes{0xCD});
+    net.RunFor(Seconds(2));
+    out.data_flows_after = out.b_received > before;
+  }
+  out.trace = net.trace().Dump();
+  return out;
+}
+
+TEST(HostileStormTest, SessionSurvivesStormWithBoundedDowntimeAndReplaysIdentically) {
+  StormOutcome first = RunHostileStorm(1234);
+
+  // The storm actually mangled traffic, every kind, and every kind is in the
+  // trace — corrupted frames were dropped by the decoders and counted, not
+  // crashed on and not accepted.
+  EXPECT_GT(first.corrupted, 0u);
+  EXPECT_GT(first.duplicated, 0u);
+  EXPECT_GT(first.reordered, 0u);
+  EXPECT_GT(first.truncated, 0u);
+  EXPECT_GT(first.malformed_drops, 0u);
+
+  // Availability: the session survived the storm (keepalives at 1 s against
+  // a 5 s expiry ride out 25% corruption), data flowed during it, and any
+  // recovery the storm did force stayed within the backoff ladder's bound.
+  EXPECT_TRUE(first.alive_at_end);
+  EXPECT_GT(first.b_received, 0);
+  EXPECT_TRUE(first.data_flows_after);
+  EXPECT_LT(first.downtime_micros, Seconds(15).micros());
+
+  // Chaos replays are bit-identical per seed, mangling included.
+  StormOutcome second = RunHostileStorm(1234);
+  EXPECT_EQ(first.corrupted, second.corrupted);
+  EXPECT_EQ(first.duplicated, second.duplicated);
+  EXPECT_EQ(first.reordered, second.reordered);
+  EXPECT_EQ(first.truncated, second.truncated);
+  EXPECT_EQ(first.malformed_drops, second.malformed_drops);
+  EXPECT_EQ(first.b_received, second.b_received);
+  EXPECT_EQ(first.downtime_micros, second.downtime_micros);
+  ASSERT_EQ(first.trace.size(), second.trace.size());
+  EXPECT_TRUE(first.trace == second.trace) << "storm replay must be bit-identical";
+
+  // A different seed mangles a different world.
+  StormOutcome other = RunHostileStorm(1235);
+  EXPECT_FALSE(first.trace == other.trace);
+}
+
+TEST(AttackerTest, GarbageBlasterIsQuarantinedWhilePunchSucceeds) {
+  Fig5Topology topo = MakeFig5(NatConfig{}, NatConfig{});
+  Network& net = topo.scenario->net();
+
+  // Rendezvous server with the hostile-client controls on.
+  RendezvousServer::Options hardened;
+  hardened.max_msgs_per_window = 50;
+  hardened.rate_window = Seconds(1);
+  hardened.quarantine_threshold = 5;
+  hardened.quarantine_duration = Seconds(30);
+  RendezvousServer server(topo.server, kServerPort, hardened);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The attacker sits on the public internet, blasting the server with
+  // garbage: random bytes, valid-magic random bodies, bit-flipped and
+  // truncated copies of a real registration frame.
+  Host* evil = topo.scenario->AddPublicHost("evil", Ipv4Address::FromOctets(66, 6, 6, 6));
+  GarbageBlasterConfig blast;
+  blast.target = server.endpoint();
+  blast.interval = Millis(5);
+  blast.seed = 99;
+  GarbageBlaster blaster(evil, blast);
+  RendezvousMessage tmpl;
+  tmpl.type = RvMsgType::kConnectRequest;
+  tmpl.client_id = 666;
+  tmpl.target_id = 1;
+  blaster.AddTemplate(EncodeRendezvousMessage(tmpl, false));
+  ASSERT_TRUE(blaster.Start().ok());
+
+  // Honest clients register and punch right through the noise.
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  bool a_registered = false;
+  ca.Register(4321, [&](Result<Endpoint> r) { a_registered = r.ok(); });
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpHolePuncher pa(&ca);
+  UdpHolePuncher pb(&cb);
+  bool punched = false;
+  net.event_loop().ScheduleAfter(Seconds(1), [&] {
+    pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { punched = r.ok(); });
+  });
+  net.RunFor(Seconds(20));
+
+  EXPECT_GT(blaster.sent(), 1000u);
+  EXPECT_TRUE(a_registered);
+  EXPECT_TRUE(punched);
+
+  // The server dropped-and-counted instead of crashing or believing any of
+  // it: malformed frames were charged to the attacker, who crossed the
+  // quarantine threshold and was then ignored wholesale (quarantined drops
+  // dwarf what the rate limiter alone would shed).
+  const auto& stats = server.stats();
+  EXPECT_GT(stats.malformed_frames, 0u);
+  EXPECT_GE(stats.quarantined_sources, 1u);
+  EXPECT_GT(stats.quarantined_drops, 100u);
+  EXPECT_GT(topo.server->malformed_drops(), 0u);
+  // Both honest clients are registered despite the noise.
+  EXPECT_GE(server.client_count(), 2u);
 }
 
 }  // namespace

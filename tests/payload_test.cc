@@ -201,10 +201,13 @@ TEST(TraceDifferentialTest, DumpMatchesLegacyFormat) {
   EXPECT_EQ(trace.Dump(), expected);
 }
 
-TEST(TraceDifferentialTest, DetailTruncatesAtCapacityWithoutCorruption) {
+TEST(TraceDifferentialTest, DetailTruncatesAtCapacityWithSentinel) {
   const std::string longtext(200, 'x');
   TraceDetail d(longtext);
-  EXPECT_EQ(d.view(), std::string(TraceDetail::kCapacity, 'x'));
+  // Truncation is visible: the detail fills to capacity but ends in a "…"
+  // sentinel instead of silently looking like a complete record.
+  EXPECT_TRUE(d.truncated());
+  EXPECT_EQ(d.view(), std::string(TraceDetail::kCapacity - 3, 'x') + "\xe2\x80\xa6");
   // Appending past capacity is a no-op, not a crash or overflow.
   d.Append(Endpoint(Ipv4Address::FromOctets(1, 2, 3, 4), 9));
   EXPECT_EQ(d.view().size(), TraceDetail::kCapacity);

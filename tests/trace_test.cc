@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "src/core/udp_puncher.h"
+#include "src/netsim/trace.h"
 #include "src/rendezvous/server.h"
 #include "src/scenario/scenario.h"
 
@@ -162,6 +164,33 @@ TEST(HairpinInvariantTest2, PrivateCandidatesRescueCommonNatButNotMultilevel) {
     topo.scenario->net().RunFor(Seconds(12));
     EXPECT_FALSE(success);
   }
+}
+
+TEST(TraceDetailTest, OverflowingAppendLeavesVisibleSentinel) {
+  TraceDetail d("head=");
+  d.Append(std::string(100, 'y'));
+  EXPECT_TRUE(d.truncated());
+  EXPECT_EQ(d.view().size(), TraceDetail::kCapacity);
+  // The last three bytes are the UTF-8 ellipsis, so a reader of the dump can
+  // tell this record was cut, unlike the old silent fill-to-capacity.
+  EXPECT_EQ(d.view().substr(TraceDetail::kCapacity - 3), "\xe2\x80\xa6");
+  EXPECT_EQ(d.view().substr(0, 5), "head=");
+}
+
+TEST(TraceDetailTest, ExactFitIsNotTruncated) {
+  TraceDetail d;
+  d.Append(std::string(TraceDetail::kCapacity, 'z'));
+  EXPECT_FALSE(d.truncated());
+  EXPECT_EQ(d.view(), std::string(TraceDetail::kCapacity, 'z'));
+}
+
+TEST(TraceDetailTest, AppendAfterTruncationIsNoOp) {
+  TraceDetail d(std::string(200, 'a'));
+  ASSERT_TRUE(d.truncated());
+  const std::string before(d.view());
+  d.Append("more");
+  d.Append(uint64_t{12345});
+  EXPECT_EQ(d.view(), before);  // sentinel never overwritten
 }
 
 }  // namespace
