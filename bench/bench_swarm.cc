@@ -1,0 +1,217 @@
+// Swarm-scale steady state: 100k+ punched UDP sessions exchanging jittered
+// keepalives and empty-payload data ticks across NATted site pairs. This is
+// the macro workload the timing-wheel + intrusive-timer work exists for:
+// the measured window is pure steady state — every datagram, keepalive, and
+// timer re-arm runs the zero-allocation path (asserted by alloc_test's
+// mini-swarm twin of this setup), and the wheel keeps 200k+ armed timers
+// O(1) to file and cascade.
+//
+// Shape: NATPUNCH_SWARM_PAIRS site pairs (a host behind its own cone NAT on
+// each side), every pair multiplexing NATPUNCH_SWARM_SESSIONS/pairs punched
+// sessions over one socket pair — the paper's model of many application
+// sessions riding one punched mapping. Sessions are punched with
+// PunchAtEndpoints and deterministic nonces (no per-session rendezvous
+// round-trip), so setup stays a small fraction of the run.
+//
+// Reported: events/s over the measured window, sessions, peak RSS, and
+// bytes/session (peak RSS divided by the session population — a coarse but
+// machine-stable memory-per-session figure that bench_compare tracks with
+// an advisory ceiling).
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace natpunch {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  const uint64_t parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct SwarmSide {
+  Host* host = nullptr;
+  uint64_t client_id = 0;
+  std::unique_ptr<UdpRendezvousClient> client;
+  std::unique_ptr<UdpHolePuncher> puncher;
+  Endpoint public_ep;
+};
+
+int Run() {
+  const uint64_t target_sessions = EnvU64("NATPUNCH_SWARM_SESSIONS", 100000);
+  const uint64_t pairs = std::min<uint64_t>(EnvU64("NATPUNCH_SWARM_PAIRS", 64), 200);
+  const uint64_t per_pair = (target_sessions + pairs - 1) / pairs;
+  const uint64_t total = pairs * per_pair;
+
+  Scenario::Options options;
+  options.seed = 42;
+  Scenario scenario(options);
+  Network& net = scenario.net();
+  Host* server_host = scenario.AddPublicHost("S", ServerIp());
+  RendezvousServer server(server_host, kServerPort);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "rendezvous server failed to start\n");
+    return 1;
+  }
+
+  // The swarm configuration: keepalives on a jittered cadence (the
+  // thundering-herd countermeasure this bench exists to exercise), expiry
+  // far beyond the run so 2x100k expiry timers park in the wheel's outer
+  // levels, and no private-endpoint probing (candidate realms are disjoint).
+  UdpPunchConfig punch;
+  punch.keepalive_interval = Seconds(5);
+  punch.keepalive_jitter = Seconds(1);
+  punch.session_expiry = Seconds(300);
+  punch.try_private_endpoint = false;
+
+  std::vector<SwarmSide> side_a(pairs);
+  std::vector<SwarmSide> side_b(pairs);
+  const Ipv4Prefix private_prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 24);
+  for (uint64_t p = 0; p < pairs; ++p) {
+    const uint8_t hi = static_cast<uint8_t>(p >> 8);
+    const uint8_t lo = static_cast<uint8_t>(p & 0xff);
+    NattedSite site_a = scenario.AddNattedSite("a" + std::to_string(p), NatConfig{},
+                                               Ipv4Address::FromOctets(20, hi, lo, 1),
+                                               private_prefix, 1);
+    NattedSite site_b = scenario.AddNattedSite("b" + std::to_string(p), NatConfig{},
+                                               Ipv4Address::FromOctets(21, hi, lo, 1),
+                                               private_prefix, 1);
+    side_a[p].host = site_a.host(0);
+    side_b[p].host = site_b.host(0);
+    side_a[p].client_id = 1000 + p;
+    side_b[p].client_id = 1000000 + p;
+    for (SwarmSide* side : {&side_a[p], &side_b[p]}) {
+      side->client = std::make_unique<UdpRendezvousClient>(side->host, server.endpoint(),
+                                                           side->client_id);
+      side->client->Register(4321, [side](Result<Endpoint> r) {
+        if (r.ok()) {
+          side->public_ep = *r;
+        }
+      });
+      side->puncher = std::make_unique<UdpHolePuncher>(side->client.get(), punch);
+    }
+  }
+  net.RunFor(Seconds(3));
+  for (uint64_t p = 0; p < pairs; ++p) {
+    if (side_a[p].public_ep.IsUnspecified() || side_b[p].public_ep.IsUnspecified()) {
+      std::fprintf(stderr, "pair %llu failed to register\n",
+                   static_cast<unsigned long long>(p));
+      return 1;
+    }
+  }
+
+  // Punch the whole population: both sides of a pair arm the same
+  // deterministic nonce and probe each other's registered public endpoint.
+  // The passive (null-cb) side delivers through the incoming-session
+  // callback. Pairs are staggered a little so the probe bursts interleave.
+  std::vector<UdpP2pSession*> initiator;
+  std::vector<UdpP2pSession*> responder;
+  initiator.reserve(total);
+  responder.reserve(total);
+  for (uint64_t p = 0; p < pairs; ++p) {
+    side_b[p].puncher->SetIncomingSessionCallback(
+        [&responder](UdpP2pSession* s) { responder.push_back(s); });
+    for (uint64_t s = 0; s < per_pair; ++s) {
+      const uint64_t nonce = ((p + 1) << 32) | (s + 1);
+      side_b[p].puncher->PunchAtEndpoints(side_a[p].client_id, nonce, side_a[p].public_ep,
+                                          Endpoint{}, nullptr);
+      side_a[p].puncher->PunchAtEndpoints(
+          side_b[p].client_id, nonce, side_b[p].public_ep, Endpoint{},
+          [&initiator](Result<UdpP2pSession*> r) {
+            if (r.ok()) {
+              initiator.push_back(*r);
+            }
+          });
+    }
+    net.RunFor(Millis(10));
+  }
+  net.RunFor(Seconds(3));
+  if (initiator.size() != total || responder.size() != total) {
+    std::fprintf(stderr, "punch shortfall: %zu initiator / %zu responder of %llu\n",
+                 initiator.size(), responder.size(), static_cast<unsigned long long>(total));
+    return 1;
+  }
+
+  // One steady-state tick: every session sends one inline (empty-payload,
+  // 20-byte frame) datagram, then a second of simulated time drains the
+  // deliveries plus whatever jittered keepalives land in the window.
+  const auto tick = [&] {
+    for (UdpP2pSession* s : initiator) {
+      s->Send(Bytes{});
+    }
+    for (UdpP2pSession* s : responder) {
+      s->Send(Bytes{});
+    }
+    net.RunFor(Seconds(1));
+  };
+
+  constexpr int kWarmupTicks = 5;
+  constexpr int kMeasuredTicks = 10;
+  for (int i = 0; i < kWarmupTicks; ++i) {
+    tick();
+  }
+
+  uint64_t received_before = 0;
+  for (UdpP2pSession* s : initiator) {
+    received_before += s->datagrams_received();
+  }
+  const uint64_t events_before = net.event_loop().events_processed();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMeasuredTicks; ++i) {
+    tick();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  const uint64_t events = net.event_loop().events_processed() - events_before;
+
+  uint64_t received_after = 0;
+  uint64_t still_alive = 0;
+  for (UdpP2pSession* s : initiator) {
+    received_after += s->datagrams_received();
+    still_alive += s->alive() ? 1 : 0;
+  }
+  if (still_alive != total || received_after <= received_before) {
+    std::fprintf(stderr, "steady state broke: %llu alive, %llu datagrams delivered\n",
+                 static_cast<unsigned long long>(still_alive),
+                 static_cast<unsigned long long>(received_after - received_before));
+    return 1;
+  }
+
+  const double rss_mb = bench::PeakRssMb();
+  const double bytes_per_session = rss_mb * 1024.0 * 1024.0 / static_cast<double>(total);
+  const double delivered_per_session =
+      static_cast<double>(received_after - received_before) / static_cast<double>(total);
+
+  bench::Title("Swarm steady state");
+  std::printf("sessions            : %llu (%llu pairs x %llu)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(pairs),
+              static_cast<unsigned long long>(per_pair));
+  std::printf("measured window     : %d ticks, %.1f ms wall\n", kMeasuredTicks, wall_ms);
+  std::printf("events              : %llu (%.0f/s)\n", static_cast<unsigned long long>(events),
+              wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0.0);
+  std::printf("delivered/session   : %.1f datagrams\n", delivered_per_session);
+  std::printf("peak RSS            : %.1f MiB (%.0f bytes/session)\n", rss_mb,
+              bytes_per_session);
+
+  char extra[192];
+  std::snprintf(extra, sizeof(extra),
+                "\"sessions\":%llu,\"bytes_per_session\":%.0f,\"delivered_per_session\":%.1f",
+                static_cast<unsigned long long>(total), bytes_per_session,
+                delivered_per_session);
+  bench::JsonSummary("swarm_steady_state", wall_ms, events, extra);
+  return 0;
+}
+
+}  // namespace
+}  // namespace natpunch
+
+int main() { return natpunch::Run(); }

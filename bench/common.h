@@ -7,6 +7,8 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -153,20 +155,33 @@ inline std::string Pct(int yes, int n) {
 
 inline void Title(const char* text) { std::printf("\n==== %s ====\n\n", text); }
 
+// Process-wide peak resident set size in MiB, from getrusage. On Linux
+// ru_maxrss is kilobytes. The high-water mark is monotone across a run, so
+// for memory-per-session figures read it after the population is built.
+inline double PeakRssMb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 // One-line machine-readable summary, for recording BENCH_*.json trajectories
 // per PR (grep for "BENCH_JSON"). `extra` is spliced in verbatim as
 // additional JSON fields, e.g. R"("threads":4,"speedup":2.1)". When
 // `metrics_json` is non-null (an obs::MetricsJson object), it rides along as
 // a "metrics" field — the snapshot is a superset of the summary, and
-// scripts/bench_compare.py keeps parsing the same line.
+// scripts/bench_compare.py keeps parsing the same line. Every summary also
+// records peak_rss_mb so the trajectories double as a coarse memory-
+// regression signal (bench_compare's advisory RSS check).
 inline void JsonSummary(const char* bench, double wall_ms, uint64_t events,
                         const char* extra = nullptr,
                         const std::string* metrics_json = nullptr) {
   const double events_per_sec = wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0;
   std::printf("BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"events\":%llu,"
-              "\"events_per_sec\":%.0f%s%s%s%s}\n",
+              "\"events_per_sec\":%.0f,\"peak_rss_mb\":%.1f%s%s%s%s}\n",
               bench, wall_ms, static_cast<unsigned long long>(events), events_per_sec,
-              extra != nullptr ? "," : "", extra != nullptr ? extra : "",
+              PeakRssMb(), extra != nullptr ? "," : "", extra != nullptr ? extra : "",
               metrics_json != nullptr ? ",\"metrics\":" : "",
               metrics_json != nullptr ? metrics_json->c_str() : "");
 }

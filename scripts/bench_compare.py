@@ -46,6 +46,7 @@ BENCHES = {
     "bench_micro": "BENCH_micro.json",
     "bench_nat": "BENCH_nat.json",
     "bench_chaos": "BENCH_chaos.json",
+    "bench_swarm": "BENCH_swarm.json",
 }
 
 # Benches whose regressions fail the gate (see the module docstring); the
@@ -56,6 +57,13 @@ BLOCKING = {"bench_micro", "bench_nat"}
 # percentage points below the committed baseline the current run may land
 # before the gate flags it.
 AVAILABILITY_SLACK = 2.0
+
+# Advisory ceiling for peak RSS: the current run may use up to this multiple
+# of the committed baseline's peak_rss_mb before the gate flags it. Memory
+# is far more machine-stable than events/sec, so the slack is tighter than
+# the throughput threshold, but still advisory — allocator and libc
+# differences move the absolute number.
+RSS_SLACK = 1.25
 
 PREFIX = "BENCH_JSON "
 
@@ -192,6 +200,16 @@ def main():
                     advisories.append(
                         f"{fmt_key(key)} availability {entry['availability']:.1f}% "
                         f"< floor {floor:.1f}%")
+            # Memory ceiling (advisory): a bench whose peak RSS grows past
+            # RSS_SLACK x baseline leaked per-session state or lost an arena
+            # — events/sec can stay flat while memory regresses.
+            if base.get("peak_rss_mb") and entry.get("peak_rss_mb"):
+                ceiling = base["peak_rss_mb"] * RSS_SLACK
+                if entry["peak_rss_mb"] > ceiling:
+                    verdict = "ADVISORY"
+                    advisories.append(
+                        f"{fmt_key(key)} peak RSS {entry['peak_rss_mb']:.1f}MiB "
+                        f"> ceiling {ceiling:.1f}MiB")
             rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
                          ratio, verdict))
         # A baseline entry the fresh run never emitted means the current

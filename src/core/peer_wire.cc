@@ -5,15 +5,29 @@ namespace {
 constexpr uint8_t kMagic = 0x50;  // 'P'
 }  // namespace
 
-Bytes EncodePeerMessage(const PeerMessage& msg) {
-  ByteWriter w;
-  w.WriteU8(kMagic);
-  w.WriteU8(static_cast<uint8_t>(msg.type));
-  w.WriteU64(msg.nonce);
-  w.WriteU64(msg.sender_id);
-  w.WriteBytes(msg.payload);
-  return w.Take();
+Payload EncodePeerMessagePayload(const PeerMessage& msg) {
+  // Fixed layout: magic(1) type(1) nonce(8) sender(8) len(2) payload(len),
+  // byte-identical to the ByteWriter encoding this replaced (the fuzz
+  // harnesses assert re-encode canonicality against it).
+  const auto len = static_cast<uint16_t>(msg.payload.size());
+  Payload out;
+  out.resize(20 + static_cast<size_t>(len));
+  uint8_t* p = out.data();
+  p[0] = kMagic;
+  p[1] = static_cast<uint8_t>(msg.type);
+  for (int i = 0; i < 8; ++i) {
+    p[2 + i] = static_cast<uint8_t>(msg.nonce >> (56 - 8 * i));
+    p[10 + i] = static_cast<uint8_t>(msg.sender_id >> (56 - 8 * i));
+  }
+  p[18] = static_cast<uint8_t>(len >> 8);
+  p[19] = static_cast<uint8_t>(len);
+  if (len > 0) {
+    std::memcpy(p + 20, msg.payload.data(), len);
+  }
+  return out;
 }
+
+Bytes EncodePeerMessage(const PeerMessage& msg) { return EncodePeerMessagePayload(msg).ToBytes(); }
 
 std::optional<PeerMessage> DecodePeerMessage(ConstByteSpan data) {
   ByteReader r(data);

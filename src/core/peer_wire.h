@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/netsim/payload.h"
 #include "src/util/bytes.h"
 
 namespace natpunch {
@@ -32,6 +33,11 @@ struct PeerMessage {
   Bytes payload;
 };
 
+// Canonical wire encoding, built in an SBO Payload: probes, keepalives, and
+// small data frames (payload <= 44 bytes) stay inline, so the steady-state
+// keepalive tick allocates nothing. This is the primary encoder; the Bytes
+// variant below copies out of it.
+Payload EncodePeerMessagePayload(const PeerMessage& msg);
 Bytes EncodePeerMessage(const PeerMessage& msg);
 std::optional<PeerMessage> DecodePeerMessage(ConstByteSpan data);
 

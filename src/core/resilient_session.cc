@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/metrics.h"
+#include "src/util/flat_hash.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
@@ -92,6 +93,20 @@ void ResilientSession::SetPath(Path path) {
   }
 }
 
+void ResilientSession::RepunchFire() { manager_->AttemptRepunch(this); }
+
+void ResilientSession::RelayKeepAliveFire() {
+  // One handle serves both roles: only the initiator owns a TURN client, so
+  // turn_ tells us whose cadence this is.
+  if (turn_ != nullptr) {
+    manager_->InitiatorRelayKeepAlive(this);
+  } else {
+    manager_->ResponderRelayKeepAlive(this);
+  }
+}
+
+void ResilientSession::RelayWatchdogFire() { manager_->RelayWatchdogTick(this); }
+
 // ---------------------------------------------------------------------------
 // ResilientSessionManager
 // ---------------------------------------------------------------------------
@@ -132,6 +147,15 @@ ResilientSession* ResilientSessionManager::FindOrCreate(uint64_t peer_id, bool i
   auto session =
       std::unique_ptr<ResilientSession>(new ResilientSession(this, peer_id, initiator));
   ResilientSession* raw = session.get();
+  raw->repunch_timer_.Bind<&ResilientSession::RepunchFire>(raw);
+  raw->relay_keepalive_timer_.Bind<&ResilientSession::RelayKeepAliveFire>(raw);
+  raw->relay_watchdog_timer_.Bind<&ResilientSession::RelayWatchdogFire>(raw);
+  if (config_.relay_keepalive_jitter.micros() > 0) {
+    const int64_t jitter = config_.relay_keepalive_jitter.micros();
+    raw->relay_keepalive_offset_ = Micros(
+        static_cast<int64_t>(HashMix64(peer_id) % static_cast<uint64_t>(2 * jitter + 1)) -
+        jitter);
+  }
   sessions_[peer_id] = std::move(session);
   *created = true;
   return raw;
@@ -173,14 +197,8 @@ void ResilientSessionManager::AdoptInner(ResilientSession* rs, UdpP2pSession* in
   });
   inner->SetDeadCallback([this, rs](Status status) { OnInnerDead(rs, status); });
   // A direct path supersedes any relay state from a previous recovery.
-  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_keepalive_event_);
-    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
-  }
-  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_watchdog_event_);
-    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
-  }
+  rs->relay_keepalive_timer_.Cancel();
+  rs->relay_watchdog_timer_.Cancel();
   rs->turn_.reset();
   rs->relay_confirmed_ = false;
   rs->relay_nonce_ = 0;
@@ -233,11 +251,7 @@ SimDuration ResilientSessionManager::NextBackoff(const ResilientSession* rs) {
 }
 
 void ResilientSessionManager::ScheduleRepunch(ResilientSession* rs) {
-  const SimDuration delay = NextBackoff(rs);
-  rs->repunch_event_ = loop_.ScheduleAfter(delay, [this, rs] {
-    rs->repunch_event_ = EventLoop::kInvalidEventId;
-    AttemptRepunch(rs);
-  });
+  loop_.ScheduleTimerAfter(NextBackoff(rs), &rs->repunch_timer_);
 }
 
 void ResilientSessionManager::AttemptRepunch(ResilientSession* rs) {
@@ -276,10 +290,7 @@ void ResilientSessionManager::FinishRecovery(ResilientSession* rs, bool via_rela
     return;
   }
   rs->recovering_ = false;
-  if (rs->repunch_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->repunch_event_);
-    rs->repunch_event_ = EventLoop::kInvalidEventId;
-  }
+  rs->repunch_timer_.Cancel();
   ResilientSession::RecoveryRecord rec;
   rec.died_at = rs->died_at_;
   rec.downtime = loop_.now() - rs->died_at_;
@@ -295,18 +306,9 @@ void ResilientSessionManager::FinishRecovery(ResilientSession* rs, bool via_rela
 
 void ResilientSessionManager::FailSession(ResilientSession* rs, const Status& status) {
   rs->recovering_ = false;
-  if (rs->repunch_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->repunch_event_);
-    rs->repunch_event_ = EventLoop::kInvalidEventId;
-  }
-  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_keepalive_event_);
-    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
-  }
-  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_watchdog_event_);
-    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
-  }
+  rs->repunch_timer_.Cancel();
+  rs->relay_keepalive_timer_.Cancel();
+  rs->relay_watchdog_timer_.Cancel();
   rs->pending_sends_.clear();
   rs->SetPath(ResilientSession::Path::kFailed);
   if (rs->connect_cb_) {
@@ -415,14 +417,15 @@ void ResilientSessionManager::ResponderRelayKeepAlive(ResilientSession* rs) {
   MarkKeepAliveProbe(rs);
   puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kKeepAlive, rs->relay_nonce_,
                             Bytes{});
-  const SimDuration interval = rs->relay_confirmed_ ? puncher_->config().keepalive_interval
-                                                    : puncher_->config().probe_interval;
-  rs->relay_keepalive_event_ =
-      loop_.ScheduleAfter(interval, [this, rs] { ResponderRelayKeepAlive(rs); });
+  const SimDuration interval =
+      rs->relay_confirmed_
+          ? Micros(std::max<int64_t>(1, puncher_->config().keepalive_interval.micros() +
+                                            rs->relay_keepalive_offset_.micros()))
+          : puncher_->config().probe_interval;
+  loop_.ScheduleTimerAfter(interval, &rs->relay_keepalive_timer_);
 }
 
 void ResilientSessionManager::InitiatorRelayKeepAlive(ResilientSession* rs) {
-  rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
   if (rs->path_ != ResilientSession::Path::kRelay || rs->turn_ == nullptr ||
       !rs->relay_confirmed_) {
     return;
@@ -433,36 +436,37 @@ void ResilientSessionManager::InitiatorRelayKeepAlive(ResilientSession* rs) {
   msg.sender_id = puncher_->rendezvous()->client_id();
   MarkKeepAliveProbe(rs);
   rs->turn_->SendTo(rs->relay_target_, EncodePeerMessage(msg));
-  rs->relay_keepalive_event_ = loop_.ScheduleAfter(
-      config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
+  loop_.ScheduleTimerAfter(
+      Micros(std::max<int64_t>(1, config_.relay_keepalive_interval.micros() +
+                                      rs->relay_keepalive_offset_.micros())),
+      &rs->relay_keepalive_timer_);
 }
 
 void ResilientSessionManager::ArmRelayWatchdog(ResilientSession* rs) {
-  if (rs->relay_watchdog_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_watchdog_event_);
-  }
   rs->last_relay_rx_ = loop_.now();
   ScheduleRelayWatchdog(rs, EffectiveRelayTimeout(rs));
 }
 
 void ResilientSessionManager::ScheduleRelayWatchdog(ResilientSession* rs, SimDuration delay) {
-  rs->relay_watchdog_event_ = loop_.ScheduleAfter(delay, [this, rs] {
-    rs->relay_watchdog_event_ = EventLoop::kInvalidEventId;
-    if (rs->path_ != ResilientSession::Path::kRelay) {
-      return;  // stale timer for a path we already left
-    }
-    // Recompute per wakeup: fresh RTT samples may have tightened the window
-    // while the timer slept.
-    const SimDuration window = EffectiveRelayTimeout(rs);
-    const SimDuration silence = loop_.now() - rs->last_relay_rx_;
-    if (silence.micros() >= window.micros()) {
-      OnRelayDead(rs);
-      return;
-    }
-    // Traffic arrived since the timer was armed; sleep out the remainder of
-    // the current silence window instead of polling.
-    ScheduleRelayWatchdog(rs, window - silence);
-  });
+  // Re-arming an already-pending handle implicitly cancels the old deadline.
+  loop_.ScheduleTimerAfter(delay, &rs->relay_watchdog_timer_);
+}
+
+void ResilientSessionManager::RelayWatchdogTick(ResilientSession* rs) {
+  if (rs->path_ != ResilientSession::Path::kRelay) {
+    return;  // stale timer for a path we already left
+  }
+  // Recompute per wakeup: fresh RTT samples may have tightened the window
+  // while the timer slept.
+  const SimDuration window = EffectiveRelayTimeout(rs);
+  const SimDuration silence = loop_.now() - rs->last_relay_rx_;
+  if (silence.micros() >= window.micros()) {
+    OnRelayDead(rs);
+    return;
+  }
+  // Traffic arrived since the timer was armed; sleep out the remainder of
+  // the current silence window instead of polling.
+  ScheduleRelayWatchdog(rs, window - silence);
 }
 
 SimDuration ResilientSessionManager::EffectiveRelayTimeout(const ResilientSession* rs) const {
@@ -514,10 +518,7 @@ void ResilientSessionManager::OnRelayDead(ResilientSession* rs) {
                << rs->peer_id_ << " silent for " << EffectiveRelayTimeout(rs).ToString()
                << "; declaring it dead and "
                << (rs->initiator_ ? "re-entering recovery" : "awaiting initiator recovery");
-  if (rs->relay_keepalive_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(rs->relay_keepalive_event_);
-    rs->relay_keepalive_event_ = EventLoop::kInvalidEventId;
-  }
+  rs->relay_keepalive_timer_.Cancel();
   rs->turn_.reset();
   rs->relay_confirmed_ = false;
   rs->relay_nonce_ = 0;
@@ -556,8 +557,10 @@ void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
     // Start answering on a fixed cadence so the responder's watchdog sees a
     // live leg even when the application goes quiet. (The probe echo below
     // answers this first knock immediately, stopping the fast-knocking.)
-    rs->relay_keepalive_event_ = loop_.ScheduleAfter(
-        config_.relay_keepalive_interval, [this, rs] { InitiatorRelayKeepAlive(rs); });
+    loop_.ScheduleTimerAfter(
+        Micros(std::max<int64_t>(1, config_.relay_keepalive_interval.micros() +
+                                        rs->relay_keepalive_offset_.micros())),
+        &rs->relay_keepalive_timer_);
     FlushPending(rs);
   }
   if (msg->type == PeerMsgType::kKeepAlive && msg->payload.empty()) {

@@ -74,6 +74,12 @@ struct ResilientSessionConfig {
   bool adaptive_relay_timeout = true;
   SimDuration relay_timeout_floor = Seconds(8);
   double relay_rtt_margin = 6.0;
+  // Deterministic per-session spread on the steady (confirmed) relay
+  // keepalive cadences, hashed from the peer id into
+  // [-relay_keepalive_jitter, +relay_keepalive_jitter]. Breaks up swarm-wide
+  // keepalive waves; zero (the default) reproduces the unjittered cadence
+  // exactly. The unconfirmed fast-knock cadence is never jittered.
+  SimDuration relay_keepalive_jitter = Micros(0);
 };
 
 class ResilientSessionManager;
@@ -133,6 +139,11 @@ class ResilientSession {
 
   void SetPath(Path path);
 
+  // Intrusive timer thunks (zero-allocation arm/fire).
+  void RepunchFire();
+  void RelayKeepAliveFire();
+  void RelayWatchdogFire();
+
   ResilientSessionManager* manager_;
   uint64_t peer_id_;
   bool initiator_;
@@ -143,7 +154,7 @@ class ResilientSession {
   bool recovering_ = false;
   SimTime died_at_;
   int repunch_attempts_ = 0;
-  EventLoop::EventId repunch_event_ = EventLoop::kInvalidEventId;
+  TimerHandle repunch_timer_;
 
   // Relay state. The initiator owns the allocation and speaks through
   // turn_; the responder sends plain peer-wire datagrams at relay_target_
@@ -152,11 +163,15 @@ class ResilientSession {
   uint64_t relay_nonce_ = 0;
   Endpoint relay_target_;    // responder: EA; initiator: peer's observed ep
   bool relay_confirmed_ = false;
-  EventLoop::EventId relay_keepalive_event_ = EventLoop::kInvalidEventId;
+  // Fires either side's relay keepalive: the initiator's (through turn_) or
+  // the responder's knock loop, discriminated by turn_ in RelayKeepAliveFire.
+  TimerHandle relay_keepalive_timer_;
+  // This session's deterministic keepalive spread (zero without jitter).
+  SimDuration relay_keepalive_offset_ = Micros(0);
   // Relay-leg watchdog: last time any relay traffic arrived, and the timer
   // that checks the silence window against relay_timeout.
   SimTime last_relay_rx_;
-  EventLoop::EventId relay_watchdog_event_ = EventLoop::kInvalidEventId;
+  TimerHandle relay_watchdog_timer_;
   int relay_losses_ = 0;
   // Keepalive RTT probe state for the adaptive watchdog.
   SimTime last_keepalive_tx_;
@@ -226,6 +241,8 @@ class ResilientSessionManager {
   void OnUnclaimed(const Endpoint& from, const PeerMessage& msg);
   void ResponderRelayKeepAlive(ResilientSession* rs);
   void InitiatorRelayKeepAlive(ResilientSession* rs);
+  // Watchdog wakeup: declare the leg dead or sleep out the remaining window.
+  void RelayWatchdogTick(ResilientSession* rs);
   // (Re)start the silence clock: records now as the last inbound and arms
   // the watchdog timer for a full relay_timeout.
   void ArmRelayWatchdog(ResilientSession* rs);

@@ -48,10 +48,7 @@ TurnServer::TurnServer(Host* host, TurnServerConfig config) : host_(host), confi
 TurnServer::~TurnServer() { Stop(); }
 
 void TurnServer::Stop() {
-  if (sweep_event_ != EventLoop::kInvalidEventId) {
-    host_->loop().Cancel(sweep_event_);
-    sweep_event_ = EventLoop::kInvalidEventId;
-  }
+  sweep_timer_.Cancel();
   if (control_ != nullptr) {
     control_->Close();
     control_ = nullptr;
@@ -75,27 +72,30 @@ Status TurnServer::Start() {
 }
 
 void TurnServer::ScheduleSweep() {
-  sweep_event_ = host_->loop().ScheduleAfter(Seconds(10), [this] {
-    const SimTime now = host_->loop().now();
-    for (auto it = allocations_.begin(); it != allocations_.end();) {
-      Allocation& allocation = *it->second;
-      for (auto perm = allocation.permissions.begin(); perm != allocation.permissions.end();) {
-        if (now - perm->second >= config_.permission_lifetime) {
-          perm = allocation.permissions.erase(perm);
-        } else {
-          ++perm;
-        }
-      }
-      if (now - allocation.last_activity >= config_.allocation_lifetime) {
-        allocation.relayed->Close();
-        it = allocations_.erase(it);
-        ++stats_.expired_allocations;
+  sweep_timer_.Bind<&TurnServer::SweepTick>(this);
+  host_->loop().ScheduleTimerAfter(Seconds(10), &sweep_timer_);
+}
+
+void TurnServer::SweepTick() {
+  const SimTime now = host_->loop().now();
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    Allocation& allocation = *it->second;
+    for (auto perm = allocation.permissions.begin(); perm != allocation.permissions.end();) {
+      if (now - perm->second >= config_.permission_lifetime) {
+        perm = allocation.permissions.erase(perm);
       } else {
-        ++it;
+        ++perm;
       }
     }
-    ScheduleSweep();
-  });
+    if (now - allocation.last_activity >= config_.allocation_lifetime) {
+      allocation.relayed->Close();
+      it = allocations_.erase(it);
+      ++stats_.expired_allocations;
+    } else {
+      ++it;
+    }
+  }
+  ScheduleSweep();
 }
 
 void TurnServer::OnControl(const Endpoint& from, const Payload& payload) {
@@ -173,12 +173,7 @@ TurnClient::TurnClient(Host* host, Endpoint server, Config config)
     : host_(host), server_(server), config_(config) {}
 
 TurnClient::~TurnClient() {
-  if (retry_event_ != EventLoop::kInvalidEventId) {
-    host_->loop().Cancel(retry_event_);
-  }
-  if (refresh_event_ != EventLoop::kInvalidEventId) {
-    host_->loop().Cancel(refresh_event_);
-  }
+  // retry_timer_ / refresh_timer_ cancel themselves on destruction.
   if (socket_ != nullptr) {
     // The socket's receive callback captures `this`; Close() clears it so no
     // delivery can run into a destroyed client.
@@ -205,28 +200,30 @@ void TurnClient::SendAllocate() {
   request.type = TurnMsgType::kAllocate;
   socket_->SendTo(server_, EncodeTurnMessage(request));
   ++attempts_;
-  retry_event_ = host_->loop().ScheduleAfter(config_.request_timeout, [this] {
-    retry_event_ = EventLoop::kInvalidEventId;
-    if (allocated_) {
-      return;
-    }
-    if (attempts_ < config_.request_retries) {
-      SendAllocate();
-      return;
-    }
-    if (allocate_cb_) {
-      auto cb = std::move(allocate_cb_);
-      allocate_cb_ = nullptr;
-      cb(Status(ErrorCode::kTimedOut, "TURN allocation timed out"));
-    }
-  });
+  retry_timer_.Bind<&TurnClient::RetryTick>(this);
+  host_->loop().ScheduleTimerAfter(config_.request_timeout, &retry_timer_);
+}
+
+void TurnClient::RetryTick() {
+  if (allocated_) {
+    return;
+  }
+  if (attempts_ < config_.request_retries) {
+    SendAllocate();
+    return;
+  }
+  if (allocate_cb_) {
+    auto cb = std::move(allocate_cb_);
+    allocate_cb_ = nullptr;
+    cb(Status(ErrorCode::kTimedOut, "TURN allocation timed out"));
+  }
 }
 
 void TurnClient::RefreshTick() {
   TurnMessage refresh;
   refresh.type = TurnMsgType::kAllocate;
   socket_->SendTo(server_, EncodeTurnMessage(refresh));
-  refresh_event_ = host_->loop().ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+  host_->loop().ScheduleTimerAfter(config_.refresh_interval, &refresh_timer_);
 }
 
 void TurnClient::OnReceive(const Endpoint& from, const Payload& payload) {
@@ -243,14 +240,11 @@ void TurnClient::OnReceive(const Endpoint& from, const Payload& payload) {
       relayed_ = msg->peer;
       if (!allocated_) {
         allocated_ = true;
-        if (retry_event_ != EventLoop::kInvalidEventId) {
-          host_->loop().Cancel(retry_event_);
-          retry_event_ = EventLoop::kInvalidEventId;
-        }
+        retry_timer_.Cancel();
         // Periodic refresh keeps both the allocation and our NAT flow to
         // the server alive.
-        refresh_event_ =
-            host_->loop().ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+        refresh_timer_.Bind<&TurnClient::RefreshTick>(this);
+        host_->loop().ScheduleTimerAfter(config_.refresh_interval, &refresh_timer_);
         if (allocate_cb_) {
           auto cb = std::move(allocate_cb_);
           allocate_cb_ = nullptr;

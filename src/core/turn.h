@@ -91,11 +91,12 @@ class TurnServer {
   void OnControl(const Endpoint& from, const Payload& payload);
   void OnRelayed(Allocation* allocation, const Endpoint& from, const Payload& payload);
   void ScheduleSweep();
+  void SweepTick();
 
   Host* host_;
   TurnServerConfig config_;
   UdpSocket* control_ = nullptr;
-  EventLoop::EventId sweep_event_ = EventLoop::kInvalidEventId;
+  TimerHandle sweep_timer_;
   std::map<Endpoint, std::unique_ptr<Allocation>> allocations_;  // by client endpoint
   Stats stats_;
 };
@@ -135,6 +136,7 @@ class TurnClient {
  private:
   void OnReceive(const Endpoint& from, const Payload& payload);
   void SendAllocate();
+  void RetryTick();
   void RefreshTick();
 
   Host* host_;
@@ -145,8 +147,10 @@ class TurnClient {
   bool allocated_ = false;
   int attempts_ = 0;
   std::function<void(Result<Endpoint>)> allocate_cb_;
-  EventLoop::EventId retry_event_ = EventLoop::kInvalidEventId;
-  EventLoop::EventId refresh_event_ = EventLoop::kInvalidEventId;
+  // Intrusive handles: destruction cancels automatically, so a destroyed
+  // client can never be called back by a stale timer.
+  TimerHandle retry_timer_;
+  TimerHandle refresh_timer_;
   std::function<void(const Endpoint&, const Bytes&)> receive_cb_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/metrics.h"
+#include "src/util/flat_hash.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
@@ -121,7 +122,9 @@ void UdpHolePuncher::SendPeerMessage(const Endpoint& to, PeerMsgType type, uint6
   msg.nonce = nonce;
   msg.sender_id = rendezvous_->client_id();
   msg.payload = std::move(payload);
-  rendezvous_->socket()->SendTo(to, EncodePeerMessage(msg));
+  // Encode straight into an SBO Payload: keepalives and probes (empty
+  // payload, 20-byte frame) never touch the heap on the send side.
+  rendezvous_->socket()->SendTo(to, EncodePeerMessagePayload(msg));
 }
 
 void UdpHolePuncher::PunchAtEndpoints(uint64_t peer_id, uint64_t nonce,
@@ -295,40 +298,41 @@ void UdpHolePuncher::FailAttempt(uint64_t nonce, const Status& status) {
 }
 
 void UdpHolePuncher::ArmSessionTimers(UdpP2pSession* session) {
-  // Timers reschedule themselves through member functions keyed by nonce: a
-  // self-referencing closure (shared_ptr<function> capturing itself) would
-  // never be freed even after Cancel.
-  const uint64_t nonce = session->nonce_;
+  // Intrusive handles embedded in the session: arming, firing, and the
+  // periodic re-arm allocate nothing, and CloseSession/ destruction cancels
+  // in O(1). The keepalive cadence is fixed per session at punch time so the
+  // jittered schedule stays deterministic under a given seed.
+  session->keepalive_interval_ = config_.keepalive_interval;
+  if (config_.keepalive_jitter.micros() > 0) {
+    const int64_t jitter = config_.keepalive_jitter.micros();
+    const int64_t offset =
+        static_cast<int64_t>(HashMix64(session->nonce_) % static_cast<uint64_t>(2 * jitter + 1)) -
+        jitter;
+    session->keepalive_interval_ =
+        Micros(std::max<int64_t>(config_.keepalive_interval.micros() + offset, 1));
+  }
   if (config_.keepalives_enabled) {
-    session->keepalive_event_ = loop_.ScheduleAfter(config_.keepalive_interval,
-                                                    [this, nonce] { SessionKeepAliveTick(nonce); });
+    session->keepalive_timer_.Bind<&UdpP2pSession::KeepAliveFire>(session);
+    loop_.ScheduleTimerAfter(session->keepalive_interval_, &session->keepalive_timer_);
   }
-  session->expiry_event_ =
-      loop_.ScheduleAfter(config_.session_expiry, [this, nonce] { SessionExpiryTick(nonce); });
+  session->expiry_timer_.Bind<&UdpP2pSession::ExpiryFire>(session);
+  loop_.ScheduleTimerAfter(config_.session_expiry, &session->expiry_timer_);
 }
 
-void UdpHolePuncher::SessionKeepAliveTick(uint64_t nonce) {
-  auto it = sessions_.find(nonce);
-  if (it == sessions_.end() || !it->second->alive()) {
-    return;
-  }
-  SendPeerMessage(it->second->peer_endpoint_, PeerMsgType::kKeepAlive, nonce, Bytes{});
-  it->second->keepalive_event_ = loop_.ScheduleAfter(
-      config_.keepalive_interval, [this, nonce] { SessionKeepAliveTick(nonce); });
+void UdpHolePuncher::SessionKeepAliveTick(UdpP2pSession* session) {
+  // Only an alive session can fire: CloseSession cancels the handle.
+  SendPeerMessage(session->peer_endpoint_, PeerMsgType::kKeepAlive, session->nonce_, Bytes{});
+  loop_.ScheduleTimerAfter(session->keepalive_interval_, &session->keepalive_timer_);
 }
 
-void UdpHolePuncher::SessionExpiryTick(uint64_t nonce) {
-  auto it = sessions_.find(nonce);
-  if (it == sessions_.end() || !it->second->alive()) {
-    return;
-  }
-  UdpP2pSession* s = it->second.get();
-  const SimTime deadline = s->last_inbound_ + config_.session_expiry;
+void UdpHolePuncher::SessionExpiryTick(UdpP2pSession* session) {
+  const SimTime deadline = session->last_inbound_ + config_.session_expiry;
   if (loop_.now() >= deadline) {
-    CloseSession(s, Status(ErrorCode::kTimedOut, "peer silent past expiry"), /*notify=*/true);
+    CloseSession(session, Status(ErrorCode::kTimedOut, "peer silent past expiry"),
+                 /*notify=*/true);
     return;
   }
-  s->expiry_event_ = loop_.ScheduleAt(deadline, [this, nonce] { SessionExpiryTick(nonce); });
+  loop_.ScheduleTimerAt(deadline, &session->expiry_timer_);
 }
 
 void UdpHolePuncher::SessionInboundSeen(UdpP2pSession* session) {
@@ -340,14 +344,8 @@ void UdpHolePuncher::CloseSession(UdpP2pSession* session, const Status& status, 
     return;
   }
   session->alive_ = false;
-  if (session->keepalive_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(session->keepalive_event_);
-    session->keepalive_event_ = EventLoop::kInvalidEventId;
-  }
-  if (session->expiry_event_ != EventLoop::kInvalidEventId) {
-    loop_.Cancel(session->expiry_event_);
-    session->expiry_event_ = EventLoop::kInvalidEventId;
-  }
+  session->keepalive_timer_.Cancel();
+  session->expiry_timer_.Cancel();
   if (notify && session->dead_cb_) {
     session->dead_cb_(status);
   }
@@ -356,6 +354,10 @@ void UdpHolePuncher::CloseSession(UdpP2pSession* session, const Status& status, 
 // ---------------------------------------------------------------------------
 // UdpP2pSession
 // ---------------------------------------------------------------------------
+
+void UdpP2pSession::KeepAliveFire() { puncher_->SessionKeepAliveTick(this); }
+
+void UdpP2pSession::ExpiryFire() { puncher_->SessionExpiryTick(this); }
 
 Status UdpP2pSession::Send(Bytes payload) {
   if (!alive_) {

@@ -31,6 +31,13 @@ struct UdpPunchConfig {
   SimDuration probe_interval = Millis(200);
   SimDuration punch_timeout = Seconds(10);
   SimDuration keepalive_interval = Seconds(15);
+  // Deterministic per-session spread on the keepalive cadence: each session
+  // keeps interval + offset, with offset hashed from its nonce into
+  // [-keepalive_jitter, +keepalive_jitter]. At swarm scale this keeps 100k
+  // sessions punched at the same instant from firing keepalives as one
+  // thundering-herd wave. Zero (the default) reproduces the unjittered
+  // cadence exactly, which the golden traces depend on.
+  SimDuration keepalive_jitter = Micros(0);
   // A session with no inbound traffic for this long is declared dead; the
   // application then re-runs hole punching "on demand" (§3.6).
   SimDuration session_expiry = Seconds(60);
@@ -75,6 +82,10 @@ class UdpP2pSession {
 
   explicit UdpP2pSession(UdpHolePuncher* puncher) : puncher_(puncher) {}
 
+  // Intrusive timer thunks (zero-allocation arm/fire).
+  void KeepAliveFire();
+  void ExpiryFire();
+
   UdpHolePuncher* puncher_;
   uint64_t peer_id_ = 0;
   uint64_t nonce_ = 0;
@@ -86,8 +97,11 @@ class UdpP2pSession {
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_received_ = 0;
   SimTime last_inbound_;
-  EventLoop::EventId keepalive_event_ = EventLoop::kInvalidEventId;
-  EventLoop::EventId expiry_event_ = EventLoop::kInvalidEventId;
+  // This session's jittered keepalive cadence (== config interval + the
+  // nonce-hashed offset; just the config interval when jitter is off).
+  SimDuration keepalive_interval_;
+  TimerHandle keepalive_timer_;
+  TimerHandle expiry_timer_;
   ReceiveCallback receive_cb_;
   DeadCallback dead_cb_;
 };
@@ -167,8 +181,8 @@ class UdpHolePuncher {
   void OnSocketError(const Endpoint& dst, ErrorCode code);
 
   void ArmSessionTimers(UdpP2pSession* session);
-  void SessionKeepAliveTick(uint64_t nonce);
-  void SessionExpiryTick(uint64_t nonce);
+  void SessionKeepAliveTick(UdpP2pSession* session);
+  void SessionExpiryTick(UdpP2pSession* session);
   void SessionInboundSeen(UdpP2pSession* session);
   void CloseSession(UdpP2pSession* session, const Status& status, bool notify);
 

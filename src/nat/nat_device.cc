@@ -31,13 +31,16 @@ NatDevice::NatDevice(Network* network, std::string name, NatConfig config)
 }
 
 void NatDevice::ScheduleSweep() {
-  network_->event_loop().ScheduleAfter(kSweepInterval, [this] {
-    CountExpired(table_.Expire(network_->now(), CurrentTimeouts()));
-    if (config_.basic_nat) {
-      ExpireBasicSessions();
-    }
-    ScheduleSweep();
-  });
+  sweep_timer_.Bind<&NatDevice::SweepTick>(this);
+  network_->event_loop().ScheduleTimerAfter(kSweepInterval, &sweep_timer_);
+}
+
+void NatDevice::SweepTick() {
+  CountExpired(table_.Expire(network_->now(), CurrentTimeouts()));
+  if (config_.basic_nat) {
+    ExpireBasicSessions();
+  }
+  ScheduleSweep();
 }
 
 NatTable::Timeouts NatDevice::CurrentTimeouts() const {

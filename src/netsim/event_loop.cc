@@ -1,11 +1,19 @@
 #include "src/netsim/event_loop.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 #include "src/obs/metrics.h"
 
 namespace natpunch {
+
+namespace {
+constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+int Ctz(uint64_t bits) { return std::countr_zero(bits); }
+}  // namespace
 
 void EventLoop::HeapPush(HeapEntry entry) {
   size_t i = heap_.size();
@@ -53,8 +61,9 @@ void EventLoop::HeapPopTop() {
 EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
   const int64_t t = std::max(at.micros(), now_.micros());
   EnsureSlotCapacity();
-  const EventId id = next_id_++;
-  Slot& slot = slots_[static_cast<size_t>(id) & ring_mask_];
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq << 1;
+  Slot& slot = slots_[static_cast<size_t>(seq) & ring_mask_];
   slot.fn = std::move(fn);
   slot.pending = true;
   HeapPush(HeapEntry{t, id});
@@ -64,7 +73,7 @@ EventLoop::EventId EventLoop::ScheduleAt(SimTime at, std::function<void()> fn) {
 }
 
 void EventLoop::EnsureSlotCapacity() {
-  if (next_id_ - base_id_ < slots_.size()) {
+  if (next_seq_ - base_seq_ < slots_.size()) {
     return;
   }
   if (slots_.empty()) {
@@ -72,54 +81,117 @@ void EventLoop::EnsureSlotCapacity() {
     ring_mask_ = 63;
     return;
   }
-  // The live id window filled the ring: double it and re-place the window at
-  // the new mask. Amortized across the run; steady state never gets here.
+  // Timer sequences retire without a dispatch or cancel of their own, so the
+  // front of the window may be reclaimable even though nothing compacted it;
+  // try that before paying for a bigger ring.
+  CompactFront();
+  if (next_seq_ - base_seq_ < slots_.size()) {
+    return;
+  }
+  // The live sequence window filled the ring: double it and re-place the
+  // window at the new mask. Amortized across the run; steady state never
+  // gets here.
   std::vector<Slot> bigger(slots_.size() * 2);
   const size_t new_mask = bigger.size() - 1;
-  for (EventId id = base_id_; id < next_id_; ++id) {
-    bigger[static_cast<size_t>(id) & new_mask] =
-        std::move(slots_[static_cast<size_t>(id) & ring_mask_]);
+  for (uint64_t seq = base_seq_; seq < next_seq_; ++seq) {
+    bigger[static_cast<size_t>(seq) & new_mask] =
+        std::move(slots_[static_cast<size_t>(seq) & ring_mask_]);
   }
   slots_ = std::move(bigger);
   ring_mask_ = new_mask;
 }
 
 void EventLoop::Reset() {
-  // Only the live id window can hold closures: fired and cancelled slots are
-  // nulled on retirement, and ids below base_id_ were compacted past. A fleet
-  // worker Resets once per device simulation, so clearing the (typically
-  // tiny) window instead of the whole ring matters at scale.
-  for (EventId id = base_id_; id < next_id_; ++id) {
-    Slot& slot = slots_[static_cast<size_t>(id) & ring_mask_];
+  // Only the live sequence window can hold closures: fired and cancelled
+  // slots are nulled on retirement, and sequences below base_seq_ were
+  // compacted past. A fleet worker Resets once per device simulation, so
+  // clearing the (typically tiny) window instead of the whole ring matters
+  // at scale.
+  for (uint64_t seq = base_seq_; seq < next_seq_; ++seq) {
+    Slot& slot = slots_[static_cast<size_t>(seq) & ring_mask_];
     slot.fn = nullptr;  // destroys pending closures (and anything they own)
     slot.pending = false;
   }
+  // Detach every armed timer so its handle reads !pending() and a later
+  // destructor or re-arm is safe. Heap-resident timers are reachable through
+  // their heap keys; wheel-resident ones through the slot lists.
+  for (const HeapEntry& entry : heap_) {
+    if (!IsTimerId(entry.id)) {
+      continue;
+    }
+    TimerHandle** found = heap_timers_.Find(entry.id);
+    if (found != nullptr) {
+      (*found)->state_ = TimerHandle::State::kIdle;
+    }
+  }
+  heap_timers_.Clear();
+  for (int level = 0; level < kWheelLevels; ++level) {
+    uint64_t bits = wheel_occupied_[level];
+    while (bits != 0) {
+      const int slot = Ctz(bits);
+      bits &= bits - 1;
+      for (TimerHandle* t = wheel_slots_[level][slot]; t != nullptr;) {
+        TimerHandle* next = t->next_;
+        t->state_ = TimerHandle::State::kIdle;
+        t->prev_ = t->next_ = nullptr;
+        t = next;
+      }
+      wheel_slots_[level][slot] = nullptr;
+    }
+    wheel_occupied_[level] = 0;
+  }
+  for (TimerHandle* t = overflow_head_; t != nullptr;) {
+    TimerHandle* next = t->next_;
+    t->state_ = TimerHandle::State::kIdle;
+    t->prev_ = t->next_ = nullptr;
+    t = next;
+  }
+  overflow_head_ = nullptr;
+  wheel_cursor_ = 0;
+  wheel_size_ = 0;
+  wheel_lb_cache_ = -1;
   heap_.clear();
   live_ = 0;
   now_ = SimTime();
-  next_id_ = 1;
-  base_id_ = 1;
+  next_seq_ = 1;
+  base_seq_ = 1;
   events_processed_ = 0;
 }
 
 EventLoop::Slot* EventLoop::SlotFor(EventId id) {
-  if (id < base_id_ || id >= next_id_) {
+  if (IsTimerId(id)) {
     return nullptr;
   }
-  return &slots_[static_cast<size_t>(id) & ring_mask_];
+  const uint64_t seq = SeqOf(id);
+  if (seq < base_seq_ || seq >= next_seq_) {
+    return nullptr;
+  }
+  return &slots_[static_cast<size_t>(seq) & ring_mask_];
 }
 
 void EventLoop::CompactFront() {
-  while (base_id_ < next_id_ && !slots_[static_cast<size_t>(base_id_) & ring_mask_].pending) {
-    ++base_id_;
+  // Timer sequences never mark their ring slot pending, so a long-armed
+  // keepalive parked in the wheel does not pin the window open; only live
+  // closure events do.
+  while (base_seq_ < next_seq_ && !slots_[static_cast<size_t>(base_seq_) & ring_mask_].pending) {
+    ++base_seq_;
   }
 }
 
 void EventLoop::PopDead() {
   while (!heap_.empty()) {
-    Slot* slot = SlotFor(heap_.front().id);
-    if (slot != nullptr && slot->pending) {
-      return;
+    const EventId id = heap_.front().id;
+    if (IsTimerId(id)) {
+      // A timer key whose id is absent from heap_timers_ was cancelled or
+      // re-armed after migrating to the heap; the stale key dies here.
+      if (heap_timers_.Find(id) != nullptr) {
+        return;
+      }
+    } else {
+      Slot* slot = SlotFor(id);
+      if (slot != nullptr && slot->pending) {
+        return;
+      }
     }
     HeapPopTop();
   }
@@ -137,9 +209,280 @@ bool EventLoop::Cancel(EventId id) {
   return true;
 }
 
+// --- Timer tier -------------------------------------------------------------
+
+void EventLoop::ScheduleTimerAt(SimTime at, TimerHandle* timer) {
+  if (timer->state_ != TimerHandle::State::kIdle) {
+    CancelTimer(timer);  // re-arm: the old deadline is dropped
+  }
+  const int64_t t = std::max(at.micros(), now_.micros());
+  EnsureSlotCapacity();
+  const uint64_t seq = next_seq_++;
+  timer->loop_ = this;
+  timer->id_ = (seq << 1) | kTimerKindBit;
+  timer->deadline_ = t;
+  ++live_;
+  obs::Set(metric_heap_depth_, static_cast<int64_t>(live_));
+  // A deadline landing in an already-flushed slot (or any deadline with the
+  // wheel disabled) goes straight to the heap with its original key; the
+  // ordering argument never depends on which tier admitted the timer.
+  if (!wheel_enabled_ || SlotIndexFor(t) < wheel_cursor_) {
+    obs::Inc(metric_timers_heap_);
+    TimerToHeap(timer);
+  } else {
+    obs::Inc(metric_timers_wheel_);
+    WheelFile(timer);
+  }
+}
+
+bool EventLoop::CancelTimer(TimerHandle* timer) {
+  switch (timer->state_) {
+    case TimerHandle::State::kIdle:
+      return false;
+    case TimerHandle::State::kInWheel:
+      WheelUnlink(timer);
+      break;
+    case TimerHandle::State::kInHeap:
+      heap_timers_.Erase(timer->id_);  // the heap key dies lazily in PopDead
+      break;
+  }
+  timer->state_ = TimerHandle::State::kIdle;
+  --live_;
+  return true;
+}
+
+void EventLoop::TimerToHeap(TimerHandle* timer) {
+  timer->state_ = TimerHandle::State::kInHeap;
+  HeapPush(HeapEntry{timer->deadline_, timer->id_});
+  heap_timers_.InsertOrAssign(timer->id_, timer);
+}
+
+void EventLoop::WheelFile(TimerHandle* timer) {
+  const uint64_t idx = SlotIndexFor(timer->deadline_);
+  const uint64_t delta = idx - wheel_cursor_;
+  int level = 0;
+  uint64_t span = kWheelSlots;
+  while (level < kWheelLevels && delta >= span) {
+    ++level;
+    span <<= kWheelSlotBits;
+  }
+  timer->state_ = TimerHandle::State::kInWheel;
+  timer->prev_ = nullptr;
+  if (level == kWheelLevels) {
+    // Past the level-3 horizon (~76 h of simulated time): park in the
+    // overflow list, rescanned whenever the cursor enters a new level-3
+    // window.
+    timer->level_ = kOverflowLevel;
+    timer->next_ = overflow_head_;
+    if (overflow_head_ != nullptr) {
+      overflow_head_->prev_ = timer;
+    }
+    overflow_head_ = timer;
+  } else {
+    const auto slot = static_cast<uint8_t>((idx >> (kWheelSlotBits * level)) & (kWheelSlots - 1));
+    timer->level_ = static_cast<uint8_t>(level);
+    timer->slot_ = slot;
+    timer->next_ = wheel_slots_[level][slot];
+    if (timer->next_ != nullptr) {
+      timer->next_->prev_ = timer;
+    }
+    wheel_slots_[level][slot] = timer;
+    wheel_occupied_[level] |= 1ull << slot;
+  }
+  ++wheel_size_;
+  wheel_lb_cache_ = -1;
+}
+
+void EventLoop::WheelUnlink(TimerHandle* timer) {
+  if (timer->next_ != nullptr) {
+    timer->next_->prev_ = timer->prev_;
+  }
+  if (timer->prev_ != nullptr) {
+    timer->prev_->next_ = timer->next_;
+  } else if (timer->level_ == kOverflowLevel) {
+    overflow_head_ = timer->next_;
+  } else {
+    wheel_slots_[timer->level_][timer->slot_] = timer->next_;
+    if (timer->next_ == nullptr) {
+      wheel_occupied_[timer->level_] &= ~(1ull << timer->slot_);
+    }
+  }
+  timer->prev_ = timer->next_ = nullptr;
+  --wheel_size_;
+  wheel_lb_cache_ = -1;
+}
+
+void EventLoop::WheelFlushSlot(uint64_t slot) {
+  TimerHandle* t = wheel_slots_[0][slot];
+  wheel_slots_[0][slot] = nullptr;
+  wheel_occupied_[0] &= ~(1ull << slot);
+  while (t != nullptr) {
+    TimerHandle* next = t->next_;
+    t->prev_ = t->next_ = nullptr;
+    --wheel_size_;
+    // The heap re-sorts by the original (deadline, id) key, so the arbitrary
+    // slot-list order here is invisible to the dispatch sequence.
+    TimerToHeap(t);
+    t = next;
+  }
+}
+
+void EventLoop::WheelCascade(int level) {
+  const auto slot =
+      static_cast<size_t>((wheel_cursor_ >> (kWheelSlotBits * level)) & (kWheelSlots - 1));
+  TimerHandle* t = wheel_slots_[level][slot];
+  if (t == nullptr) {
+    return;
+  }
+  wheel_slots_[level][slot] = nullptr;
+  wheel_occupied_[level] &= ~(1ull << slot);
+  while (t != nullptr) {
+    TimerHandle* next = t->next_;
+    t->prev_ = t->next_ = nullptr;
+    --wheel_size_;
+    WheelFile(t);  // lands at a lower level: its delta is now < 64^level
+    obs::Inc(metric_wheel_cascades_);
+    t = next;
+  }
+}
+
+void EventLoop::WheelRescanOverflow() {
+  const uint64_t horizon = kWheelSlots * kWheelSlots * kWheelSlots * kWheelSlots;
+  TimerHandle* t = overflow_head_;
+  while (t != nullptr) {
+    TimerHandle* next = t->next_;
+    if (SlotIndexFor(t->deadline_) - wheel_cursor_ < horizon) {
+      WheelUnlink(t);
+      WheelFile(t);
+      obs::Inc(metric_wheel_cascades_);
+    }
+    t = next;
+  }
+}
+
+void EventLoop::WheelBoundaryCascade() {
+  // Entering a new level-k window cascades that level's covering slot before
+  // any of the window's level-0 slots flush; highest level first so a
+  // level-3 entry can fall through 2 -> 1 -> 0 in one boundary crossing.
+  // Runs the moment the cursor lands on a boundary (not lazily on the next
+  // advance): WheelLowerBound relies on the covering slot being empty of
+  // current-window entries whenever it looks, so it can classify any
+  // occupant at the cursor's own position as next-wrap.
+  if ((wheel_cursor_ & (kWheelSlots * kWheelSlots - 1)) == 0) {
+    if ((wheel_cursor_ & (kWheelSlots * kWheelSlots * kWheelSlots - 1)) == 0) {
+      WheelRescanOverflow();
+      WheelCascade(3);
+    }
+    WheelCascade(2);
+  }
+  WheelCascade(1);
+}
+
+void EventLoop::WheelAdvanceTo(int64_t time_micros) {
+  const uint64_t target = SlotIndexFor(time_micros);
+  while (wheel_cursor_ <= target) {
+    const uint64_t window_base = wheel_cursor_ & ~(kWheelSlots - 1);
+    const uint64_t limit_idx = std::min(target, window_base + kWheelSlots - 1);
+    uint64_t bits = wheel_occupied_[0] & (~0ull << (wheel_cursor_ & (kWheelSlots - 1)));
+    while (bits != 0) {
+      const auto pos = static_cast<uint64_t>(Ctz(bits));
+      if (window_base + pos > limit_idx) {
+        break;
+      }
+      WheelFlushSlot(pos);
+      bits &= bits - 1;
+    }
+    wheel_cursor_ = limit_idx + 1;
+    if ((wheel_cursor_ & (kWheelSlots - 1)) == 0) {
+      WheelBoundaryCascade();
+    }
+  }
+  wheel_lb_cache_ = -1;
+}
+
+int64_t EventLoop::WheelLowerBound() {
+  if (wheel_lb_cache_ >= 0) {
+    return wheel_lb_cache_;
+  }
+  int64_t best = kNever;
+  // Level 0: slots at or after the cursor position belong to the current
+  // window; occupied slots *below* it are not stale (those were flushed) but
+  // wrapped — a delta just under 64 can land past the window boundary, in
+  // which case the slot covers cursor+64-aligned time, not cursor-aligned.
+  const uint64_t base0 = wheel_cursor_ & ~(kWheelSlots - 1);
+  const uint64_t bits0 = wheel_occupied_[0] & (~0ull << (wheel_cursor_ & (kWheelSlots - 1)));
+  if (bits0 != 0) {
+    best = static_cast<int64_t>((base0 + static_cast<uint64_t>(Ctz(bits0)))
+                                << kWheelGranularityBits);
+  } else if (wheel_occupied_[0] != 0) {
+    best = static_cast<int64_t>(
+        (base0 + kWheelSlots + static_cast<uint64_t>(Ctz(wheel_occupied_[0])))
+        << kWheelGranularityBits);
+  }
+  for (int level = 1; level < kWheelLevels; ++level) {
+    uint64_t bits = wheel_occupied_[level];
+    if (bits == 0) {
+      continue;
+    }
+    const int shift = kWheelSlotBits * level;
+    const uint64_t cursor_l = wheel_cursor_ >> shift;
+    const uint64_t base_l = cursor_l & ~(kWheelSlots - 1);
+    while (bits != 0) {
+      const auto pos = static_cast<uint64_t>(Ctz(bits));
+      bits &= bits - 1;
+      // A position at or behind the cursor's own slot belongs to the next
+      // wrap of this level (the covering slot was cascaded empty when the
+      // cursor entered it).
+      uint64_t abs_idx = base_l + pos;
+      if (abs_idx <= cursor_l) {
+        abs_idx += kWheelSlots;
+      }
+      const auto start =
+          static_cast<int64_t>(abs_idx << (static_cast<uint64_t>(shift) + kWheelGranularityBits));
+      best = std::min(best, start);
+    }
+  }
+  for (TimerHandle* t = overflow_head_; t != nullptr; t = t->next_) {
+    best = std::min(best, t->deadline_);
+  }
+  wheel_lb_cache_ = best;
+  return best;
+}
+
+// --- Dispatch ---------------------------------------------------------------
+
+bool EventLoop::PrepareTop(int64_t limit) {
+  for (;;) {
+    PopDead();
+    if (wheel_size_ != 0) {
+      const int64_t top = heap_.empty() ? kNever : heap_.front().time;
+      const int64_t lb = WheelLowerBound();
+      // A wheel timer might precede (or tie) the heap top: flush its slot
+      // into the heap and re-evaluate. Equal times flush too — the wheel
+      // entry may carry a smaller sequence than the heap top.
+      if (lb <= top && lb <= limit) {
+        WheelAdvanceTo(lb);
+        continue;
+      }
+    }
+    return !heap_.empty() && heap_.front().time <= limit;
+  }
+}
+
 void EventLoop::DispatchTop() {
   const HeapEntry top = heap_.front();
   HeapPopTop();
+  if (IsTimerId(top.id)) {
+    TimerHandle* timer = *heap_timers_.Find(top.id);
+    heap_timers_.Erase(top.id);
+    timer->state_ = TimerHandle::State::kIdle;
+    --live_;
+    now_ = SimTime(top.time);
+    ++events_processed_;
+    obs::Inc(metric_dispatched_);
+    timer->thunk_(timer->obj_);  // may re-arm the handle
+    return;
+  }
   Slot* slot = SlotFor(top.id);
   std::function<void()> fn = std::move(slot->fn);
   slot->pending = false;
@@ -153,8 +496,7 @@ void EventLoop::DispatchTop() {
 }
 
 bool EventLoop::RunOne() {
-  PopDead();
-  if (heap_.empty()) {
+  if (!PrepareTop(kNever)) {
     return false;
   }
   DispatchTop();
@@ -162,15 +504,11 @@ bool EventLoop::RunOne() {
 }
 
 void EventLoop::RunUntil(SimTime deadline) {
-  // One PopDead per dispatch: the loop peeks the live top itself instead of
-  // delegating to RunOne (which would re-PopDead an already-clean heap —
+  // One PopDead per dispatch: PrepareTop peeks the live top itself instead
+  // of delegating to RunOne (which would re-PopDead an already-clean heap —
   // measurably half the PopDead traffic on the fleet workload).
   const int64_t limit = deadline.micros();
-  for (;;) {
-    PopDead();
-    if (heap_.empty() || heap_.front().time > limit) {
-      break;
-    }
+  while (PrepareTop(limit)) {
     DispatchTop();
   }
   now_ = std::max(now_, deadline);

@@ -6,20 +6,30 @@
 // reproducing exact packet interleavings (e.g. whether A's SYN reaches B's
 // NAT before B's SYN leaves it).
 //
-// Implementation: a 4-ary min-heap of (time, sequence) keys with lazy
-// cancellation. The (time, id) key is a strict total order (ids are unique),
-// so the pop sequence — and therefore every packet interleaving — is
-// identical to any other correct priority queue; the wider fan-out just
-// halves the tree depth and keeps sift paths in fewer cache lines, which
-// matters at ~10M schedules per fleet run. Cancel() only flips the event's
-// slot to non-pending; the tombstoned heap entry is discarded when it
-// surfaces at the top. Callbacks
-// live in a power-of-two ring buffer indexed by event id (ids are issued
-// sequentially, so the slot for id i sits at i & ring_mask_), which gives
-// O(1) id lookup with no hashing. Unlike the std::deque it replaced — which
-// allocated and freed ~512-byte blocks continuously as the id window slid —
-// the ring reaches a high-water size and then never touches the heap again,
-// which is what keeps the steady-state packet path allocation-free.
+// Two scheduling tiers share one insertion-sequence counter:
+//
+//  * ScheduleAt/ScheduleAfter — closure events (packet deliveries, one-shot
+//    control work). A 4-ary min-heap of (time, sequence) keys with lazy
+//    cancellation; callbacks live in a power-of-two ring buffer indexed by
+//    sequence, which gives O(1) id lookup with no hashing and a steady-state
+//    allocation-free packet path.
+//
+//  * ScheduleTimerAt/ScheduleTimerAfter — intrusive TimerHandle events for
+//    the coarse periodic tier (keepalives, NAT mapping expiry, relay
+//    watchdogs, TURN refresh). A handle embeds its list links, deadline, and
+//    a member-function thunk in the owning object, so arming a timer
+//    allocates nothing and dispatch is one indirect call — no std::function,
+//    no type erasure. Far-out timers are parked in a hierarchical timing
+//    wheel (4 levels x 64 slots) and only migrate into the heap shortly
+//    before they are due, so a million armed keepalives cost the heap
+//    nothing until their slot comes up.
+//
+// The wheel is a staging area, never a dispatch path: every timer enters the
+// heap carrying its original (time, sequence) key before the clock reaches
+// its slot, so the pop sequence is byte-identical to a heap-only scheduler
+// (SetTimerWheelEnabled(false) is the differential oracle for exactly that
+// claim). Both kinds of event share the sequence counter, so cross-tier ties
+// at the same instant also fire in schedule order.
 
 #ifndef SRC_NETSIM_EVENT_LOOP_H_
 #define SRC_NETSIM_EVENT_LOOP_H_
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "src/netsim/sim_time.h"
+#include "src/util/flat_hash.h"
 
 namespace natpunch {
 
@@ -36,6 +47,56 @@ namespace obs {
 class Counter;
 class Gauge;
 }  // namespace obs
+
+class EventLoop;
+
+// Intrusive timer: the owning object embeds the handle and binds one of its
+// member functions; arming, cancelling, and firing never allocate. A handle
+// may be re-armed from its own callback (the self-rescheduling keepalive
+// pattern) and cancels itself on destruction, so a destroyed session can
+// never leave a dangling timer behind.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  ~TimerHandle() { Cancel(); }
+
+  TimerHandle(const TimerHandle&) = delete;
+  TimerHandle& operator=(const TimerHandle&) = delete;
+
+  // Bind `obj`'s member function as the callback: Bind<&Foo::Tick>(foo).
+  // Rebinding while armed is allowed; the pending firing uses the new thunk.
+  template <auto Method, typename T>
+  void Bind(T* obj) {
+    obj_ = obj;
+    thunk_ = [](void* o) { (static_cast<T*>(o)->*Method)(); };
+  }
+
+  bool pending() const { return state_ != State::kIdle; }
+  SimTime deadline() const { return SimTime(deadline_); }
+
+  // Cancel if armed. Returns true if the timer was still pending.
+  bool Cancel();
+
+ private:
+  friend class EventLoop;
+
+  enum class State : uint8_t {
+    kIdle,    // not armed
+    kInWheel, // linked into a wheel slot (or the overflow list)
+    kInHeap,  // migrated to the heap; heap_timers_ maps id -> this
+  };
+
+  EventLoop* loop_ = nullptr;
+  void* obj_ = nullptr;
+  void (*thunk_)(void*) = nullptr;
+  int64_t deadline_ = 0;  // micros
+  uint64_t id_ = 0;       // full event id (kind bit set)
+  TimerHandle* prev_ = nullptr;
+  TimerHandle* next_ = nullptr;
+  State state_ = State::kIdle;
+  uint8_t level_ = 0;  // wheel position while kInWheel (kOverflowLevel = list)
+  uint8_t slot_ = 0;
+};
 
 class EventLoop {
  public:
@@ -58,6 +119,24 @@ class EventLoop {
   // Cancel a pending event. Returns true if it was still pending.
   bool Cancel(EventId id);
 
+  // Arm `timer` to fire at `at` (clamped to now) / after `delay`. An already
+  // armed handle is re-armed (the old deadline is cancelled first). The
+  // handle must stay alive and at a stable address until it fires or is
+  // cancelled — it is linked into the loop's structures by pointer.
+  void ScheduleTimerAt(SimTime at, TimerHandle* timer);
+  void ScheduleTimerAfter(SimDuration delay, TimerHandle* timer) {
+    ScheduleTimerAt(now_ + delay, timer);
+  }
+  // Cancel an armed timer. Returns true if it was still pending.
+  bool CancelTimer(TimerHandle* timer);
+
+  // Differential oracle switch: with the wheel off, timers go straight to
+  // the heap at schedule time. Either mode produces the identical dispatch
+  // sequence; tests compare trace dumps across the two to prove it. Flip
+  // only while no timers are pending. Survives Reset().
+  void SetTimerWheelEnabled(bool enabled) { wheel_enabled_ = enabled; }
+  bool timer_wheel_enabled() const { return wheel_enabled_; }
+
   // Run the single earliest pending event, advancing the clock to it.
   // Returns false if no events are pending.
   bool RunOne();
@@ -74,24 +153,43 @@ class EventLoop {
   bool idle() const { return live_ == 0; }
   size_t pending_count() const { return live_; }
   uint64_t events_processed() const { return events_processed_; }
+  // Timers currently parked in the wheel (not yet migrated to the heap).
+  size_t wheel_pending() const { return wheel_size_; }
 
   // Return to the pristine just-constructed state (clock at 0, no pending
-  // events, counters zeroed) while KEEPING the heap and ring capacities, so
-  // a reused loop schedules without allocating. Pending closures are
-  // destroyed. Lets fleet workers run thousands of device simulations on one
-  // arena. Attached metrics handles survive a Reset (the registry they live
-  // in is reset separately by Network::Reset).
+  // events, counters zeroed) while KEEPING the heap, ring, and timer-map
+  // capacities, so a reused loop schedules without allocating. Pending
+  // closures are destroyed and armed timers detach (their handles read
+  // !pending()). Lets fleet workers run thousands of device simulations on
+  // one arena. Attached metrics handles and the wheel-enabled flag survive a
+  // Reset (the registry the handles live in is reset separately by
+  // Network::Reset).
   void Reset();
 
   // Observability hookup (Network::EnableMetrics): `dispatched` counts every
   // fired event, `heap_depth` tracks the pending-event level and its
-  // high-water mark. Either may be null; recording is allocation-free.
-  void AttachMetrics(obs::Counter* dispatched, obs::Gauge* heap_depth) {
+  // high-water mark, `timers_wheel`/`timers_heap` split timer arms by which
+  // tier admitted them, and `wheel_cascades` counts entries re-filed when a
+  // higher wheel level spills into a lower one. Any may be null; recording
+  // is allocation-free.
+  void AttachMetrics(obs::Counter* dispatched, obs::Gauge* heap_depth,
+                     obs::Counter* timers_wheel = nullptr, obs::Counter* timers_heap = nullptr,
+                     obs::Counter* wheel_cascades = nullptr) {
     metric_dispatched_ = dispatched;
     metric_heap_depth_ = heap_depth;
+    metric_timers_wheel_ = timers_wheel;
+    metric_timers_heap_ = timers_heap;
+    metric_wheel_cascades_ = wheel_cascades;
   }
 
  private:
+  // Event ids carry the scheduling tier in bit 0 (0 = closure event, 1 =
+  // timer) over a shared sequence counter, so (time, id) comparisons order
+  // cross-tier ties by schedule order and the heap entry stays 16 bytes.
+  static constexpr uint64_t kTimerKindBit = 1;
+  static uint64_t SeqOf(EventId id) { return id >> 1; }
+  static bool IsTimerId(EventId id) { return (id & kTimerKindBit) != 0; }
+
   struct HeapEntry {
     int64_t time;  // micros
     EventId id;
@@ -108,31 +206,103 @@ class EventLoop {
     bool pending = false;
   };
 
-  // Slot for `id`, or nullptr if the id was never issued / already retired
-  // out of the window.
+  // --- Hierarchical timing wheel (timer staging tier) -----------------------
+  //
+  // Geometry: 4 levels of 64 slots at a 2^14 us (~16.4 ms) base granularity.
+  // Level k slot spans 64^k base slots, so the horizons are ~1.05 s, ~67 s,
+  // ~72 min, and ~76 h; anything farther sits in an intrusive overflow list
+  // rescanned each time the clock enters a new level-3 window. wheel_cursor_
+  // is the absolute level-0 slot index of the next unflushed slot: every
+  // slot below it has already been migrated into the heap, and a timer whose
+  // slot is below the cursor is admitted straight to the heap.
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kWheelSlotBits = 6;
+  static constexpr uint64_t kWheelSlots = 1ull << kWheelSlotBits;
+  static constexpr int kWheelGranularityBits = 14;
+  static constexpr uint8_t kOverflowLevel = kWheelLevels;
+
+  static uint64_t SlotIndexFor(int64_t time_micros) {
+    return static_cast<uint64_t>(time_micros) >> kWheelGranularityBits;
+  }
+
+  // File an armed handle into the wheel level matching its distance from the
+  // cursor (or the overflow list past the level-3 horizon).
+  void WheelFile(TimerHandle* timer);
+  void WheelUnlink(TimerHandle* timer);
+  // Migrate every entry of level-0 slot `slot` into the heap.
+  void WheelFlushSlot(uint64_t slot);
+  // Re-file every entry of level `level`'s slot covering the cursor; runs
+  // when the cursor enters a new level-`level` window.
+  void WheelCascade(int level);
+  // Re-file overflow entries that fell inside the level-3 horizon.
+  void WheelRescanOverflow();
+  // Cascade every level whose window the cursor just entered (cursor must
+  // sit on a level-1 boundary). Called eagerly the moment the cursor lands
+  // there so covering slots never hold current-window entries between
+  // advances.
+  void WheelBoundaryCascade();
+  // Flush all slots whose start time is <= `time_micros` into the heap.
+  void WheelAdvanceTo(int64_t time_micros);
+  // Earliest possible deadline of any wheel-resident timer (slot start times
+  // lower-bound the deadlines inside), or INT64_MAX when the wheel is empty.
+  int64_t WheelLowerBound();
+
+  // Move the timer into the heap tier: push its (deadline, id) key and index
+  // the handle by id so cancellation and dispatch can find it.
+  void TimerToHeap(TimerHandle* timer);
+
+  // Ensure the heap top is the globally next event (all wheel slots at or
+  // before its time flushed) and due at or before `limit`. Returns false if
+  // nothing is due by `limit`.
+  bool PrepareTop(int64_t limit);
+
+  // Slot for a closure event id, or nullptr if the id was never issued /
+  // already retired out of the window.
   Slot* SlotFor(EventId id);
-  // Pop and run the heap top. Precondition: PopDead() has run and the heap
-  // is non-empty (the top is live).
+  // Pop and run the heap top. Precondition: PrepareTop() returned true (the
+  // top is live and every earlier timer has been flushed from the wheel).
   void DispatchTop();
-  // Drop tombstoned (cancelled) entries off the heap top so heap_.front()
-  // is the earliest still-pending event.
+  // Drop dead entries off the heap top: tombstoned closure slots and timer
+  // ids no longer present in heap_timers_ (cancelled or re-armed).
   void PopDead();
-  // Retire fully-processed slots from the front of the id window.
+  // Retire fully-processed slots from the front of the sequence window.
   void CompactFront();
-  // Make room in the ring for one more id in [base_id_, next_id_].
+  // Make room in the ring for one more sequence in [base_seq_, next_seq_].
   void EnsureSlotCapacity();
 
   SimTime now_;
-  EventId next_id_ = 1;
-  EventId base_id_ = 1;  // earliest id still in the ring window
+  uint64_t next_seq_ = 1;
+  uint64_t base_seq_ = 1;  // earliest sequence still in the ring window
   uint64_t events_processed_ = 0;
-  size_t live_ = 0;  // scheduled, not yet fired or cancelled
+  size_t live_ = 0;  // scheduled, not yet fired or cancelled (both tiers)
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;  // ring buffer; size is a power of two
   size_t ring_mask_ = 0;     // slots_.size() - 1
+
+  // Timer tier state. heap_timers_ maps the id of every live heap-resident
+  // timer to its handle; a heap entry whose id misses the map is a stale key
+  // from a cancel/re-arm and is dropped by PopDead. Indexing by id (not
+  // handle pointer) makes a destroyed owner harmless: its destructor erases
+  // the mapping and the orphaned heap key can never reach freed memory.
+  FlatHashMap<uint64_t, TimerHandle*> heap_timers_;
+  TimerHandle* wheel_slots_[kWheelLevels][kWheelSlots] = {};
+  uint64_t wheel_occupied_[kWheelLevels] = {};  // per-level slot bitmaps
+  TimerHandle* overflow_head_ = nullptr;
+  uint64_t wheel_cursor_ = 0;  // absolute level-0 index of next unflushed slot
+  size_t wheel_size_ = 0;      // wheel + overflow entries
+  int64_t wheel_lb_cache_ = -1;  // memoized WheelLowerBound (-1 = dirty)
+  bool wheel_enabled_ = true;
+
   obs::Counter* metric_dispatched_ = nullptr;
   obs::Gauge* metric_heap_depth_ = nullptr;
+  obs::Counter* metric_timers_wheel_ = nullptr;
+  obs::Counter* metric_timers_heap_ = nullptr;
+  obs::Counter* metric_wheel_cascades_ = nullptr;
 };
+
+inline bool TimerHandle::Cancel() {
+  return loop_ != nullptr && loop_->CancelTimer(this);
+}
 
 }  // namespace natpunch
 

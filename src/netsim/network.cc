@@ -19,7 +19,10 @@ obs::MetricsRegistry* Network::EnableMetrics() {
   if (metrics_ == nullptr) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     loop_.AttachMetrics(metrics_->GetCounter("loop.events_dispatched"),
-                        metrics_->GetGauge("loop.heap_depth"));
+                        metrics_->GetGauge("loop.heap_depth"),
+                        metrics_->GetCounter("loop.timers_wheel"),
+                        metrics_->GetCounter("loop.timers_heap"),
+                        metrics_->GetCounter("loop.wheel_cascades"));
   }
   return metrics_.get();
 }

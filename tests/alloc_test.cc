@@ -15,9 +15,13 @@
 #include <new>
 #include <string>
 
+#include "src/core/udp_puncher.h"
 #include "src/nat/nat_table.h"
+#include "src/rendezvous/client.h"
+#include "src/rendezvous/server.h"
 #include "src/scenario/scenario.h"
 #include "src/transport/host.h"
+#include "src/util/flat_hash.h"
 
 namespace {
 
@@ -207,6 +211,128 @@ TEST(ZeroAllocTest, SteadyStateMappingChurnAllocatesNothing) {
   g_counting.store(false);
 
   EXPECT_EQ(table.size(), live_before);  // the churn really was steady-state
+  EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
+}
+
+TEST(ZeroAllocTest, SwarmSteadyStateKeepalivesAndDataAllocateNothing) {
+  // The bench_swarm configuration in miniature: dozens of punched sessions
+  // multiplexed over one socket pair with keepalive jitter enabled. A warm
+  // steady-state round — an empty-payload data tick on every session plus
+  // whatever keepalive/expiry timers fall due, each re-arming its intrusive
+  // handle through the timing wheel — must not allocate.
+  Scenario::Options options;
+  options.metrics = true;
+  auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
+  Network& net = topo.scenario->net();
+
+  RendezvousServer server(topo.server, 3478);
+  ASSERT_TRUE(server.Start().ok());
+  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
+  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  ca.Register(4321, [](Result<Endpoint>) {});
+  cb.Register(4321, [](Result<Endpoint>) {});
+  UdpPunchConfig punch_config;
+  punch_config.keepalive_interval = Seconds(2);
+  punch_config.keepalive_jitter = Millis(500);
+  punch_config.session_expiry = Seconds(120);
+  UdpHolePuncher pa(&ca, punch_config);
+  UdpHolePuncher pb(&cb, punch_config);
+  std::vector<UdpP2pSession*> initiator;
+  std::vector<UdpP2pSession*> responder;
+  pb.SetIncomingSessionCallback([&](UdpP2pSession* s) { responder.push_back(s); });
+  net.RunFor(Seconds(2));
+  constexpr int kSessions = 32;
+  for (int i = 0; i < kSessions; ++i) {
+    pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) {
+      ASSERT_TRUE(r.ok());
+      initiator.push_back(*r);
+    });
+    net.RunFor(Millis(700));
+  }
+  ASSERT_EQ(initiator.size(), static_cast<size_t>(kSessions));
+  ASSERT_EQ(responder.size(), static_cast<size_t>(kSessions));
+
+  // One steady-state round: every session sends an inline-capacity (empty)
+  // datagram, then half a second of simulated time drains deliveries and
+  // any keepalive/expiry timers that land in the window.
+  const auto round = [&] {
+    for (UdpP2pSession* s : initiator) {
+      s->Send(Bytes{});
+    }
+    for (UdpP2pSession* s : responder) {
+      s->Send(Bytes{});
+    }
+    net.RunFor(Millis(500));
+  };
+
+  // Warm-up past every high-water mark (event ring, wheel slot lists, heap
+  // vector, flat-hash tables, socket buffers) AND through several full
+  // keepalive generations, then count.
+  for (int i = 0; i < 60; ++i) {
+    round();
+  }
+  g_allocs.store(0);
+  g_samples.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 40; ++i) {
+    round();
+  }
+  g_counting.store(false);
+
+  for (UdpP2pSession* s : initiator) {
+    EXPECT_TRUE(s->alive());
+  }
+  for (UdpP2pSession* s : responder) {
+    EXPECT_TRUE(s->alive());
+  }
+  EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
+}
+
+TEST(ZeroAllocTest, TimerRearmChurnAndResetReuseAllocateNothing) {
+  // The intrusive-handle guarantee in isolation: perpetual re-arming timers
+  // migrating wheel -> heap -> dispatch, and handle reuse across Reset(),
+  // never allocate once the loop's arenas are warm.
+  struct Tick {
+    EventLoop* loop = nullptr;
+    uint64_t rng = 0;
+    uint64_t fired = 0;
+    TimerHandle handle;
+    void Fire() {
+      ++fired;
+      rng = HashMix64(rng + 1);
+      // Spread across wheel levels: anything from 1us to ~80s.
+      loop->ScheduleTimerAfter(Micros(1 + static_cast<int64_t>(rng % 80000000ull)), &handle);
+    }
+  };
+  EventLoop loop;
+  std::vector<Tick> ticks(64);
+  const auto arm_all = [&] {
+    for (size_t i = 0; i < ticks.size(); ++i) {
+      ticks[i].loop = &loop;
+      ticks[i].rng = HashMix64(i * 7919 + 1);
+      ticks[i].handle.Bind<&Tick::Fire>(&ticks[i]);
+      loop.ScheduleTimerAfter(Micros(static_cast<int64_t>(i) + 1), &ticks[i].handle);
+    }
+  };
+  arm_all();
+  loop.RunUntil(SimTime(Seconds(600).micros()));  // warm every tier to high water
+
+  g_allocs.store(0);
+  g_samples.store(0);
+  g_counting.store(true);
+  loop.RunUntil(SimTime(Seconds(1200).micros()));
+  // Reset idles every pending handle; re-arming afterwards reuses the same
+  // arenas (ring, wheel lists, heap vector, timer hash) without growing.
+  loop.Reset();
+  arm_all();
+  loop.RunUntil(SimTime(Seconds(600).micros()));
+  g_counting.store(false);
+
+  uint64_t total = 0;
+  for (const Tick& t : ticks) {
+    total += t.fired;
+  }
+  EXPECT_GT(total, 2000u);  // the churn really ran
   EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
 }
 
