@@ -13,10 +13,26 @@
 // PunchAtEndpoints and deterministic nonces (no per-session rendezvous
 // round-trip), so setup stays a small fraction of the run.
 //
-// Reported: events/s over the measured window, sessions, peak RSS, and
-// bytes/session (peak RSS divided by the session population — a coarse but
-// machine-stable memory-per-session figure that bench_compare tracks with
-// an advisory ceiling).
+// Two legs run back to back and each emits a BENCH_JSON line:
+//
+//   swarm_steady_state          one standalone rendezvous server (unchanged
+//                               baseline workload)
+//   swarm_steady_state_sharded  a NATPUNCH_SWARM_SHARDS-shard rendezvous
+//                               tier (default 4): clients hash to their home
+//                               shard, registrations replicate to the ring
+//                               successor, and rendezvous keepalives keep
+//                               the failover machinery armed through the
+//                               measured window
+//
+// The sharded leg exists to prove the tier costs nothing at steady state:
+// its events/s must stay within the regression threshold of the one-shard
+// baseline, since punched sessions never touch the servers after setup.
+//
+// Reported per leg: events/s over the measured window, sessions, peak RSS,
+// and bytes/session (peak RSS divided by the session population — a coarse
+// but machine-stable memory-per-session figure that bench_compare tracks
+// with an advisory ceiling; the sharded leg runs second, so its RSS figure
+// is the process peak across both legs).
 
 #include <chrono>
 #include <string>
@@ -44,7 +60,7 @@ struct SwarmSide {
   Endpoint public_ep;
 };
 
-int Run() {
+int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
   const uint64_t target_sessions = EnvU64("NATPUNCH_SWARM_SESSIONS", 100000);
   const uint64_t pairs = std::min<uint64_t>(EnvU64("NATPUNCH_SWARM_PAIRS", 64), 200);
   const uint64_t per_pair = (target_sessions + pairs - 1) / pairs;
@@ -54,12 +70,37 @@ int Run() {
   options.seed = 42;
   Scenario scenario(options);
   Network& net = scenario.net();
-  Host* server_host = scenario.AddPublicHost("S", ServerIp());
-  RendezvousServer server(server_host, kServerPort);
-  if (!server.Start().ok()) {
-    std::fprintf(stderr, "rendezvous server failed to start\n");
-    return 1;
+
+  // The rendezvous side: one standalone server for the baseline leg, a
+  // consistent-hash shard tier for the sharded leg.
+  std::vector<Endpoint> shard_eps;
+  std::vector<std::unique_ptr<RendezvousServer>> servers;
+  if (shards <= 1) {
+    Host* server_host = scenario.AddPublicHost("S", ServerIp());
+    servers.push_back(std::make_unique<RendezvousServer>(server_host, kServerPort));
+    shard_eps.push_back(servers.back()->endpoint());
+  } else {
+    for (uint64_t i = 0; i < shards; ++i) {
+      Host* host = scenario.AddPublicHost(
+          "S" + std::to_string(i),
+          Ipv4Address::FromOctets(18, 181, 0, static_cast<uint8_t>(50 + i)));
+      RendezvousServer::Options so;
+      for (uint64_t j = 0; j < shards; ++j) {
+        so.shard.shards.emplace_back(
+            Ipv4Address::FromOctets(18, 181, 0, static_cast<uint8_t>(50 + j)), kServerPort);
+      }
+      so.shard.index = static_cast<uint32_t>(i);
+      shard_eps = so.shard.shards;
+      servers.push_back(std::make_unique<RendezvousServer>(host, kServerPort, std::move(so)));
+    }
   }
+  for (auto& server : servers) {
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "rendezvous server failed to start\n");
+      return 1;
+    }
+  }
+  const ShardRing ring(shard_eps);
 
   // The swarm configuration: keepalives on a jittered cadence (the
   // thundering-herd countermeasure this bench exists to exercise), expiry
@@ -88,13 +129,20 @@ int Run() {
     side_a[p].client_id = 1000 + p;
     side_b[p].client_id = 1000000 + p;
     for (SwarmSide* side : {&side_a[p], &side_b[p]}) {
-      side->client = std::make_unique<UdpRendezvousClient>(side->host, server.endpoint(),
-                                                           side->client_id);
+      side->client =
+          shards <= 1
+              ? std::make_unique<UdpRendezvousClient>(side->host, shard_eps[0], side->client_id)
+              : std::make_unique<UdpRendezvousClient>(side->host, ring, side->client_id);
       side->client->Register(4321, [side](Result<Endpoint> r) {
         if (r.ok()) {
           side->public_ep = *r;
         }
       });
+      if (shards > 1) {
+        // Keep the shard tier live through the measured window: acked
+        // keepalives are what arm (and would trigger) the failover ladder.
+        side->client->StartKeepAlive(Seconds(5));
+      }
       side->puncher = std::make_unique<UdpHolePuncher>(side->client.get(), punch);
     }
   }
@@ -184,17 +232,31 @@ int Run() {
                  static_cast<unsigned long long>(received_after - received_before));
     return 1;
   }
+  // The tier must have stayed healthy: a client that failed over mid-run
+  // means a shard stopped acking keepalives under load.
+  uint64_t failovers = 0;
+  for (const auto& sides : {&side_a, &side_b}) {
+    for (const SwarmSide& side : *sides) {
+      failovers += side.client->failovers();
+    }
+  }
+  if (failovers != 0) {
+    std::fprintf(stderr, "spurious shard failovers under steady load: %llu\n",
+                 static_cast<unsigned long long>(failovers));
+    return 1;
+  }
 
   const double rss_mb = bench::PeakRssMb();
   const double bytes_per_session = rss_mb * 1024.0 * 1024.0 / static_cast<double>(total);
   const double delivered_per_session =
       static_cast<double>(received_after - received_before) / static_cast<double>(total);
 
-  bench::Title("Swarm steady state");
+  bench::Title(title);
   std::printf("sessions            : %llu (%llu pairs x %llu)\n",
               static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(pairs),
               static_cast<unsigned long long>(per_pair));
+  std::printf("rendezvous shards   : %llu\n", static_cast<unsigned long long>(shards));
   std::printf("measured window     : %d ticks, %.1f ms wall\n", kMeasuredTicks, wall_ms);
   std::printf("events              : %llu (%.0f/s)\n", static_cast<unsigned long long>(events),
               wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0.0);
@@ -202,13 +264,24 @@ int Run() {
   std::printf("peak RSS            : %.1f MiB (%.0f bytes/session)\n", rss_mb,
               bytes_per_session);
 
-  char extra[192];
+  char extra[224];
   std::snprintf(extra, sizeof(extra),
-                "\"sessions\":%llu,\"bytes_per_session\":%.0f,\"delivered_per_session\":%.1f",
-                static_cast<unsigned long long>(total), bytes_per_session,
+                "\"sessions\":%llu,\"shards\":%llu,\"bytes_per_session\":%.0f,"
+                "\"delivered_per_session\":%.1f",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(shards), bytes_per_session,
                 delivered_per_session);
-  bench::JsonSummary("swarm_steady_state", wall_ms, events, extra);
+  bench::JsonSummary(bench_name, wall_ms, events, extra);
   return 0;
+}
+
+int Run() {
+  const int rc = RunLeg("swarm_steady_state", "Swarm steady state", 1);
+  if (rc != 0) {
+    return rc;
+  }
+  const uint64_t shards = EnvU64("NATPUNCH_SWARM_SHARDS", 4);
+  return RunLeg("swarm_steady_state_sharded", "Swarm steady state (sharded tier)", shards);
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Fuzz target: inter-shard messages (magic 0x53, version 3). Shard frames
+// travel between trusted servers but cross the same hostile networks as
+// client traffic, so the decoder carries the full wire armor: any accepted
+// frame must re-encode byte-identically. No obfuscation modes — there is no
+// NAT between shards to hide addresses from.
+
+#include "fuzz/fuzz_common.h"
+#include "src/rendezvous/shard_messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace natpunch;
+  auto msg = DecodeShardMessage(fuzz::Span(data, size));
+  if (msg) {
+    fuzz::CheckCanonical(data, size, EncodeShardMessage(*msg), "shard_message");
+  }
+  return 0;
+}

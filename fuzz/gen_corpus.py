@@ -60,6 +60,17 @@ def probe_message(mtype=1, txn=0xABCDEF, ip=0x01020304, port=9000, tag=0):
             bytes([tag]))
 
 
+def shard_message(mtype=1, strategy=1, found=0, src_shard=2, client=1,
+                  target=2, nonce=0xC0FFEE, payload=b"fw"):
+    def endpoint(ip, port):
+        return be32(ip) + be16(port)
+
+    return (bytes([0x53, 0x03, mtype, strategy, found]) + be32(src_shard) +
+            be64(client) + be64(target) + be64(nonce) +
+            endpoint(0x9B63190B, 62000) + endpoint(0x0A000002, 4321) +
+            be16(len(payload)) + payload)
+
+
 def mutations(frame):
     """Hostile variants of one well-formed frame."""
     out = []
@@ -126,6 +137,14 @@ def main():
     for _ in range(6):
         streams.append(bytes(RNG.randrange(256) for _ in range(RNG.randrange(1, 120))))
     write("framer", streams)
+
+    # Inter-shard frames (appended last: earlier targets' RNG draws must not
+    # move, or the committed corpora above would churn).
+    sh = [shard_message(mtype=t) for t in range(1, 5)]
+    sh += [shard_message(strategy=s) for s in range(1, 6)]
+    sh += [shard_message(mtype=2, found=1)]
+    sh += [shard_message(payload=b""), shard_message(payload=bytes(200))]
+    write("shard_message", sh + mutations(sh[0]))
 
 
 if __name__ == "__main__":

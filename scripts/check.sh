@@ -2,6 +2,10 @@
 # Configure, build, and test the repo the same way CI / the tier-1 gate does.
 #
 #   scripts/check.sh                 # Release build + full ctest
+#   scripts/check.sh --quick         # build + tier-1 ctest only: skips the
+#                                    # sanitizer passes even when the NATPUNCH_*SAN
+#                                    # knobs are set (CI's second compiler leg,
+#                                    # and the fast local pre-push loop)
 #   NATPUNCH_TSAN=1 scripts/check.sh # ...then rebuild the threaded-runner
 #                                    # tests under -fsanitize=thread and
 #                                    # re-run them (guards RunFleetParallel
@@ -11,6 +15,10 @@
 #                                    # and re-run them (fault injection and
 #                                    # session teardown are where lifetime
 #                                    # bugs hide)
+#
+# The compiler comes from the standard CC/CXX environment variables (CMake
+# picks them up on a fresh configure); use a distinct BUILD_DIR per compiler
+# so configure caches never mix.
 #
 # When ccache is on PATH it is wired in as the compiler launcher
 # automatically (CI caches its directory across runs; locally it just makes
@@ -24,6 +32,17 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 BUILD_DIR=${BUILD_DIR:-build}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
@@ -53,6 +72,10 @@ sanitizer_pass() {
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+if [[ "$QUICK" == "1" ]]; then
+  exit 0
+fi
 
 if [[ "${NATPUNCH_TSAN:-0}" == "1" ]]; then
   echo "==== TSan pass: rebuilding fleet/netsim tests with -fsanitize=thread ===="

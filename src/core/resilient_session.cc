@@ -271,6 +271,16 @@ void ResilientSessionManager::AttemptRepunch(ResilientSession* rs) {
       FinishRecovery(rs, /*via_relay=*/false);
       return;
     }
+    if (result.status().code() == ErrorCode::kNotConnected &&
+        puncher_->rendezvous()->rehoming()) {
+      // The rendezvous client is mid-failover to a replica shard, so the
+      // connect request failed on the host without ever reaching the tier.
+      // That is not a punch failure: refund the attempt and retry after the
+      // backoff, which outlives the bounded re-homing window.
+      --rs->repunch_attempts_;
+      ScheduleRepunch(rs);
+      return;
+    }
     if (rs->repunch_attempts_ >= config_.max_repunch_attempts) {
       if (relay_available()) {
         NP_LOG(Info) << "re-punch to peer " << rs->peer_id_ << " abandoned after "

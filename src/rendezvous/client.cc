@@ -12,6 +12,14 @@ UdpRendezvousClient::UdpRendezvousClient(Host* host, Endpoint server, uint64_t c
                                          RendezvousClientOptions options)
     : host_(host), server_(server), client_id_(client_id), options_(options) {}
 
+UdpRendezvousClient::UdpRendezvousClient(Host* host, ShardRing ring, uint64_t client_id,
+                                         RendezvousClientOptions options)
+    : host_(host), client_id_(client_id), options_(options), ring_(std::move(ring)) {
+  // Home shard is a pure function of the shared ring and our own ID — no
+  // assignment protocol, and every peer/shard computes the same answer.
+  server_ = ring_.endpoint(ring_.HomeShard(client_id_));
+}
+
 void UdpRendezvousClient::SendToServer(const RendezvousMessage& msg) {
   socket_->SendTo(server_, EncodeRendezvousMessage(msg, options_.obfuscate_addresses));
 }
@@ -51,10 +59,14 @@ void UdpRendezvousClient::RegisterRetryTick() {
 }
 
 void UdpRendezvousClient::OnReceive(const Endpoint& from, const Payload& payload) {
-  if (from == server_) {
+  // In a sharded tier any ring member may speak for the server side: the
+  // replica shard introduces peers to us directly when a lookup was answered
+  // from its copy, and after a failover the old home can still have acks in
+  // flight.
+  if (from == server_ || (ring_.size() > 1 && ring_.IsShard(from))) {
     auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
     if (msg) {
-      HandleServerMessage(*msg);
+      HandleServerMessage(*msg, from);
       return;
     }
     // Undecodable traffic from the server endpoint falls through as peer
@@ -79,9 +91,13 @@ void UdpRendezvousClient::ReRegister() {
   SendToServer(msg);
 }
 
-void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
-  if (msg.type != RvMsgType::kRegisterOk && server_epoch_ != 0 && msg.epoch != 0 &&
-      msg.epoch != server_epoch_) {
+void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg,
+                                              const Endpoint& from) {
+  // Epoch comparison is only meaningful against our current shard: each
+  // shard numbers its own incarnations, so a forward arriving from another
+  // ring member with a different epoch is not a restart signal.
+  if (from == server_ && msg.type != RvMsgType::kRegisterOk && server_epoch_ != 0 &&
+      msg.epoch != 0 && msg.epoch != server_epoch_) {
     // The server restarted and lost its registration table. Re-register from
     // the same socket; nothing about the peer-facing state changes. The
     // stored epoch only advances on kRegisterOk, so if the re-registration
@@ -96,8 +112,12 @@ void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
   }
   switch (msg.type) {
     case RvMsgType::kRegisterOk: {
+      if (from != server_) {
+        return;  // stale ack from a shard we already failed away from
+      }
       public_ep_ = msg.public_ep;
       registered_ = true;
+      keepalive_misses_ = 0;
       server_epoch_ = msg.epoch;
       if (register_retry_event_ != EventLoop::kInvalidEventId) {
         host_->loop().Cancel(register_retry_event_);
@@ -145,6 +165,10 @@ void UdpRendezvousClient::HandleServerMessage(const RendezvousMessage& msg) {
     }
     case RvMsgType::kKeepAliveAck:
       // Matching-epoch ack; the observed endpoint rides along for free.
+      if (from != server_) {
+        return;  // a dead shard's last ack must not mask the failover signal
+      }
+      keepalive_misses_ = 0;
       if (registered_) {
         public_ep_ = msg.public_ep;
       }
@@ -232,12 +256,37 @@ void UdpRendezvousClient::StartKeepAlive(SimDuration interval) {
 }
 
 void UdpRendezvousClient::KeepAliveTick(SimDuration interval) {
+  if (ring_.size() > 1) {
+    if (!registered_) {
+      // Mid-failover (or a lost kRegister): re-registration retries ride the
+      // keepalive cadence until the new shard's kRegisterOk lands.
+      ReRegister();
+    } else if (keepalive_misses_ >= options_.failover_missed_keepalives) {
+      // Every keepalive since the last ack went unanswered: the shard is
+      // dead (or unreachable). Walk the deterministic ladder to the replica.
+      FailOverToNextShard();
+    } else {
+      ++keepalive_misses_;  // provisional; any ack from the shard resets it
+    }
+  }
   RendezvousMessage msg;
   msg.type = RvMsgType::kKeepAlive;
   msg.client_id = client_id_;
   SendToServer(msg);
   keepalive_event_ =
       host_->loop().ScheduleAfter(interval, [this, interval] { KeepAliveTick(interval); });
+}
+
+void UdpRendezvousClient::FailOverToNextShard() {
+  ++failovers_;
+  keepalive_misses_ = 0;
+  ladder_pos_ = (ladder_pos_ + 1) % static_cast<uint32_t>(ring_.size());
+  server_ = ring_.endpoint(current_shard());
+  registered_ = false;
+  server_epoch_ = 0;  // epochs are per-shard; the new one starts fresh
+  NP_LOG(Info) << "client " << client_id_ << " re-homing to shard " << current_shard()
+               << " (" << server_.ToString() << ") after keepalive loss";
+  ReRegister();
 }
 
 void UdpRendezvousClient::StopKeepAlive() {

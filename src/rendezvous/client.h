@@ -18,6 +18,7 @@
 
 #include "src/netsim/event_loop.h"
 #include "src/rendezvous/messages.h"
+#include "src/rendezvous/ring.h"
 #include "src/transport/host.h"
 
 namespace natpunch {
@@ -30,6 +31,11 @@ struct RendezvousClientOptions {
   int register_max_retries = 10;
   SimDuration request_retry_interval = Millis(500);
   int request_max_retries = 10;
+  // Sharded tier only: consecutive unacknowledged keepalives before the
+  // client declares its shard dead and re-homes to the ring successor.
+  // Downtime is bounded by (failover_missed_keepalives + 1) keepalive
+  // intervals plus one registration round-trip.
+  int failover_missed_keepalives = 3;
 };
 
 class UdpRendezvousClient {
@@ -40,6 +46,14 @@ class UdpRendezvousClient {
   using PeerTrafficHandler = std::function<void(const Endpoint& from, const Payload& payload)>;
 
   UdpRendezvousClient(Host* host, Endpoint server, uint64_t client_id,
+                      RendezvousClientOptions options = RendezvousClientOptions{});
+
+  // Sharded tier: the client learns the full ring, hashes its own ID to pick
+  // its home shard, and — when keepalives to the current shard go
+  // unacknowledged — deterministically re-homes along the ring-successor
+  // ladder (docs/PROTOCOL.md §6). A one-shard ring behaves exactly like the
+  // single-server constructor.
+  UdpRendezvousClient(Host* host, ShardRing ring, uint64_t client_id,
                       RendezvousClientOptions options = RendezvousClientOptions{});
 
   // Bind `local_port` (0 = ephemeral) and register with S. The callback
@@ -92,19 +106,34 @@ class UdpRendezvousClient {
   uint64_t server_epoch() const { return server_epoch_; }
   uint64_t restarts_detected() const { return restarts_detected_; }
 
+  // Sharded-tier state. `failovers()` counts re-homings; `current_shard()`
+  // is the ring index the client is registered with (or re-registering to);
+  // `rehoming()` is true in the window between declaring the shard dead and
+  // the replacement's kRegisterOk — connect requests fail fast during it and
+  // callers (ResilientSessionManager) treat that as retry-without-cost.
+  const ShardRing& ring() const { return ring_; }
+  uint64_t failovers() const { return failovers_; }
+  uint32_t current_shard() const { return ring_.NthOwner(client_id_, ladder_pos_); }
+  bool rehoming() const { return ring_.size() > 1 && !registered_; }
+
  private:
   void OnReceive(const Endpoint& from, const Payload& payload);
-  void HandleServerMessage(const RendezvousMessage& msg);
+  void HandleServerMessage(const RendezvousMessage& msg, const Endpoint& from);
   void SendToServer(const RendezvousMessage& msg);
   void ReRegister();
   void RegisterRetryTick();
   void RequestRetryTick(uint64_t peer_id);
   void KeepAliveTick(SimDuration interval);
+  void FailOverToNextShard();
 
   Host* host_;
   Endpoint server_;
   uint64_t client_id_;
   RendezvousClientOptions options_;
+  ShardRing ring_;           // empty when constructed with a single server
+  uint32_t ladder_pos_ = 0;  // ring() ladder position: 0 = home, 1 = replica, ...
+  int keepalive_misses_ = 0;
+  uint64_t failovers_ = 0;
 
   UdpSocket* socket_ = nullptr;
   Endpoint private_ep_;

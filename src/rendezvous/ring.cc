@@ -1,0 +1,68 @@
+#include "src/rendezvous/ring.h"
+
+#include <algorithm>
+
+#include "src/util/flat_hash.h"
+
+namespace natpunch {
+namespace {
+
+// Separates vnode points from client-id points in the hash space; without a
+// salt, a client whose id equals (shard << 32 | vnode) would land exactly on
+// a vnode point, which is harmless but makes the oracle test fiddly.
+constexpr uint64_t kVnodeSalt = 0x53484152445250ULL;  // "SHARDRP"
+
+}  // namespace
+
+ShardRing::ShardRing(std::vector<Endpoint> shards, uint32_t vnodes)
+    : shards_(std::move(shards)) {
+  points_.reserve(shards_.size() * vnodes);
+  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
+    for (uint32_t vnode = 0; vnode < vnodes; ++vnode) {
+      const uint64_t hash =
+          HashMix64(kVnodeSalt ^ (static_cast<uint64_t>(shard) << 32) ^ vnode);
+      points_.push_back({hash, shard});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+uint32_t ShardRing::NthOwner(uint64_t client_id, uint32_t n) const {
+  if (points_.empty()) {
+    return 0;
+  }
+  const uint64_t hash = HashMix64(client_id);
+  size_t start = std::lower_bound(points_.begin(), points_.end(), hash,
+                                  [](const Point& p, uint64_t h) { return p.hash < h; }) -
+                 points_.begin();
+  if (start == points_.size()) {
+    start = 0;  // wrap past the top of the hash space
+  }
+  n %= static_cast<uint32_t>(shards_.size());
+  std::vector<char> seen(shards_.size(), 0);
+  uint32_t distinct = 0;
+  for (size_t step = 0; step < points_.size(); ++step) {
+    const uint32_t shard = points_[(start + step) % points_.size()].shard;
+    if (seen[shard] == 0) {
+      if (distinct == n) {
+        return shard;
+      }
+      seen[shard] = 1;
+      ++distinct;
+    }
+  }
+  return points_[start].shard;  // unreachable: every shard has points
+}
+
+int ShardRing::IndexOf(const Endpoint& ep) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == ep) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace natpunch

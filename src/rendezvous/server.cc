@@ -1,5 +1,7 @@
 #include "src/rendezvous/server.h"
 
+#include <string>
+
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
@@ -7,9 +9,19 @@ namespace natpunch {
 
 RendezvousServer::RendezvousServer(Host* host, uint16_t port, Options options)
     : host_(host), port_(port), options_(options) {
+  if (!options_.shard.shards.empty()) {
+    ring_ = ShardRing(options_.shard.shards, options_.shard.vnodes);
+  }
   if (obs::MetricsRegistry* reg = host_->network()->metrics()) {
     metric_rate_limited_ = reg->GetCounter("rendezvous.rate_limited_drops");
     metric_quarantined_ = reg->GetCounter("rendezvous.quarantined_sources");
+    if (sharded()) {
+      const std::string prefix =
+          "rendezvous.shard" + std::to_string(options_.shard.index) + ".";
+      metric_registrations_ = reg->GetCounter(prefix + "registrations");
+      metric_forwards_ = reg->GetCounter(prefix + "forwards");
+      metric_promotions_ = reg->GetCounter(prefix + "replica_promotions");
+    }
   }
 }
 
@@ -69,6 +81,171 @@ void RendezvousServer::SendTcp(TcpPeer* peer, const RendezvousMessage& msg) {
       MessageFramer::Frame(EncodeRendezvousMessage(stamped, options_.obfuscate_addresses)));
 }
 
+void RendezvousServer::SendShard(uint32_t shard, ShardMessage msg) {
+  msg.src_shard = options_.shard.index;
+  udp_socket_->SendTo(ring_.endpoint(shard), EncodeShardMessage(msg));
+}
+
+void RendezvousServer::ReplicateRecord(uint64_t client_id, const ClientRecord& rec) {
+  // The replica is the ring successor of the client's arc. A promoted record
+  // already lives on that successor (the client failed over to it), so the
+  // copy goes to the next distinct shard instead — the chain a failing-over
+  // client walks (ShardRing::NthOwner order).
+  uint32_t replica = ring_.ReplicaShard(client_id);
+  if (replica == options_.shard.index) {
+    replica = ring_.NthOwner(client_id, 2);
+  }
+  if (replica == options_.shard.index) {
+    return;  // two-shard ring and both owners are this shard: nothing to do
+  }
+  ShardMessage rep;
+  rep.type = ShardMsgType::kReplicate;
+  rep.client_id = client_id;
+  rep.public_ep = rec.udp_public;
+  rep.private_ep = rec.udp_private;
+  SendShard(replica, rep);
+  ++stats_.replications_sent;
+}
+
+int RendezvousServer::ForwardToOwners(uint64_t target_id, const ShardMessage& msg) {
+  // Stateless replica fallback: ask both shards that can own the record (its
+  // ring home and the successor holding the replica). If the home shard is
+  // dead the replica still answers, which is what bounds lookup downtime
+  // during a shard failure without per-forward timers; when both are alive
+  // the duplicate answer is idempotent at the client (its pending-request
+  // entry is erased by the first ack).
+  int sent = 0;
+  const uint32_t owners[2] = {ring_.HomeShard(target_id), ring_.ReplicaShard(target_id)};
+  for (const uint32_t owner : owners) {
+    if (owner != options_.shard.index) {
+      SendShard(owner, msg);
+      ++stats_.forwards;
+      obs::Inc(metric_forwards_);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+void RendezvousServer::HandleShardFrame(const Endpoint& from, const Payload& payload) {
+  // Only ring members speak the inter-shard protocol; a client (or attacker)
+  // replaying a shard frame from outside the tier is dropped before parsing.
+  const int src = ring_.IndexOf(from);
+  if (src < 0 || src == static_cast<int>(options_.shard.index)) {
+    ++stats_.shard_drops;
+    host_->CountMalformedDrop();
+    return;
+  }
+  auto msg = DecodeShardMessage(payload);
+  if (!msg) {
+    ++stats_.malformed_frames;
+    host_->CountMalformedDrop();
+    NoteUdpMalformed(from);
+    return;
+  }
+  if (msg->src_shard != static_cast<uint32_t>(src)) {
+    ++stats_.shard_drops;  // claimed index disagrees with the source address
+    host_->CountMalformedDrop();
+    return;
+  }
+  HandleShardMessage(*msg);
+}
+
+void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
+  switch (msg.type) {
+    case ShardMsgType::kForwardConnect: {
+      auto it = clients_.find(msg.target_id);
+      ShardMessage reply;
+      reply.type = ShardMsgType::kForwardReply;
+      reply.client_id = msg.client_id;
+      reply.target_id = msg.target_id;
+      reply.nonce = msg.nonce;
+      reply.strategy = msg.strategy;
+      if (it != clients_.end() && it->second.udp_registered) {
+        reply.found = 1;
+        reply.public_ep = it->second.udp_public;
+        reply.private_ep = it->second.udp_private;
+        // Introduce the target directly from here: this shard is in the
+        // target's ring, so the client accepts the forward as server
+        // traffic.
+        RendezvousMessage fwd;
+        fwd.type = RvMsgType::kConnectForward;
+        fwd.client_id = msg.client_id;
+        fwd.nonce = msg.nonce;
+        fwd.strategy = msg.strategy;
+        fwd.public_ep = msg.public_ep;
+        fwd.private_ep = msg.private_ep;
+        fwd.payload = msg.payload;
+        SendUdp(it->second.udp_public, fwd);
+      } else {
+        ++stats_.unknown_targets;
+      }
+      SendShard(msg.src_shard, reply);
+      ++stats_.forward_replies;
+      return;
+    }
+    case ShardMsgType::kForwardReply: {
+      // The requester registered with us; relay the answer as a kConnectAck.
+      // A found=0 reply is dropped rather than surfaced as kConnectError:
+      // the other owner (home or replica) may still answer, and the
+      // client's request-retry timer bounds the truly-unknown case.
+      if (msg.found == 0) {
+        return;
+      }
+      auto it = clients_.find(msg.client_id);
+      if (it == clients_.end() || !it->second.udp_registered) {
+        return;  // requester vanished while the lookup was in flight
+      }
+      RendezvousMessage ack;
+      ack.type = RvMsgType::kConnectAck;
+      ack.client_id = msg.target_id;
+      ack.nonce = msg.nonce;
+      ack.strategy = msg.strategy;
+      ack.public_ep = msg.public_ep;
+      ack.private_ep = msg.private_ep;
+      SendUdp(it->second.udp_public, ack);
+      return;
+    }
+    case ShardMsgType::kReplicate: {
+      ClientRecord& rec = clients_[msg.client_id];
+      // A copy never clobbers a live local registration (the client may have
+      // re-homed here and registered directly since the copy was sent).
+      if (!rec.udp_registered || rec.replica) {
+        rec.udp_registered = true;
+        rec.replica = true;
+        rec.udp_public = msg.public_ep;
+        rec.udp_private = msg.private_ep;
+      }
+      ++stats_.replicas_stored;
+      return;
+    }
+    case ShardMsgType::kForwardRelay: {
+      // Relays are forwarded to both owners (home + replica) like connects,
+      // but only the shard holding the *authoritative* record delivers —
+      // normally the home shard; after a failover, the replica that promoted
+      // the record. Delivering from un-promoted replica copies too would
+      // hand the application every relayed payload twice.
+      auto it = clients_.find(msg.target_id);
+      if (it == clients_.end() || !it->second.udp_registered) {
+        ++stats_.unknown_targets;
+        return;
+      }
+      if (it->second.replica) {
+        return;  // suppressed copy, not an unknown target
+      }
+      RendezvousMessage fwd;
+      fwd.type = RvMsgType::kRelayForward;
+      fwd.client_id = msg.client_id;
+      fwd.nonce = msg.nonce;
+      fwd.payload = msg.payload;
+      ++stats_.relayed_messages;
+      stats_.relayed_bytes += msg.payload.size();
+      SendUdp(it->second.udp_public, fwd);
+      return;
+    }
+  }
+}
+
 bool RendezvousServer::AdmitUdp(const Endpoint& from) {
   if (options_.max_msgs_per_window == 0 && options_.quarantine_threshold == 0) {
     return true;
@@ -108,6 +285,10 @@ void RendezvousServer::NoteUdpMalformed(const Endpoint& from) {
 
 void RendezvousServer::OnUdpReceive(const Endpoint& from, const Payload& payload) {
   if (!AdmitUdp(from)) {
+    return;
+  }
+  if (sharded() && !payload.empty() && payload[0] == kShardMagic) {
+    HandleShardFrame(from, payload);
     return;
   }
   auto msg = DecodeRendezvousMessage(payload, options_.obfuscate_addresses);
@@ -178,10 +359,21 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
       reply.client_id = msg.client_id;
       reply.private_ep = msg.private_ep;
       if (via_udp_from != nullptr) {
+        if (sharded() && rec.replica) {
+          // A direct registration claiming a replica copy is a failover: the
+          // client's home shard died and it walked its ladder to us.
+          rec.replica = false;
+          ++stats_.replica_promotions;
+          obs::Inc(metric_promotions_);
+        }
         rec.udp_registered = true;
         rec.udp_public = *via_udp_from;  // observed from the packet header
         rec.udp_private = msg.private_ep;
         ++stats_.udp_registrations;
+        obs::Inc(metric_registrations_);
+        if (sharded()) {
+          ReplicateRecord(msg.client_id, rec);
+        }
         reply.public_ep = *via_udp_from;
         SendUdp(*via_udp_from, reply);
       } else {
@@ -190,6 +382,7 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
         rec.tcp_public = peer->socket->remote_endpoint();  // observed
         rec.tcp_private = msg.private_ep;
         ++stats_.tcp_registrations;
+        obs::Inc(metric_registrations_);
         reply.public_ep = rec.tcp_public;
         SendTcp(peer, reply);
       }
@@ -202,7 +395,13 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
       if (via_udp_from != nullptr) {
         auto it = clients_.find(msg.client_id);
         if (it != clients_.end() && it->second.udp_registered) {
+          const bool moved = it->second.udp_public != *via_udp_from;
           it->second.udp_public = *via_udp_from;
+          if (moved && sharded() && !it->second.replica) {
+            // The NAT renumbered the client: the replica copy is stale until
+            // re-sent.
+            ReplicateRecord(msg.client_id, it->second);
+          }
         }
         // Ack every keepalive, even from clients we no longer know: the
         // epoch stamp is how a client behind a live NAT mapping learns the
@@ -218,9 +417,37 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
     case RvMsgType::kConnectRequest: {
       ++stats_.connect_requests;
       auto it = clients_.find(msg.target_id);
+      // A replica copy is not authoritative for a direct lookup: the target
+      // has no NAT mapping toward this shard, so a kConnectForward sent from
+      // here would be filtered at its NAT. Forward to the home shard, which
+      // introduces the target through its live mapping. (Once the target
+      // fails over here the record is promoted and becomes authoritative.)
       const bool have_target =
           it != clients_.end() &&
-          (via_udp_from != nullptr ? it->second.udp_registered : it->second.tcp != nullptr);
+          (via_udp_from != nullptr ? it->second.udp_registered && !it->second.replica
+                                   : it->second.tcp != nullptr);
+      if (!have_target && sharded() && via_udp_from != nullptr) {
+        // The target is homed on (or failed over to) another shard: forward
+        // the lookup over the inter-shard protocol. The kConnectAck comes
+        // back through us via kForwardReply — it must, because the client
+        // only accepts rendezvous traffic from ring members. TCP lookups
+        // stay shard-local (the connection pins the client to one shard).
+        auto req_it = clients_.find(msg.client_id);
+        if (req_it != clients_.end() && req_it->second.udp_registered) {
+          ShardMessage fwd;
+          fwd.type = ShardMsgType::kForwardConnect;
+          fwd.client_id = msg.client_id;
+          fwd.target_id = msg.target_id;
+          fwd.nonce = msg.nonce;
+          fwd.strategy = msg.strategy;
+          fwd.public_ep = req_it->second.udp_public;
+          fwd.private_ep = req_it->second.udp_private;
+          fwd.payload = msg.payload;
+          if (ForwardToOwners(msg.target_id, fwd) > 0) {
+            return;  // answered asynchronously by the owning shard
+          }
+        }
+      }
       if (!have_target) {
         ++stats_.unknown_targets;
         RendezvousMessage err;
@@ -275,6 +502,17 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
     case RvMsgType::kRelayData: {
       auto it = clients_.find(msg.target_id);
       if (it == clients_.end()) {
+        if (sharded() && via_udp_from != nullptr) {
+          ShardMessage fwd;
+          fwd.type = ShardMsgType::kForwardRelay;
+          fwd.client_id = msg.client_id;
+          fwd.nonce = msg.nonce;
+          fwd.target_id = msg.target_id;
+          fwd.payload = msg.payload;
+          if (ForwardToOwners(msg.target_id, fwd) > 0) {
+            return;
+          }
+        }
         ++stats_.unknown_targets;
         return;
       }

@@ -13,11 +13,25 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/rendezvous/messages.h"
+#include "src/rendezvous/ring.h"
+#include "src/rendezvous/shard_messages.h"
 #include "src/transport/host.h"
 
 namespace natpunch {
+
+// Placement of one server inside the sharded rendezvous tier. An empty
+// shard list (the default) means the server runs standalone, byte-for-byte
+// identical to the pre-sharding behavior; with two or more shards the server
+// forwards lookups for peers homed elsewhere and replicates registrations to
+// its clients' ring successors (docs/PROTOCOL.md §6).
+struct ShardConfig {
+  std::vector<Endpoint> shards;  // every shard's endpoint, in ring order
+  uint32_t index = 0;            // this server's position in `shards`
+  uint32_t vnodes = ShardRing::kDefaultVnodes;
+};
 
 class RendezvousServer {
  public:
@@ -35,6 +49,8 @@ class RendezvousServer {
     // is ignored for quarantine_duration (UDP) or disconnected (TCP).
     uint32_t quarantine_threshold = 0;  // 0 = no quarantine
     SimDuration quarantine_duration = Seconds(30);
+    // Sharded-tier placement; default (empty shard list) = standalone.
+    ShardConfig shard;
   };
 
   RendezvousServer(Host* host, uint16_t port, Options options);
@@ -64,6 +80,13 @@ class RendezvousServer {
     uint64_t rate_limited_drops = 0;  // messages shed by the per-source limit
     uint64_t quarantined_sources = 0; // sources/connections put in the box
     uint64_t quarantined_drops = 0;   // messages ignored while quarantined
+    // Sharded-tier bookkeeping (all zero when running standalone).
+    uint64_t forwards = 0;            // kForwardConnect/kForwardRelay sent
+    uint64_t forward_replies = 0;     // kForwardReply sent back to origin
+    uint64_t replications_sent = 0;   // kReplicate sent to the ring successor
+    uint64_t replicas_stored = 0;     // kReplicate applied locally
+    uint64_t replica_promotions = 0;  // replica record claimed by a kRegister
+    uint64_t shard_drops = 0;         // shard frames from non-ring sources
   };
   const Stats& stats() const { return stats_; }
 
@@ -74,6 +97,11 @@ class RendezvousServer {
   // outbound message so clients can detect a restart (and the implied loss
   // of the registration table) from any ack and re-register.
   uint64_t epoch() const { return epoch_; }
+
+  // True when this server participates in a multi-shard tier.
+  bool sharded() const { return ring_.size() > 1; }
+  uint32_t shard_index() const { return options_.shard.index; }
+  const ShardRing& ring() const { return ring_; }
 
  private:
   struct TcpPeer {
@@ -94,6 +122,10 @@ class RendezvousServer {
 
   struct ClientRecord {
     bool udp_registered = false;
+    // True while the record is only a replica copy received over kReplicate;
+    // cleared (and counted as a promotion) when the client registers here
+    // directly after failing over from its dead home shard.
+    bool replica = false;
     Endpoint udp_public;
     Endpoint udp_private;
     TcpPeer* tcp = nullptr;  // null when not TCP-registered
@@ -113,6 +145,16 @@ class RendezvousServer {
   // via_udp_from is set for messages that arrived by UDP; peer for TCP.
   void HandleMessage(const RendezvousMessage& msg, const Endpoint* via_udp_from, TcpPeer* peer);
 
+  // Sharded-tier internals (only reached when sharded()).
+  void HandleShardFrame(const Endpoint& from, const Payload& payload);
+  void HandleShardMessage(const ShardMessage& msg);
+  void SendShard(uint32_t shard, ShardMessage msg);
+  // Replicate `rec` for `client_id` to its ring successor (skipping self).
+  void ReplicateRecord(uint64_t client_id, const ClientRecord& rec);
+  // Forward a lookup for `target_id` to the shards that may own it: its home
+  // shard and its replica, minus this shard. Returns how many were sent.
+  int ForwardToOwners(uint64_t target_id, const ShardMessage& msg);
+
   void SendUdp(const Endpoint& to, const RendezvousMessage& msg);
   void SendTcp(TcpPeer* peer, const RendezvousMessage& msg);
 
@@ -126,8 +168,15 @@ class RendezvousServer {
   std::map<Endpoint, SourceState> sources_;
   Stats stats_;
   uint64_t epoch_ = 0;
+  ShardRing ring_;  // empty when standalone
   obs::Counter* metric_rate_limited_ = nullptr;
   obs::Counter* metric_quarantined_ = nullptr;
+  // Per-shard counters (rendezvous.shard<N>.*), registered only when the
+  // server is part of a multi-shard tier so standalone metric snapshots are
+  // unchanged.
+  obs::Counter* metric_registrations_ = nullptr;
+  obs::Counter* metric_forwards_ = nullptr;
+  obs::Counter* metric_promotions_ = nullptr;
 };
 
 }  // namespace natpunch

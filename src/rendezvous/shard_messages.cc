@@ -1,0 +1,75 @@
+#include "src/rendezvous/shard_messages.h"
+
+namespace natpunch {
+namespace {
+
+constexpr uint8_t kVersion = 3;  // v3: the first inter-shard schema
+
+void WriteEndpoint(ByteWriter& w, const Endpoint& ep) {
+  w.WriteU32(ep.ip.bits());
+  w.WriteU16(ep.port);
+}
+
+Endpoint ReadEndpoint(ByteReader& r) {
+  const Ipv4Address ip(r.ReadU32());
+  const uint16_t port = r.ReadU16();
+  return Endpoint(ip, port);
+}
+
+}  // namespace
+
+Bytes EncodeShardMessage(const ShardMessage& msg) {
+  ByteWriter w;
+  w.Reserve(47 + msg.payload.size());  // fixed header + length-prefixed payload
+  w.WriteU8(kShardMagic);
+  w.WriteU8(kVersion);
+  w.WriteU8(static_cast<uint8_t>(msg.type));
+  w.WriteU8(static_cast<uint8_t>(msg.strategy));
+  w.WriteU8(msg.found);
+  w.WriteU32(msg.src_shard);
+  w.WriteU64(msg.client_id);
+  w.WriteU64(msg.target_id);
+  w.WriteU64(msg.nonce);
+  WriteEndpoint(w, msg.public_ep);
+  WriteEndpoint(w, msg.private_ep);
+  w.WriteBytes(msg.payload);
+  return w.Take();
+}
+
+std::optional<ShardMessage> DecodeShardMessage(ConstByteSpan data) {
+  ByteReader r(data);
+  if (r.ReadU8() != kShardMagic || r.ReadU8() != kVersion) {
+    return std::nullopt;
+  }
+  ShardMessage msg;
+  const uint8_t type = r.ReadU8();
+  if (type < static_cast<uint8_t>(ShardMsgType::kForwardConnect) ||
+      type > static_cast<uint8_t>(ShardMsgType::kForwardRelay)) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<ShardMsgType>(type);
+  const uint8_t strategy = r.ReadU8();
+  if (strategy < static_cast<uint8_t>(ConnectStrategy::kHolePunch) ||
+      strategy > static_cast<uint8_t>(ConnectStrategy::kPredicted)) {
+    return std::nullopt;
+  }
+  msg.strategy = static_cast<ConnectStrategy>(strategy);
+  msg.found = r.ReadU8();
+  if (msg.found > 1) {
+    return std::nullopt;  // a boolean with 254 invalid spellings is not one
+  }
+  msg.src_shard = r.ReadU32();
+  msg.client_id = r.ReadU64();
+  msg.target_id = r.ReadU64();
+  msg.nonce = r.ReadU64();
+  msg.public_ep = ReadEndpoint(r);
+  msg.private_ep = ReadEndpoint(r);
+  msg.payload = r.ReadBytes();
+  // Exact-length armor: trailing bytes mean a spliced or foreign frame.
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+}  // namespace natpunch

@@ -1,0 +1,61 @@
+// Inter-shard wire protocol (v3): what rendezvous shards say to each other.
+//
+// One UDP datagram per message, on the same socket the shard serves clients
+// from; the magic byte 0x53 ('S') disambiguates shard traffic from the
+// client protocol's 0x52. Shard links run between server operators' own
+// public hosts, so there is no address obfuscation — no NAT sits between
+// shards to mangle address-like bytes.
+//
+// Armor matches the client codec: range-checked enums, exact-length decode
+// (trailing bytes reject), and the canonical re-encode property enforced by
+// fuzz_shard_message. A receiving shard additionally drops any shard-magic
+// datagram whose source is not a ring member (counted, never parsed
+// further).
+
+#ifndef SRC_RENDEZVOUS_SHARD_MESSAGES_H_
+#define SRC_RENDEZVOUS_SHARD_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/netsim/address.h"
+#include "src/rendezvous/messages.h"
+#include "src/util/bytes.h"
+
+namespace natpunch {
+
+// First byte of every inter-shard datagram; servers dispatch on it before
+// decoding.
+inline constexpr uint8_t kShardMagic = 0x53;  // 'S'
+
+enum class ShardMsgType : uint8_t {
+  kForwardConnect = 1,  // requester's home shard -> target's home/replica
+  kForwardReply = 2,    // target's shard -> requester's home shard
+  kReplicate = 3,       // home shard -> ring successor: registration copy
+  kForwardRelay = 4,    // requester's home shard -> target's shard (§2.2)
+};
+
+struct ShardMessage {
+  ShardMsgType type = ShardMsgType::kReplicate;
+  // Ring index of the sending shard — where a kForwardReply must go back to.
+  uint32_t src_shard = 0;
+  // kForwardReply only: 1 when the target was found and the endpoints below
+  // are its registered pair; 0 when the queried shard does not know it.
+  uint8_t found = 0;
+  uint64_t client_id = 0;  // requester (forwards) or the replicated client
+  uint64_t target_id = 0;  // lookup subject for forwards; 0 for kReplicate
+  uint64_t nonce = 0;
+  ConnectStrategy strategy = ConnectStrategy::kHolePunch;
+  // kForwardConnect: requester's endpoints. kForwardReply: target's
+  // endpoints. kReplicate: the replicated client's endpoints.
+  Endpoint public_ep;
+  Endpoint private_ep;
+  Bytes payload;  // opaque rider, forwarded verbatim (e.g. predicted endpoint)
+};
+
+Bytes EncodeShardMessage(const ShardMessage& msg);
+std::optional<ShardMessage> DecodeShardMessage(ConstByteSpan data);
+
+}  // namespace natpunch
+
+#endif  // SRC_RENDEZVOUS_SHARD_MESSAGES_H_

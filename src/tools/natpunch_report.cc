@@ -95,8 +95,12 @@ void AppendTaxonomy(std::string* md, const Table1Result& result) {
 }
 
 // An instrumented Fig. 5 punch (cone NATs both sides) so the report carries
-// live metrics from every instrumented layer. Returns the markdown section;
-// when obs_dir is set, also writes the metrics snapshot and Chrome trace.
+// live metrics from every instrumented layer. The rendezvous side runs as a
+// two-shard tier with the peers homed on different shards, so the
+// introduction crosses the inter-shard protocol and the per-shard
+// `rendezvous.shard<N>.*` counters land in the table. Returns the markdown
+// section; when obs_dir is set, also writes the metrics snapshot and Chrome
+// trace.
 std::string RunInstrumentedDemo(uint64_t seed, const std::string& obs_dir) {
   Scenario::Options options;
   options.seed = seed;
@@ -107,10 +111,30 @@ std::string RunInstrumentedDemo(uint64_t seed, const std::string& obs_dir) {
     net.trace().set_enabled(true);
   }
 
-  RendezvousServer server(topo.server, kServerPort);
+  Host* shard1_host =
+      topo.scenario->AddPublicHost("S1", Ipv4Address::FromOctets(18, 181, 0, 32));
+  const std::vector<Endpoint> shard_eps = {
+      Endpoint(ServerIp(), kServerPort),
+      Endpoint(Ipv4Address::FromOctets(18, 181, 0, 32), kServerPort)};
+  RendezvousServer::Options shard0_opts;
+  shard0_opts.shard.shards = shard_eps;
+  shard0_opts.shard.index = 0;
+  RendezvousServer server(topo.server, kServerPort, shard0_opts);
+  RendezvousServer::Options shard1_opts;
+  shard1_opts.shard.shards = shard_eps;
+  shard1_opts.shard.index = 1;
+  RendezvousServer shard1(shard1_host, kServerPort, shard1_opts);
   server.Start();
-  UdpRendezvousClient ca(topo.a, server.endpoint(), 1);
-  UdpRendezvousClient cb(topo.b, server.endpoint(), 2);
+  shard1.Start();
+
+  const ShardRing ring(shard_eps);
+  const uint64_t id_a = 1;
+  uint64_t id_b = 2;
+  while (ring.HomeShard(id_b) == ring.HomeShard(id_a)) {
+    ++id_b;  // force a cross-shard introduction
+  }
+  UdpRendezvousClient ca(topo.a, ring, id_a);
+  UdpRendezvousClient cb(topo.b, ring, id_b);
   ca.Register(4321, [](Result<Endpoint>) {});
   cb.Register(4321, [](Result<Endpoint>) {});
   UdpHolePuncher pa(&ca);
@@ -118,13 +142,16 @@ std::string RunInstrumentedDemo(uint64_t seed, const std::string& obs_dir) {
   net.RunFor(Seconds(2));
 
   bool punched = false;
-  pa.ConnectToPeer(2, [&](Result<UdpP2pSession*> r) { punched = r.ok(); });
+  pa.ConnectToPeer(id_b, [&](Result<UdpP2pSession*> r) { punched = r.ok(); });
   net.RunFor(Seconds(15));
 
   const obs::MetricsRegistry& reg = *net.metrics();
   std::string md;
-  AppendF(&md, "Fig. 5 UDP hole punch (cone NATs, seed %llu): %s.\n\n",
-          static_cast<unsigned long long>(seed), punched ? "punched" : "FAILED");
+  AppendF(&md,
+          "Fig. 5 UDP hole punch (cone NATs, seed %llu) over a 2-shard rendezvous "
+          "tier (peers %llu and %llu homed on different shards): %s.\n\n",
+          static_cast<unsigned long long>(seed), static_cast<unsigned long long>(id_a),
+          static_cast<unsigned long long>(id_b), punched ? "punched" : "FAILED");
   md.append("| Metric | Value |\n|---|---|\n");
   for (const auto& [name, counter] : reg.counters()) {
     if (counter->value() == 0) {
