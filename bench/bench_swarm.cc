@@ -13,7 +13,12 @@
 // PunchAtEndpoints and deterministic nonces (no per-session rendezvous
 // round-trip), so setup stays a small fraction of the run.
 //
-// Two legs run back to back and each emits a BENCH_JSON line:
+// Every leg runs in a forked child so its peak RSS (getrusage ru_maxrss,
+// which is monotone per-process) measures that leg alone — previously the
+// second leg's "peak RSS" included the first leg's population, which
+// masqueraded as a sharded-tier memory regression.
+//
+// Legs (each emits a BENCH_JSON line):
 //
 //   swarm_steady_state          one standalone rendezvous server (unchanged
 //                               baseline workload)
@@ -23,22 +28,35 @@
 //                               successor, and rendezvous keepalives keep
 //                               the failover machinery armed through the
 //                               measured window
+//   swarm_memory_{100k,500k,1m} memory-scaling sweep (only when
+//                               NATPUNCH_SWARM_SCALING is set): unsharded
+//                               legs at fixed populations with a short
+//                               measured window, tracking how
+//                               bytes_per_session holds as the population
+//                               grows 10x
 //
 // The sharded leg exists to prove the tier costs nothing at steady state:
 // its events/s must stay within the regression threshold of the one-shard
-// baseline, since punched sessions never touch the servers after setup.
+// baseline, and its bytes/session within bench_compare's (now blocking)
+// RSS ceiling, since punched sessions never touch the servers after setup.
 //
 // Reported per leg: events/s over the measured window, sessions, peak RSS,
 // and bytes/session (peak RSS divided by the session population — a coarse
-// but machine-stable memory-per-session figure that bench_compare tracks
-// with an advisory ceiling; the sharded leg runs second, so its RSS figure
-// is the process peak across both legs).
+// but machine-stable memory-per-session figure that bench_compare gates).
+// With NATPUNCH_SWARM_METRICS set the scenario's metrics registry is
+// enabled and — combined with NATPUNCH_OBS_DIR — each leg writes a full
+// metrics snapshot artifact, including the mem.<pool>.* slab gauges that
+// scripts/memprof.sh turns into a per-pool bytes breakdown.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "src/obs/json_export.h"
 
 namespace natpunch {
 namespace {
@@ -60,14 +78,26 @@ struct SwarmSide {
   Endpoint public_ep;
 };
 
-int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
-  const uint64_t target_sessions = EnvU64("NATPUNCH_SWARM_SESSIONS", 100000);
+struct LegSpec {
+  const char* bench_name;
+  const char* title;
+  uint64_t shards = 1;
+  uint64_t sessions = 0;  // 0 = NATPUNCH_SWARM_SESSIONS (default 100k)
+  int warmup_ticks = 5;
+  int measured_ticks = 10;
+};
+
+int RunLeg(const LegSpec& spec) {
+  const uint64_t target_sessions =
+      spec.sessions > 0 ? spec.sessions : EnvU64("NATPUNCH_SWARM_SESSIONS", 100000);
   const uint64_t pairs = std::min<uint64_t>(EnvU64("NATPUNCH_SWARM_PAIRS", 64), 200);
   const uint64_t per_pair = (target_sessions + pairs - 1) / pairs;
   const uint64_t total = pairs * per_pair;
+  const uint64_t shards = spec.shards;
 
   Scenario::Options options;
   options.seed = 42;
+  options.metrics = std::getenv("NATPUNCH_SWARM_METRICS") != nullptr;
   Scenario scenario(options);
   Network& net = scenario.net();
 
@@ -147,6 +177,9 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
     }
   }
   net.RunFor(Seconds(3));
+  if (std::getenv("NATPUNCH_SWARM_STAGE_RSS") != nullptr) {
+    std::fprintf(stderr, "rss after registration: %.1f MiB\n", bench::PeakRssMb());
+  }
   for (uint64_t p = 0; p < pairs; ++p) {
     if (side_a[p].public_ep.IsUnspecified() || side_b[p].public_ep.IsUnspecified()) {
       std::fprintf(stderr, "pair %llu failed to register\n",
@@ -158,7 +191,13 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
   // Punch the whole population: both sides of a pair arm the same
   // deterministic nonce and probe each other's registered public endpoint.
   // The passive (null-cb) side delivers through the incoming-session
-  // callback. Pairs are staggered a little so the probe bursts interleave.
+  // callback. Pairs are staggered far enough apart that one pair's punches
+  // complete (a couple of simulated RTTs) before the next pair arms: a real
+  // swarm ramps up over time, it does not arm 200k simultaneous attempts —
+  // and the bench's peak-RSS figure should measure the steady-state
+  // population, not an artificial all-at-once setup transient (each live
+  // attempt carries a map node, candidate vector, and two armed closure
+  // events until it resolves).
   std::vector<UdpP2pSession*> initiator;
   std::vector<UdpP2pSession*> responder;
   initiator.reserve(total);
@@ -178,9 +217,12 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
             }
           });
     }
-    net.RunFor(Millis(10));
+    net.RunFor(Millis(250));
   }
   net.RunFor(Seconds(3));
+  if (std::getenv("NATPUNCH_SWARM_STAGE_RSS") != nullptr) {
+    std::fprintf(stderr, "rss after punch setup: %.1f MiB\n", bench::PeakRssMb());
+  }
   if (initiator.size() != total || responder.size() != total) {
     std::fprintf(stderr, "punch shortfall: %zu initiator / %zu responder of %llu\n",
                  initiator.size(), responder.size(), static_cast<unsigned long long>(total));
@@ -188,21 +230,28 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
   }
 
   // One steady-state tick: every session sends one inline (empty-payload,
-  // 20-byte frame) datagram, then a second of simulated time drains the
-  // deliveries plus whatever jittered keepalives land in the window.
+  // 20-byte frame) datagram across a second of simulated time, plus
+  // whatever jittered keepalives land in the window. Sends are spread over
+  // the second in batches — independent application sessions do not
+  // synchronize their sends to one sim instant, and an all-at-once burst
+  // would park the whole population's packets in the LAN in-flight pools
+  // simultaneously, permanently growing their high-water capacity and
+  // polluting the bytes/session figure with burst artifacts.
+  constexpr int kSendBatches = 8;
   const auto tick = [&] {
-    for (UdpP2pSession* s : initiator) {
-      s->Send(Bytes{});
+    const uint64_t batch = (total + kSendBatches - 1) / kSendBatches;
+    for (int b = 0; b < kSendBatches; ++b) {
+      const uint64_t begin = static_cast<uint64_t>(b) * batch;
+      const uint64_t end = std::min<uint64_t>(total, begin + batch);
+      for (uint64_t i = begin; i < end; ++i) {
+        initiator[i]->Send(Bytes{});
+        responder[i]->Send(Bytes{});
+      }
+      net.RunFor(Millis(1000 / kSendBatches));
     }
-    for (UdpP2pSession* s : responder) {
-      s->Send(Bytes{});
-    }
-    net.RunFor(Seconds(1));
   };
 
-  constexpr int kWarmupTicks = 5;
-  constexpr int kMeasuredTicks = 10;
-  for (int i = 0; i < kWarmupTicks; ++i) {
+  for (int i = 0; i < spec.warmup_ticks; ++i) {
     tick();
   }
 
@@ -212,7 +261,7 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
   }
   const uint64_t events_before = net.event_loop().events_processed();
   const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kMeasuredTicks; ++i) {
+  for (int i = 0; i < spec.measured_ticks; ++i) {
     tick();
   }
   const double wall_ms =
@@ -251,13 +300,13 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
   const double delivered_per_session =
       static_cast<double>(received_after - received_before) / static_cast<double>(total);
 
-  bench::Title(title);
+  bench::Title(spec.title);
   std::printf("sessions            : %llu (%llu pairs x %llu)\n",
               static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(pairs),
               static_cast<unsigned long long>(per_pair));
   std::printf("rendezvous shards   : %llu\n", static_cast<unsigned long long>(shards));
-  std::printf("measured window     : %d ticks, %.1f ms wall\n", kMeasuredTicks, wall_ms);
+  std::printf("measured window     : %d ticks, %.1f ms wall\n", spec.measured_ticks, wall_ms);
   std::printf("events              : %llu (%.0f/s)\n", static_cast<unsigned long long>(events),
               wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0.0);
   std::printf("delivered/session   : %.1f datagrams\n", delivered_per_session);
@@ -271,17 +320,62 @@ int RunLeg(const char* bench_name, const char* title, uint64_t shards) {
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(shards), bytes_per_session,
                 delivered_per_session);
-  bench::JsonSummary(bench_name, wall_ms, events, extra);
+  bench::JsonSummary(spec.bench_name, wall_ms, events, extra);
+  if (net.metrics() != nullptr) {
+    bench::WriteObsArtifacts(spec.bench_name, obs::MetricsJson(*net.metrics()));
+  }
+  return 0;
+}
+
+// Run the leg in a forked child so getrusage(RUSAGE_SELF).ru_maxrss — which
+// is monotone for the life of a process — reflects this leg only, not the
+// high-water mark of whichever earlier leg was hungriest.
+int RunLegForked(const LegSpec& spec) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    // Can't isolate; still produce the numbers.
+    return RunLeg(spec);
+  }
+  if (pid == 0) {
+    const int rc = RunLeg(spec);
+    std::fflush(stdout);
+    std::fflush(stderr);
+    _exit(rc);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::fprintf(stderr, "waitpid failed for leg %s\n", spec.bench_name);
+    return 1;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "leg %s failed (status %d)\n", spec.bench_name, status);
+    return 1;
+  }
   return 0;
 }
 
 int Run() {
-  const int rc = RunLeg("swarm_steady_state", "Swarm steady state", 1);
-  if (rc != 0) {
-    return rc;
-  }
   const uint64_t shards = EnvU64("NATPUNCH_SWARM_SHARDS", 4);
-  return RunLeg("swarm_steady_state_sharded", "Swarm steady state (sharded tier)", shards);
+  std::vector<LegSpec> legs = {
+      {"swarm_steady_state", "Swarm steady state", 1},
+      {"swarm_steady_state_sharded", "Swarm steady state (sharded tier)", shards},
+  };
+  if (std::getenv("NATPUNCH_SWARM_SCALING") != nullptr) {
+    // Memory-scaling sweep: what matters is bytes/session at each
+    // population, not throughput, so the measured window is short.
+    legs.push_back({"swarm_memory_100k", "Swarm memory (100k sessions)", 1, 100000, 2, 3});
+    legs.push_back({"swarm_memory_500k", "Swarm memory (500k sessions)", 1, 500000, 2, 3});
+    legs.push_back({"swarm_memory_1m", "Swarm memory (1M sessions)", 1, 1000000, 2, 3});
+  }
+  for (const LegSpec& leg : legs) {
+    const int rc = RunLegForked(leg);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
 }
 
 }  // namespace

@@ -27,8 +27,14 @@ blocks on it. The fleet benches (bench_table1, bench_fig8_natcheck,
 bench_chaos) depend on scheduler behavior and core count, so their
 regressions are reported as ADVISORY — visible in the table and the summary,
 but not failing the exit code. Structural problems (a bench missing, no
-BENCH_JSON line, a baseline entry no longer emitted) always fail regardless
-of tier.
+BENCH_JSON line, a baseline entry no longer emitted, a baseline entry with
+no peak_rss_mb) always fail regardless of tier.
+
+Memory gates differently from throughput: peak RSS and bytes/session are
+machine-stable, so for bench_swarm (whose entire purpose is
+memory-per-session) breaching 1.25x the committed baseline is BLOCKING, as
+is the cross-leg invariant that the sharded leg stay within 1.25x the
+unsharded leg's bytes/session. Other benches keep the RSS ceiling advisory.
 """
 
 import argparse
@@ -58,12 +64,22 @@ BLOCKING = {"bench_micro", "bench_nat"}
 # before the gate flags it.
 AVAILABILITY_SLACK = 2.0
 
-# Advisory ceiling for peak RSS: the current run may use up to this multiple
-# of the committed baseline's peak_rss_mb before the gate flags it. Memory
-# is far more machine-stable than events/sec, so the slack is tighter than
-# the throughput threshold, but still advisory — allocator and libc
-# differences move the absolute number.
+# Ceiling for peak RSS and bytes/session: the current run may use up to this
+# multiple of the committed baseline before the gate flags it. Memory is far
+# more machine-stable than events/sec, so the slack is tighter than the
+# throughput threshold. For the benches in RSS_BLOCKING (the swarm, whose
+# whole point is memory-per-session) the ceiling fails the gate; elsewhere
+# it stays advisory — allocator and libc differences move the absolute
+# number on small-footprint benches.
 RSS_SLACK = 1.25
+RSS_BLOCKING = {"bench_swarm"}
+
+# Cross-leg invariant inside bench_swarm: running the 4-shard rendezvous
+# tier may cost at most this multiple of the unsharded leg's bytes/session.
+# The legs fork per leg, so both RSS figures are leg-local and comparable.
+SHARD_MEMORY_CEILING = 1.25
+SWARM_UNSHARDED = "swarm_steady_state"
+SWARM_SHARDED = "swarm_steady_state_sharded"
 
 PREFIX = "BENCH_JSON "
 
@@ -179,6 +195,14 @@ def main():
             if base is None:
                 rows.append((fmt_key(key), None, entry["events_per_sec"], None, "NEW"))
                 continue
+            # Every committed baseline must carry peak_rss_mb: the memory
+            # gate silently degrades to "no check" without it, which is
+            # exactly how a regression sneaks past. Re-record with --update.
+            if not base.get("peak_rss_mb"):
+                print(f"ERROR {fmt_key(key)}: baseline entry lacks peak_rss_mb — "
+                      f"the memory ceiling cannot gate; re-record with --update",
+                      file=sys.stderr)
+                failures.append(f"{fmt_key(key)} (no peak_rss_mb baseline)")
             ratio = entry["events_per_sec"] / base["events_per_sec"]
             verdict = "OK"
             if ratio < 1.0 - args.threshold:
@@ -200,18 +224,52 @@ def main():
                     advisories.append(
                         f"{fmt_key(key)} availability {entry['availability']:.1f}% "
                         f"< floor {floor:.1f}%")
-            # Memory ceiling (advisory): a bench whose peak RSS grows past
-            # RSS_SLACK x baseline leaked per-session state or lost an arena
-            # — events/sec can stay flat while memory regresses.
+            # Memory ceiling: a bench whose peak RSS (or bytes/session,
+            # when the bench reports it) grows past RSS_SLACK x baseline
+            # leaked per-session state or lost an arena — events/sec can
+            # stay flat while memory regresses. Blocking for RSS_BLOCKING
+            # benches, advisory elsewhere.
+            mem_breaches = []
             if base.get("peak_rss_mb") and entry.get("peak_rss_mb"):
                 ceiling = base["peak_rss_mb"] * RSS_SLACK
                 if entry["peak_rss_mb"] > ceiling:
-                    verdict = "ADVISORY"
-                    advisories.append(
+                    mem_breaches.append(
                         f"{fmt_key(key)} peak RSS {entry['peak_rss_mb']:.1f}MiB "
                         f"> ceiling {ceiling:.1f}MiB")
+            if base.get("bytes_per_session") and entry.get("bytes_per_session"):
+                ceiling = base["bytes_per_session"] * RSS_SLACK
+                if entry["bytes_per_session"] > ceiling:
+                    mem_breaches.append(
+                        f"{fmt_key(key)} bytes/session {entry['bytes_per_session']:.0f} "
+                        f"> ceiling {ceiling:.0f}")
+            for breach in mem_breaches:
+                if binary_name in RSS_BLOCKING:
+                    verdict = "REGRESSION"
+                    failures.append(breach)
+                else:
+                    verdict = "ADVISORY"
+                    advisories.append(breach)
             rows.append((fmt_key(key), base["events_per_sec"], entry["events_per_sec"],
                          ratio, verdict))
+        # Cross-leg invariant (blocking): the sharded rendezvous tier must
+        # not cost more than SHARD_MEMORY_CEILING x the unsharded leg's
+        # bytes/session. Compared within the fresh run, so it holds on any
+        # machine regardless of the committed absolute numbers.
+        if binary_name == "bench_swarm":
+            unsharded = fresh.get((SWARM_UNSHARDED, None))
+            sharded = fresh.get((SWARM_SHARDED, None))
+            if (unsharded and sharded and unsharded.get("bytes_per_session")
+                    and sharded.get("bytes_per_session")):
+                shard_ratio = (sharded["bytes_per_session"]
+                               / unsharded["bytes_per_session"])
+                if shard_ratio > SHARD_MEMORY_CEILING:
+                    print(f"ERROR bench_swarm: sharded bytes/session is "
+                          f"{shard_ratio:.2f}x unsharded "
+                          f"({sharded['bytes_per_session']:.0f} vs "
+                          f"{unsharded['bytes_per_session']:.0f}), ceiling "
+                          f"{SHARD_MEMORY_CEILING}x", file=sys.stderr)
+                    failures.append(
+                        f"bench_swarm shard overhead {shard_ratio:.2f}x")
         # A baseline entry the fresh run never emitted means the current
         # measurement is missing (renamed bench, dropped thread count): fail
         # loudly instead of comparing an incomplete table.

@@ -48,6 +48,7 @@ Status ResilientSession::Send(Bytes payload) {
       [[fallthrough]];  // death noticed between watchdog ticks: buffer
     case Path::kConnecting:
       if (pending_sends_.size() >= manager_->config().max_pending_sends) {
+        manager_->CountDroppedSend(this);
         return Status(ErrorCode::kWouldBlock, "recovery send buffer full");
       }
       pending_sends_.push_back(std::move(payload));
@@ -55,6 +56,7 @@ Status ResilientSession::Send(Bytes payload) {
     case Path::kRelay:
       if (!relay_confirmed_) {
         if (pending_sends_.size() >= manager_->config().max_pending_sends) {
+          manager_->CountDroppedSend(this);
           return Status(ErrorCode::kWouldBlock, "recovery send buffer full");
         }
         pending_sends_.push_back(std::move(payload));
@@ -127,26 +129,36 @@ ResilientSessionManager::ResilientSessionManager(UdpHolePuncher* puncher,
     metric_recoveries_ = reg->GetCounter("resilient.recoveries");
     metric_relay_fallbacks_ = reg->GetCounter("resilient.relay_fallbacks");
     metric_relay_losses_ = reg->GetCounter("resilient.relay_losses");
+    metric_sends_dropped_ = reg->GetCounter("resilient.sends_dropped");
     metric_downtime_ms_ =
         reg->GetHistogram("resilient.recovery_downtime_ms", obs::LatencyBucketsMs());
+    session_pool_.AttachMetrics(
+        reg, "resilient_sessions." + puncher_->rendezvous()->host()->name());
   }
 }
 
+ResilientSessionManager::~ResilientSessionManager() {
+  sessions_.ForEach(
+      [this](uint64_t /*peer*/, ResilientSession* rs) { session_pool_.Delete(rs); });
+}
+
+void ResilientSessionManager::CountDroppedSend(ResilientSession* rs) {
+  ++rs->sends_dropped_;
+  obs::Inc(metric_sends_dropped_);
+}
+
 ResilientSession* ResilientSessionManager::FindSession(uint64_t peer_id) {
-  auto it = sessions_.find(peer_id);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  ResilientSession** found = sessions_.Find(peer_id);
+  return found == nullptr ? nullptr : *found;
 }
 
 ResilientSession* ResilientSessionManager::FindOrCreate(uint64_t peer_id, bool initiator,
                                                         bool* created) {
-  auto it = sessions_.find(peer_id);
-  if (it != sessions_.end()) {
+  if (ResilientSession** found = sessions_.Find(peer_id)) {
     *created = false;
-    return it->second.get();
+    return *found;
   }
-  auto session =
-      std::unique_ptr<ResilientSession>(new ResilientSession(this, peer_id, initiator));
-  ResilientSession* raw = session.get();
+  ResilientSession* raw = session_pool_.New(this, peer_id, initiator);
   raw->repunch_timer_.Bind<&ResilientSession::RepunchFire>(raw);
   raw->relay_keepalive_timer_.Bind<&ResilientSession::RelayKeepAliveFire>(raw);
   raw->relay_watchdog_timer_.Bind<&ResilientSession::RelayWatchdogFire>(raw);
@@ -156,7 +168,7 @@ ResilientSession* ResilientSessionManager::FindOrCreate(uint64_t peer_id, bool i
         static_cast<int64_t>(HashMix64(peer_id) % static_cast<uint64_t>(2 * jitter + 1)) -
         jitter);
   }
-  sessions_[peer_id] = std::move(session);
+  sessions_.InsertOrAssign(peer_id, raw);
   *created = true;
   return raw;
 }
@@ -319,7 +331,7 @@ void ResilientSessionManager::FailSession(ResilientSession* rs, const Status& st
   rs->repunch_timer_.Cancel();
   rs->relay_keepalive_timer_.Cancel();
   rs->relay_watchdog_timer_.Cancel();
-  rs->pending_sends_.clear();
+  rs->pending_sends_ = {};  // drop the buffer AND its capacity: dead sessions hold no bytes
   rs->SetPath(ResilientSession::Path::kFailed);
   if (rs->connect_cb_) {
     auto callback = std::move(rs->connect_cb_);
@@ -593,31 +605,32 @@ void ResilientSessionManager::OnTurnData(uint64_t peer_id, const Endpoint& from,
 
 void ResilientSessionManager::OnUnclaimed(const Endpoint& from, const PeerMessage& msg) {
   // Relay traffic reaching the responder's punch socket: match by nonce.
-  for (auto& [peer_id, session] : sessions_) {
-    ResilientSession* rs = session.get();
-    if (rs->turn_ != nullptr || rs->relay_nonce_ == 0 || rs->relay_nonce_ != msg.nonce) {
-      continue;
+  // Nonces are unique across sessions, so the scan order cannot matter; the
+  // pure scan completes before any handling mutates the table.
+  ResilientSession* match = nullptr;
+  sessions_.ForEach([&](uint64_t /*peer*/, ResilientSession* rs) {
+    if (rs->turn_ == nullptr && rs->relay_nonce_ != 0 && rs->relay_nonce_ == msg.nonce) {
+      match = rs;
     }
-    if (rs->path_ != ResilientSession::Path::kRelay) {
-      return;
-    }
-    NoteRelayInbound(rs);
-    if (!rs->relay_confirmed_) {
-      rs->relay_confirmed_ = true;
-      FlushPending(rs);
-    }
-    if (msg.type == PeerMsgType::kKeepAlive && msg.payload.empty()) {
-      // Echo the initiator's probe (marker payload: see OnTurnData).
-      puncher_->SendPeerMessage(rs->relay_target_, PeerMsgType::kKeepAlive, rs->relay_nonce_,
-                                Bytes{kKeepAliveReplyMarker});
-    }
-    if (msg.type == PeerMsgType::kData) {
-      ++rs->relayed_received_;
-      if (rs->receive_cb_) {
-        rs->receive_cb_(msg.payload);
-      }
-    }
+  });
+  if (match == nullptr || match->path_ != ResilientSession::Path::kRelay) {
     return;
+  }
+  NoteRelayInbound(match);
+  if (!match->relay_confirmed_) {
+    match->relay_confirmed_ = true;
+    FlushPending(match);
+  }
+  if (msg.type == PeerMsgType::kKeepAlive && msg.payload.empty()) {
+    // Echo the initiator's probe (marker payload: see OnTurnData).
+    puncher_->SendPeerMessage(match->relay_target_, PeerMsgType::kKeepAlive, match->relay_nonce_,
+                              Bytes{kKeepAliveReplyMarker});
+  }
+  if (msg.type == PeerMsgType::kData) {
+    ++match->relayed_received_;
+    if (match->receive_cb_) {
+      match->receive_cb_(msg.payload);
+    }
   }
   (void)from;
 }

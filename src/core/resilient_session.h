@@ -126,6 +126,10 @@ class ResilientSession {
   int total_repunch_attempts() const;
   uint64_t relayed_sent() const { return relayed_sent_; }
   uint64_t relayed_received() const { return relayed_received_; }
+  // Datagrams rejected because the between-paths buffer was full (the send
+  // queue is bounded by max_pending_sends; overflow is dropped and counted,
+  // never buffered unboundedly).
+  uint64_t sends_dropped() const { return sends_dropped_; }
   // Times the relay-leg watchdog declared the relay dead.
   int relay_losses() const { return relay_losses_; }
   // Smoothed relay-leg RTT from keepalive probes; 0 before the first sample.
@@ -133,6 +137,8 @@ class ResilientSession {
 
  private:
   friend class ResilientSessionManager;
+  template <typename, size_t>
+  friend class Slab;
 
   ResilientSession(ResilientSessionManager* manager, uint64_t peer_id, bool initiator)
       : manager_(manager), peer_id_(peer_id), initiator_(initiator) {}
@@ -182,6 +188,7 @@ class ResilientSession {
   std::vector<RecoveryRecord> recoveries_;
   uint64_t relayed_sent_ = 0;
   uint64_t relayed_received_ = 0;
+  uint64_t sends_dropped_ = 0;
 
   std::function<void(Result<ResilientSession*>)> connect_cb_;
   ReceiveCallback receive_cb_;
@@ -201,6 +208,7 @@ class ResilientSessionManager {
 
   ResilientSessionManager(const ResilientSessionManager&) = delete;
   ResilientSessionManager& operator=(const ResilientSessionManager&) = delete;
+  ~ResilientSessionManager();
 
   // Active side. Tries the direct punch first; if it fails and a TURN
   // server is configured, establishes the relay path instead.
@@ -259,18 +267,26 @@ class ResilientSessionManager {
   Status RelaySend(ResilientSession* rs, Bytes payload);
 
   SimDuration NextBackoff(const ResilientSession* rs);
+  // Bounded-send-queue overflow accounting (resilient.sends_dropped).
+  void CountDroppedSend(ResilientSession* rs);
 
   UdpHolePuncher* puncher_;
   ResilientSessionConfig config_;
   EventLoop& loop_;
-  std::map<uint64_t, std::unique_ptr<ResilientSession>> sessions_;  // by peer id
+  // Slab-backed like the puncher's sessions: stable addresses, no per-object
+  // malloc header, point lookups by peer id. Nonce matching in OnUnclaimed
+  // is unique, so nothing depends on iteration order.
+  Slab<ResilientSession, 256> session_pool_;
+  FlatHashMap<uint64_t, ResilientSession*> sessions_;  // by peer id
   std::function<void(ResilientSession*)> incoming_cb_;
 
-  // Registry names: resilient.recoveries / relay_fallbacks / relay_losses
-  // and the resilient.recovery_downtime_ms histogram. Null without metrics.
+  // Registry names: resilient.recoveries / relay_fallbacks / relay_losses /
+  // sends_dropped and the resilient.recovery_downtime_ms histogram. Null
+  // without metrics.
   obs::Counter* metric_recoveries_ = nullptr;
   obs::Counter* metric_relay_fallbacks_ = nullptr;
   obs::Counter* metric_relay_losses_ = nullptr;
+  obs::Counter* metric_sends_dropped_ = nullptr;
   obs::Histogram* metric_downtime_ms_ = nullptr;
 };
 

@@ -43,7 +43,10 @@ std::optional<TurnMessage> DecodeTurnMessage(ConstByteSpan data) {
 // TurnServer
 // ---------------------------------------------------------------------------
 
-TurnServer::TurnServer(Host* host, TurnServerConfig config) : host_(host), config_(config) {}
+TurnServer::TurnServer(Host* host, TurnServerConfig config) : host_(host), config_(config) {
+  allocation_pool_.AttachMetrics(host_->network()->metrics(),
+                                 "turn_allocations." + host_->name());
+}
 
 TurnServer::~TurnServer() { Stop(); }
 
@@ -55,6 +58,7 @@ void TurnServer::Stop() {
   }
   for (auto& [client, allocation] : allocations_) {
     allocation->relayed->Close();
+    allocation_pool_.Delete(allocation);
   }
   allocations_.clear();
 }
@@ -89,7 +93,9 @@ void TurnServer::SweepTick() {
     }
     if (now - allocation.last_activity >= config_.allocation_lifetime) {
       allocation.relayed->Close();
+      Allocation* doomed = it->second;
       it = allocations_.erase(it);
+      allocation_pool_.Delete(doomed);
       ++stats_.expired_allocations;
     } else {
       ++it;
@@ -112,15 +118,14 @@ void TurnServer::OnControl(const Endpoint& from, const Payload& payload) {
         if (!relayed.ok()) {
           return;
         }
-        auto allocation = std::make_unique<Allocation>();
-        allocation->client = from;
-        allocation->relayed = *relayed;
-        Allocation* raw = allocation.get();
+        Allocation* raw = allocation_pool_.New();
+        raw->client = from;
+        raw->relayed = *relayed;
         (*relayed)->SetReceiveCallback(
             [this, raw](const Endpoint& peer, const Payload& data) {
               OnRelayed(raw, peer, data);
             });
-        it = allocations_.emplace(from, std::move(allocation)).first;
+        it = allocations_.emplace(from, raw).first;
         ++stats_.allocations;
       }
       it->second->last_activity = host_->loop().now();

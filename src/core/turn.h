@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "src/transport/host.h"
+#include "src/util/slab.h"
 
 namespace natpunch {
 
@@ -97,7 +98,11 @@ class TurnServer {
   TurnServerConfig config_;
   UdpSocket* control_ = nullptr;
   TimerHandle sweep_timer_;
-  std::map<Endpoint, std::unique_ptr<Allocation>> allocations_;  // by client endpoint
+  // Allocation objects come from the slab (stable addresses — OnRelayed
+  // callbacks capture them); the std::map stays because the sweep erases
+  // while iterating in endpoint order, and that order is observable.
+  Slab<Allocation, 64> allocation_pool_;
+  std::map<Endpoint, Allocation*> allocations_;  // by client endpoint
   Stats stats_;
 };
 

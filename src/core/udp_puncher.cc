@@ -1,12 +1,19 @@
 #include "src/core/udp_puncher.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/obs/metrics.h"
 #include "src/util/flat_hash.h"
 #include "src/util/logging.h"
 
 namespace natpunch {
+
+// Footprint budget (see DESIGN.md "Memory footprint"): two of these exist
+// per counted swarm session. 72 bytes of state + two 56-byte timer handles.
+static_assert(sizeof(UdpP2pSession) <= 184,
+              "UdpP2pSession grew past its footprint budget; move cold fields "
+              "to the puncher side table instead");
 
 UdpHolePuncher::UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig config)
     : rendezvous_(rendezvous), config_(config), loop_(rendezvous->host()->loop()) {
@@ -27,14 +34,22 @@ UdpHolePuncher::UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig c
     metric_successes_ = reg->GetCounter("punch.successes");
     metric_failures_ = reg->GetCounter("punch.failures");
     metric_rtt_ms_ = reg->GetHistogram("punch.rtt_ms", obs::LatencyBucketsMs());
+    session_pool_.AttachMetrics(reg,
+                                "udp_sessions." + rendezvous_->host()->name());
   }
+}
+
+UdpHolePuncher::~UdpHolePuncher() {
+  // Sessions live in the slab; run their destructors (which cancel the
+  // embedded timers) before the pool drops the storage.
+  sessions_.ForEach(
+      [this](uint64_t /*nonce*/, UdpP2pSession* session) { session_pool_.Delete(session); });
 }
 
 size_t UdpHolePuncher::active_sessions() const {
   size_t n = 0;
-  for (const auto& [nonce, session] : sessions_) {
-    n += session->alive() ? 1 : 0;
-  }
+  sessions_.ForEach(
+      [&n](uint64_t /*nonce*/, UdpP2pSession* const& session) { n += session->alive() ? 1 : 0; });
   return n;
 }
 
@@ -59,11 +74,12 @@ UdpHolePuncher::Attempt* UdpHolePuncher::StartAttempt(uint64_t peer_id, uint64_t
                                                       const Endpoint& peer_public,
                                                       const Endpoint& peer_private, bool incoming,
                                                       SessionCallback cb) {
-  if (attempts_.count(nonce) != 0 || sessions_.count(nonce) != 0) {
+  if (attempts_.count(nonce) != 0 || sessions_.Contains(nonce)) {
     return nullptr;  // already punching or punched this session
   }
   obs::Inc(metric_attempts_);
   Attempt& attempt = attempts_[nonce];
+  attempt.puncher = this;
   attempt.peer_id = peer_id;
   attempt.nonce = nonce;
   attempt.incoming = incoming;
@@ -86,9 +102,8 @@ UdpHolePuncher::Attempt* UdpHolePuncher::StartAttempt(uint64_t peer_id, uint64_t
     return nullptr;
   }
 
-  attempt.deadline_event = loop_.ScheduleAfter(config_.punch_timeout, [this, nonce] {
-    FailAttempt(nonce, Status(ErrorCode::kTimedOut, "hole punch timed out"));
-  });
+  attempt.deadline_timer.Bind<&Attempt::DeadlineTick>(&attempt);
+  loop_.ScheduleTimerAfter(config_.punch_timeout, &attempt.deadline_timer);
   SendProbes(&attempt);
   return &attempt;
 }
@@ -106,13 +121,8 @@ void UdpHolePuncher::SendProbes(Attempt* attempt) {
     rendezvous_->SendConnectRequest(attempt->peer_id, ConnectStrategy::kHolePunch,
                                     attempt->nonce);
   }
-  const uint64_t nonce = attempt->nonce;
-  attempt->probe_event = loop_.ScheduleAfter(config_.probe_interval, [this, nonce] {
-    auto it = attempts_.find(nonce);
-    if (it != attempts_.end()) {
-      SendProbes(&it->second);
-    }
-  });
+  attempt->probe_timer.Bind<&Attempt::ProbeTick>(attempt);
+  loop_.ScheduleTimerAfter(config_.probe_interval, &attempt->probe_timer);
 }
 
 void UdpHolePuncher::SendPeerMessage(const Endpoint& to, PeerMsgType type, uint64_t nonce,
@@ -148,9 +158,8 @@ void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Payload& payload)
     return;
   }
   // Established session traffic first.
-  auto session_it = sessions_.find(msg->nonce);
-  if (session_it != sessions_.end()) {
-    UdpP2pSession* session = session_it->second.get();
+  if (UdpP2pSession** found = sessions_.Find(msg->nonce)) {
+    UdpP2pSession* session = *found;
     if (!session->alive()) {
       return;
     }
@@ -163,9 +172,7 @@ void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Payload& payload)
         return;
       case PeerMsgType::kData:
         ++session->datagrams_received_;
-        if (session->receive_cb_) {
-          session->receive_cb_(msg->payload);
-        }
+        DispatchReceive(session, msg->payload);
         return;
       case PeerMsgType::kKeepAlive:
       case PeerMsgType::kProbeReply:
@@ -207,11 +214,10 @@ void UdpHolePuncher::OnPeerTraffic(const Endpoint& from, const Payload& payload)
       // The peer already locked in and is talking to us; that is as good as
       // a probe reply.
       FinishAttempt(msg->nonce, from);
-      auto created = sessions_.find(msg->nonce);
-      if (msg->type == PeerMsgType::kData && created != sessions_.end()) {
-        ++created->second->datagrams_received_;
-        if (created->second->receive_cb_) {
-          created->second->receive_cb_(msg->payload);
+      if (msg->type == PeerMsgType::kData) {
+        if (UdpP2pSession** created = sessions_.Find(msg->nonce)) {
+          ++(*created)->datagrams_received_;
+          DispatchReceive(*created, msg->payload);
         }
       }
       return;
@@ -242,37 +248,43 @@ void UdpHolePuncher::FinishAttempt(uint64_t nonce, const Endpoint& winner) {
   if (it == attempts_.end()) {
     return;
   }
-  Attempt attempt = std::move(it->second);
+  // The intrusive timers make Attempt unmovable: disarm them and copy the
+  // fields that outlive the map node, then erase before running callbacks.
+  it->second.probe_timer.Cancel();
+  it->second.deadline_timer.Cancel();
+  const uint64_t peer_id = it->second.peer_id;
+  const Endpoint peer_public = it->second.peer_public;
+  const Endpoint peer_private = it->second.peer_private;
+  const SimTime started = it->second.started;
+  const int probes_sent = it->second.probes_sent;
+  SessionCallback cb = std::move(it->second.cb);
   attempts_.erase(it);
-  if (attempt.probe_event != EventLoop::kInvalidEventId) {
-    loop_.Cancel(attempt.probe_event);
-  }
-  if (attempt.deadline_event != EventLoop::kInvalidEventId) {
-    loop_.Cancel(attempt.deadline_event);
-  }
 
-  auto session = std::unique_ptr<UdpP2pSession>(new UdpP2pSession(this));
-  session->peer_id_ = attempt.peer_id;
-  session->nonce_ = nonce;
-  session->peer_endpoint_ = winner;
+  UdpP2pSession* raw = session_pool_.New(this);
+  raw->peer_id_ = peer_id;
+  raw->nonce_ = nonce;
+  raw->peer_endpoint_ = winner;
   // A peer without a NAT has identical endpoints; report that as "public".
-  session->used_private_ =
-      winner == attempt.peer_private && attempt.peer_private != attempt.peer_public;
-  session->punch_elapsed_ = loop_.now() - attempt.started;
+  if (winner == peer_private && peer_private != peer_public) {
+    raw->flags_ |= UdpP2pSession::kUsedPrivate;
+  }
+  const SimDuration elapsed = loop_.now() - started;
+  raw->punch_elapsed_us_ = static_cast<uint32_t>(std::min<int64_t>(
+      std::max<int64_t>(elapsed.micros(), 0), std::numeric_limits<uint32_t>::max()));
   obs::Inc(metric_successes_);
-  obs::Observe(metric_rtt_ms_, session->punch_elapsed_.millis());
-  session->probes_sent_ = attempt.probes_sent;
-  session->last_inbound_ = loop_.now();
-  UdpP2pSession* raw = session.get();
-  sessions_[nonce] = std::move(session);
+  obs::Observe(metric_rtt_ms_, elapsed.millis());
+  raw->probes_sent_ = static_cast<uint16_t>(
+      std::min(probes_sent, static_cast<int>(std::numeric_limits<uint16_t>::max())));
+  raw->last_inbound_ = loop_.now();
+  sessions_.InsertOrAssign(nonce, raw);
   ArmSessionTimers(raw);
 
   NP_LOG(Info) << rendezvous_->host()->name() << " punched UDP session to peer "
-               << attempt.peer_id << " at " << winner.ToString()
-               << (raw->used_private_ ? " (private endpoint)" : " (public endpoint)");
+               << peer_id << " at " << winner.ToString()
+               << (raw->used_private_endpoint() ? " (private endpoint)" : " (public endpoint)");
 
-  if (attempt.cb) {
-    attempt.cb(raw);
+  if (cb) {
+    cb(raw);
   } else if (incoming_cb_) {
     incoming_cb_(raw);
   }
@@ -283,17 +295,13 @@ void UdpHolePuncher::FailAttempt(uint64_t nonce, const Status& status) {
   if (it == attempts_.end()) {
     return;
   }
-  Attempt attempt = std::move(it->second);
+  it->second.probe_timer.Cancel();
+  it->second.deadline_timer.Cancel();
+  SessionCallback cb = std::move(it->second.cb);
   attempts_.erase(it);
-  if (attempt.probe_event != EventLoop::kInvalidEventId) {
-    loop_.Cancel(attempt.probe_event);
-  }
-  if (attempt.deadline_event != EventLoop::kInvalidEventId) {
-    loop_.Cancel(attempt.deadline_event);
-  }
   obs::Inc(metric_failures_);
-  if (attempt.cb) {
-    attempt.cb(status);
+  if (cb) {
+    cb(status);
   }
 }
 
@@ -340,14 +348,59 @@ void UdpHolePuncher::SessionInboundSeen(UdpP2pSession* session) {
 }
 
 void UdpHolePuncher::CloseSession(UdpP2pSession* session, const Status& status, bool notify) {
-  if (!session->alive_) {
+  if (!session->alive()) {
     return;
   }
-  session->alive_ = false;
+  session->flags_ &= static_cast<uint8_t>(~UdpP2pSession::kAlive);
   session->keepalive_timer_.Cancel();
   session->expiry_timer_.Cancel();
-  if (notify && session->dead_cb_) {
-    session->dead_cb_(status);
+  if (notify && (session->flags_ & UdpP2pSession::kHasDeadCb) != 0) {
+    SessionCallbacks* cbs = session_callbacks_.Find(session->nonce_);
+    if (cbs != nullptr && cbs->dead) {
+      cbs->dead(status);
+    }
+  }
+}
+
+void UdpHolePuncher::SetSessionReceiveCallback(UdpP2pSession* session,
+                                               UdpP2pSession::ReceiveCallback cb) {
+  if (cb) {
+    session_callbacks_.FindOrInsert(session->nonce_)->receive = std::move(cb);
+    session->flags_ |= UdpP2pSession::kHasReceiveCb;
+    return;
+  }
+  session->flags_ &= static_cast<uint8_t>(~UdpP2pSession::kHasReceiveCb);
+  if (SessionCallbacks* cbs = session_callbacks_.Find(session->nonce_)) {
+    cbs->receive = nullptr;
+    if (!cbs->dead) {
+      session_callbacks_.Erase(session->nonce_);
+    }
+  }
+}
+
+void UdpHolePuncher::SetSessionDeadCallback(UdpP2pSession* session,
+                                            UdpP2pSession::DeadCallback cb) {
+  if (cb) {
+    session_callbacks_.FindOrInsert(session->nonce_)->dead = std::move(cb);
+    session->flags_ |= UdpP2pSession::kHasDeadCb;
+    return;
+  }
+  session->flags_ &= static_cast<uint8_t>(~UdpP2pSession::kHasDeadCb);
+  if (SessionCallbacks* cbs = session_callbacks_.Find(session->nonce_)) {
+    cbs->dead = nullptr;
+    if (!cbs->receive) {
+      session_callbacks_.Erase(session->nonce_);
+    }
+  }
+}
+
+void UdpHolePuncher::DispatchReceive(UdpP2pSession* session, const Bytes& payload) {
+  if ((session->flags_ & UdpP2pSession::kHasReceiveCb) == 0) {
+    return;  // swarm fast path: no table probe for callback-less sessions
+  }
+  SessionCallbacks* cbs = session_callbacks_.Find(session->nonce_);
+  if (cbs != nullptr && cbs->receive) {
+    cbs->receive(payload);
   }
 }
 
@@ -359,8 +412,16 @@ void UdpP2pSession::KeepAliveFire() { puncher_->SessionKeepAliveTick(this); }
 
 void UdpP2pSession::ExpiryFire() { puncher_->SessionExpiryTick(this); }
 
+void UdpP2pSession::SetReceiveCallback(ReceiveCallback cb) {
+  puncher_->SetSessionReceiveCallback(this, std::move(cb));
+}
+
+void UdpP2pSession::SetDeadCallback(DeadCallback cb) {
+  puncher_->SetSessionDeadCallback(this, std::move(cb));
+}
+
 Status UdpP2pSession::Send(Bytes payload) {
-  if (!alive_) {
+  if (!alive()) {
     return Status(ErrorCode::kClosed, "session dead");
   }
   ++datagrams_sent_;

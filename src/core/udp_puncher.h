@@ -19,6 +19,8 @@
 
 #include "src/core/peer_wire.h"
 #include "src/rendezvous/client.h"
+#include "src/util/flat_hash.h"
+#include "src/util/slab.h"
 
 namespace natpunch {
 
@@ -54,6 +56,12 @@ struct UdpPunchConfig {
 
 class UdpHolePuncher;
 
+// Established P2P session. Deliberately compact: the swarm benchmarks keep
+// two of these alive per counted session (initiator and responder side), so
+// at 1M sessions every byte of this struct is 2 MB of resident memory. The
+// two std::function callbacks (64 bytes, unused by the vast majority of
+// swarm sessions) live in a puncher-side table keyed by nonce, guarded here
+// by flag bits; booleans and small counters are packed into the tail pad.
 class UdpP2pSession {
  public:
   using ReceiveCallback = std::function<void(const Bytes& payload)>;
@@ -61,24 +69,31 @@ class UdpP2pSession {
 
   // Application payload to the locked-in endpoint.
   Status Send(Bytes payload);
-  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
-  void SetDeadCallback(DeadCallback cb) { dead_cb_ = std::move(cb); }
+  void SetReceiveCallback(ReceiveCallback cb);
+  void SetDeadCallback(DeadCallback cb);
   void Close();
 
   uint64_t peer_id() const { return peer_id_; }
   uint64_t nonce() const { return nonce_; }
   Endpoint peer_endpoint() const { return peer_endpoint_; }
-  bool alive() const { return alive_; }
+  bool alive() const { return (flags_ & kAlive) != 0; }
   // True when the locked-in endpoint was the peer's *private* endpoint —
   // the expected outcome behind a common NAT (§3.3).
-  bool used_private_endpoint() const { return used_private_; }
-  SimDuration punch_elapsed() const { return punch_elapsed_; }
+  bool used_private_endpoint() const { return (flags_ & kUsedPrivate) != 0; }
+  SimDuration punch_elapsed() const { return Micros(punch_elapsed_us_); }
   int probes_sent() const { return probes_sent_; }
   uint64_t datagrams_sent() const { return datagrams_sent_; }
   uint64_t datagrams_received() const { return datagrams_received_; }
 
  private:
   friend class UdpHolePuncher;
+  template <typename, size_t>
+  friend class Slab;
+
+  static constexpr uint8_t kAlive = 1u << 0;
+  static constexpr uint8_t kUsedPrivate = 1u << 1;
+  static constexpr uint8_t kHasReceiveCb = 1u << 2;
+  static constexpr uint8_t kHasDeadCb = 1u << 3;
 
   explicit UdpP2pSession(UdpHolePuncher* puncher) : puncher_(puncher) {}
 
@@ -89,21 +104,20 @@ class UdpP2pSession {
   UdpHolePuncher* puncher_;
   uint64_t peer_id_ = 0;
   uint64_t nonce_ = 0;
-  Endpoint peer_endpoint_;
-  bool used_private_ = false;
-  bool alive_ = true;
-  SimDuration punch_elapsed_;
-  int probes_sent_ = 0;
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_received_ = 0;
   SimTime last_inbound_;
   // This session's jittered keepalive cadence (== config interval + the
   // nonce-hashed offset; just the config interval when jitter is off).
   SimDuration keepalive_interval_;
+  Endpoint peer_endpoint_;
+  // Punch duration in µs, saturating at ~71.6 minutes — informational only,
+  // and punch_timeout makes longer punches unreachable in practice.
+  uint32_t punch_elapsed_us_ = 0;
+  uint16_t probes_sent_ = 0;  // saturating; accessor widens back to int
+  uint8_t flags_ = kAlive;
   TimerHandle keepalive_timer_;
   TimerHandle expiry_timer_;
-  ReceiveCallback receive_cb_;
-  DeadCallback dead_cb_;
 };
 
 class UdpHolePuncher {
@@ -111,6 +125,7 @@ class UdpHolePuncher {
   using SessionCallback = std::function<void(Result<UdpP2pSession*>)>;
 
   UdpHolePuncher(UdpRendezvousClient* rendezvous, UdpPunchConfig config = UdpPunchConfig{});
+  ~UdpHolePuncher();
 
   // Active side: request an introduction to peer_id through S and punch.
   void ConnectToPeer(uint64_t peer_id, SessionCallback cb);
@@ -155,6 +170,7 @@ class UdpHolePuncher {
   friend class UdpP2pSession;
 
   struct Attempt {
+    UdpHolePuncher* puncher = nullptr;
     uint64_t peer_id = 0;
     uint64_t nonce = 0;
     bool incoming = false;
@@ -168,8 +184,18 @@ class UdpHolePuncher {
     int probes_sent = 0;
     int probe_rounds = 0;
     SessionCallback cb;
-    EventLoop::EventId probe_event = EventLoop::kInvalidEventId;
-    EventLoop::EventId deadline_event = EventLoop::kInvalidEventId;
+    // Intrusive handles, like the session timers: a closure-ring event
+    // lingers as a tombstone until the ring window passes it, so a swarm
+    // punching in waves would pin tens of MB of cancelled probe/deadline
+    // slots; wheel handles unlink on cancel. The map node gives them the
+    // stable address Bind requires. Attempt is therefore unmovable —
+    // cancel both timers and copy fields out before erasing the node.
+    TimerHandle probe_timer;
+    TimerHandle deadline_timer;
+    void ProbeTick() { puncher->SendProbes(this); }
+    void DeadlineTick() {
+      puncher->FailAttempt(nonce, Status(ErrorCode::kTimedOut, "hole punch timed out"));
+    }
   };
 
   Attempt* StartAttempt(uint64_t peer_id, uint64_t nonce, const Endpoint& peer_public,
@@ -186,6 +212,18 @@ class UdpHolePuncher {
   void SessionInboundSeen(UdpP2pSession* session);
   void CloseSession(UdpP2pSession* session, const Status& status, bool notify);
 
+  // Side table carrying the cold std::function callbacks evicted from
+  // UdpP2pSession (see the class comment). Entries exist only for sessions
+  // that installed a callback; the session's flag bits gate the lookup so
+  // the common no-callback receive path never probes the table.
+  struct SessionCallbacks {
+    UdpP2pSession::ReceiveCallback receive;
+    UdpP2pSession::DeadCallback dead;
+  };
+  void SetSessionReceiveCallback(UdpP2pSession* session, UdpP2pSession::ReceiveCallback cb);
+  void SetSessionDeadCallback(UdpP2pSession* session, UdpP2pSession::DeadCallback cb);
+  void DispatchReceive(UdpP2pSession* session, const Bytes& payload);
+
   UdpRendezvousClient* rendezvous_;
   UdpPunchConfig config_;
   EventLoop& loop_;
@@ -198,8 +236,16 @@ class UdpHolePuncher {
   obs::Counter* metric_failures_ = nullptr;
   obs::Histogram* metric_rtt_ms_ = nullptr;
 
-  std::map<uint64_t, Attempt> attempts_;                           // by nonce
-  std::map<uint64_t, std::unique_ptr<UdpP2pSession>> sessions_;    // by nonce
+  // Attempts stay in a std::map: OnSocketError scans them in nonce order and
+  // that order is observable (golden traces). They are transient and few.
+  std::map<uint64_t, Attempt> attempts_;  // by nonce
+  // Sessions are the swarm-scale population: slab-backed storage (stable
+  // addresses, no per-object malloc header) indexed by an open-addressing
+  // map. Lookups are point queries; nothing iterates sessions_ in hash
+  // order except teardown and the alive-count stat.
+  Slab<UdpP2pSession, 512> session_pool_;
+  FlatHashMap<uint64_t, UdpP2pSession*> sessions_;  // by nonce
+  FlatHashMap<uint64_t, SessionCallbacks> session_callbacks_;
   std::function<void(UdpP2pSession*)> incoming_cb_;
   std::function<void(const Endpoint&, const Payload&)> raw_handler_;
   std::function<void(const Endpoint&, const PeerMessage&)> unclaimed_handler_;

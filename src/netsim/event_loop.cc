@@ -480,7 +480,7 @@ void EventLoop::DispatchTop() {
     now_ = SimTime(top.time);
     ++events_processed_;
     obs::Inc(metric_dispatched_);
-    timer->thunk_(timer->obj_);  // may re-arm the handle
+    timer->thunk_(timer);  // may re-arm the handle
     return;
   }
   Slot* slot = SlotFor(top.id);

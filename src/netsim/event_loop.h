@@ -65,10 +65,20 @@ class TimerHandle {
 
   // Bind `obj`'s member function as the callback: Bind<&Foo::Tick>(foo).
   // Rebinding while armed is allowed; the pending firing uses the new thunk.
+  // `obj` must be the object this handle is embedded in (directly or via
+  // nested members): the handle stores only the 32-bit offset between
+  // itself and its owner, which is what keeps it at 56 bytes — at swarm
+  // scale every handle byte is multiplied by hundreds of thousands of
+  // sessions (see DESIGN.md "Memory footprint").
   template <auto Method, typename T>
   void Bind(T* obj) {
-    obj_ = obj;
-    thunk_ = [](void* o) { (static_cast<T*>(o)->*Method)(); };
+    const ptrdiff_t offset =
+        reinterpret_cast<const char*>(obj) - reinterpret_cast<const char*>(this);
+    obj_offset_ = static_cast<int32_t>(offset);
+    thunk_ = [](TimerHandle* h) {
+      auto* owner = reinterpret_cast<T*>(reinterpret_cast<char*>(h) + h->obj_offset_);
+      (owner->*Method)();
+    };
   }
 
   bool pending() const { return state_ != State::kIdle; }
@@ -87,16 +97,18 @@ class TimerHandle {
   };
 
   EventLoop* loop_ = nullptr;
-  void* obj_ = nullptr;
-  void (*thunk_)(void*) = nullptr;
+  void (*thunk_)(TimerHandle*) = nullptr;
   int64_t deadline_ = 0;  // micros
   uint64_t id_ = 0;       // full event id (kind bit set)
   TimerHandle* prev_ = nullptr;
   TimerHandle* next_ = nullptr;
+  int32_t obj_offset_ = 0;  // owner address minus handle address (Bind)
   State state_ = State::kIdle;
   uint8_t level_ = 0;  // wheel position while kInWheel (kOverflowLevel = list)
   uint8_t slot_ = 0;
 };
+static_assert(sizeof(TimerHandle) == 56,
+              "TimerHandle is a per-session multiplied cost; keep it tight");
 
 class EventLoop {
  public:

@@ -52,6 +52,10 @@ struct IcmpHeader {
   Endpoint original_dst;
 };
 
+// Field order is deliberate: the fixed-size header fields pack ahead of the
+// 72-byte payload so the whole struct lands on 136 bytes — every in-flight
+// packet sits in a Lan delivery pool slot, so swarm-scale bursts multiply
+// this size by hundreds of thousands.
 struct Packet {
   Ipv4Address src_ip;
   Ipv4Address dst_ip;
@@ -60,9 +64,9 @@ struct Packet {
   IpProtocol protocol = IpProtocol::kUdp;
   TcpHeader tcp;    // meaningful iff protocol == kTcp
   IcmpHeader icmp;  // meaningful iff protocol == kIcmp
-  Payload payload;  // small-buffer optimized: no heap for messages <= 64 bytes
   int ttl = 64;
   uint64_t id = 0;  // unique per packet, assigned by Network, for tracing
+  Payload payload;  // small-buffer optimized: no heap for messages <= 64 bytes
 
   Endpoint src() const { return Endpoint(src_ip, src_port); }
   Endpoint dst() const { return Endpoint(dst_ip, dst_port); }
@@ -81,6 +85,8 @@ struct Packet {
 
   std::string Summary() const;
 };
+
+static_assert(sizeof(Packet) <= 136, "Packet footprint budget; see DESIGN.md Memory footprint");
 
 }  // namespace natpunch
 

@@ -47,11 +47,11 @@ class Payload {
 
   operator ConstByteSpan() const { return ConstByteSpan(data(), size_); }  // NOLINT: implicit
 
-  const uint8_t* data() const { return heap_ ? heap_data_ : inline_; }
-  uint8_t* data() { return heap_ ? heap_data_ : inline_; }
+  const uint8_t* data() const { return is_heap() ? heap_data_ : inline_; }
+  uint8_t* data() { return is_heap() ? heap_data_ : inline_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  bool is_inline() const { return !heap_; }
+  bool is_inline() const { return !is_heap(); }
 
   const uint8_t* begin() const { return data(); }
   const uint8_t* end() const { return data() + size_; }
@@ -70,8 +70,8 @@ class Payload {
 
   void assign(const uint8_t* data, size_t size) {
     Reserve(size);
-    if (size > 0) std::memcpy(heap_ ? heap_data_ : inline_, data, size);
-    size_ = size;
+    if (size > 0) std::memcpy(this->data(), data, size);
+    size_ = static_cast<uint32_t>(size);
   }
 
   void append(const uint8_t* data, size_t size) {
@@ -89,11 +89,10 @@ class Payload {
       if (size_ > 0) std::memcpy(buf, data(), size_);
       Release();
       heap_data_ = buf;
-      heap_capacity_ = new_cap;
-      heap_ = true;
+      heap_capacity_ = static_cast<uint32_t>(new_cap);
     }
     if (new_size > size_) std::memset(data() + size_, 0, new_size - size_);
-    size_ = new_size;
+    size_ = static_cast<uint32_t>(new_size);
   }
 
   Bytes ToBytes() const { return Bytes(begin(), end()); }
@@ -109,34 +108,35 @@ class Payload {
   friend bool operator==(const Bytes& a, const Payload& b) { return b == a; }
 
  private:
-  size_t Capacity() const { return heap_ ? heap_capacity_ : kInlineCapacity; }
+  // The heap flag is the capacity itself: a heap buffer always has
+  // capacity > 0, the inline buffer always reports 0. Folding the bool away
+  // (and narrowing capacity to u32) trims Payload from 80 to 72 bytes —
+  // which the Lan per-delivery pools multiply by every in-flight packet.
+  bool is_heap() const { return heap_capacity_ != 0; }
+  size_t Capacity() const { return is_heap() ? heap_capacity_ : kInlineCapacity; }
 
   // Ensures capacity >= size without preserving contents.
   void Reserve(size_t size) {
     if (size <= Capacity()) return;
     Release();
     heap_data_ = new uint8_t[size];
-    heap_capacity_ = size;
-    heap_ = true;
+    heap_capacity_ = static_cast<uint32_t>(size);
   }
 
   void Release() {
-    if (heap_) {
+    if (is_heap()) {
       delete[] heap_data_;
-      heap_ = false;
       heap_capacity_ = 0;
     }
   }
 
   void Steal(Payload& other) noexcept {
-    if (other.heap_) {
+    if (other.is_heap()) {
       heap_data_ = other.heap_data_;
       heap_capacity_ = other.heap_capacity_;
-      heap_ = true;
-      other.heap_ = false;
       other.heap_capacity_ = 0;
     } else {
-      heap_ = false;
+      heap_capacity_ = 0;
       if (other.size_ > 0) std::memcpy(inline_, other.inline_, other.size_);
     }
     size_ = other.size_;
@@ -148,10 +148,11 @@ class Payload {
     uint8_t* heap_data_;
   };
   // Separate from the union so clear() can keep a heap buffer for reuse.
-  size_t heap_capacity_ = 0;
+  uint32_t heap_capacity_ = 0;
   uint32_t size_ = 0;
-  bool heap_ = false;
 };
+
+static_assert(sizeof(Payload) == 72, "Payload footprint budget (64 inline + 8 meta)");
 
 }  // namespace natpunch
 

@@ -251,11 +251,12 @@ void UdpRendezvousClient::SendRelay(uint64_t to_id, Bytes payload) {
 
 void UdpRendezvousClient::StartKeepAlive(SimDuration interval) {
   StopKeepAlive();
-  keepalive_event_ =
-      host_->loop().ScheduleAfter(interval, [this, interval] { KeepAliveTick(interval); });
+  keepalive_interval_ = interval;
+  keepalive_timer_.Bind<&UdpRendezvousClient::KeepAliveTick>(this);
+  host_->loop().ScheduleTimerAfter(interval, &keepalive_timer_);
 }
 
-void UdpRendezvousClient::KeepAliveTick(SimDuration interval) {
+void UdpRendezvousClient::KeepAliveTick() {
   if (ring_.size() > 1) {
     if (!registered_) {
       // Mid-failover (or a lost kRegister): re-registration retries ride the
@@ -273,8 +274,7 @@ void UdpRendezvousClient::KeepAliveTick(SimDuration interval) {
   msg.type = RvMsgType::kKeepAlive;
   msg.client_id = client_id_;
   SendToServer(msg);
-  keepalive_event_ =
-      host_->loop().ScheduleAfter(interval, [this, interval] { KeepAliveTick(interval); });
+  host_->loop().ScheduleTimerAfter(keepalive_interval_, &keepalive_timer_);
 }
 
 void UdpRendezvousClient::FailOverToNextShard() {
@@ -289,12 +289,7 @@ void UdpRendezvousClient::FailOverToNextShard() {
   ReRegister();
 }
 
-void UdpRendezvousClient::StopKeepAlive() {
-  if (keepalive_event_ != EventLoop::kInvalidEventId) {
-    host_->loop().Cancel(keepalive_event_);
-    keepalive_event_ = EventLoop::kInvalidEventId;
-  }
-}
+void UdpRendezvousClient::StopKeepAlive() { keepalive_timer_.Cancel(); }
 
 // ---------------------------------------------------------------------------
 // TcpRendezvousClient

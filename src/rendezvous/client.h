@@ -123,7 +123,7 @@ class UdpRendezvousClient {
   void ReRegister();
   void RegisterRetryTick();
   void RequestRetryTick(uint64_t peer_id);
-  void KeepAliveTick(SimDuration interval);
+  void KeepAliveTick();
   void FailOverToNextShard();
 
   Host* host_;
@@ -159,7 +159,14 @@ class UdpRendezvousClient {
   std::map<ConnectStrategy, MessageHandler> connect_forward_handlers_;
   RelayHandler relay_handler_;
   PeerTrafficHandler peer_traffic_handler_;
-  EventLoop::EventId keepalive_event_ = EventLoop::kInvalidEventId;
+  // Intrusive keepalive timer. A closure-based ScheduleAfter here would pin
+  // the event loop's closure ring for the life of the client — the ring
+  // must span from the oldest pending sequence to the newest, so 100k
+  // clients each holding one long-lived closure force a multi-million-slot
+  // ring (this was the sharded swarm leg's 2.5x memory regression). Wheel
+  // timers carry no such window cost.
+  TimerHandle keepalive_timer_;
+  SimDuration keepalive_interval_;
 };
 
 class TcpRendezvousClient {

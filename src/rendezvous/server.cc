@@ -15,6 +15,7 @@ RendezvousServer::RendezvousServer(Host* host, uint16_t port, Options options)
   if (obs::MetricsRegistry* reg = host_->network()->metrics()) {
     metric_rate_limited_ = reg->GetCounter("rendezvous.rate_limited_drops");
     metric_quarantined_ = reg->GetCounter("rendezvous.quarantined_sources");
+    client_pool_.AttachMetrics(reg, "rendezvous_clients." + host_->name());
     if (sharded()) {
       const std::string prefix =
           "rendezvous.shard" + std::to_string(options_.shard.index) + ".";
@@ -64,8 +65,23 @@ void RendezvousServer::Stop() {
       peer->socket->Abort();
     }
   }
-  clients_.clear();
-  sources_.clear();  // a restarted incarnation starts with a clean slate
+  clients_.Clear();
+  client_pool_.Reset();  // records are trivially destructible; keep the slabs
+  sources_.clear();      // a restarted incarnation starts with a clean slate
+}
+
+RendezvousServer::ClientRecord* RendezvousServer::FindClient(uint64_t client_id) {
+  ClientRecord** found = clients_.Find(client_id);
+  return found == nullptr ? nullptr : *found;
+}
+
+RendezvousServer::ClientRecord& RendezvousServer::GetOrCreateClient(uint64_t client_id) {
+  bool inserted = false;
+  ClientRecord** slot = clients_.FindOrInsert(client_id, &inserted);
+  if (inserted) {
+    *slot = client_pool_.New();
+  }
+  return **slot;
 }
 
 void RendezvousServer::SendUdp(const Endpoint& to, const RendezvousMessage& msg) {
@@ -154,17 +170,17 @@ void RendezvousServer::HandleShardFrame(const Endpoint& from, const Payload& pay
 void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
   switch (msg.type) {
     case ShardMsgType::kForwardConnect: {
-      auto it = clients_.find(msg.target_id);
+      ClientRecord* rec = FindClient(msg.target_id);
       ShardMessage reply;
       reply.type = ShardMsgType::kForwardReply;
       reply.client_id = msg.client_id;
       reply.target_id = msg.target_id;
       reply.nonce = msg.nonce;
       reply.strategy = msg.strategy;
-      if (it != clients_.end() && it->second.udp_registered) {
+      if (rec != nullptr && rec->udp_registered) {
         reply.found = 1;
-        reply.public_ep = it->second.udp_public;
-        reply.private_ep = it->second.udp_private;
+        reply.public_ep = rec->udp_public;
+        reply.private_ep = rec->udp_private;
         // Introduce the target directly from here: this shard is in the
         // target's ring, so the client accepts the forward as server
         // traffic.
@@ -176,7 +192,7 @@ void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
         fwd.public_ep = msg.public_ep;
         fwd.private_ep = msg.private_ep;
         fwd.payload = msg.payload;
-        SendUdp(it->second.udp_public, fwd);
+        SendUdp(rec->udp_public, fwd);
       } else {
         ++stats_.unknown_targets;
       }
@@ -192,8 +208,8 @@ void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
       if (msg.found == 0) {
         return;
       }
-      auto it = clients_.find(msg.client_id);
-      if (it == clients_.end() || !it->second.udp_registered) {
+      ClientRecord* rec = FindClient(msg.client_id);
+      if (rec == nullptr || !rec->udp_registered) {
         return;  // requester vanished while the lookup was in flight
       }
       RendezvousMessage ack;
@@ -203,11 +219,11 @@ void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
       ack.strategy = msg.strategy;
       ack.public_ep = msg.public_ep;
       ack.private_ep = msg.private_ep;
-      SendUdp(it->second.udp_public, ack);
+      SendUdp(rec->udp_public, ack);
       return;
     }
     case ShardMsgType::kReplicate: {
-      ClientRecord& rec = clients_[msg.client_id];
+      ClientRecord& rec = GetOrCreateClient(msg.client_id);
       // A copy never clobbers a live local registration (the client may have
       // re-homed here and registered directly since the copy was sent).
       if (!rec.udp_registered || rec.replica) {
@@ -225,12 +241,12 @@ void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
       // normally the home shard; after a failover, the replica that promoted
       // the record. Delivering from un-promoted replica copies too would
       // hand the application every relayed payload twice.
-      auto it = clients_.find(msg.target_id);
-      if (it == clients_.end() || !it->second.udp_registered) {
+      ClientRecord* rec = FindClient(msg.target_id);
+      if (rec == nullptr || !rec->udp_registered) {
         ++stats_.unknown_targets;
         return;
       }
-      if (it->second.replica) {
+      if (rec->replica) {
         return;  // suppressed copy, not an unknown target
       }
       RendezvousMessage fwd;
@@ -240,7 +256,7 @@ void RendezvousServer::HandleShardMessage(const ShardMessage& msg) {
       fwd.payload = msg.payload;
       ++stats_.relayed_messages;
       stats_.relayed_bytes += msg.payload.size();
-      SendUdp(it->second.udp_public, fwd);
+      SendUdp(rec->udp_public, fwd);
       return;
     }
   }
@@ -311,11 +327,12 @@ void RendezvousServer::OnTcpAccept(TcpSocket* socket) {
   socket->SetDataCallback([this, peer](const Bytes& data) { OnTcpData(peer, data); });
   socket->SetClosedCallback([this, peer](const Status&) {
     // Connection gone; drop the TCP registration but keep any UDP one.
-    auto it = clients_.find(peer->client_id);
-    if (it != clients_.end() && it->second.tcp == peer) {
-      it->second.tcp = nullptr;
-      if (!it->second.udp_registered) {
-        clients_.erase(it);
+    ClientRecord* rec = FindClient(peer->client_id);
+    if (rec != nullptr && rec->tcp == peer) {
+      rec->tcp = nullptr;
+      if (!rec->udp_registered) {
+        clients_.Erase(peer->client_id);
+        client_pool_.Delete(rec);
       }
     }
   });
@@ -353,7 +370,7 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
                                      TcpPeer* peer) {
   switch (msg.type) {
     case RvMsgType::kRegister: {
-      ClientRecord& rec = clients_[msg.client_id];
+      ClientRecord& rec = GetOrCreateClient(msg.client_id);
       RendezvousMessage reply;
       reply.type = RvMsgType::kRegisterOk;
       reply.client_id = msg.client_id;
@@ -393,14 +410,14 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
       // observed endpoint, which can change when the client's NAT reboots
       // or renumbers — later introductions must use the live mapping.
       if (via_udp_from != nullptr) {
-        auto it = clients_.find(msg.client_id);
-        if (it != clients_.end() && it->second.udp_registered) {
-          const bool moved = it->second.udp_public != *via_udp_from;
-          it->second.udp_public = *via_udp_from;
-          if (moved && sharded() && !it->second.replica) {
+        ClientRecord* rec = FindClient(msg.client_id);
+        if (rec != nullptr && rec->udp_registered) {
+          const bool moved = rec->udp_public != *via_udp_from;
+          rec->udp_public = *via_udp_from;
+          if (moved && sharded() && !rec->replica) {
             // The NAT renumbered the client: the replica copy is stale until
             // re-sent.
-            ReplicateRecord(msg.client_id, it->second);
+            ReplicateRecord(msg.client_id, *rec);
           }
         }
         // Ack every keepalive, even from clients we no longer know: the
@@ -416,32 +433,32 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
     }
     case RvMsgType::kConnectRequest: {
       ++stats_.connect_requests;
-      auto it = clients_.find(msg.target_id);
+      ClientRecord* target_rec = FindClient(msg.target_id);
       // A replica copy is not authoritative for a direct lookup: the target
       // has no NAT mapping toward this shard, so a kConnectForward sent from
       // here would be filtered at its NAT. Forward to the home shard, which
       // introduces the target through its live mapping. (Once the target
       // fails over here the record is promoted and becomes authoritative.)
       const bool have_target =
-          it != clients_.end() &&
-          (via_udp_from != nullptr ? it->second.udp_registered && !it->second.replica
-                                   : it->second.tcp != nullptr);
+          target_rec != nullptr &&
+          (via_udp_from != nullptr ? target_rec->udp_registered && !target_rec->replica
+                                   : target_rec->tcp != nullptr);
       if (!have_target && sharded() && via_udp_from != nullptr) {
         // The target is homed on (or failed over to) another shard: forward
         // the lookup over the inter-shard protocol. The kConnectAck comes
         // back through us via kForwardReply — it must, because the client
         // only accepts rendezvous traffic from ring members. TCP lookups
         // stay shard-local (the connection pins the client to one shard).
-        auto req_it = clients_.find(msg.client_id);
-        if (req_it != clients_.end() && req_it->second.udp_registered) {
+        ClientRecord* req_rec = FindClient(msg.client_id);
+        if (req_rec != nullptr && req_rec->udp_registered) {
           ShardMessage fwd;
           fwd.type = ShardMsgType::kForwardConnect;
           fwd.client_id = msg.client_id;
           fwd.target_id = msg.target_id;
           fwd.nonce = msg.nonce;
           fwd.strategy = msg.strategy;
-          fwd.public_ep = req_it->second.udp_public;
-          fwd.private_ep = req_it->second.udp_private;
+          fwd.public_ep = req_rec->udp_public;
+          fwd.private_ep = req_rec->udp_private;
           fwd.payload = msg.payload;
           if (ForwardToOwners(msg.target_id, fwd) > 0) {
             return;  // answered asynchronously by the owning shard
@@ -461,13 +478,13 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
         }
         return;
       }
-      const ClientRecord& target = it->second;
+      const ClientRecord& target = *target_rec;
       // Look up the requester's own record to tell the target about it.
-      auto req_it = clients_.find(msg.client_id);
-      if (req_it == clients_.end()) {
+      const ClientRecord* req_rec = FindClient(msg.client_id);
+      if (req_rec == nullptr) {
         return;
       }
-      const ClientRecord& requester = req_it->second;
+      const ClientRecord& requester = *req_rec;
 
       RendezvousMessage ack;
       ack.type = RvMsgType::kConnectAck;
@@ -500,8 +517,8 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
       return;
     }
     case RvMsgType::kRelayData: {
-      auto it = clients_.find(msg.target_id);
-      if (it == clients_.end()) {
+      ClientRecord* rec = FindClient(msg.target_id);
+      if (rec == nullptr) {
         if (sharded() && via_udp_from != nullptr) {
           ShardMessage fwd;
           fwd.type = ShardMsgType::kForwardRelay;
@@ -523,22 +540,22 @@ void RendezvousServer::HandleMessage(const RendezvousMessage& msg, const Endpoin
       fwd.payload = msg.payload;
       ++stats_.relayed_messages;
       stats_.relayed_bytes += msg.payload.size();
-      if (via_udp_from != nullptr && it->second.udp_registered) {
-        SendUdp(it->second.udp_public, fwd);
-      } else if (it->second.tcp != nullptr) {
-        SendTcp(it->second.tcp, fwd);
+      if (via_udp_from != nullptr && rec->udp_registered) {
+        SendUdp(rec->udp_public, fwd);
+      } else if (rec->tcp != nullptr) {
+        SendTcp(rec->tcp, fwd);
       }
       return;
     }
     case RvMsgType::kSequentialReady: {
-      auto it = clients_.find(msg.target_id);
-      if (it == clients_.end() || it->second.tcp == nullptr) {
+      ClientRecord* rec = FindClient(msg.target_id);
+      if (rec == nullptr || rec->tcp == nullptr) {
         ++stats_.unknown_targets;
         return;
       }
       RendezvousMessage fwd = msg;
       fwd.client_id = msg.client_id;
-      SendTcp(it->second.tcp, fwd);
+      SendTcp(rec->tcp, fwd);
       return;
     }
     default:

@@ -695,12 +695,19 @@ TcpStack::TcpStack(Host* host, TcpConfig config) : host_(host), config_(config) 
     metric_retransmits_ = metric("retransmits");
     metric_simultaneous_opens_ = metric("simultaneous_opens");
     metric_rsts_sent_ = metric("rsts_sent");
+    socket_pool_.AttachMetrics(reg, "tcp_sockets." + host->name());
+  }
+}
+
+TcpStack::~TcpStack() {
+  for (TcpSocket* socket : sockets_) {
+    socket_pool_.Delete(socket);
   }
 }
 
 TcpSocket* TcpStack::CreateSocket() {
-  sockets_.push_back(std::make_unique<TcpSocket>(this));
-  return sockets_.back().get();
+  sockets_.push_back(socket_pool_.New(this));
+  return sockets_.back();
 }
 
 bool TcpStack::IsPortBound(uint16_t port) const {

@@ -36,6 +36,7 @@
 #include "src/transport/tcp_types.h"
 #include "src/util/bytes.h"
 #include "src/util/flat_hash.h"
+#include "src/util/slab.h"
 #include "src/util/result.h"
 
 namespace natpunch {
@@ -184,6 +185,7 @@ class TcpSocket {
 class TcpStack {
  public:
   TcpStack(Host* host, TcpConfig config);
+  ~TcpStack();
 
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
@@ -221,7 +223,12 @@ class TcpStack {
 
   Host* host_;
   TcpConfig config_;
-  std::vector<std::unique_ptr<TcpSocket>> sockets_;
+  // Sockets come from the slab (the swarm's TCP legs hold hundreds of
+  // thousands of ~400-byte connection objects); the roster vector keeps
+  // creation order for teardown. Closed sockets are retained in kClosed
+  // state, so the pool only ever grows to the high-water mark.
+  Slab<TcpSocket, 128> socket_pool_;
+  std::vector<TcpSocket*> sockets_;
   // Per-segment demux tables, all flat-hash (see src/util/flat_hash.h).
   // bound_ keeps insertion order within a port (SO_REUSEADDR sockets), the
   // order the old multimap guaranteed.

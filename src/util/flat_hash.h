@@ -111,6 +111,33 @@ class FlatHashMap {
     return true;
   }
 
+  // Visit every (key, value) pair in slot (hash) order. For teardown and
+  // stats sweeps only — hash order must never drive observable protocol
+  // behavior (see DESIGN.md "NAT datapath fast path"). The callback must not
+  // insert or erase.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (size_ == 0) {
+      return;
+    }
+    for (Slot& slot : slots_) {
+      if (slot.used) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (size_ == 0) {
+      return;
+    }
+    for (const Slot& slot : slots_) {
+      if (slot.used) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+
   // Destroys the elements, keeps the slot array (zero-allocation reuse).
   void Clear() {
     if (size_ == 0) {

